@@ -1,0 +1,118 @@
+//! The 128-thread Xeon E7-8890 v3 model for TACO-generated CPU kernels.
+//!
+//! TACO's CPU code executes sparse co-iteration as pointer-chasing merge
+//! loops: each step is a compare, branch, and advance over `pos`/`crd`
+//! arrays, with poor vectorization and cache behaviour on scattered
+//! accesses. Large sparse kernels also scale far below the machine's 128
+//! hardware threads (rows are imbalanced; merges serialize). The model
+//! charges per-step costs calibrated against the paper's reported gaps
+//! (CPU geomean 138× slower than compiled Capstan-HBM2E; SpMV 27.9×).
+
+use crate::profile::WorkProfile;
+
+/// Xeon model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Clock frequency (Hz).
+    pub clock_hz: f64,
+    /// Hardware threads.
+    pub threads: f64,
+    /// Effective parallel efficiency for sparse kernels (load imbalance,
+    /// NUMA, synchronization): the fraction of ideal scaling achieved.
+    pub parallel_efficiency: f64,
+    /// Cycles per merge/co-iteration step (compare + branch mispredicts).
+    pub cycles_per_merge_step: f64,
+    /// Cycles per floating-point operation in scalar sparse code.
+    pub cycles_per_flop: f64,
+    /// Cycles per gather (cache/TLB miss latency, partially overlapped).
+    pub cycles_per_gather: f64,
+    /// Aggregate achievable memory bandwidth (bytes/s) — four sockets of
+    /// DDR4.
+    pub mem_bandwidth: f64,
+    /// Fixed cost: OpenMP region launch + first-touch (seconds).
+    pub launch_overhead: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            clock_hz: 2.494e9, // §8.1: 2494 MHz
+            threads: 128.0,
+            parallel_efficiency: 0.35,
+            cycles_per_merge_step: 8.0,
+            cycles_per_flop: 1.5,
+            cycles_per_gather: 40.0,
+            mem_bandwidth: 120.0e9,
+            launch_overhead: 30.0e-6,
+        }
+    }
+}
+
+/// Predicted runtime (seconds) of the TACO CPU kernel for this work.
+pub fn cpu_time(profile: &WorkProfile, model: &CpuModel) -> f64 {
+    let cycles = profile.merge_steps as f64 * model.cycles_per_merge_step
+        + profile.flops as f64 * model.cycles_per_flop
+        + profile.gathers as f64 * model.cycles_per_gather;
+    // Parallel scaling is limited both by efficiency and by the available
+    // outer-loop grain.
+    let usable_threads = model
+        .threads
+        .min(profile.outer_iterations as f64)
+        .max(1.0);
+    let effective = (usable_threads * model.parallel_efficiency).max(1.0);
+    let compute_time = cycles / model.clock_hz / effective;
+    // Cold-cache streaming over the operands (§8.1 runs with a cold cache).
+    let mem_time = profile.stream_bytes as f64 / model.mem_bandwidth;
+    compute_time.max(mem_time) + model.launch_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spmv_like(nnz: u64, rows: u64) -> WorkProfile {
+        WorkProfile {
+            flops: 2 * nnz,
+            merge_steps: nnz,
+            stream_bytes: nnz * 8 + rows * 8,
+            gathers: nnz,
+            dense_output_elems: rows,
+            outer_iterations: rows,
+        }
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let m = CpuModel::default();
+        let small = cpu_time(&spmv_like(10_000, 1_000), &m);
+        let big = cpu_time(&spmv_like(1_000_000, 10_000), &m);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn parallel_grain_limits_scaling() {
+        let m = CpuModel::default();
+        // Same work, one row vs many rows: one row cannot parallelize.
+        let mut narrow = spmv_like(100_000, 1);
+        narrow.outer_iterations = 1;
+        let wide = spmv_like(100_000, 10_000);
+        assert!(cpu_time(&narrow, &m) > cpu_time(&wide, &m));
+    }
+
+    #[test]
+    fn overhead_floors_small_kernels() {
+        let m = CpuModel::default();
+        let t = cpu_time(&spmv_like(10, 10), &m);
+        assert!(t >= m.launch_overhead);
+    }
+
+    #[test]
+    fn plausible_spmv_magnitude() {
+        // 2M-nonzero SpMV on the modeled Xeon should land in the hundreds
+        // of microseconds to low milliseconds — the regime the paper's
+        // 27.9× (vs ~10 µs on Capstan) implies.
+        let m = CpuModel::default();
+        let t = cpu_time(&spmv_like(2_000_000, 29_000), &m);
+        assert!(t > 50.0e-6 && t < 20.0e-3, "got {t}");
+    }
+}

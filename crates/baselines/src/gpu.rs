@@ -1,0 +1,112 @@
+//! The NVIDIA V100 model for TACO-generated GPU kernels.
+//!
+//! Two mechanisms dominate the paper's GPU numbers (§8.4):
+//!
+//! 1. *Dense outputs.* TACO's GPU backend "does not natively support
+//!    sparse tensor outputs ... most of the time is spent zero
+//!    initializing the fully dense result tensor" in device memory. The
+//!    model charges a device-bandwidth write over the whole dense output.
+//! 2. *Irregularity.* Sparse merges and gathers run at a small fraction of
+//!    peak; kernels with a dense inner dimension (MTTKRP) vectorize well,
+//!    which the model captures by charging work at warp efficiency
+//!    proportional to the dense fraction of the work.
+
+use crate::profile::WorkProfile;
+
+/// V100 model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Device memory bandwidth (bytes/s) — HBM2 on the V100 SXM2.
+    pub mem_bandwidth: f64,
+    /// Achievable throughput for regular (dense-inner) work (flops/s).
+    pub dense_throughput: f64,
+    /// Achievable throughput for irregular merge/gather work (steps/s).
+    pub irregular_throughput: f64,
+    /// Kernel launch + driver overhead (seconds).
+    pub launch_overhead: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            mem_bandwidth: 900.0e9,
+            dense_throughput: 4.0e12,
+            irregular_throughput: 120.0e9,
+            launch_overhead: 10.0e-6,
+        }
+    }
+}
+
+/// Predicted runtime (seconds) of the TACO GPU kernel for this work.
+pub fn gpu_time(profile: &WorkProfile, model: &GpuModel) -> f64 {
+    // Zero-initialization of the dense output (4-byte words as TACO's
+    // default float type).
+    let zero_init = profile.dense_output_elems as f64 * 4.0 / model.mem_bandwidth;
+    // Streaming the sparse operands.
+    let stream = profile.stream_bytes as f64 / model.mem_bandwidth;
+    // Compute: regular flops at dense throughput, merge steps and gathers
+    // at irregular throughput.
+    let regular = profile.flops as f64 / model.dense_throughput;
+    let irregular =
+        (profile.merge_steps + profile.gathers) as f64 / model.irregular_throughput;
+    zero_init + stream.max(regular + irregular) + model.launch_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_output_dominates_sddmm_style() {
+        let m = GpuModel::default();
+        // SDDMM on a 28924² matrix: the dense output is ~3.3 GB of floats.
+        let sddmm = WorkProfile {
+            flops: 10_000_000,
+            merge_steps: 2_000_000,
+            stream_bytes: 50_000_000,
+            gathers: 0,
+            dense_output_elems: 28_924u64 * 28_924,
+            outer_iterations: 28_924,
+        };
+        let t = gpu_time(&sddmm, &m);
+        let zero_init = sddmm.dense_output_elems as f64 * 4.0 / m.mem_bandwidth;
+        assert!(zero_init / t > 0.9, "zero-init should dominate: {t}");
+        assert!(t > 1.0e-3);
+    }
+
+    #[test]
+    fn small_output_kernels_are_fast() {
+        let m = GpuModel::default();
+        let spmv = WorkProfile {
+            flops: 4_000_000,
+            merge_steps: 2_000_000,
+            stream_bytes: 16_000_000,
+            gathers: 2_000_000,
+            dense_output_elems: 29_000,
+            outer_iterations: 29_000,
+        };
+        let t = gpu_time(&spmv, &m);
+        assert!(t < 1.0e-3, "SpMV-like should be sub-millisecond: {t}");
+    }
+
+    #[test]
+    fn launch_overhead_floors() {
+        let m = GpuModel::default();
+        let t = gpu_time(&WorkProfile::default(), &m);
+        assert!(t >= m.launch_overhead);
+    }
+
+    #[test]
+    fn irregular_work_is_slower_than_regular() {
+        let m = GpuModel::default();
+        let regular = WorkProfile {
+            flops: 100_000_000,
+            ..Default::default()
+        };
+        let irregular = WorkProfile {
+            merge_steps: 100_000_000,
+            ..Default::default()
+        };
+        assert!(gpu_time(&irregular, &m) > gpu_time(&regular, &m));
+    }
+}

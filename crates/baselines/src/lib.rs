@@ -1,0 +1,42 @@
+//! CPU and GPU baselines for Table 6 / Fig. 13.
+//!
+//! The paper's baselines are TACO-generated kernels: OpenMP C++ on a
+//! 4-socket, 128-thread Xeon E7-8890 v3, and CUDA on a V100 (§8.1). We
+//! cannot run those machines, so this crate models them, driven by the
+//! *measured work* of each kernel execution (the Spatial interpreter's
+//! event trace plus the kernel's declared shapes):
+//!
+//! - [`cpu`] — TACO's merge-loop execution on the Xeon: memory-bound
+//!   streaming over the operand arrays, branchy merge costs per
+//!   co-iteration step, gather latency for random accesses, and imperfect
+//!   parallel scaling across 128 threads.
+//! - [`gpu`] — the V100 model. The paper notes TACO's GPU path does not
+//!   support sparse outputs: "Most of the time is spent zero initializing
+//!   the fully dense result tensor" — the model charges exactly that dense
+//!   zero-initialization, plus an irregularity-penalized kernel time.
+//! - [`handwritten`] — the Table 6 reference points that are *not*
+//!   compiler-generated: the handwritten Capstan SpMV (0.65× compiled) and
+//!   Plasticine SpMV (8.72×), plus the handwritten Spatial LoC counts for
+//!   the §8.3 productivity study.
+
+pub mod cpu;
+pub mod gpu;
+pub mod profile;
+
+pub use cpu::{cpu_time, CpuModel};
+pub use gpu::{gpu_time, GpuModel};
+pub use profile::WorkProfile;
+
+/// Handwritten reference points quoted from the paper (not generated).
+pub mod handwritten {
+    /// Handwritten Capstan SpMV runtime relative to compiled Capstan
+    /// (Table 6: the hand-tuned kernel duplicates the input vector instead
+    /// of using the shuffle network, §8.3).
+    pub const CAPSTAN_SPMV_VS_COMPILED: f64 = 0.65;
+    /// Handwritten Plasticine SpMV relative to compiled Capstan (Table 6).
+    pub const PLASTICINE_SPMV_VS_COMPILED: f64 = 8.72;
+    /// Lines of Spatial the handwritten SpMV took (§8.3).
+    pub const SPMV_HANDWRITTEN_SPATIAL_LOC: usize = 52;
+    /// Input lines the paper reports for compiled SpMV (§8.3).
+    pub const SPMV_INPUT_LOC: usize = 10;
+}

@@ -1,0 +1,74 @@
+//! The machine-independent work profile a kernel execution produces.
+
+use stardust_spatial::ExecStats;
+
+/// What a kernel actually did, extracted from the Spatial interpreter's
+/// event trace plus the program's declared shapes. Baseline models charge
+/// their machine's costs against these quantities.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkProfile {
+    /// Scalar arithmetic operations (multiply/add/select).
+    pub flops: u64,
+    /// Co-iteration steps: elements visited by merges/scans (a CPU pays a
+    /// branchy compare-and-advance per step; Capstan scans them in bulk).
+    pub merge_steps: u64,
+    /// Bytes of sparse operand/result data touched (streaming traffic).
+    pub stream_bytes: u64,
+    /// Data-dependent single-element accesses (gathers/scatters).
+    pub gathers: u64,
+    /// Elements of the *dense* output a TACO GPU kernel must
+    /// zero-initialize (TACO's GPU backend has no sparse outputs, §8.4).
+    pub dense_output_elems: u64,
+    /// Rows/fibers of outer-loop work (parallelization grain).
+    pub outer_iterations: u64,
+}
+
+impl WorkProfile {
+    /// Builds a profile from an execution trace and the kernel's output
+    /// shape.
+    pub fn from_stats(
+        stats: &ExecStats,
+        dense_output_elems: u64,
+        outer_iterations: u64,
+    ) -> Self {
+        WorkProfile {
+            flops: stats.alu_ops,
+            merge_steps: stats.scan_emits + stats.reduce_elems + stats.fifo_deqs / 2,
+            stream_bytes: stats.total_dram_bytes(),
+            gathers: stats.shuffle_accesses + stats.dram_random_reads
+                + stats.dram_random_writes,
+            dense_output_elems,
+            outer_iterations: outer_iterations.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_stats_maps_fields() {
+        let mut stats = ExecStats::default();
+        stats.alu_ops = 100;
+        stats.scan_emits = 10;
+        stats.reduce_elems = 5;
+        stats.fifo_deqs = 8;
+        stats.shuffle_accesses = 3;
+        stats.dram_random_reads = 2;
+        stats.dram_reads.insert("a".into(), 16);
+        let p = WorkProfile::from_stats(&stats, 1000, 50);
+        assert_eq!(p.flops, 100);
+        assert_eq!(p.merge_steps, 19);
+        assert_eq!(p.gathers, 5);
+        assert_eq!(p.stream_bytes, 4 * (16 + 2));
+        assert_eq!(p.dense_output_elems, 1000);
+        assert_eq!(p.outer_iterations, 50);
+    }
+
+    #[test]
+    fn outer_iterations_at_least_one() {
+        let p = WorkProfile::from_stats(&ExecStats::default(), 0, 0);
+        assert_eq!(p.outer_iterations, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Criterion bench: the Fig. 12 bandwidth-sensitivity computation for one
+//! representative kernel (SpMV) across the sweep points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stardust_bench::{instantiate, measure_bandwidth, Scale};
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let scale = Scale::ci();
+    let sets = instantiate("SpMV", &scale);
+    let (kernel, set) = &sets[0];
+    let mut group = c.benchmark_group("fig12_spmv");
+    group.sample_size(10);
+    for gbps in [20.0, 200.0, 2000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gbps as u64),
+            &gbps,
+            |b, &gbps| {
+                b.iter(|| measure_bandwidth(kernel, set, gbps));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

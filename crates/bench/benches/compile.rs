@@ -1,0 +1,22 @@
+//! Criterion bench: compiler throughput per kernel (scheduling, memory
+//! analysis, co-iteration lowering, code emission) — the cost of Table 3's
+//! "Spatial" column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stardust_bench::{instantiate, Scale, KERNEL_NAMES};
+
+fn bench_compile(c: &mut Criterion) {
+    let scale = Scale::ci();
+    let mut group = c.benchmark_group("compile");
+    for name in KERNEL_NAMES {
+        let sets = instantiate(name, &scale);
+        let (kernel, set) = &sets[0];
+        group.bench_function(name, |b| {
+            b.iter(|| kernel.compile(&set.inputs).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: placement/resource accounting (Table 5's computation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stardust_bench::{instantiate, Scale, KERNEL_NAMES};
+use stardust_capstan::{place, CapstanConfig};
+
+fn bench_resources(c: &mut Criterion) {
+    let scale = Scale::ci();
+    let config = CapstanConfig::default();
+    let compiled: Vec<_> = KERNEL_NAMES
+        .iter()
+        .map(|name| {
+            let sets = instantiate(name, &scale);
+            let (kernel, set) = &sets[0];
+            (name, kernel.compile(&set.inputs).expect("compiles"))
+        })
+        .collect();
+    let mut group = c.benchmark_group("place");
+    for (name, stages) in &compiled {
+        group.bench_function(**name, |b| {
+            b.iter(|| {
+                stages
+                    .iter()
+                    .map(|s| place(s.spatial(), &config).pcus)
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resources);
+criterion_main!(benches);

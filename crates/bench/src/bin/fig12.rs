@@ -1,0 +1,38 @@
+//! Figure 12: impact of DRAM bandwidth on performance. For each kernel,
+//! speedup over the 20 GB/s configuration across 20–2000 GB/s.
+
+use stardust_bench::{gmean, instantiate, measure_bandwidth, Scale, KERNEL_NAMES};
+
+const BANDWIDTHS: [f64; 7] = [20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+
+    println!("Figure 12: DRAM bandwidth sensitivity (speedup vs 20 GB/s)");
+    print!("{:<14}", "Kernel");
+    for bw in BANDWIDTHS {
+        print!(" {bw:>8.0}");
+    }
+    println!("  (GB/s)");
+
+    for name in KERNEL_NAMES {
+        let sets = instantiate(name, &scale);
+        // Geomean across datasets at each bandwidth.
+        let mut base = Vec::new();
+        let mut at_bw: Vec<Vec<f64>> = vec![Vec::new(); BANDWIDTHS.len()];
+        for (kernel, set) in &sets {
+            let t20 = measure_bandwidth(kernel, set, BANDWIDTHS[0]);
+            base.push(t20);
+            for (n, &bw) in BANDWIDTHS.iter().enumerate() {
+                let t = measure_bandwidth(kernel, set, bw);
+                at_bw[n].push(t20 / t);
+            }
+        }
+        print!("{name:<14}");
+        for speedups in &at_bw {
+            print!(" {:>8.2}", gmean(speedups.iter().copied()));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 3: expressions with input LoC vs generated Spatial LoC, plus the
+//! §8.3 SpMV productivity study (`--spmv-study`).
+
+use stardust_baselines::handwritten;
+use stardust_bench::{instantiate, Scale, KERNEL_NAMES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+
+    println!("Table 3: Lines of Code (input vs generated Spatial)");
+    println!("{:<14} {:>8} {:>9}", "Name", "Input", "Spatial");
+    for name in KERNEL_NAMES {
+        let sets = instantiate(name, &scale);
+        let (kernel, set) = &sets[0];
+        let compiled = kernel.compile(&set.inputs).expect("compiles");
+        let spatial: usize = compiled
+            .iter()
+            .map(stardust_core::pipeline::CompiledKernel::spatial_loc)
+            .sum();
+        println!("{:<14} {:>8} {:>9}", name, kernel.input_loc(), spatial);
+    }
+
+    if args.iter().any(|a| a == "--spmv-study") {
+        println!();
+        println!("SpMV productivity study (§8.3):");
+        let sets = instantiate("SpMV", &scale);
+        let (kernel, set) = &sets[0];
+        let compiled = kernel.compile(&set.inputs).expect("compiles");
+        let input = kernel.input_loc();
+        let handwritten_loc = handwritten::SPMV_HANDWRITTEN_SPATIAL_LOC;
+        println!("  compiled input LoC:      {input}");
+        println!("  handwritten Spatial LoC: {handwritten_loc}");
+        println!(
+            "  reduction:               {:.0}%",
+            100.0 * (1.0 - input as f64 / handwritten_loc as f64)
+        );
+        println!(
+            "  generated Spatial LoC:   {}",
+            compiled[0].spatial_loc()
+        );
+    }
+}

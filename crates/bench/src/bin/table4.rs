@@ -1,0 +1,52 @@
+//! Table 4: the evaluation datasets (dimensions and density).
+
+use stardust_bench::{suite_matrices, Scale};
+use stardust_datasets as datasets;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+
+    println!("Table 4: Datasets");
+    println!(
+        "{:<28} {:<26} {:>12}",
+        "App", "Dimensions", "Density"
+    );
+    for d in suite_matrices(&scale) {
+        let dims = d.matrix.dims();
+        println!(
+            "{:<28} {:<26} {:>12.3e}",
+            d.name,
+            format!("{} x {}", dims[0], dims[1]),
+            d.matrix.density()
+        );
+    }
+    for density in [0.01, 0.10, 0.50] {
+        let n = scale.random_matrix_dim;
+        let m = datasets::random_matrix(n, n, density, 21);
+        println!(
+            "{:<28} {:<26} {:>12.3e}",
+            "random (Plus3)",
+            format!("{n} x {n}"),
+            m.density()
+        );
+    }
+    let fb = datasets::facebook(scale.facebook);
+    let dims = fb.dims();
+    println!(
+        "{:<28} {:<26} {:>12.3e}",
+        "facebook",
+        format!("{} x {} x {}", dims[0], dims[1], dims[2]),
+        fb.density()
+    );
+    for density in [0.01, 0.10, 0.50] {
+        let n = scale.random_tensor_dim;
+        let t = datasets::random_tensor3(n, n, n, density, 41);
+        println!(
+            "{:<28} {:<26} {:>12.3e}",
+            "random (InnerProd/Plus2)",
+            format!("{n} x {n} x {n}"),
+            t.density()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Table 5: Capstan resources required by each compiled kernel.
+
+use stardust_bench::{instantiate, Scale, KERNEL_NAMES};
+use stardust_capstan::{place, CapstanConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let config = CapstanConfig::default();
+
+    println!("Table 5: Capstan resources per compiled kernel");
+    println!(
+        "{:<14} {:>4} | {:>5} {:>5} | {:>5} {:>5} | {:>4} {:>5} | {:>5} {:>5} | limit",
+        "Name", "Par", "PCU", "%", "PMU", "%", "MC", "%", "Shuf", "%"
+    );
+    for name in KERNEL_NAMES {
+        let sets = instantiate(name, &scale);
+        let (kernel, set) = &sets[0];
+        let compiled = kernel.compile(&set.inputs).expect("compiles");
+        // Multi-stage kernels: report the largest stage (they time-share
+        // the fabric).
+        let report = compiled
+            .iter()
+            .map(|c| place(c.spatial(), &config))
+            .max_by_key(|r| r.pcus + r.pmus)
+            .expect("at least one stage");
+        println!(
+            "{:<14} {:>4} | {:>5} {:>4.0}% | {:>5} {:>4.0}% | {:>4} {:>4.0}% | {:>5} {:>4.0}% | {}",
+            name,
+            kernel.table5_par,
+            report.pcus,
+            report.pcu_pct(),
+            report.pmus,
+            report.pmu_pct(),
+            report.mcs,
+            report.mc_pct(),
+            report.shuffles,
+            report.shuffle_pct(),
+            report.limiting(),
+        );
+    }
+}

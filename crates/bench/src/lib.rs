@@ -1,0 +1,445 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§8).
+//!
+//! | artifact | binary | contents |
+//! |----------|--------|----------|
+//! | Table 3  | `table3` | input LoC vs generated Spatial LoC per kernel |
+//! | Table 4  | `table4` | the evaluation datasets |
+//! | Table 5  | `table5` | Capstan resources per kernel |
+//! | Table 6  | `table6` | normalized runtimes across platforms/memories |
+//! | Fig. 12  | `fig12`  | DRAM bandwidth sensitivity sweep |
+//! | Fig. 13  | `fig13`  | per-kernel Capstan/GPU/CPU comparison |
+//!
+//! All binaries accept `--scale <n>` (dataset shrink divisor, default CI
+//! scale) and `--full` (paper-scale dimensions). Absolute numbers differ
+//! from the paper — the substrate is our simulator, not the authors'
+//! testbed — but the comparisons' shape (who wins, rough factors,
+//! crossovers) is what these harnesses reproduce.
+
+use std::collections::HashMap;
+
+use stardust_baselines::{cpu_time, gpu_time, CpuModel, GpuModel, WorkProfile};
+use stardust_capstan::sim::combine;
+use stardust_capstan::{simulate, CapstanConfig, MemoryModel, SimReport};
+use stardust_core::pipeline::TensorData;
+use stardust_datasets as datasets;
+use stardust_kernels as kernels;
+use stardust_kernels::Kernel;
+use stardust_tensor::{CooTensor, Format};
+
+/// Harness configuration: dataset scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Divisor for the SuiteSparse matrix dimensions.
+    pub suite: usize,
+    /// Dimension of the random matrices (paper: 800).
+    pub random_matrix_dim: usize,
+    /// Dimension of the random 3-tensors (paper: 200).
+    pub random_tensor_dim: usize,
+    /// Divisor for the facebook tensor dimensions.
+    pub facebook: usize,
+    /// TTM/MTTKRP factor rank.
+    pub rank: usize,
+}
+
+impl Scale {
+    /// Fast CI-friendly scale (seconds for the whole suite).
+    pub fn ci() -> Self {
+        Scale {
+            suite: 96,
+            random_matrix_dim: 96,
+            random_tensor_dim: 20,
+            facebook: 400,
+            rank: 8,
+        }
+    }
+
+    /// Paper-scale dimensions (minutes; use for the full reproduction).
+    pub fn full() -> Self {
+        Scale {
+            suite: 1,
+            random_matrix_dim: 800,
+            random_tensor_dim: 200,
+            facebook: 1,
+            rank: 32,
+        }
+    }
+
+    /// Parses `--scale <n>` / `--full` from CLI arguments.
+    pub fn from_args(args: &[String]) -> Self {
+        if args.iter().any(|a| a == "--full") {
+            return Scale::full();
+        }
+        if let Some(pos) = args.iter().position(|a| a == "--scale") {
+            if let Some(v) = args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
+                let v = v.max(1);
+                return Scale {
+                    suite: v,
+                    random_matrix_dim: (9600 / v).max(48),
+                    random_tensor_dim: (2400 / v).max(16),
+                    facebook: (v * 4).max(1),
+                    rank: if v <= 4 { 32 } else { 16 },
+                };
+            }
+        }
+        Scale::ci()
+    }
+}
+
+/// One named input set for a kernel (a Table 4 dataset).
+#[derive(Debug, Clone)]
+pub struct InputSet {
+    /// Dataset name for reporting.
+    pub dataset: String,
+    /// Dimensions the kernel should be instantiated with.
+    pub dims: Vec<usize>,
+    /// The bound inputs.
+    pub inputs: HashMap<String, TensorData>,
+}
+
+fn csr(c: &CooTensor<f64>) -> TensorData {
+    TensorData::from_coo(c, Format::csr())
+}
+
+fn vec_of(len: usize, seed: u64) -> TensorData {
+    TensorData::from_coo(&datasets::random_vector(len, seed), Format::dense_vec())
+}
+
+/// The Table 4 matrices at the given scale.
+pub fn suite_matrices(scale: &Scale) -> Vec<datasets::Dataset> {
+    vec![
+        datasets::bcsstk30(scale.suite),
+        datasets::ckt11752_dc_1(scale.suite),
+        datasets::trefethen_20000(scale.suite),
+    ]
+}
+
+/// Builds the kernel + per-dataset inputs for one benchmark name.
+///
+/// # Panics
+///
+/// Panics on an unknown kernel name.
+pub fn instantiate(name: &str, scale: &Scale) -> Vec<(Kernel, InputSet)> {
+    match name {
+        "SpMV" | "MatTransMul" | "Residual" | "SDDMM" => suite_matrices(scale)
+            .into_iter()
+            .map(|d| {
+                let n = d.matrix.dims()[0];
+                let mut inputs = HashMap::new();
+                let kernel = match name {
+                    "SpMV" => {
+                        inputs.insert("A".into(), csr(&d.matrix));
+                        inputs.insert("x".into(), vec_of(n, 7));
+                        kernels::spmv(n)
+                    }
+                    "MatTransMul" => {
+                        inputs.insert(
+                            "A".into(),
+                            TensorData::from_coo(&d.matrix, Format::csc()),
+                        );
+                        inputs.insert("x".into(), vec_of(n, 7));
+                        inputs.insert("z".into(), vec_of(n, 8));
+                        inputs.insert("alpha".into(), TensorData::Scalar(1.5));
+                        inputs.insert("beta".into(), TensorData::Scalar(-0.5));
+                        kernels::mattransmul(n)
+                    }
+                    "Residual" => {
+                        inputs.insert("A".into(), csr(&d.matrix));
+                        inputs.insert("x".into(), vec_of(n, 7));
+                        inputs.insert("b".into(), vec_of(n, 8));
+                        kernels::residual(n)
+                    }
+                    _ => {
+                        let k = scale.rank;
+                        inputs.insert("B".into(), csr(&d.matrix));
+                        inputs.insert(
+                            "C".into(),
+                            TensorData::from_coo(
+                                &datasets::random_matrix(n, k, 1.0, 9),
+                                Format::dense(2),
+                            ),
+                        );
+                        inputs.insert(
+                            "D".into(),
+                            TensorData::from_coo(
+                                &datasets::random_matrix(k, n, 1.0, 10),
+                                Format::dense_col_major(),
+                            ),
+                        );
+                        kernels::sddmm(n, k)
+                    }
+                };
+                (
+                    kernel,
+                    InputSet {
+                        dataset: d.name,
+                        dims: vec![n, n],
+                        inputs,
+                    },
+                )
+            })
+            .collect(),
+        "Plus3" => [0.01, 0.10, 0.50]
+            .iter()
+            .map(|&density| {
+                let n = scale.random_matrix_dim;
+                let b = datasets::random_matrix(n, n, density, 21);
+                let c = datasets::rotate_matrix_columns(&b, 1);
+                let d = datasets::rotate_matrix_columns(&b, 2);
+                let mut inputs = HashMap::new();
+                inputs.insert("B".into(), csr(&b));
+                inputs.insert("C".into(), csr(&c));
+                inputs.insert("D".into(), csr(&d));
+                (
+                    kernels::plus3(n),
+                    InputSet {
+                        dataset: format!("random {:.0}%", density * 100.0),
+                        dims: vec![n, n],
+                        inputs,
+                    },
+                )
+            })
+            .collect(),
+        "TTV" | "TTM" | "MTTKRP" => {
+            let fb = datasets::facebook(scale.facebook);
+            let dims = fb.dims().to_vec();
+            let (d0, d1, d2) = (dims[0], dims[1], dims[2]);
+            let r = scale.rank;
+            let mut inputs = HashMap::new();
+            inputs.insert("B".into(), TensorData::from_coo(&fb, Format::csf(3)));
+            let kernel = match name {
+                "TTV" => {
+                    inputs.insert("c".into(), vec_of(d2, 31));
+                    kernels::ttv(d0, d1, d2)
+                }
+                "TTM" => {
+                    inputs.insert(
+                        "C".into(),
+                        TensorData::from_coo(
+                            &datasets::random_matrix(r, d2, 1.0, 32),
+                            Format::dense(2),
+                        ),
+                    );
+                    kernels::ttm(d0, d1, d2, r)
+                }
+                _ => {
+                    inputs.insert(
+                        "C".into(),
+                        TensorData::from_coo(
+                            &datasets::random_matrix(r, d1, 1.0, 33),
+                            Format::dense_col_major(),
+                        ),
+                    );
+                    inputs.insert(
+                        "D".into(),
+                        TensorData::from_coo(
+                            &datasets::random_matrix(r, d2, 1.0, 34),
+                            Format::dense_col_major(),
+                        ),
+                    );
+                    kernels::mttkrp(d0, d1, d2, r)
+                }
+            };
+            vec![(
+                kernel,
+                InputSet {
+                    dataset: "facebook".into(),
+                    dims,
+                    inputs,
+                },
+            )]
+        }
+        "InnerProd" | "Plus2" => [0.01, 0.10, 0.50]
+            .iter()
+            .map(|&density| {
+                let n = scale.random_tensor_dim;
+                let b = datasets::random_tensor3(n, n, n, density, 41);
+                let c = datasets::rotate_even_coords(&b);
+                let mut inputs = HashMap::new();
+                inputs.insert("B".into(), TensorData::from_coo(&b, Format::ucc()));
+                inputs.insert("C".into(), TensorData::from_coo(&c, Format::ucc()));
+                let kernel = if name == "InnerProd" {
+                    kernels::innerprod(n, n, n)
+                } else {
+                    kernels::plus2(n, n, n)
+                };
+                (
+                    kernel,
+                    InputSet {
+                        dataset: format!("random {:.0}%", density * 100.0),
+                        dims: vec![n, n, n],
+                        inputs,
+                    },
+                )
+            })
+            .collect(),
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+/// All kernel names in Table 3 / Table 6 column order.
+pub const KERNEL_NAMES: [&str; 10] = [
+    "SpMV",
+    "Plus3",
+    "SDDMM",
+    "MatTransMul",
+    "Residual",
+    "TTV",
+    "TTM",
+    "MTTKRP",
+    "InnerProd",
+    "Plus2",
+];
+
+/// One kernel × dataset measurement across all platforms.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Kernel name.
+    pub kernel: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Capstan with ideal network and memory.
+    pub capstan_ideal: f64,
+    /// Capstan with HBM-2E (the normalization baseline).
+    pub capstan_hbm: f64,
+    /// Capstan with DDR4.
+    pub capstan_ddr4: f64,
+    /// Modeled V100 GPU.
+    pub gpu: f64,
+    /// Modeled 128-thread CPU.
+    pub cpu: f64,
+    /// Spatial LoC of the generated code.
+    pub spatial_loc: usize,
+    /// Input LoC.
+    pub input_loc: usize,
+    /// HBM-2E sim report (for resource/bottleneck reporting).
+    pub hbm_report: SimReport,
+}
+
+/// Runs one kernel on one input set across every platform model.
+///
+/// # Panics
+///
+/// Panics when compilation or simulation fails (they are bugs).
+pub fn measure(kernel: &Kernel, set: &InputSet) -> Measurement {
+    let result = kernel
+        .run(&set.inputs)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
+
+    let sim_on = |memory: MemoryModel| -> SimReport {
+        let cfg = CapstanConfig::with_memory(memory);
+        let reports: Vec<SimReport> = result
+            .stages
+            .iter()
+            .map(|s| simulate(s.compiled.spatial(), &s.stats, &cfg))
+            .collect();
+        combine(&reports)
+    };
+    let ideal = sim_on(MemoryModel::Ideal);
+    let hbm = sim_on(MemoryModel::Hbm2e);
+    let ddr4 = sim_on(MemoryModel::Ddr4);
+
+    let stats = result.total_stats();
+    let out_decl = kernel
+        .stages
+        .last()
+        .expect("stage")
+        .program
+        .decl(kernel.output())
+        .expect("output");
+    let dense_out: u64 = out_decl.dims.iter().map(|&d| d as u64).product::<u64>().max(1);
+    let outer = set.dims[0] as u64;
+    let profile = WorkProfile::from_stats(&stats, dense_out, outer);
+
+    Measurement {
+        kernel: kernel.name.clone(),
+        dataset: set.dataset.clone(),
+        capstan_ideal: ideal.seconds,
+        capstan_hbm: hbm.seconds,
+        capstan_ddr4: ddr4.seconds,
+        gpu: gpu_time(&profile, &GpuModel::default()),
+        cpu: cpu_time(&profile, &CpuModel::default()),
+        spatial_loc: result.spatial_loc(),
+        input_loc: kernel.input_loc(),
+        hbm_report: hbm,
+    }
+}
+
+/// Runs a kernel on a custom-bandwidth Capstan (Fig. 12 sweep).
+pub fn measure_bandwidth(kernel: &Kernel, set: &InputSet, gbps: f64) -> f64 {
+    let result = kernel
+        .run(&set.inputs)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
+    let cfg = CapstanConfig::with_memory(MemoryModel::Custom { gbps });
+    let reports: Vec<SimReport> = result
+        .stages
+        .iter()
+        .map(|s| simulate(s.compiled.spatial(), &s.stats, &cfg))
+        .collect();
+    combine(&reports).seconds
+}
+
+/// Geometric mean.
+pub fn gmean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut logsum, mut n) = (0.0f64, 0usize);
+    for x in xs {
+        logsum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    (logsum / n as f64).exp()
+}
+
+/// Runs every dataset of a kernel and returns the measurements.
+pub fn measure_kernel(name: &str, scale: &Scale) -> Vec<Measurement> {
+    instantiate(name, scale)
+        .iter()
+        .map(|(k, set)| measure(k, set))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean([8.0]) - 8.0).abs() < 1e-12);
+        assert!(gmean(std::iter::empty::<f64>()).is_nan());
+    }
+
+    #[test]
+    fn scale_parsing() {
+        let full = Scale::from_args(&["--full".to_string()]);
+        assert_eq!(full.suite, 1);
+        let ci = Scale::from_args(&[]);
+        assert_eq!(ci, Scale::ci());
+        let custom = Scale::from_args(&["--scale".to_string(), "10".to_string()]);
+        assert_eq!(custom.suite, 10);
+    }
+
+    #[test]
+    fn spmv_measurement_sane() {
+        let scale = Scale::ci();
+        let sets = instantiate("SpMV", &scale);
+        assert_eq!(sets.len(), 3);
+        let m = measure(&sets[0].0, &sets[0].1);
+        assert!(m.capstan_hbm > 0.0);
+        assert!(m.capstan_ddr4 >= m.capstan_hbm);
+        assert!(m.capstan_ideal <= m.capstan_hbm);
+        assert!(m.cpu > m.capstan_hbm, "CPU should lose: {m:?}");
+        assert!(m.spatial_loc > 10);
+    }
+
+    #[test]
+    fn all_kernels_instantiate() {
+        let scale = Scale::ci();
+        for name in KERNEL_NAMES {
+            let sets = instantiate(name, &scale);
+            assert!(!sets.is_empty(), "{name} has no datasets");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The Capstan machine description (§8.2) and memory systems (Table 6).
+
+/// Off-chip memory system attached to the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemoryModel {
+    /// Idealized memory: infinite bandwidth, zero latency (the "Ideal Net
+    /// & Mem" row of Table 6, combined with zero network cost).
+    Ideal,
+    /// HBM-2E at 1800 GB/s (the paper's headline configuration).
+    Hbm2e,
+    /// Four channels of DDR4-2133 (≈ 17 GB/s each).
+    Ddr4,
+    /// Custom bandwidth in GB/s (the Fig. 12 sensitivity sweep).
+    Custom {
+        /// Aggregate bandwidth in GB/s.
+        gbps: f64,
+    },
+}
+
+impl MemoryModel {
+    /// Aggregate bandwidth in bytes per second (`f64::INFINITY` for
+    /// [`MemoryModel::Ideal`]).
+    pub fn bandwidth_bytes_per_sec(self) -> f64 {
+        match self {
+            MemoryModel::Ideal => f64::INFINITY,
+            MemoryModel::Hbm2e => 1800.0e9,
+            MemoryModel::Ddr4 => 4.0 * 17.0e9,
+            MemoryModel::Custom { gbps } => gbps * 1.0e9,
+        }
+    }
+
+    /// Whether network/scan/shuffle costs are also idealized.
+    pub fn is_ideal(self) -> bool {
+        matches!(self, MemoryModel::Ideal)
+    }
+
+    /// Effective bytes charged per random single-word access. Random
+    /// requests waste most of a DRAM burst: a 64-byte transaction serves 4
+    /// useful bytes. HBM's shorter bursts and higher bank parallelism waste
+    /// less.
+    pub fn random_access_bytes(self) -> f64 {
+        match self {
+            MemoryModel::Ideal => 0.0,
+            MemoryModel::Hbm2e => 32.0,
+            MemoryModel::Ddr4 => 64.0,
+            MemoryModel::Custom { .. } => 48.0,
+        }
+    }
+
+    /// First-word latency in seconds (per dependent burst).
+    pub fn latency_sec(self) -> f64 {
+        match self {
+            MemoryModel::Ideal => 0.0,
+            MemoryModel::Hbm2e => 120.0e-9,
+            MemoryModel::Ddr4 => 80.0e-9,
+            MemoryModel::Custom { .. } => 100.0e-9,
+        }
+    }
+}
+
+/// The Capstan chip configuration (§8.2 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapstanConfig {
+    /// Pattern compute units on the chip.
+    pub pcus: usize,
+    /// Pattern memory units on the chip.
+    pub pmus: usize,
+    /// Memory controllers ringing the fabric.
+    pub mcs: usize,
+    /// Shuffle networks (cap outer parallelism at 16 when used).
+    pub shuffle_networks: usize,
+    /// Vector lanes per PCU.
+    pub lanes: usize,
+    /// Pipeline stages per PCU.
+    pub pcu_stages: usize,
+    /// Banks per PMU.
+    pub pmu_banks: usize,
+    /// 32-bit words per PMU bank.
+    pub pmu_bank_words: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// The attached memory system.
+    pub memory: MemoryModel,
+}
+
+impl CapstanConfig {
+    /// The §8.2 chip with the given memory system.
+    pub fn with_memory(memory: MemoryModel) -> Self {
+        CapstanConfig {
+            pcus: 200,
+            pmus: 200,
+            mcs: 80,
+            shuffle_networks: 16,
+            lanes: 16,
+            pcu_stages: 6,
+            pmu_banks: 16,
+            pmu_bank_words: 4096,
+            clock_hz: 1.6e9,
+            memory,
+        }
+    }
+
+    /// Capacity of one PMU in 32-bit words.
+    pub fn pmu_words(&self) -> usize {
+        self.pmu_banks * self.pmu_bank_words
+    }
+
+    /// Bits scanned per cycle by one sparse bit-vector scanner (one word
+    /// per lane per cycle).
+    pub fn scanner_bits_per_cycle(&self) -> f64 {
+        (self.lanes * 32) as f64
+    }
+
+    /// Aggregate DRAM bytes transferable per cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.memory.bandwidth_bytes_per_sec() / self.clock_hz
+    }
+}
+
+impl Default for CapstanConfig {
+    fn default() -> Self {
+        CapstanConfig::with_memory(MemoryModel::Hbm2e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_section_8_2() {
+        let c = CapstanConfig::default();
+        assert_eq!(c.pcus, 200);
+        assert_eq!(c.pmus, 200);
+        assert_eq!(c.mcs, 80);
+        assert_eq!(c.shuffle_networks, 16);
+        assert_eq!(c.lanes, 16);
+        assert_eq!(c.pcu_stages, 6);
+        assert_eq!(c.pmu_words(), 65_536);
+    }
+
+    #[test]
+    fn memory_bandwidths_ordered() {
+        let hbm = MemoryModel::Hbm2e.bandwidth_bytes_per_sec();
+        let ddr = MemoryModel::Ddr4.bandwidth_bytes_per_sec();
+        assert!(hbm > ddr);
+        assert!(MemoryModel::Ideal.bandwidth_bytes_per_sec().is_infinite());
+        let c = MemoryModel::Custom { gbps: 100.0 };
+        assert_eq!(c.bandwidth_bytes_per_sec(), 100.0e9);
+    }
+
+    #[test]
+    fn ddr4_is_four_channels_of_17gbps() {
+        assert!((MemoryModel::Ddr4.bandwidth_bytes_per_sec() - 68.0e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn random_access_penalties() {
+        assert!(MemoryModel::Ddr4.random_access_bytes() > MemoryModel::Hbm2e.random_access_bytes());
+        assert_eq!(MemoryModel::Ideal.random_access_bytes(), 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let c = CapstanConfig::default();
+        assert_eq!(c.scanner_bits_per_cycle(), 512.0);
+        assert!((c.dram_bytes_per_cycle() - 1800.0e9 / 1.6e9).abs() < 1e-6);
+    }
+}

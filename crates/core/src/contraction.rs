@@ -1,0 +1,394 @@
+//! Iterator contraction sets and the `lowerIter` rewrite rules (Fig. 10).
+//!
+//! For each `∀` node, the lowerer decomposes the level's fused tensor
+//! iterator contraction set `I = T1 ∘ T2 ∘ ... ∘ Tn` (`∘ ∈ {∪, ∩}`) into
+//! the declarative constructs the backend supports: dense `Foreach`/
+//! `Reduce` iteration for the universe, position loops for a single
+//! compressed iterator, and packed-bit-vector `Scan`s for compressed
+//! co-iteration. Unmatched patterns fall back to the host (§7.1).
+
+use std::fmt;
+
+use stardust_ir::expr::{BinOp, Expr, IndexVar};
+use stardust_spatial::ScanOp;
+
+/// The iterator format of one participating tensor level at a `∀` node:
+/// `U` (universe / uncompressed), `C` (compressed), or `B` (an
+/// already-generated bit vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterFormat {
+    /// Uncompressed / dense: the universe of coordinates.
+    U,
+    /// Compressed level of operand `.0` (index into the participant list).
+    C(usize),
+    /// Bit vector derived from operand `.0`.
+    B(usize),
+}
+
+impl fmt::Display for IterFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IterFormat::U => write!(f, "U"),
+            IterFormat::C(n) => write!(f, "C{n}"),
+            IterFormat::B(n) => write!(f, "B{n}"),
+        }
+    }
+}
+
+/// How accesses sharing an index variable combine (∪ for addition, ∩ for
+/// multiplication).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractionOp {
+    /// Set union (addition/subtraction).
+    Union,
+    /// Set intersection (multiplication).
+    Intersection,
+}
+
+impl ContractionOp {
+    /// The scanner operation implementing this contraction.
+    pub fn scan_op(self) -> ScanOp {
+        match self {
+            ContractionOp::Union => ScanOp::Or,
+            ContractionOp::Intersection => ScanOp::And,
+        }
+    }
+}
+
+impl fmt::Display for ContractionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractionOp::Union => write!(f, "∪"),
+            ContractionOp::Intersection => write!(f, "∩"),
+        }
+    }
+}
+
+/// The backend behaviour chosen by `lowerIter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IterStrategy {
+    /// `Foreach`/`Reduce` over the dense dimension (`lowerIter[U]`).
+    DenseLoop,
+    /// Iterate the positions of one compressed level
+    /// (`lowerIter[C1]`, `lowerIter[C1 ∩ U]`).
+    PositionLoop {
+        /// Index of the driving operand.
+        operand: usize,
+    },
+    /// Generate bit vectors for two compressed levels and scan them
+    /// (`lowerIter[C1 ∘ C2] ⇒ genBitvector; lowerIter[B1 ∘ B2]`).
+    Scan2 {
+        /// First operand.
+        a: usize,
+        /// Second operand.
+        b: usize,
+        /// AND for intersection, OR for union.
+        op: ScanOp,
+    },
+    /// More than two compressed operands: combine pairwise left to right
+    /// (the Fig. 10 base rule matching the largest supported prefix).
+    ScanChain {
+        /// All compressed operands, in combination order.
+        operands: Vec<usize>,
+        /// AND or OR.
+        op: ScanOp,
+    },
+    /// No rule matched; the computation would be mapped to the host
+    /// (§7.1).
+    HostFallback,
+}
+
+/// The `lowerIter` rule table of Fig. 10.
+///
+/// Simplification happens first: under ∩, universes are absorbed
+/// (`C1 ∩ U ⇒ C1`, `U ∩ U ⇒ U`); under ∪, any universe makes the whole
+/// contraction the universe (`U ∪ _ ⇒ U`). The surviving compressed
+/// iterators then select a position loop (one) or bit-vector scans (two or
+/// more).
+///
+/// # Example
+///
+/// ```
+/// use stardust_core::{lower_iter, ContractionOp, IterFormat, IterStrategy};
+/// use stardust_spatial::ScanOp;
+///
+/// // SpMV inner loop: A's compressed column level ∩ the dense x.
+/// let s = lower_iter(&[IterFormat::C(0), IterFormat::U], ContractionOp::Intersection);
+/// assert_eq!(s, IterStrategy::PositionLoop { operand: 0 });
+///
+/// // Plus2 element-wise add: compressed ∪ compressed → OR scan.
+/// let s = lower_iter(&[IterFormat::C(0), IterFormat::C(1)], ContractionOp::Union);
+/// assert_eq!(s, IterStrategy::Scan2 { a: 0, b: 1, op: ScanOp::Or });
+/// ```
+pub fn lower_iter(iters: &[IterFormat], op: ContractionOp) -> IterStrategy {
+    if iters.is_empty() {
+        return IterStrategy::DenseLoop;
+    }
+    let has_universe = iters.iter().any(|f| matches!(f, IterFormat::U));
+    let compressed: Vec<usize> = iters
+        .iter()
+        .filter_map(|f| match f {
+            IterFormat::C(n) | IterFormat::B(n) => Some(*n),
+            IterFormat::U => None,
+        })
+        .collect();
+
+    match op {
+        ContractionOp::Union => {
+            // lowerIter[U ∪ _] ⇒ lowerIter[U]
+            if has_universe {
+                return IterStrategy::DenseLoop;
+            }
+            match compressed.len() {
+                0 => IterStrategy::DenseLoop,
+                1 => IterStrategy::PositionLoop {
+                    operand: compressed[0],
+                },
+                2 => IterStrategy::Scan2 {
+                    a: compressed[0],
+                    b: compressed[1],
+                    op: ScanOp::Or,
+                },
+                _ => IterStrategy::ScanChain {
+                    operands: compressed,
+                    op: ScanOp::Or,
+                },
+            }
+        }
+        ContractionOp::Intersection => {
+            // lowerIter[C1 ∩ U] ⇒ lowerIter[C1]; lowerIter[U ∩ U] ⇒ U.
+            match compressed.len() {
+                0 => IterStrategy::DenseLoop,
+                1 => IterStrategy::PositionLoop {
+                    operand: compressed[0],
+                },
+                2 => IterStrategy::Scan2 {
+                    a: compressed[0],
+                    b: compressed[1],
+                    op: ScanOp::And,
+                },
+                _ => IterStrategy::ScanChain {
+                    operands: compressed,
+                    op: ScanOp::And,
+                },
+            }
+        }
+    }
+}
+
+/// Determines the contraction operator joining the accesses that use `var`
+/// in `expr`: the operator at the root of the smallest subexpression
+/// containing all of them (`Mul` ⇒ ∩, `Add`/`Sub` ⇒ ∪). Expressions where
+/// `var` occurs in a single access contract trivially (∩).
+pub fn contraction_op(expr: &Expr, var: &IndexVar) -> ContractionOp {
+    fn count_uses(e: &Expr, var: &IndexVar) -> usize {
+        e.accesses().iter().filter(|a| a.uses(var)).count()
+    }
+    fn smallest(e: &Expr, var: &IndexVar, total: usize) -> Option<ContractionOp> {
+        // Descend into the child containing all uses; when uses split
+        // across both children, this node's operator decides.
+        match e {
+            Expr::Binary { op, lhs, rhs } => {
+                let l = count_uses(lhs, var);
+                let r = count_uses(rhs, var);
+                if l == total {
+                    return smallest(lhs, var, total);
+                }
+                if r == total {
+                    return smallest(rhs, var, total);
+                }
+                match op {
+                    BinOp::Mul => Some(ContractionOp::Intersection),
+                    BinOp::Add | BinOp::Sub => Some(ContractionOp::Union),
+                }
+            }
+            Expr::Neg(inner) => smallest(inner, var, total),
+            _ => None,
+        }
+    }
+    let total = count_uses(expr, var);
+    if total <= 1 {
+        return ContractionOp::Intersection;
+    }
+    smallest(expr, var, total).unwrap_or(ContractionOp::Intersection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stardust_ir::parse::parse_expr;
+
+    #[test]
+    fn universe_rules() {
+        assert_eq!(
+            lower_iter(&[IterFormat::U], ContractionOp::Intersection),
+            IterStrategy::DenseLoop
+        );
+        assert_eq!(
+            lower_iter(&[IterFormat::U, IterFormat::U], ContractionOp::Intersection),
+            IterStrategy::DenseLoop
+        );
+        assert_eq!(
+            lower_iter(&[IterFormat::U, IterFormat::C(1)], ContractionOp::Union),
+            IterStrategy::DenseLoop,
+            "U ∪ C must iterate the universe"
+        );
+        assert_eq!(
+            lower_iter(&[IterFormat::C(0), IterFormat::U], ContractionOp::Union),
+            IterStrategy::DenseLoop
+        );
+    }
+
+    #[test]
+    fn single_compressed_rules() {
+        assert_eq!(
+            lower_iter(&[IterFormat::C(0)], ContractionOp::Intersection),
+            IterStrategy::PositionLoop { operand: 0 }
+        );
+        assert_eq!(
+            lower_iter(&[IterFormat::C(2)], ContractionOp::Union),
+            IterStrategy::PositionLoop { operand: 2 }
+        );
+        // C ∩ U absorbs the universe.
+        assert_eq!(
+            lower_iter(&[IterFormat::C(1), IterFormat::U], ContractionOp::Intersection),
+            IterStrategy::PositionLoop { operand: 1 }
+        );
+        assert_eq!(
+            lower_iter(&[IterFormat::U, IterFormat::C(1)], ContractionOp::Intersection),
+            IterStrategy::PositionLoop { operand: 1 }
+        );
+    }
+
+    #[test]
+    fn coiteration_rules() {
+        assert_eq!(
+            lower_iter(
+                &[IterFormat::C(0), IterFormat::C(1)],
+                ContractionOp::Intersection
+            ),
+            IterStrategy::Scan2 {
+                a: 0,
+                b: 1,
+                op: ScanOp::And
+            }
+        );
+        assert_eq!(
+            lower_iter(&[IterFormat::C(0), IterFormat::C(1)], ContractionOp::Union),
+            IterStrategy::Scan2 {
+                a: 0,
+                b: 1,
+                op: ScanOp::Or
+            }
+        );
+        // Bit vectors behave like compressed operands (lowerIter[B1 ∘ B2]).
+        assert_eq!(
+            lower_iter(&[IterFormat::B(0), IterFormat::B(1)], ContractionOp::Union),
+            IterStrategy::Scan2 {
+                a: 0,
+                b: 1,
+                op: ScanOp::Or
+            }
+        );
+        // Mixed C ∩ C ∩ U absorbs the universe then scans.
+        assert_eq!(
+            lower_iter(
+                &[IterFormat::C(0), IterFormat::U, IterFormat::C(2)],
+                ContractionOp::Intersection
+            ),
+            IterStrategy::Scan2 {
+                a: 0,
+                b: 2,
+                op: ScanOp::And
+            }
+        );
+    }
+
+    #[test]
+    fn chain_rule_for_three_way() {
+        assert_eq!(
+            lower_iter(
+                &[IterFormat::C(0), IterFormat::C(1), IterFormat::C(2)],
+                ContractionOp::Union
+            ),
+            IterStrategy::ScanChain {
+                operands: vec![0, 1, 2],
+                op: ScanOp::Or
+            }
+        );
+    }
+
+    #[test]
+    fn empty_iterators_default_dense() {
+        assert_eq!(
+            lower_iter(&[], ContractionOp::Intersection),
+            IterStrategy::DenseLoop
+        );
+    }
+
+    #[test]
+    fn contraction_from_multiplication() {
+        let e = parse_expr("A(i,j) * x(j)").unwrap();
+        assert_eq!(
+            contraction_op(&e, &"j".into()),
+            ContractionOp::Intersection
+        );
+    }
+
+    #[test]
+    fn contraction_from_addition() {
+        let e = parse_expr("B(i,j) + C(i,j) + D(i,j)").unwrap();
+        assert_eq!(contraction_op(&e, &"j".into()), ContractionOp::Union);
+        assert_eq!(contraction_op(&e, &"i".into()), ContractionOp::Union);
+    }
+
+    #[test]
+    fn contraction_from_subtraction_is_union() {
+        let e = parse_expr("b(i) - A(i,j) * x(j)").unwrap();
+        assert_eq!(contraction_op(&e, &"i".into()), ContractionOp::Union);
+        // j only occurs in the product term.
+        assert_eq!(
+            contraction_op(&e, &"j".into()),
+            ContractionOp::Intersection
+        );
+    }
+
+    #[test]
+    fn contraction_descends_to_smallest_subtree() {
+        // (B(i) + C(i)) * d(i): all three use i; the *root* joining them is
+        // the multiply, so the full contraction for i is an intersection at
+        // the top.
+        let e = parse_expr("(B(i) + C(i)) * d(i)").unwrap();
+        assert_eq!(
+            contraction_op(&e, &"i".into()),
+            ContractionOp::Intersection
+        );
+    }
+
+    #[test]
+    fn single_use_is_trivial() {
+        let e = parse_expr("B(i,j) * C(i,k) * D(k,j)").unwrap();
+        // i appears in B and C (joined by *), j in B and D (*), k in C and
+        // D (*).
+        for v in ["i", "j", "k"] {
+            assert_eq!(
+                contraction_op(&e, &v.into()),
+                ContractionOp::Intersection
+            );
+        }
+    }
+
+    #[test]
+    fn scan_op_mapping() {
+        assert_eq!(ContractionOp::Union.scan_op(), ScanOp::Or);
+        assert_eq!(ContractionOp::Intersection.scan_op(), ScanOp::And);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(IterFormat::U.to_string(), "U");
+        assert_eq!(IterFormat::C(1).to_string(), "C1");
+        assert_eq!(IterFormat::B(0).to_string(), "B0");
+        assert_eq!(ContractionOp::Union.to_string(), "∪");
+    }
+}

@@ -1,0 +1,72 @@
+//! Compiler error type.
+
+use std::error::Error;
+use std::fmt;
+
+use stardust_ir::IrError;
+
+/// Errors produced by the Stardust compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// An error bubbled up from the IR layer.
+    Ir(IrError),
+    /// A scheduling command did not apply to the statement.
+    Schedule(String),
+    /// A tensor was referenced but not declared in the program.
+    UndeclaredTensor(String),
+    /// The memory analysis could not bind an array.
+    Memory(String),
+    /// The lowering rewrite system had no rule for a pattern (which, per
+    /// §7.1, would fall back to the host on a real deployment).
+    NoLoweringRule(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Ir(e) => write!(f, "{e}"),
+            CompileError::Schedule(m) => write!(f, "scheduling error: {m}"),
+            CompileError::UndeclaredTensor(t) => write!(f, "undeclared tensor {t}"),
+            CompileError::Memory(m) => write!(f, "memory analysis error: {m}"),
+            CompileError::NoLoweringRule(m) => write!(f, "no lowering rule: {m}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for CompileError {
+    fn from(e: IrError) -> Self {
+        CompileError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(CompileError::Schedule("bad".into()).to_string().contains("bad"));
+        assert!(CompileError::UndeclaredTensor("T".into())
+            .to_string()
+            .contains('T'));
+        assert!(CompileError::NoLoweringRule("x".into())
+            .to_string()
+            .contains("rule"));
+    }
+
+    #[test]
+    fn from_ir_error_keeps_source() {
+        let e = CompileError::from(IrError::UnknownTensor("B".into()));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains('B'));
+    }
+}

@@ -1,0 +1,713 @@
+//! Fine-grained memory analysis (§6).
+//!
+//! Users pin tensors coarsely (on-/off-chip, §5.1); this pass binds each
+//! tensor *sub-array* — positions, coordinates, and values per level — to a
+//! physical memory type following the preconditions of §6.1:
+//!
+//! - **Dense DRAMs** hold every off-chip array (host-initialized).
+//! - **Sparse DRAMs** serve dense off-chip tensors that are randomly
+//!   accessed without an identifiable working set (no on-chip staging).
+//! - **Dense SRAMs** hold affine-addressed arrays: position arrays
+//!   (`addr, addr+1`) and values of fully dense staged tensors.
+//! - **Sparse SRAMs** hold small fixed-size arrays with reuse but random
+//!   access (gathered vectors, scan-indexed values).
+//! - **Bit vectors** are generated whenever a compressed-compressed
+//!   co-iteration occurs.
+//! - **FIFOs** hold strictly in-order, consumed-exactly-once streams:
+//!   coordinate arrays and in-order value arrays.
+//! - **Registers** hold on-chip scalars.
+//!
+//! The pass also computes each array's allocation depth: arrays are
+//! allocated at the loop level just above their first use, position arrays
+//! one loop higher (§6.2, Fig. 8).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use stardust_ir::cin::Stmt;
+use stardust_ir::expr::{Access, IndexVar};
+use stardust_spatial::MemKind;
+use stardust_tensor::LevelFormat;
+
+use crate::context::Program;
+use crate::contraction::{contraction_op, lower_iter, ContractionOp, IterFormat, IterStrategy};
+use crate::error::CompileError;
+
+/// Identifies one sub-array of a tensor's level format storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArrayRole {
+    /// Positions array of storage level `.0`.
+    Pos(usize),
+    /// Coordinates array of storage level `.0`.
+    Crd(usize),
+    /// The values array.
+    Vals,
+}
+
+impl fmt::Display for ArrayRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayRole::Pos(l) => write!(f, "pos[{l}]"),
+            ArrayRole::Crd(l) => write!(f, "crd[{l}]"),
+            ArrayRole::Vals => write!(f, "vals"),
+        }
+    }
+}
+
+/// The binding of one sub-array to a physical memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayBinding {
+    /// The owning tensor.
+    pub tensor: String,
+    /// Which sub-array.
+    pub role: ArrayRole,
+    /// Chosen memory kind.
+    pub kind: MemKind,
+    /// Loop depth at which the array is allocated (0 = kernel top; depth
+    /// `d` means inside the `d`-th loop of the forall spine).
+    pub alloc_depth: usize,
+    /// Human-readable justification (the §6.1 precondition that fired).
+    pub rationale: String,
+}
+
+/// The result of memory analysis: every sub-array's binding.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryPlan {
+    bindings: Vec<ArrayBinding>,
+    /// Index variables whose coordinates are produced by compressed
+    /// iteration (position loops or scans) — accesses indexed by these
+    /// variables are data-dependent gathers.
+    sparse_driven: HashSet<IndexVar>,
+}
+
+impl MemoryPlan {
+    /// All bindings, grouped by tensor then role.
+    pub fn bindings(&self) -> &[ArrayBinding] {
+        &self.bindings
+    }
+
+    /// Looks up the binding of a specific sub-array. When an array has both
+    /// a DRAM home and an on-chip staging binding, the on-chip one (pushed
+    /// later) is returned; use [`MemoryPlan::dram_binding`] for the DRAM
+    /// side.
+    pub fn binding(&self, tensor: &str, role: ArrayRole) -> Option<&ArrayBinding> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|b| b.tensor == tensor && b.role == role)
+    }
+
+    /// The DRAM-side binding of a sub-array (Dense vs Sparse DRAM).
+    pub fn dram_binding(&self, tensor: &str, role: ArrayRole) -> Option<&ArrayBinding> {
+        self.bindings.iter().find(|b| {
+            b.tensor == tensor && b.role == role && b.kind.is_off_chip()
+        })
+    }
+
+    /// The memory kind of a sub-array, if bound (on-chip side preferred).
+    pub fn kind(&self, tensor: &str, role: ArrayRole) -> Option<MemKind> {
+        self.binding(tensor, role).map(|b| b.kind)
+    }
+
+    /// The DRAM kind of a tensor's values array ([`MemKind::Dram`] when
+    /// unspecified).
+    pub fn dram_vals_kind(&self, tensor: &str) -> MemKind {
+        self.dram_binding(tensor, ArrayRole::Vals)
+            .map(|b| b.kind)
+            .unwrap_or(MemKind::Dram)
+    }
+
+    /// Whether accesses indexed by `var` are data-dependent gathers.
+    pub fn is_sparse_driven(&self, var: &IndexVar) -> bool {
+        self.sparse_driven.contains(var)
+    }
+
+    /// Renders the plan as a table (used by examples and docs).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("tensor      array    memory       depth  rationale\n");
+        for b in &self.bindings {
+            out.push_str(&format!(
+                "{:<11} {:<8} {:<12} {:<6} {}\n",
+                b.tensor,
+                b.role.to_string(),
+                b.kind.to_string(),
+                b.alloc_depth,
+                b.rationale
+            ));
+        }
+        out
+    }
+}
+
+/// Per-variable iteration facts shared between memory analysis and
+/// lowering.
+#[derive(Debug, Clone)]
+pub struct VarIteration {
+    /// The loop variable.
+    pub var: IndexVar,
+    /// Depth in the forall spine (0 = outermost).
+    pub depth: usize,
+    /// Input tensors with a storage level iterated by this variable:
+    /// `(tensor, level, format)`.
+    pub participants: Vec<(String, usize, LevelFormat)>,
+    /// The chosen `lowerIter` strategy.
+    pub strategy: IterStrategy,
+    /// The contraction operator at this variable.
+    pub op: ContractionOp,
+}
+
+/// Computes the iteration facts for every loop variable of the statement:
+/// which tensor levels participate at each `∀`, the contraction operator,
+/// and the `lowerIter` strategy.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UndeclaredTensor`] for unknown tensors.
+pub fn analyze_iteration(
+    program: &Program,
+    stmt: &Stmt,
+) -> Result<Vec<VarIteration>, CompileError> {
+    // Gather every forall var in pre-order with its depth.
+    let mut order: Vec<(IndexVar, usize)> = Vec::new();
+    collect_foralls(stmt, 0, &mut order);
+
+    // For each assign, note which tensors use which vars at which level.
+    let mut facts: Vec<VarIteration> = Vec::new();
+    for (var, depth) in &order {
+        let mut participants: Vec<(String, usize, LevelFormat)> = Vec::new();
+        let mut op = ContractionOp::Intersection;
+        let mut seen_any = false;
+        let mut err = None;
+        stmt.visit(&mut |s| {
+            if err.is_some() {
+                return;
+            }
+            if let Stmt::Assign { rhs, .. } = s {
+                let uses: Vec<&Access> =
+                    rhs.accesses().into_iter().filter(|a| a.uses(var)).collect();
+                if uses.is_empty() {
+                    return;
+                }
+                if !seen_any {
+                    op = contraction_op(rhs, var);
+                    seen_any = true;
+                }
+                for a in uses {
+                    let decl = match program.decl(&a.tensor) {
+                        Some(d) => d,
+                        None => {
+                            err = Some(CompileError::UndeclaredTensor(a.tensor.clone()));
+                            return;
+                        }
+                    };
+                    if decl.is_scalar() {
+                        continue;
+                    }
+                    let mode = a
+                        .indices
+                        .iter()
+                        .position(|ix| ix == var)
+                        .expect("uses implies position");
+                    let level = decl.format.level_of_mode(mode);
+                    let fmt = decl.format.level(level);
+                    if !participants
+                        .iter()
+                        .any(|(t, l, _)| t == &a.tensor && *l == level)
+                    {
+                        participants.push((a.tensor.clone(), level, fmt));
+                    }
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let formats: Vec<IterFormat> = participants
+            .iter()
+            .enumerate()
+            .map(|(n, (_, _, f))| match f {
+                LevelFormat::Dense => IterFormat::U,
+                LevelFormat::Compressed => IterFormat::C(n),
+            })
+            .collect();
+        let strategy = lower_iter(&formats, op);
+        facts.push(VarIteration {
+            var: var.clone(),
+            depth: *depth,
+            participants,
+            strategy,
+            op,
+        });
+    }
+    Ok(facts)
+}
+
+fn collect_foralls(stmt: &Stmt, depth: usize, out: &mut Vec<(IndexVar, usize)>) {
+    match stmt {
+        Stmt::Forall { index, body } => {
+            if !out.iter().any(|(v, _)| v == index) {
+                out.push((index.clone(), depth));
+            }
+            collect_foralls(body, depth + 1, out);
+        }
+        Stmt::Sequence(stmts) => {
+            for s in stmts {
+                collect_foralls(s, depth, out);
+            }
+        }
+        Stmt::Where { consumer, producer } => {
+            // Consumer first: when a producer reuses a consumer loop
+            // variable (Fig. 6's staging loops), the consumer-side depth is
+            // the one allocation levels are measured against.
+            collect_foralls(consumer, depth, out);
+            collect_foralls(producer, depth, out);
+        }
+        Stmt::SuchThat { body, .. } | Stmt::Map { body, .. } => {
+            collect_foralls(body, depth, out);
+        }
+        Stmt::Assign { .. } => {}
+    }
+}
+
+/// Runs the memory analysis for a scheduled statement.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when a tensor is undeclared or a binding cannot
+/// be determined.
+pub fn analyze(program: &Program, stmt: &Stmt) -> Result<MemoryPlan, CompileError> {
+    let iteration = analyze_iteration(program, stmt)?;
+    let depth_of: HashMap<IndexVar, usize> = iteration
+        .iter()
+        .map(|v| (v.var.clone(), v.depth))
+        .collect();
+
+    // Vars produced by compressed iteration: gathers when used to index
+    // other (dense-at-that-var) tensors.
+    let mut sparse_driven: HashSet<IndexVar> = HashSet::new();
+    for v in &iteration {
+        if matches!(
+            v.strategy,
+            IterStrategy::PositionLoop { .. }
+                | IterStrategy::Scan2 { .. }
+                | IterStrategy::ScanChain { .. }
+        ) {
+            sparse_driven.insert(v.var.clone());
+        }
+    }
+
+    // Which tensor drives each position loop / scan (consumed in order),
+    // and which tensors are merely located into at a sparse-driven var.
+    let mut in_order_tensors: HashSet<String> = HashSet::new();
+    let mut scanned_tensors: HashSet<String> = HashSet::new();
+    for v in &iteration {
+        match &v.strategy {
+            IterStrategy::PositionLoop { operand } => {
+                in_order_tensors.insert(v.participants[*operand].0.clone());
+            }
+            IterStrategy::Scan2 { a, b, .. } => {
+                scanned_tensors.insert(v.participants[*a].0.clone());
+                scanned_tensors.insert(v.participants[*b].0.clone());
+            }
+            IterStrategy::ScanChain { operands, .. } => {
+                for o in operands {
+                    scanned_tensors.insert(v.participants[*o].0.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let output = program.output().to_string();
+    let mut bindings: Vec<ArrayBinding> = Vec::new();
+    // Deterministic order: iterate decls sorted by name (BTreeMap order).
+    let decls: BTreeMap<String, _> = program
+        .decls()
+        .map(|d| (d.name.clone(), d.clone()))
+        .collect();
+
+    for (name, decl) in &decls {
+        let is_output = *name == output;
+        // The loop var iterating each level (for allocation depths).
+        let level_vars = level_vars_of(stmt, name, &decl.format.mode_order());
+        let depth_at = |l: usize| -> usize {
+            level_vars
+                .get(&l)
+                .and_then(|v| depth_of.get(v))
+                .copied()
+                .unwrap_or(0)
+        };
+
+        if decl.format.region().is_on_chip() {
+            // Workspaces / staged tensors.
+            if decl.is_scalar() {
+                bindings.push(ArrayBinding {
+                    tensor: name.clone(),
+                    role: ArrayRole::Vals,
+                    kind: MemKind::Reg,
+                    alloc_depth: innermost_use_depth(&level_vars, &depth_of),
+                    rationale: "on-chip scalar variables are bound to registers".into(),
+                });
+                continue;
+            }
+            // Gather when any of its vars is sparse-driven but the tensor
+            // itself is dense at that var (locate, not co-iterate).
+            let gathered = level_vars.values().any(|v| sparse_driven.contains(v));
+            let kind = if gathered {
+                MemKind::SparseSram
+            } else {
+                MemKind::Sram
+            };
+            bindings.push(ArrayBinding {
+                tensor: name.clone(),
+                role: ArrayRole::Vals,
+                kind,
+                alloc_depth: alloc_depth_for_vals(&level_vars, &depth_of),
+                rationale: if gathered {
+                    "random accesses with reuse bind to sparse SRAMs".into()
+                } else {
+                    "affine access patterns bind to dense SRAMs".into()
+                },
+            });
+            continue;
+        }
+
+        // Off-chip tensors: DRAM arrays for every sub-array.
+        let randomly_located = decl.format.is_all_dense()
+            && !decl.is_scalar()
+            && !is_output
+            && level_vars.values().any(|v| sparse_driven.contains(v));
+        let dram_kind = if randomly_located {
+            MemKind::SparseDram
+        } else {
+            MemKind::Dram
+        };
+        for (l, fmt) in decl.format.levels().iter().enumerate() {
+            if fmt.is_compressed() {
+                bindings.push(ArrayBinding {
+                    tensor: name.clone(),
+                    role: ArrayRole::Pos(l),
+                    kind: MemKind::Dram,
+                    alloc_depth: 0,
+                    rationale: "off-chip arrays live in host-initialized dense DRAM".into(),
+                });
+                bindings.push(ArrayBinding {
+                    tensor: name.clone(),
+                    role: ArrayRole::Crd(l),
+                    kind: MemKind::Dram,
+                    alloc_depth: 0,
+                    rationale: "off-chip arrays live in host-initialized dense DRAM".into(),
+                });
+            }
+        }
+        bindings.push(ArrayBinding {
+            tensor: name.clone(),
+            role: ArrayRole::Vals,
+            kind: dram_kind,
+            alloc_depth: 0,
+            rationale: if randomly_located {
+                "dense tensor randomly accessed with no working set: sparse DRAM".into()
+            } else {
+                "off-chip arrays live in host-initialized dense DRAM".into()
+            },
+        });
+
+        if decl.is_scalar() {
+            continue;
+        }
+
+        // On-chip staging for compressed inputs/outputs (automatic; §6.2).
+        if decl.format.has_compressed_level() {
+            for (l, fmt) in decl.format.levels().iter().enumerate() {
+                if !fmt.is_compressed() {
+                    continue;
+                }
+                let d = depth_at(l);
+                bindings.push(ArrayBinding {
+                    tensor: name.clone(),
+                    role: ArrayRole::Pos(l),
+                    kind: MemKind::Sram,
+                    alloc_depth: d.saturating_sub(1),
+                    rationale: "position arrays are affine (addr, addr+1): dense SRAM"
+                        .into(),
+                });
+                bindings.push(ArrayBinding {
+                    tensor: name.clone(),
+                    role: ArrayRole::Crd(l),
+                    kind: MemKind::Fifo,
+                    alloc_depth: d,
+                    rationale: "coordinate arrays stream in order: FIFO".into(),
+                });
+            }
+            let vals_kind = if is_output {
+                MemKind::Fifo
+            } else if scanned_tensors.contains(name) {
+                MemKind::SparseSram
+            } else if in_order_tensors.contains(name) {
+                MemKind::Fifo
+            } else {
+                MemKind::Sram
+            };
+            let rationale = if is_output {
+                "output values stream out in order: FIFO".to_string()
+            } else if scanned_tensors.contains(name) {
+                "scan positions access values non-contiguously: sparse SRAM".to_string()
+            } else {
+                "values consumed exactly once in order: FIFO".to_string()
+            };
+            bindings.push(ArrayBinding {
+                tensor: name.clone(),
+                role: ArrayRole::Vals,
+                kind: vals_kind,
+                alloc_depth: alloc_depth_for_vals(&level_vars, &depth_of),
+                rationale,
+            });
+        } else if is_output {
+            // Dense outputs: stream scalar stores or row SRAM.
+            bindings.push(ArrayBinding {
+                tensor: name.clone(),
+                role: ArrayRole::Vals,
+                kind: MemKind::Sram,
+                alloc_depth: alloc_depth_for_vals(&level_vars, &depth_of),
+                rationale: "dense output rows accumulate in SRAM before store".into(),
+            });
+        }
+    }
+
+    // Bit vectors for every compressed-compressed co-iteration.
+    for v in &iteration {
+        if let IterStrategy::Scan2 { a, b, .. } = &v.strategy {
+            for operand in [a, b] {
+                let (t, l, _) = &v.participants[*operand];
+                bindings.push(ArrayBinding {
+                    tensor: t.clone(),
+                    role: ArrayRole::Crd(*l),
+                    kind: MemKind::BitVector,
+                    alloc_depth: v.depth,
+                    rationale:
+                        "compressed-compressed co-iteration packs coordinates into bit vectors"
+                            .into(),
+                });
+            }
+        }
+    }
+
+    Ok(MemoryPlan {
+        bindings,
+        sparse_driven,
+    })
+}
+
+/// Maps each storage level of `tensor` to the index variable iterating it
+/// (from the accesses in the statement).
+fn level_vars_of(
+    stmt: &Stmt,
+    tensor: &str,
+    mode_order: &[usize],
+) -> BTreeMap<usize, IndexVar> {
+    let mut out = BTreeMap::new();
+    stmt.visit(&mut |s| {
+        if let Stmt::Assign { lhs, rhs, .. } = s {
+            let mut accesses = vec![lhs.clone()];
+            accesses.extend(rhs.accesses().into_iter().cloned());
+            for a in accesses {
+                if a.tensor != tensor {
+                    continue;
+                }
+                for (level, &mode) in mode_order.iter().enumerate() {
+                    if mode < a.indices.len() {
+                        out.entry(level).or_insert_with(|| a.indices[mode].clone());
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+fn innermost_use_depth(
+    level_vars: &BTreeMap<usize, IndexVar>,
+    depth_of: &HashMap<IndexVar, usize>,
+) -> usize {
+    level_vars
+        .values()
+        .filter_map(|v| depth_of.get(v))
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Values are accessed at the loop of the innermost mode and allocated one
+/// level above it (§6.2).
+fn alloc_depth_for_vals(
+    level_vars: &BTreeMap<usize, IndexVar>,
+    depth_of: &HashMap<IndexVar, usize>,
+) -> usize {
+    innermost_use_depth(level_vars, depth_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ProgramBuilder;
+    use crate::schedule::Scheduler;
+    use stardust_ir::cin::PatternFn;
+    use stardust_ir::expr::Expr;
+    use stardust_tensor::Format;
+
+    fn spmv_plan() -> (Program, MemoryPlan) {
+        let mut p = ProgramBuilder::new("spmv")
+            .tensor("A", vec![8, 8], Format::csr())
+            .tensor("x", vec![8], Format::dense_vec())
+            .tensor("y", vec![8], Format::dense_vec())
+            .expr("y(i) = A(i,j) * x(j)")
+            .build()
+            .unwrap();
+        let mut s = Scheduler::new(&mut p);
+        s.precompute(&Expr::access("x", vec!["j".into()]), &["j"], "x_on")
+            .unwrap();
+        s.precompute_reduction("ws").unwrap();
+        s.accelerate_reduction("ws", PatternFn::Reduction).unwrap();
+        let stmt = s.finish();
+        let plan = analyze(&p, &stmt).unwrap();
+        (p, plan)
+    }
+
+    #[test]
+    fn spmv_bindings_match_paper() {
+        let (_, plan) = spmv_plan();
+        // A's position array: affine → dense SRAM.
+        assert_eq!(plan.kind("A", ArrayRole::Pos(1)), Some(MemKind::Sram));
+        // A's coordinates stream: FIFO.
+        assert_eq!(plan.kind("A", ArrayRole::Crd(1)), Some(MemKind::Fifo));
+        // A's values: in-order position loop → FIFO.
+        assert_eq!(plan.kind("A", ArrayRole::Vals), Some(MemKind::Fifo));
+        // The gathered on-chip x copy: sparse SRAM (shuffle-network served).
+        assert_eq!(plan.kind("x_on", ArrayRole::Vals), Some(MemKind::SparseSram));
+        // The scalar workspace: register.
+        assert_eq!(plan.kind("ws", ArrayRole::Vals), Some(MemKind::Reg));
+        // j is produced by A's compressed level.
+        assert!(plan.is_sparse_driven(&"j".into()));
+        assert!(!plan.is_sparse_driven(&"i".into()));
+    }
+
+    #[test]
+    fn spmv_alloc_depths() {
+        let (_, plan) = spmv_plan();
+        // pos allocated one loop above the j-loop (depth 0 = kernel top).
+        assert_eq!(plan.binding("A", ArrayRole::Pos(1)).unwrap().alloc_depth, 0);
+        // crd allocated in the i-loop body (depth of j = 1).
+        assert_eq!(plan.binding("A", ArrayRole::Crd(1)).unwrap().alloc_depth, 1);
+    }
+
+    #[test]
+    fn dense_staged_operand_is_plain_sram() {
+        // SDDMM: C_on(k) staged per-row with a dense k loop → dense SRAM.
+        let mut p = ProgramBuilder::new("sddmm")
+            .tensor("A", vec![8, 8], Format::csr())
+            .tensor("B", vec![8, 8], Format::csr())
+            .tensor("C", vec![8, 8], Format::dense(2))
+            .tensor("D", vec![8, 8], Format::dense_col_major())
+            .expr("A(i,j) = B(i,j) * C(i,k) * D(k,j)")
+            .build()
+            .unwrap();
+        let mut s = Scheduler::new(&mut p);
+        s.precompute(&Expr::access("C", vec!["i".into(), "k".into()]), &["k"], "C_on")
+            .unwrap();
+        s.precompute(&Expr::access("D", vec!["k".into(), "j".into()]), &["k"], "D_on")
+            .unwrap();
+        s.precompute_reduction("ws").unwrap();
+        let stmt = s.finish();
+        let plan = analyze(&p, &stmt).unwrap();
+        assert_eq!(plan.kind("C_on", ArrayRole::Vals), Some(MemKind::Sram));
+        assert_eq!(plan.kind("D_on", ArrayRole::Vals), Some(MemKind::Sram));
+        // Output A streams its values.
+        assert_eq!(plan.kind("A", ArrayRole::Vals), Some(MemKind::Fifo));
+        // B drives the j loop in order.
+        assert_eq!(plan.kind("B", ArrayRole::Vals), Some(MemKind::Fifo));
+    }
+
+    #[test]
+    fn unstaged_dense_tensor_goes_to_sparse_dram() {
+        // TTM-style: dense C(k,l) read at a sparse-driven l without
+        // precompute → SparseDRAM random access.
+        let p = ProgramBuilder::new("ttm")
+            .tensor("A", vec![4, 4, 4], Format::dense(3))
+            .tensor("B", vec![4, 4, 4], Format::csf(3))
+            .tensor("C", vec![4, 4], Format::dense(2))
+            .expr("A(i,j,k) = B(i,j,l) * C(k,l)")
+            .build()
+            .unwrap();
+        let stmt = p.canonical_cin();
+        let plan = analyze(&p, &stmt).unwrap();
+        assert_eq!(plan.kind("C", ArrayRole::Vals), Some(MemKind::SparseDram));
+        assert!(plan.is_sparse_driven(&"l".into()));
+    }
+
+    #[test]
+    fn union_coiteration_gets_bitvectors() {
+        let p = ProgramBuilder::new("plus2")
+            .tensor("A", vec![8, 8], Format::csr())
+            .tensor("B", vec![8, 8], Format::csr())
+            .tensor("C", vec![8, 8], Format::csr())
+            .expr("A(i,j) = B(i,j) + C(i,j)")
+            .build()
+            .unwrap();
+        let stmt = p.canonical_cin();
+        let plan = analyze(&p, &stmt).unwrap();
+        // Both B and C crd arrays feed bit vectors.
+        let bv_count = plan
+            .bindings()
+            .iter()
+            .filter(|b| b.kind == MemKind::BitVector)
+            .count();
+        assert_eq!(bv_count, 2);
+        // Scanned values are sparse SRAM, not FIFOs.
+        assert_eq!(plan.kind("B", ArrayRole::Vals), Some(MemKind::SparseSram));
+        assert_eq!(plan.kind("C", ArrayRole::Vals), Some(MemKind::SparseSram));
+    }
+
+    #[test]
+    fn iteration_facts_for_spmv() {
+        let mut p = ProgramBuilder::new("spmv")
+            .tensor("A", vec![8, 8], Format::csr())
+            .tensor("x", vec![8], Format::dense_vec())
+            .tensor("y", vec![8], Format::dense_vec())
+            .expr("y(i) = A(i,j) * x(j)")
+            .build()
+            .unwrap();
+        let s = Scheduler::new(&mut p);
+        let stmt = s.finish();
+        let facts = analyze_iteration(&p, &stmt).unwrap();
+        assert_eq!(facts.len(), 2);
+        assert_eq!(facts[0].var, IndexVar::new("i"));
+        assert_eq!(facts[0].strategy, IterStrategy::DenseLoop);
+        assert_eq!(facts[1].var, IndexVar::new("j"));
+        assert_eq!(facts[1].strategy, IterStrategy::PositionLoop { operand: 0 });
+        assert_eq!(facts[1].op, ContractionOp::Intersection);
+    }
+
+    #[test]
+    fn plan_table_renders() {
+        let (_, plan) = spmv_plan();
+        let table = plan.to_table();
+        assert!(table.contains("tensor"));
+        assert!(table.contains("A"));
+        assert!(table.contains("FIFO"));
+    }
+
+    #[test]
+    fn output_pos_bound_to_sram() {
+        let p = ProgramBuilder::new("copy")
+            .tensor("A", vec![8, 8], Format::csr())
+            .tensor("B", vec![8, 8], Format::csr())
+            .expr("A(i,j) = B(i,j)")
+            .build()
+            .unwrap();
+        let stmt = p.canonical_cin();
+        let plan = analyze(&p, &stmt).unwrap();
+        assert_eq!(plan.kind("A", ArrayRole::Pos(1)), Some(MemKind::Sram));
+        assert_eq!(plan.kind("A", ArrayRole::Crd(1)), Some(MemKind::Fifo));
+    }
+}

@@ -1,0 +1,25 @@
+//! Dataset generators for the Stardust evaluation (Table 4).
+//!
+//! The paper evaluates on three SuiteSparse matrices (bcsstk30,
+//! ckt11752_dc_1, Trefethen_20000), uniform random matrices/tensors at
+//! several densities, and the `facebook` 3-tensor of Viswanath et al. We
+//! cannot redistribute those files, so this crate provides seeded,
+//! deterministic generators that match each dataset's dimensions, density,
+//! and coarse structure (banding for the FEM stiffness matrix, scattered
+//! fill for the circuit matrix, diagonal-plus-band structure for
+//! Trefethen, hyper-sparse scatter for the social tensor) — the properties
+//! the evaluation actually exercises. Rotation-derived variants (`Plus3`
+//! column rotations, `Plus2`/`InnerProd` even-coordinate rotations) follow
+//! §8.1.
+//!
+//! Every generator takes a `scale` divisor so the full suite can run at
+//! paper-scale (`scale = 1`) or CI-scale (larger divisors) with identical
+//! structure.
+
+pub mod random;
+pub mod suite;
+pub mod tensor3;
+
+pub use random::{random_matrix, random_tensor3, random_vector};
+pub use suite::{bcsstk30, ckt11752_dc_1, trefethen_20000, Dataset};
+pub use tensor3::{facebook, rotate_even_coords, rotate_matrix_columns};

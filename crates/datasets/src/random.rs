@@ -1,0 +1,175 @@
+//! Uniform random sparse matrices, vectors, and 3-tensors.
+//!
+//! Used for the `random 800×800` matrices (densities 1%, 10%, 50%) and
+//! `random 200×200×200` tensors of Table 4. Generation is seeded and
+//! deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stardust_tensor::CooTensor;
+
+/// A uniform random sparse matrix with (approximately) the given density.
+/// Values are drawn from `[0.25, 1.25)` so no generated value is zero.
+///
+/// # Example
+///
+/// ```
+/// use stardust_datasets::random_matrix;
+///
+/// let m = random_matrix(100, 100, 0.1, 7);
+/// let density = m.nnz() as f64 / (100.0 * 100.0);
+/// assert!((density - 0.1).abs() < 0.03);
+/// ```
+pub fn random_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> CooTensor<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooTensor::new(vec![rows, cols]);
+    if density >= 0.3 {
+        // Dense-ish: Bernoulli per cell.
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.r#gen::<f64>() < density {
+                    coo.push(&[r, c], rng.gen_range(0.25..1.25));
+                }
+            }
+        }
+    } else {
+        // Sparse: sample nnz cells (collisions deduped).
+        let target = ((rows * cols) as f64 * density).round() as usize;
+        for _ in 0..target + target / 8 {
+            let r = rng.gen_range(0..rows);
+            let c = rng.gen_range(0..cols);
+            coo.push(&[r, c], rng.gen_range(0.25..1.25));
+        }
+    }
+    coo.canonicalize();
+    truncate_to_density(coo, density)
+}
+
+/// A dense random vector as a COO tensor (every element nonzero).
+pub fn random_vector(len: usize, seed: u64) -> CooTensor<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooTensor::new(vec![len]);
+    for i in 0..len {
+        coo.push(&[i], rng.gen_range(0.25..1.25));
+    }
+    coo
+}
+
+/// A uniform random sparse 3-tensor with the given density.
+pub fn random_tensor3(
+    d0: usize,
+    d1: usize,
+    d2: usize,
+    density: f64,
+    seed: u64,
+) -> CooTensor<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooTensor::new(vec![d0, d1, d2]);
+    let total = d0 * d1 * d2;
+    if density >= 0.3 {
+        for a in 0..d0 {
+            for b in 0..d1 {
+                for c in 0..d2 {
+                    if rng.r#gen::<f64>() < density {
+                        coo.push(&[a, b, c], rng.gen_range(0.25..1.25));
+                    }
+                }
+            }
+        }
+    } else {
+        let target = (total as f64 * density).round() as usize;
+        for _ in 0..target + target / 8 {
+            let a = rng.gen_range(0..d0);
+            let b = rng.gen_range(0..d1);
+            let c = rng.gen_range(0..d2);
+            coo.push(&[a, b, c], rng.gen_range(0.25..1.25));
+        }
+    }
+    coo.canonicalize();
+    truncate_to_density(coo, density)
+}
+
+/// Trims overshoot from collision-compensated sampling so the density is
+/// close to the request (keeps a deterministic prefix of the sorted
+/// entries' shuffled order).
+fn truncate_to_density(coo: CooTensor<f64>, density: f64) -> CooTensor<f64> {
+    let total: f64 = coo.dims().iter().map(|&d| d as f64).product();
+    let target = (total * density).round() as usize;
+    if coo.nnz() <= target || target == 0 {
+        return coo;
+    }
+    let dims = coo.dims().to_vec();
+    let mut entries = coo.into_entries();
+    // Deterministic thinning: keep entries at evenly spaced indices.
+    let keep = target;
+    let step = entries.len() as f64 / keep as f64;
+    let mut out = CooTensor::new(dims);
+    let mut idx = 0.0f64;
+    let mut kept = 0;
+    while kept < keep {
+        let i = (idx as usize).min(entries.len() - 1);
+        let (coords, v) = std::mem::replace(&mut entries[i], (Vec::new(), 0.0));
+        if !coords.is_empty() {
+            out.push(&coords, v);
+            kept += 1;
+        } else {
+            kept += 1; // already taken (shouldn't happen with step >= 1)
+        }
+        idx += step;
+    }
+    out.canonicalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_density_close() {
+        for density in [0.01, 0.1, 0.5] {
+            let m = random_matrix(200, 200, density, 3);
+            let got = m.nnz() as f64 / 40_000.0;
+            assert!(
+                (got - density).abs() / density < 0.25,
+                "density {density}: got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = random_matrix(50, 50, 0.1, 9);
+        let b = random_matrix(50, 50, 0.1, 9);
+        assert_eq!(a, b);
+        let c = random_matrix(50, 50, 0.1, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn vector_is_dense() {
+        let v = random_vector(64, 1);
+        assert_eq!(v.nnz(), 64);
+        assert!(v.entries().iter().all(|(_, x)| *x != 0.0));
+    }
+
+    #[test]
+    fn tensor3_density_close() {
+        let t = random_tensor3(30, 30, 30, 0.1, 5);
+        let got = t.nnz() as f64 / 27_000.0;
+        assert!((got - 0.1).abs() < 0.03, "got {got}");
+    }
+
+    #[test]
+    fn values_never_zero() {
+        let m = random_matrix(64, 64, 0.2, 11);
+        assert!(m.entries().iter().all(|(_, v)| *v >= 0.25));
+    }
+
+    #[test]
+    fn high_density_bernoulli_path() {
+        let m = random_matrix(60, 60, 0.5, 2);
+        let got = m.nnz() as f64 / 3600.0;
+        assert!((got - 0.5).abs() < 0.05, "got {got}");
+    }
+}

@@ -1,0 +1,130 @@
+//! 3-tensor datasets and the rotation-derived variants of §8.1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stardust_tensor::CooTensor;
+
+/// Hyper-sparse social-interaction tensor standing in for the `facebook`
+/// dataset of Viswanath et al. (1591 × 63891 × 63890, density 1.14e-7
+/// ≈ 740k nonzeros at full scale). Interactions cluster on a power-law-ish
+/// set of active users, as the original wall-post data does.
+///
+/// # Panics
+///
+/// Panics when `scale == 0`.
+pub fn facebook(scale: usize) -> CooTensor<f64> {
+    assert!(scale > 0, "scale must be positive");
+    let d0 = (1591 / scale).max(4);
+    let d1 = (63_891 / scale).max(8);
+    let d2 = (63_890 / scale).max(8);
+    let density = 1.14e-7_f64;
+    let target = ((d0 as f64) * (d1 as f64) * (d2 as f64) * density)
+        .round()
+        .max(32.0) as usize;
+    let mut rng = StdRng::seed_from_u64(0x5EED_FACE);
+    let mut coo = CooTensor::new(vec![d0, d1, d2]);
+    for _ in 0..target + target / 8 {
+        let a = rng.gen_range(0..d0);
+        // Power-law-ish user activity: square a uniform to bias low ids.
+        let u: f64 = rng.r#gen();
+        let b = ((u * u) * d1 as f64) as usize;
+        let v: f64 = rng.r#gen();
+        let c = ((v * v) * d2 as f64) as usize;
+        coo.push(&[a, b.min(d1 - 1), c.min(d2 - 1)], 1.0);
+    }
+    coo.canonicalize();
+    coo
+}
+
+/// Rotates the columns of a matrix right by `k` (the Plus3 dataset
+/// derivation: "we generate two additional datasets by rotating the input
+/// matrix's columns right by one and two", §8.1).
+pub fn rotate_matrix_columns(m: &CooTensor<f64>, k: usize) -> CooTensor<f64> {
+    let dims = m.dims().to_vec();
+    let cols = dims[1];
+    let mut out = CooTensor::new(dims);
+    for (coords, v) in m.entries() {
+        let c = (coords[1] + k) % cols;
+        out.push(&[coords[0], c], *v);
+    }
+    out.canonicalize();
+    out
+}
+
+/// Rotates the even coordinates of the last dimension by one (the
+/// Plus2/InnerProd second-dataset derivation: "rotating the even
+/// coordinates on the last tensor dimension by one", §8.1).
+pub fn rotate_even_coords(t: &CooTensor<f64>) -> CooTensor<f64> {
+    let dims = t.dims().to_vec();
+    let last = dims.len() - 1;
+    let extent = dims[last];
+    let mut out = CooTensor::new(dims);
+    for (coords, v) in t.entries() {
+        let mut c = coords.clone();
+        if c[last] % 2 == 0 {
+            c[last] = (c[last] + 1) % extent;
+        }
+        out.push(&c, *v);
+    }
+    out.canonicalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facebook_scaled_shape() {
+        let t = facebook(100);
+        assert_eq!(t.dims(), &[15, 638, 638]);
+        assert!(t.nnz() >= 32);
+        // Hyper-sparse.
+        assert!(t.density() < 1e-3);
+    }
+
+    #[test]
+    fn facebook_deterministic() {
+        assert_eq!(facebook(200), facebook(200));
+    }
+
+    #[test]
+    fn rotate_columns_moves_entries() {
+        let mut m = CooTensor::new(vec![2, 4]);
+        m.push(&[0, 3], 1.0);
+        m.push(&[1, 0], 2.0);
+        let r = rotate_matrix_columns(&m, 1);
+        assert_eq!(r.get(&[0, 0]), 1.0); // wrapped
+        assert_eq!(r.get(&[1, 1]), 2.0);
+        assert_eq!(r.nnz(), 2);
+    }
+
+    #[test]
+    fn rotate_identity_when_zero() {
+        let mut m = CooTensor::new(vec![2, 3]);
+        m.push(&[0, 1], 1.0);
+        let mut expect = m.clone();
+        expect.canonicalize();
+        assert_eq!(rotate_matrix_columns(&m, 0), expect);
+    }
+
+    #[test]
+    fn rotate_even_coords_only_touches_even() {
+        let mut t = CooTensor::new(vec![2, 2, 4]);
+        t.push(&[0, 0, 2], 1.0); // even → 3
+        t.push(&[0, 0, 1], 2.0); // odd → unchanged
+        let r = rotate_even_coords(&t);
+        assert_eq!(r.get(&[0, 0, 3]), 1.0);
+        assert_eq!(r.get(&[0, 0, 1]), 2.0);
+        assert_eq!(r.get(&[0, 0, 2]), 0.0);
+    }
+
+    #[test]
+    fn rotations_preserve_nnz_modulo_collisions() {
+        let t = facebook(150);
+        let r = rotate_even_coords(&t);
+        // Collisions can only merge entries, never create them.
+        assert!(r.nnz() <= t.nnz());
+        assert!(r.nnz() as f64 >= t.nnz() as f64 * 0.8);
+    }
+}

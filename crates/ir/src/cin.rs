@@ -1,0 +1,617 @@
+//! Concrete index notation (CIN) statements.
+//!
+//! CIN (Kjolstad et al., CGO 2019; Fig. 2 of the Stardust paper) makes loop
+//! structure, accumulation, temporaries (`where`), and scheduling provenance
+//! (`s.t.`) explicit. Stardust extends the language with [`Stmt::Map`]
+//! nodes that bind a sub-statement to a backend-specific pattern (the
+//! result of the `map`/`accelerate` scheduling commands of Table 2).
+
+use std::fmt;
+
+use crate::expr::{Access, Assignment, Expr, IndexVar};
+use crate::relations::Relation;
+
+/// Assignment operator of a CIN leaf statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// Plain assignment `a = e`.
+    Assign,
+    /// Accumulating assignment `a += e`.
+    Accumulate,
+}
+
+impl fmt::Display for AssignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignOp::Assign => write!(f, "="),
+            AssignOp::Accumulate => write!(f, "+="),
+        }
+    }
+}
+
+/// Compilation backend a `map`ped sub-statement targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The Spatial parallel-pattern backend for Capstan (the paper's
+    /// target).
+    Spatial,
+    /// Fall back to the host CPU (used when a rewrite has no backend
+    /// support, §7.1).
+    Host,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Spatial => write!(f, "Spatial"),
+            Backend::Host => write!(f, "Host"),
+        }
+    }
+}
+
+/// The backend function / pattern a `map` command binds (Table 2's `f`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternFn {
+    /// Spatial's `Reduce` pattern (Capstan's PCU reduction tree).
+    Reduction,
+    /// Spatial's `MemReduce` pattern (memory-wise reduction).
+    MemReduce,
+    /// A bulk DRAM→on-chip load (`mem load dram(...)`).
+    BulkLoad,
+    /// A bulk on-chip→DRAM store.
+    BulkStore,
+    /// Any other named backend block (e.g. a hypothetical `or-and` unit,
+    /// §7.1).
+    Custom(String),
+}
+
+impl fmt::Display for PatternFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternFn::Reduction => write!(f, "Reduction"),
+            PatternFn::MemReduce => write!(f, "MemReduce"),
+            PatternFn::BulkLoad => write!(f, "BulkLoad"),
+            PatternFn::BulkStore => write!(f, "BulkStore"),
+            PatternFn::Custom(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// A concrete index notation statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `∀i S`.
+    Forall {
+        /// The iterated index variable.
+        index: IndexVar,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `a = e` or `a += e`.
+    Assign {
+        /// The updated access.
+        lhs: Access,
+        /// Assignment operator.
+        op: AssignOp,
+        /// Right-hand side.
+        rhs: Expr,
+    },
+    /// `S; S` (ordered sequencing).
+    Sequence(Vec<Stmt>),
+    /// `consumer where producer`: the producer materializes temporaries the
+    /// consumer reads.
+    Where {
+        /// Statement consuming the temporary.
+        consumer: Box<Stmt>,
+        /// Statement producing the temporary.
+        producer: Box<Stmt>,
+    },
+    /// `S s.t. r*`: body plus scheduling relations.
+    SuchThat {
+        /// The governed statement.
+        body: Box<Stmt>,
+        /// The relations introduced by scheduling.
+        relations: Vec<Relation>,
+    },
+    /// Stardust extension: the body has been bound to a backend pattern by
+    /// `map`/`accelerate` (Table 2).
+    Map {
+        /// The mapped sub-statement (retains full semantics).
+        body: Box<Stmt>,
+        /// Target backend.
+        backend: Backend,
+        /// The backend pattern or function to instantiate.
+        pattern: PatternFn,
+        /// Optional constant factor (e.g. a parallelization factor).
+        factor: Option<usize>,
+    },
+}
+
+impl Stmt {
+    /// Builds `∀index body`.
+    pub fn forall(index: impl Into<IndexVar>, body: Stmt) -> Stmt {
+        Stmt::Forall {
+            index: index.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Wraps `body` in foralls, outermost variable first.
+    pub fn foralls<I>(vars: I, body: Stmt) -> Stmt
+    where
+        I: IntoIterator<Item = IndexVar>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| Stmt::forall(v, acc))
+    }
+
+    /// Builds `lhs = rhs`.
+    pub fn assign(lhs: Access, rhs: Expr) -> Stmt {
+        Stmt::Assign {
+            lhs,
+            op: AssignOp::Assign,
+            rhs,
+        }
+    }
+
+    /// Builds `lhs += rhs`.
+    pub fn accumulate(lhs: Access, rhs: Expr) -> Stmt {
+        Stmt::Assign {
+            lhs,
+            op: AssignOp::Accumulate,
+            rhs,
+        }
+    }
+
+    /// Builds `consumer where producer`.
+    pub fn where_(consumer: Stmt, producer: Stmt) -> Stmt {
+        Stmt::Where {
+            consumer: Box::new(consumer),
+            producer: Box::new(producer),
+        }
+    }
+
+    /// Builds `body s.t. relations`.
+    pub fn such_that(body: Stmt, relations: Vec<Relation>) -> Stmt {
+        Stmt::SuchThat {
+            body: Box::new(body),
+            relations,
+        }
+    }
+
+    /// The canonical CIN of an index-notation assignment.
+    ///
+    /// For a pure product with reduction variables this is the textbook
+    /// nest — e.g. SDDMM becomes eq. (1) of the paper,
+    /// `∀i ∀j ∀k A(i,j) += B(i,j)*C(i,k)*D(k,j)` (the output is assumed
+    /// zero-initialized, as TACO's generated code does).
+    ///
+    /// Expressions mixing reduced and unreduced additive terms (e.g.
+    /// Residual `y(i) = b(i) - A(i,j)*x(j)`) are decomposed so each term
+    /// only sits under its own reduction loops: terms without reduction
+    /// variables are assigned directly, reduced terms accumulate under
+    /// their reduction foralls.
+    pub fn from_assignment(a: &Assignment) -> Stmt {
+        let free = a.free_vars();
+        let terms = additive_terms(&a.rhs);
+        let term_rvars = |e: &Expr| -> Vec<IndexVar> {
+            e.index_vars()
+                .into_iter()
+                .filter(|v| !free.contains(v))
+                .collect()
+        };
+
+        // No reduction anywhere (pure elementwise expression, e.g. Plus3):
+        // keep the whole RHS as one assignment so sparse union
+        // co-iteration can lower it directly.
+        if a.reduction_vars().is_empty() {
+            let leaf = Stmt::Assign {
+                lhs: a.lhs.clone(),
+                op: AssignOp::Assign,
+                rhs: a.rhs.clone(),
+            };
+            return Stmt::foralls(a.loop_order(), leaf);
+        }
+
+        // Single non-negated reduced term: the classic nest.
+        if terms.len() == 1 && !terms[0].1 {
+            let leaf = Stmt::Assign {
+                lhs: a.lhs.clone(),
+                op: AssignOp::Accumulate,
+                rhs: terms[0].0.clone(),
+            };
+            return Stmt::foralls(a.loop_order(), leaf);
+        }
+
+        // Order terms so an unreduced one (if any) initializes the output.
+        let mut ordered: Vec<(Expr, bool)> = terms.clone();
+        if let Some(pos) = ordered.iter().position(|(e, _)| term_rvars(e).is_empty()) {
+            ordered.swap(0, pos);
+        }
+
+        let mut stmts = Vec::with_capacity(ordered.len() + 1);
+        for (n, (term, negated)) in ordered.into_iter().enumerate() {
+            let rvars = term_rvars(&term);
+            let signed = if negated {
+                Expr::Neg(Box::new(term))
+            } else {
+                term
+            };
+            let leaf = if n == 0 && rvars.is_empty() {
+                Stmt::Assign {
+                    lhs: a.lhs.clone(),
+                    op: AssignOp::Assign,
+                    rhs: signed,
+                }
+            } else {
+                if n == 0 {
+                    // No unreduced term exists: zero-initialize explicitly.
+                    stmts.push(Stmt::Assign {
+                        lhs: a.lhs.clone(),
+                        op: AssignOp::Assign,
+                        rhs: Expr::Literal(0.0),
+                    });
+                }
+                Stmt::Assign {
+                    lhs: a.lhs.clone(),
+                    op: AssignOp::Accumulate,
+                    rhs: signed,
+                }
+            };
+            stmts.push(Stmt::foralls(rvars, leaf));
+        }
+        let body = if stmts.len() == 1 {
+            stmts.pop().expect("one statement")
+        } else {
+            Stmt::Sequence(stmts)
+        };
+        Stmt::foralls(free, body)
+    }
+
+    /// Visits every statement node, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::Forall { body, .. } => body.visit(f),
+            Stmt::Assign { .. } => {}
+            Stmt::Sequence(stmts) => {
+                for s in stmts {
+                    s.visit(f);
+                }
+            }
+            Stmt::Where { consumer, producer } => {
+                consumer.visit(f);
+                producer.visit(f);
+            }
+            Stmt::SuchThat { body, .. } => body.visit(f),
+            Stmt::Map { body, .. } => body.visit(f),
+        }
+    }
+
+    /// Visits every statement node mutably, pre-order. The callback returns
+    /// `true` to continue into children.
+    pub fn visit_mut(&mut self, f: &mut impl FnMut(&mut Stmt) -> bool) {
+        if !f(self) {
+            return;
+        }
+        match self {
+            Stmt::Forall { body, .. } => body.visit_mut(f),
+            Stmt::Assign { .. } => {}
+            Stmt::Sequence(stmts) => {
+                for s in stmts {
+                    s.visit_mut(f);
+                }
+            }
+            Stmt::Where { consumer, producer } => {
+                consumer.visit_mut(f);
+                producer.visit_mut(f);
+            }
+            Stmt::SuchThat { body, .. } => body.visit_mut(f),
+            Stmt::Map { body, .. } => body.visit_mut(f),
+        }
+    }
+
+    /// All scheduling relations in the statement, pre-order.
+    pub fn relations(&self) -> Vec<Relation> {
+        let mut out = Vec::new();
+        self.visit(&mut |s| {
+            if let Stmt::SuchThat { relations, .. } = s {
+                out.extend(relations.iter().cloned());
+            }
+        });
+        out
+    }
+
+    /// Every access in the statement (left- and right-hand sides),
+    /// pre-order. The boolean marks left-hand sides.
+    pub fn accesses(&self) -> Vec<(&Access, bool)> {
+        let mut out = Vec::new();
+        self.visit(&mut |s| {
+            if let Stmt::Assign { lhs, rhs, .. } = s {
+                out.push((lhs, true));
+                for a in rhs.accesses() {
+                    out.push((a, false));
+                }
+            }
+        });
+        out
+    }
+
+    /// Distinct tensor names read or written, in first-use order.
+    pub fn tensor_names(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for (a, _) in self.accesses() {
+            if !out.contains(&a.tensor) {
+                out.push(a.tensor.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct tensors written (appearing on a left-hand side).
+    pub fn outputs(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for (a, is_lhs) in self.accesses() {
+            if is_lhs && !out.contains(&a.tensor) {
+                out.push(a.tensor.clone());
+            }
+        }
+        out
+    }
+
+    /// The forall variables along the leftmost spine (outer to inner),
+    /// looking through `s.t.`, `map`, and `where`-consumers.
+    pub fn forall_spine(&self) -> Vec<IndexVar> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Stmt::Forall { index, body } => {
+                    out.push(index.clone());
+                    cur = body;
+                }
+                Stmt::SuchThat { body, .. } => cur = body,
+                Stmt::Map { body, .. } => cur = body,
+                Stmt::Where { consumer, .. } => cur = consumer,
+                _ => return out,
+            }
+        }
+    }
+
+    /// Replaces the first subtree structurally equal to `target` with
+    /// `replacement`; returns `true` when a replacement happened.
+    pub fn replace_subtree(&mut self, target: &Stmt, replacement: &Stmt) -> bool {
+        if self == target {
+            *self = replacement.clone();
+            return true;
+        }
+        match self {
+            Stmt::Forall { body, .. } => body.replace_subtree(target, replacement),
+            Stmt::Assign { .. } => false,
+            Stmt::Sequence(stmts) => stmts
+                .iter_mut()
+                .any(|s| s.replace_subtree(target, replacement)),
+            Stmt::Where { consumer, producer } => {
+                consumer.replace_subtree(target, replacement)
+                    || producer.replace_subtree(target, replacement)
+            }
+            Stmt::SuchThat { body, .. } => body.replace_subtree(target, replacement),
+            Stmt::Map { body, .. } => body.replace_subtree(target, replacement),
+        }
+    }
+
+    /// Returns `true` when the statement contains a subtree structurally
+    /// equal to `target`.
+    pub fn contains_subtree(&self, target: &Stmt) -> bool {
+        let mut found = false;
+        self.visit(&mut |s| {
+            if s == target {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Renames a tensor everywhere in the statement.
+    pub fn rename_tensor(&mut self, from: &str, to: &str) {
+        self.visit_mut(&mut |s| {
+            if let Stmt::Assign { lhs, rhs, .. } = s {
+                if lhs.tensor == from {
+                    lhs.tensor = to.to_string();
+                }
+                rhs.rename_tensor(from, to);
+            }
+            true
+        });
+    }
+}
+
+/// Flattens an expression into signed additive terms: `a - b + c` becomes
+/// `[(a, false), (b, true), (c, false)]`. Negations distribute.
+pub fn additive_terms(e: &Expr) -> Vec<(Expr, bool)> {
+    fn go(e: &Expr, negated: bool, out: &mut Vec<(Expr, bool)>) {
+        match e {
+            Expr::Binary {
+                op: crate::expr::BinOp::Add,
+                lhs,
+                rhs,
+            } => {
+                go(lhs, negated, out);
+                go(rhs, negated, out);
+            }
+            Expr::Binary {
+                op: crate::expr::BinOp::Sub,
+                lhs,
+                rhs,
+            } => {
+                go(lhs, negated, out);
+                go(rhs, !negated, out);
+            }
+            Expr::Neg(inner) => go(inner, !negated, out),
+            other => out.push((other.clone(), negated)),
+        }
+    }
+    let mut out = Vec::new();
+    go(e, false, &mut out);
+    out
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Forall { index, body } => write!(f, "forall({index}, {body})"),
+            Stmt::Assign { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Stmt::Sequence(stmts) => {
+                let parts: Vec<String> = stmts.iter().map(|s| s.to_string()).collect();
+                write!(f, "{}", parts.join("; "))
+            }
+            Stmt::Where { consumer, producer } => {
+                write!(f, "({consumer} where {producer})")
+            }
+            Stmt::SuchThat { body, relations } => {
+                let rels: Vec<String> = relations.iter().map(|r| r.to_string()).collect();
+                write!(f, "({body} s.t. {})", rels.join(", "))
+            }
+            Stmt::Map {
+                body,
+                backend,
+                pattern,
+                factor,
+            } => match factor {
+                Some(c) => write!(f, "map({body}, {backend}, {pattern}, {c})"),
+                None => write!(f, "map({body}, {backend}, {pattern})"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_assignment;
+
+    fn sddmm_stmt() -> Stmt {
+        let (a, _) = parse_assignment("A(i,j) = B(i,j) * C(i,k) * D(k,j)").unwrap();
+        Stmt::from_assignment(&a)
+    }
+
+    #[test]
+    fn canonical_cin_for_sddmm() {
+        // Eq. (1): ∀i ∀j ∀k  A(i,j) += B(i,j)*C(i,k)*D(k,j)
+        let s = sddmm_stmt();
+        assert_eq!(
+            s.forall_spine(),
+            vec![
+                IndexVar::new("i"),
+                IndexVar::new("j"),
+                IndexVar::new("k")
+            ]
+        );
+        assert_eq!(
+            s.to_string(),
+            "forall(i, forall(j, forall(k, A(i,j) += B(i,j) * C(i,k) * D(k,j))))"
+        );
+    }
+
+    #[test]
+    fn no_reduction_gives_plain_assign() {
+        let (a, _) = parse_assignment("A(i,j) = B(i,j) + C(i,j)").unwrap();
+        let s = Stmt::from_assignment(&a);
+        let mut ops = Vec::new();
+        s.visit(&mut |n| {
+            if let Stmt::Assign { op, .. } = n {
+                ops.push(*op);
+            }
+        });
+        assert_eq!(ops, vec![AssignOp::Assign]);
+    }
+
+    #[test]
+    fn tensor_names_and_outputs() {
+        let s = sddmm_stmt();
+        assert_eq!(s.tensor_names(), vec!["A", "B", "C", "D"]);
+        assert_eq!(s.outputs(), vec!["A"]);
+    }
+
+    #[test]
+    fn where_display_and_spine() {
+        let (a, _) = parse_assignment("a(i) = ws(i)").unwrap();
+        let consumer = Stmt::from_assignment(&a);
+        let (p, _) = parse_assignment("ws(i) = b(i) * c(i)").unwrap();
+        let producer = Stmt::from_assignment(&p);
+        let w = Stmt::where_(consumer, producer);
+        assert!(w.to_string().contains("where"));
+        assert_eq!(w.forall_spine(), vec![IndexVar::new("i")]);
+        assert_eq!(w.outputs(), vec!["a", "ws"]);
+    }
+
+    #[test]
+    fn replace_subtree_swaps_leaf() {
+        let mut s = sddmm_stmt();
+        let (inner, _) = parse_assignment("A(i,j) = B(i,j) * C(i,k) * D(k,j)").unwrap();
+        let target = Stmt::Assign {
+            lhs: inner.lhs.clone(),
+            op: AssignOp::Accumulate,
+            rhs: inner.rhs.clone(),
+        };
+        let replacement = Stmt::assign(
+            Access::new("A", vec!["i".into(), "j".into()]),
+            Expr::access("ws", vec![]),
+        );
+        assert!(s.contains_subtree(&target));
+        assert!(s.replace_subtree(&target, &replacement));
+        assert!(!s.contains_subtree(&target));
+        assert!(s.to_string().contains("A(i,j) = ws"));
+    }
+
+    #[test]
+    fn such_that_collects_relations() {
+        let s = Stmt::such_that(
+            sddmm_stmt(),
+            vec![Relation::Env {
+                name: "innerPar".into(),
+                value: 16,
+            }],
+        );
+        assert_eq!(s.relations().len(), 1);
+        assert!(s.to_string().contains("s.t. innerPar = 16"));
+    }
+
+    #[test]
+    fn map_node_display() {
+        let s = Stmt::Map {
+            body: Box::new(sddmm_stmt()),
+            backend: Backend::Spatial,
+            pattern: PatternFn::Reduction,
+            factor: Some(16),
+        };
+        assert!(s.to_string().starts_with("map("));
+        assert!(s.to_string().contains("Spatial"));
+        assert!(s.to_string().contains("Reduction"));
+    }
+
+    #[test]
+    fn rename_tensor_everywhere() {
+        let mut s = sddmm_stmt();
+        s.rename_tensor("C", "C_on");
+        assert!(s.tensor_names().contains(&"C_on".to_string()));
+        assert!(!s.tensor_names().contains(&"C".to_string()));
+    }
+
+    #[test]
+    fn foralls_builder_order() {
+        let body = Stmt::assign(Access::scalar("t"), Expr::Literal(1.0));
+        let s = Stmt::foralls(vec![IndexVar::new("i"), IndexVar::new("j")], body);
+        assert_eq!(s.forall_spine(), vec!["i".into(), "j".into()]);
+    }
+
+    #[test]
+    fn sequence_display() {
+        let s1 = Stmt::assign(Access::scalar("a"), Expr::Literal(1.0));
+        let s2 = Stmt::assign(Access::scalar("b"), Expr::Literal(2.0));
+        let s = Stmt::Sequence(vec![s1, s2]);
+        assert_eq!(s.to_string(), "a = 1; b = 2");
+    }
+}

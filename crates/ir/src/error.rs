@@ -1,0 +1,79 @@
+//! Error type shared by parsing, scheduling, and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the IR layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// The expression parser rejected its input.
+    Parse {
+        /// Byte offset of the error.
+        at: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An index variable was used inconsistently (e.g. two different
+    /// extents inferred from tensor dimensions).
+    InconsistentExtent {
+        /// The variable in question.
+        var: String,
+        /// First inferred extent.
+        first: usize,
+        /// Conflicting extent.
+        second: usize,
+    },
+    /// A tensor was referenced but never declared / provided.
+    UnknownTensor(String),
+    /// An index variable had no extent (not used in any access and not
+    /// derivable through scheduling relations).
+    UnboundIndexVar(String),
+    /// A scheduling transformation was invalid for the statement.
+    InvalidTransform(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Parse { at, message } => write!(f, "parse error at byte {at}: {message}"),
+            IrError::InconsistentExtent { var, first, second } => write!(
+                f,
+                "index variable {var} has inconsistent extents {first} and {second}"
+            ),
+            IrError::UnknownTensor(name) => write!(f, "unknown tensor {name}"),
+            IrError::UnboundIndexVar(name) => write!(f, "unbound index variable {name}"),
+            IrError::InvalidTransform(msg) => write!(f, "invalid transformation: {msg}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(IrError::Parse {
+            at: 3,
+            message: "expected )".into()
+        }
+        .to_string()
+        .contains("byte 3"));
+        assert!(IrError::UnknownTensor("B".into()).to_string().contains('B'));
+        assert!(IrError::UnboundIndexVar("k".into())
+            .to_string()
+            .contains('k'));
+        assert!(IrError::InconsistentExtent {
+            var: "i".into(),
+            first: 2,
+            second: 3
+        }
+        .to_string()
+        .contains("inconsistent"));
+        assert!(IrError::InvalidTransform("nope".into())
+            .to_string()
+            .contains("nope"));
+    }
+}

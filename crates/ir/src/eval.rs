@@ -1,0 +1,526 @@
+//! Executable semantics for CIN: the workspace-wide correctness oracle.
+//!
+//! [`eval`] runs any (possibly scheduled) CIN statement against real dense
+//! tensors. It implements the dense semantics of concrete index notation —
+//! every `∀` iterates its variable's full extent, `where` producers
+//! materialize zero-initialized temporaries, and `s.t.` relations let
+//! derived loop variables (from `split`/`fuse`) be mapped back to the
+//! original variables of the accesses. Every scheduling transformation and
+//! every lowered kernel in the workspace is validated against this
+//! evaluator.
+
+use std::collections::HashMap;
+
+use stardust_tensor::DenseTensor;
+
+use crate::cin::{AssignOp, Stmt};
+use crate::error::IrError;
+use crate::expr::{Access, Expr, IndexVar};
+use crate::relations::IndexSpace;
+
+/// The tensors a CIN statement executes against.
+///
+/// # Example
+///
+/// ```
+/// use stardust_ir::{eval, EvalContext, parse_assignment, Stmt};
+/// use stardust_tensor::DenseTensor;
+///
+/// let (a, _) = parse_assignment("y(i) = A(i,j) * x(j)").unwrap();
+/// let stmt = Stmt::from_assignment(&a);
+///
+/// let mut ctx = EvalContext::new();
+/// ctx.add_tensor("A", DenseTensor::from_data(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]));
+/// ctx.add_tensor("x", DenseTensor::from_data(vec![2], vec![1.0, 1.0]));
+/// ctx.add_tensor("y", DenseTensor::zeros(vec![2]));
+/// eval(&stmt, &mut ctx).unwrap();
+/// assert_eq!(ctx.tensor("y").unwrap().data(), &[3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvalContext {
+    tensors: HashMap<String, DenseTensor<f64>>,
+}
+
+impl EvalContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        EvalContext::default()
+    }
+
+    /// Registers a tensor under `name` (replacing any previous binding).
+    pub fn add_tensor(&mut self, name: impl Into<String>, t: DenseTensor<f64>) {
+        self.tensors.insert(name.into(), t);
+    }
+
+    /// Registers a scalar as a rank-1, size-1 tensor (the representation
+    /// CIN scalar accesses read).
+    pub fn add_scalar(&mut self, name: impl Into<String>, v: f64) {
+        self.add_tensor(name, DenseTensor::from_data(vec![1], vec![v]));
+    }
+
+    /// Looks up a tensor.
+    pub fn tensor(&self, name: &str) -> Option<&DenseTensor<f64>> {
+        self.tensors.get(name)
+    }
+
+    /// Reads a scalar registered with [`EvalContext::add_scalar`].
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.tensors.get(name).map(|t| t.data()[0])
+    }
+
+    /// Zeroes a tensor in place (no-op when absent).
+    pub fn zero(&mut self, name: &str) {
+        if let Some(t) = self.tensors.get_mut(name) {
+            t.data_mut().fill(0.0);
+        }
+    }
+
+    /// All registered tensor names.
+    pub fn names(&self) -> Vec<&str> {
+        self.tensors.keys().map(String::as_str).collect()
+    }
+}
+
+/// Evaluates a CIN statement against the context, mutating output tensors
+/// in place. Temporaries written by the statement but missing from the
+/// context are created automatically with dimensions inferred from the
+/// index space.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when a tensor is referenced with the wrong rank, an
+/// index variable has inconsistent or underivable extents, or a read tensor
+/// is entirely unknown.
+pub fn eval(stmt: &Stmt, ctx: &mut EvalContext) -> Result<(), IrError> {
+    let space = build_index_space(stmt, ctx)?;
+    materialize_missing(stmt, ctx, &space)?;
+    let mut env = HashMap::new();
+    exec(stmt, ctx, &space, &mut env)
+}
+
+/// Builds the index space of `stmt` given the context's tensor dimensions:
+/// root extents come from access positions, relations from `s.t.` nodes.
+///
+/// # Errors
+///
+/// Returns [`IrError::InconsistentExtent`] when two accesses disagree on a
+/// variable's extent, or [`IrError::InvalidTransform`] on rank mismatches.
+pub fn build_index_space(stmt: &Stmt, ctx: &EvalContext) -> Result<IndexSpace, IrError> {
+    let mut space = IndexSpace::new();
+    for rel in stmt.relations() {
+        space.add_relation(rel);
+    }
+    let mut result = Ok(());
+    stmt.visit(&mut |s| {
+        if result.is_err() {
+            return;
+        }
+        if let Stmt::Assign { lhs, rhs, .. } = s {
+            let mut accesses: Vec<&Access> = vec![lhs];
+            accesses.extend(rhs.accesses());
+            for a in accesses {
+                if let Some(t) = ctx.tensor(&a.tensor) {
+                    if a.indices.is_empty() {
+                        continue; // scalar access
+                    }
+                    if a.indices.len() != t.rank() {
+                        result = Err(IrError::InvalidTransform(format!(
+                            "access {a} has rank {} but tensor has rank {}",
+                            a.indices.len(),
+                            t.rank()
+                        )));
+                        return;
+                    }
+                    for (m, ix) in a.indices.iter().enumerate() {
+                        if let Err(e) = space.try_set_extent(ix.clone(), t.dims()[m]) {
+                            result = Err(e);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    result?;
+    Ok(space)
+}
+
+/// Creates any written-but-unregistered tensors (workspaces) with
+/// dimensions inferred from their index variables' extents.
+fn materialize_missing(
+    stmt: &Stmt,
+    ctx: &mut EvalContext,
+    space: &IndexSpace,
+) -> Result<(), IrError> {
+    let mut to_create: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut err = None;
+    stmt.visit(&mut |s| {
+        if err.is_some() {
+            return;
+        }
+        if let Stmt::Assign { lhs, rhs, .. } = s {
+            let mut accesses: Vec<&Access> = vec![lhs];
+            accesses.extend(rhs.accesses());
+            for a in accesses {
+                if ctx.tensor(&a.tensor).is_some()
+                    || to_create.iter().any(|(n, _)| n == &a.tensor)
+                {
+                    continue;
+                }
+                if a.indices.is_empty() {
+                    to_create.push((a.tensor.clone(), vec![1]));
+                    continue;
+                }
+                let mut dims = Vec::with_capacity(a.indices.len());
+                for ix in &a.indices {
+                    match space.extent(ix) {
+                        Ok(e) => dims.push(e),
+                        Err(e) => {
+                            err = Some(e);
+                            return;
+                        }
+                    }
+                }
+                to_create.push((a.tensor.clone(), dims));
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    for (name, dims) in to_create {
+        ctx.add_tensor(name, DenseTensor::zeros(dims));
+    }
+    Ok(())
+}
+
+fn exec(
+    stmt: &Stmt,
+    ctx: &mut EvalContext,
+    space: &IndexSpace,
+    env: &mut HashMap<IndexVar, usize>,
+) -> Result<(), IrError> {
+    match stmt {
+        Stmt::Forall { index, body } => {
+            let n = space.extent(index)?;
+            for v in 0..n {
+                env.insert(index.clone(), v);
+                exec(body, ctx, space, env)?;
+            }
+            env.remove(index);
+            Ok(())
+        }
+        Stmt::Assign { lhs, op, rhs } => {
+            // Guard: stripmined tails produce reconstructed coordinates
+            // beyond the original extent; such iterations are no-ops.
+            let mut accesses: Vec<&Access> = vec![lhs];
+            accesses.extend(rhs.accesses());
+            for a in &accesses {
+                for ix in &a.indices {
+                    match space.in_bounds(ix, env) {
+                        Some(true) => {}
+                        Some(false) => return Ok(()),
+                        None => {
+                            return Err(IrError::UnboundIndexVar(ix.name().to_string()));
+                        }
+                    }
+                }
+            }
+            let value = eval_expr(rhs, ctx, space, env)?;
+            let coords = resolve_coords(lhs, ctx, space, env)?;
+            let t = ctx
+                .tensors
+                .get_mut(&lhs.tensor)
+                .ok_or_else(|| IrError::UnknownTensor(lhs.tensor.clone()))?;
+            match op {
+                AssignOp::Assign => t.set(&coords, value),
+                AssignOp::Accumulate => t.add_assign(&coords, value),
+            }
+            Ok(())
+        }
+        Stmt::Sequence(stmts) => {
+            for s in stmts {
+                exec(s, ctx, space, env)?;
+            }
+            Ok(())
+        }
+        Stmt::Where { consumer, producer } => {
+            // Workspace semantics: producer temporaries are reset on every
+            // entry of the where node, then filled, then consumed.
+            for out in producer.outputs() {
+                ctx.zero(&out);
+            }
+            exec(producer, ctx, space, env)?;
+            exec(consumer, ctx, space, env)
+        }
+        Stmt::SuchThat { body, .. } => exec(body, ctx, space, env),
+        Stmt::Map { body, .. } => exec(body, ctx, space, env),
+    }
+}
+
+fn resolve_coords(
+    access: &Access,
+    ctx: &EvalContext,
+    space: &IndexSpace,
+    env: &HashMap<IndexVar, usize>,
+) -> Result<Vec<usize>, IrError> {
+    if access.indices.is_empty() {
+        // Scalar: stored as a size-1 vector.
+        return Ok(vec![0]);
+    }
+    let _ = ctx;
+    access
+        .indices
+        .iter()
+        .map(|ix| {
+            space
+                .value_of(ix, env)
+                .ok_or_else(|| IrError::UnboundIndexVar(ix.name().to_string()))
+        })
+        .collect()
+}
+
+fn eval_expr(
+    expr: &Expr,
+    ctx: &EvalContext,
+    space: &IndexSpace,
+    env: &HashMap<IndexVar, usize>,
+) -> Result<f64, IrError> {
+    match expr {
+        Expr::Literal(c) => Ok(*c),
+        Expr::Neg(e) => Ok(-eval_expr(e, ctx, space, env)?),
+        Expr::Binary { op, lhs, rhs } => Ok(op.apply(
+            eval_expr(lhs, ctx, space, env)?,
+            eval_expr(rhs, ctx, space, env)?,
+        )),
+        Expr::Access(a) => {
+            let coords = resolve_coords(a, ctx, space, env)?;
+            let t = ctx
+                .tensor(&a.tensor)
+                .ok_or_else(|| IrError::UnknownTensor(a.tensor.clone()))?;
+            Ok(t.get(&coords))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cin::Stmt;
+    use crate::parse::parse_assignment;
+    use crate::relations::Relation;
+
+    fn matrix2x2(vals: [f64; 4]) -> DenseTensor<f64> {
+        DenseTensor::from_data(vec![2, 2], vals.to_vec())
+    }
+
+    fn eval_str(src: &str, ctx: &mut EvalContext) {
+        let (a, _) = parse_assignment(src).unwrap();
+        let stmt = Stmt::from_assignment(&a);
+        eval(&stmt, ctx).unwrap();
+    }
+
+    #[test]
+    fn spmv_matches_by_hand() {
+        let mut ctx = EvalContext::new();
+        ctx.add_tensor("A", matrix2x2([1.0, 2.0, 3.0, 4.0]));
+        ctx.add_tensor("x", DenseTensor::from_data(vec![2], vec![5.0, 6.0]));
+        ctx.add_tensor("y", DenseTensor::zeros(vec![2]));
+        eval_str("y(i) = A(i,j) * x(j)", &mut ctx);
+        assert_eq!(ctx.tensor("y").unwrap().data(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn elementwise_add_three() {
+        let mut ctx = EvalContext::new();
+        ctx.add_tensor("B", matrix2x2([1.0; 4]));
+        ctx.add_tensor("C", matrix2x2([2.0; 4]));
+        ctx.add_tensor("D", matrix2x2([3.0; 4]));
+        ctx.add_tensor("A", DenseTensor::zeros(vec![2, 2]));
+        eval_str("A(i,j) = B(i,j) + C(i,j) + D(i,j)", &mut ctx);
+        assert_eq!(ctx.tensor("A").unwrap().data(), &[6.0; 4]);
+    }
+
+    #[test]
+    fn residual_with_subtraction() {
+        let mut ctx = EvalContext::new();
+        ctx.add_tensor("A", matrix2x2([1.0, 0.0, 0.0, 1.0]));
+        ctx.add_tensor("x", DenseTensor::from_data(vec![2], vec![1.0, 2.0]));
+        ctx.add_tensor("b", DenseTensor::from_data(vec![2], vec![10.0, 10.0]));
+        ctx.add_tensor("y", DenseTensor::zeros(vec![2]));
+        eval_str("y(i) = b(i) - A(i,j) * x(j)", &mut ctx);
+        assert_eq!(ctx.tensor("y").unwrap().data(), &[9.0, 8.0]);
+    }
+
+    #[test]
+    fn scalars_participate() {
+        let mut ctx = EvalContext::new();
+        ctx.add_scalar("alpha", 2.0);
+        ctx.add_tensor("x", DenseTensor::from_data(vec![3], vec![1.0, 2.0, 3.0]));
+        ctx.add_tensor("y", DenseTensor::zeros(vec![3]));
+        eval_str("y(i) = alpha * x(i)", &mut ctx);
+        assert_eq!(ctx.tensor("y").unwrap().data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn inner_product_reduces_to_scalar() {
+        let mut ctx = EvalContext::new();
+        ctx.add_tensor("B", matrix2x2([1.0, 2.0, 3.0, 4.0]));
+        ctx.add_tensor("C", matrix2x2([1.0, 1.0, 1.0, 1.0]));
+        // Output "a" is a scalar (rank-0 access).
+        let (assign, _) = parse_assignment("a = B(i,j) * C(i,j)").unwrap();
+        let stmt = Stmt::from_assignment(&assign);
+        eval(&stmt, &mut ctx).unwrap();
+        assert_eq!(ctx.scalar("a"), Some(10.0));
+    }
+
+    #[test]
+    fn where_materializes_workspace() {
+        // ∀i (a(i) = ws where ws += b(i) rhs) — scalar workspace reduction.
+        let (cons, _) = parse_assignment("a(i) = ws").unwrap();
+        let consumer = Stmt::Assign {
+            lhs: cons.lhs.clone(),
+            op: AssignOp::Assign,
+            rhs: cons.rhs.clone(),
+        };
+        let (prod, _) = parse_assignment("ws += B(i,j) * x(j)").unwrap();
+        let producer = Stmt::forall(
+            "j",
+            Stmt::Assign {
+                lhs: prod.lhs.clone(),
+                op: AssignOp::Accumulate,
+                rhs: prod.rhs.clone(),
+            },
+        );
+        let stmt = Stmt::forall("i", Stmt::where_(consumer, producer));
+
+        let mut ctx = EvalContext::new();
+        ctx.add_tensor("B", matrix2x2([1.0, 2.0, 3.0, 4.0]));
+        ctx.add_tensor("x", DenseTensor::from_data(vec![2], vec![1.0, 1.0]));
+        ctx.add_tensor("a", DenseTensor::zeros(vec![2]));
+        eval(&stmt, &mut ctx).unwrap();
+        // Workspace is reset between i iterations.
+        assert_eq!(ctx.tensor("a").unwrap().data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn split_up_preserves_semantics() {
+        let (a, _) = parse_assignment("y(i) = A(i,j) * x(j)").unwrap();
+        let leaf = Stmt::Assign {
+            lhs: a.lhs.clone(),
+            op: AssignOp::Accumulate,
+            rhs: a.rhs.clone(),
+        };
+        // ∀io ∀ii ∀j ... s.t. split_up(i, io, ii, 3)  on extent 4 (tail!)
+        let stmt = Stmt::such_that(
+            Stmt::foralls(
+                vec!["io".into(), "ii".into(), "j".into()],
+                leaf,
+            ),
+            vec![Relation::SplitUp {
+                orig: "i".into(),
+                outer: "io".into(),
+                inner: "ii".into(),
+                factor: 3,
+            }],
+        );
+        let mut ctx = EvalContext::new();
+        let a_data: Vec<f64> = (0..16).map(f64::from).collect();
+        ctx.add_tensor("A", DenseTensor::from_data(vec![4, 4], a_data));
+        ctx.add_tensor("x", DenseTensor::from_data(vec![4], vec![1.0; 4]));
+        ctx.add_tensor("y", DenseTensor::zeros(vec![4]));
+        eval(&stmt, &mut ctx).unwrap();
+        assert_eq!(ctx.tensor("y").unwrap().data(), &[6.0, 22.0, 38.0, 54.0]);
+    }
+
+    #[test]
+    fn fuse_preserves_semantics() {
+        let (a, _) = parse_assignment("A(i,j) = B(i,j) + C(i,j)").unwrap();
+        let leaf = Stmt::Assign {
+            lhs: a.lhs.clone(),
+            op: AssignOp::Assign,
+            rhs: a.rhs.clone(),
+        };
+        let stmt = Stmt::such_that(
+            Stmt::forall("f", leaf),
+            vec![Relation::Fuse {
+                outer: "i".into(),
+                inner: "j".into(),
+                fused: "f".into(),
+            }],
+        );
+        let mut ctx = EvalContext::new();
+        ctx.add_tensor("B", matrix2x2([1.0, 2.0, 3.0, 4.0]));
+        ctx.add_tensor("C", matrix2x2([10.0, 20.0, 30.0, 40.0]));
+        ctx.add_tensor("A", DenseTensor::zeros(vec![2, 2]));
+        eval(&stmt, &mut ctx).unwrap();
+        assert_eq!(ctx.tensor("A").unwrap().data(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn missing_read_tensor_errors() {
+        let mut ctx = EvalContext::new();
+        ctx.add_tensor("y", DenseTensor::zeros(vec![2]));
+        let (a, _) = parse_assignment("y(i) = q(i)").unwrap();
+        let stmt = Stmt::from_assignment(&a);
+        // q is auto-materialized as a zero workspace; reading zeros is the
+        // documented workspace behaviour, so this evaluates to zeros.
+        eval(&stmt, &mut ctx).unwrap();
+        assert_eq!(ctx.tensor("y").unwrap().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rank_mismatch_errors() {
+        let mut ctx = EvalContext::new();
+        ctx.add_tensor("A", matrix2x2([0.0; 4]));
+        ctx.add_tensor("y", DenseTensor::zeros(vec![2]));
+        let (a, _) = parse_assignment("y(i) = A(i)").unwrap();
+        let stmt = Stmt::from_assignment(&a);
+        assert!(matches!(
+            eval(&stmt, &mut ctx),
+            Err(IrError::InvalidTransform(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_extent_detected() {
+        let mut ctx = EvalContext::new();
+        ctx.add_tensor("A", DenseTensor::zeros(vec![2, 3]));
+        ctx.add_tensor("y", DenseTensor::zeros(vec![2]));
+        ctx.add_tensor("x", DenseTensor::zeros(vec![2]));
+        // j indexes both a dim-3 mode of A and a dim-2 vector x.
+        let (a, _) = parse_assignment("y(i) = A(i,j) * x(j)").unwrap();
+        let stmt = Stmt::from_assignment(&a);
+        assert!(matches!(
+            eval(&stmt, &mut ctx),
+            Err(IrError::InconsistentExtent { .. })
+        ));
+    }
+
+    #[test]
+    fn sequence_runs_in_order() {
+        let s1 = Stmt::assign(Access::scalar("t"), Expr::Literal(1.0));
+        let s2 = Stmt::assign(
+            Access::scalar("t"),
+            Expr::add(Expr::access("t", vec![]), Expr::Literal(2.0)),
+        );
+        let stmt = Stmt::Sequence(vec![s1, s2]);
+        let mut ctx = EvalContext::new();
+        eval(&stmt, &mut ctx).unwrap();
+        assert_eq!(ctx.scalar("t"), Some(3.0));
+    }
+
+    #[test]
+    fn ttv_three_tensor() {
+        let mut ctx = EvalContext::new();
+        let mut b = DenseTensor::zeros(vec![2, 2, 3]);
+        b.set(&[0, 0, 0], 1.0);
+        b.set(&[0, 1, 2], 2.0);
+        b.set(&[1, 1, 1], 3.0);
+        ctx.add_tensor("B", b);
+        ctx.add_tensor("c", DenseTensor::from_data(vec![3], vec![1.0, 2.0, 3.0]));
+        ctx.add_tensor("A", DenseTensor::zeros(vec![2, 2]));
+        eval_str("A(i,j) = B(i,j,k) * c(k)", &mut ctx);
+        assert_eq!(ctx.tensor("A").unwrap().data(), &[1.0, 6.0, 0.0, 6.0]);
+    }
+}

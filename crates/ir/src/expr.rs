@@ -1,0 +1,505 @@
+//! Tensor index notation: index variables, accesses, scalar expressions,
+//! and assignments (Fig. 2 of the paper).
+
+use std::fmt;
+
+/// A named index variable (`i`, `j`, `k`, or compiler-derived names such as
+/// `i0`/`i1` produced by `split`).
+///
+/// # Example
+///
+/// ```
+/// use stardust_ir::IndexVar;
+///
+/// let i = IndexVar::new("i");
+/// assert_eq!(i.name(), "i");
+/// assert_eq!(i.to_string(), "i");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexVar {
+    name: String,
+}
+
+impl IndexVar {
+    /// Creates an index variable with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "index variable name must be nonempty");
+        IndexVar { name }
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Derives a fresh variable name with a suffix (used by scheduling
+    /// transformations, e.g. `i.derived("o")` is `io`).
+    pub fn derived(&self, suffix: &str) -> IndexVar {
+        IndexVar::new(format!("{}{}", self.name, suffix))
+    }
+}
+
+impl fmt::Display for IndexVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+impl From<&str> for IndexVar {
+    fn from(s: &str) -> Self {
+        IndexVar::new(s)
+    }
+}
+
+/// A tensor access `T(i1, ..., in)`. Rank-0 (scalar) accesses have an empty
+/// index list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Name of the accessed tensor.
+    pub tensor: String,
+    /// Index variables, one per mode.
+    pub indices: Vec<IndexVar>,
+}
+
+impl Access {
+    /// Creates an access from a tensor name and index variables.
+    pub fn new(tensor: impl Into<String>, indices: Vec<IndexVar>) -> Self {
+        Access {
+            tensor: tensor.into(),
+            indices,
+        }
+    }
+
+    /// Creates a scalar (rank-0) access.
+    pub fn scalar(tensor: impl Into<String>) -> Self {
+        Access::new(tensor, vec![])
+    }
+
+    /// The access's rank.
+    pub fn rank(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` when `var` indexes this access.
+    pub fn uses(&self, var: &IndexVar) -> bool {
+        self.indices.contains(var)
+    }
+
+    /// Renames every occurrence of `from` to `to` (used by `precompute`'s
+    /// index substitution `e[iw*/i*]`).
+    pub fn rename(&mut self, from: &IndexVar, to: &IndexVar) {
+        for ix in &mut self.indices {
+            if ix == from {
+                *ix = to.clone();
+            }
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.indices.is_empty() {
+            return write!(f, "{}", self.tensor);
+        }
+        write!(f, "{}(", self.tensor)?;
+        for (n, ix) in self.indices.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{ix}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Binary scalar operators of index notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition — a *union* operator over sparse iteration spaces.
+    Add,
+    /// Subtraction — union, with the right operand negated.
+    Sub,
+    /// Multiplication — an *intersection* operator over sparse spaces.
+    Mul,
+}
+
+impl BinOp {
+    /// Returns `true` for operators that annihilate on zero (so sparse
+    /// iteration may intersect operand coordinate sets).
+    pub fn is_intersection(self) -> bool {
+        matches!(self, BinOp::Mul)
+    }
+
+    /// Applies the operator to two scalars.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinOp::Add => write!(f, "+"),
+            BinOp::Sub => write!(f, "-"),
+            BinOp::Mul => write!(f, "*"),
+        }
+    }
+}
+
+/// A scalar index-notation expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Tensor access.
+    Access(Access),
+    /// Scalar literal constant.
+    Literal(f64),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an access expression.
+    pub fn access(tensor: impl Into<String>, indices: Vec<IndexVar>) -> Expr {
+        Expr::Access(Access::new(tensor, indices))
+    }
+
+    /// Builds `lhs op rhs`.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Builds `lhs + rhs`.
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Add, lhs, rhs)
+    }
+
+    /// Builds `lhs - rhs`.
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Sub, lhs, rhs)
+    }
+
+    /// Builds `lhs * rhs`.
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Collects every access in the expression, left to right.
+    pub fn accesses(&self) -> Vec<&Access> {
+        let mut out = Vec::new();
+        self.visit_accesses(&mut |a| out.push(a));
+        out
+    }
+
+    fn visit_accesses<'a>(&'a self, f: &mut impl FnMut(&'a Access)) {
+        match self {
+            Expr::Access(a) => f(a),
+            Expr::Literal(_) => {}
+            Expr::Neg(e) => e.visit_accesses(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_accesses(f);
+                rhs.visit_accesses(f);
+            }
+        }
+    }
+
+    /// Collects the distinct index variables used, in first-use order.
+    pub fn index_vars(&self) -> Vec<IndexVar> {
+        let mut out: Vec<IndexVar> = Vec::new();
+        self.visit_accesses(&mut |a| {
+            for ix in &a.indices {
+                if !out.contains(ix) {
+                    out.push(ix.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Collects the distinct tensor names used, in first-use order.
+    pub fn tensor_names(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        self.visit_accesses(&mut |a| {
+            if !out.contains(&a.tensor) {
+                out.push(a.tensor.clone());
+            }
+        });
+        out
+    }
+
+    /// Returns `true` when the expression contains `sub` as a subexpression
+    /// (structural equality).
+    pub fn contains(&self, sub: &Expr) -> bool {
+        if self == sub {
+            return true;
+        }
+        match self {
+            Expr::Access(_) | Expr::Literal(_) => false,
+            Expr::Neg(e) => e.contains(sub),
+            Expr::Binary { lhs, rhs, .. } => lhs.contains(sub) || rhs.contains(sub),
+        }
+    }
+
+    /// Replaces every structural occurrence of `from` with `to`, returning
+    /// the number of replacements made.
+    pub fn replace(&mut self, from: &Expr, to: &Expr) -> usize {
+        if self == from {
+            *self = to.clone();
+            return 1;
+        }
+        match self {
+            Expr::Access(_) | Expr::Literal(_) => 0,
+            Expr::Neg(e) => e.replace(from, to),
+            Expr::Binary { lhs, rhs, .. } => lhs.replace(from, to) + rhs.replace(from, to),
+        }
+    }
+
+    /// Renames an index variable throughout the expression.
+    pub fn rename_index(&mut self, from: &IndexVar, to: &IndexVar) {
+        match self {
+            Expr::Access(a) => a.rename(from, to),
+            Expr::Literal(_) => {}
+            Expr::Neg(e) => e.rename_index(from, to),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.rename_index(from, to);
+                rhs.rename_index(from, to);
+            }
+        }
+    }
+
+    /// Renames a tensor throughout the expression.
+    pub fn rename_tensor(&mut self, from: &str, to: &str) {
+        match self {
+            Expr::Access(a) => {
+                if a.tensor == from {
+                    a.tensor = to.to_string();
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Neg(e) => e.rename_tensor(from, to),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.rename_tensor(from, to);
+                rhs.rename_tensor(from, to);
+            }
+        }
+    }
+}
+
+impl From<Access> for Expr {
+    fn from(a: Access) -> Self {
+        Expr::Access(a)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Access(a) => write!(f, "{a}"),
+            Expr::Literal(c) => write!(f, "{c}"),
+            Expr::Neg(e) => write!(f, "-{e}"),
+            Expr::Binary { op, lhs, rhs } => {
+                let needs_parens = |e: &Expr| {
+                    matches!(
+                        e,
+                        Expr::Binary {
+                            op: BinOp::Add | BinOp::Sub,
+                            ..
+                        }
+                    ) && *op == BinOp::Mul
+                };
+                if needs_parens(lhs) {
+                    write!(f, "({lhs})")?;
+                } else {
+                    write!(f, "{lhs}")?;
+                }
+                write!(f, " {op} ")?;
+                if needs_parens(rhs) {
+                    write!(f, "({rhs})")
+                } else {
+                    write!(f, "{rhs}")
+                }
+            }
+        }
+    }
+}
+
+/// A tensor index-notation assignment `a = e` or `a += e`.
+///
+/// Index variables on the right that do not appear on the left are
+/// *reduction* variables (summed over).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The result access.
+    pub lhs: Access,
+    /// The right-hand-side expression.
+    pub rhs: Expr,
+}
+
+impl Assignment {
+    /// Creates an assignment.
+    pub fn new(lhs: Access, rhs: Expr) -> Self {
+        Assignment { lhs, rhs }
+    }
+
+    /// Free index variables: those appearing on the left-hand side.
+    pub fn free_vars(&self) -> Vec<IndexVar> {
+        self.lhs.indices.clone()
+    }
+
+    /// Reduction variables: right-hand-side variables absent from the left,
+    /// in first-use order.
+    pub fn reduction_vars(&self) -> Vec<IndexVar> {
+        self.rhs
+            .index_vars()
+            .into_iter()
+            .filter(|v| !self.lhs.indices.contains(v))
+            .collect()
+    }
+
+    /// All index variables in canonical loop order: free vars (in LHS
+    /// order), then reduction vars (in first-use order).
+    pub fn loop_order(&self) -> Vec<IndexVar> {
+        let mut order = self.free_vars();
+        for v in self.reduction_vars() {
+            if !order.contains(&v) {
+                order.push(v);
+            }
+        }
+        order
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spmv() -> Assignment {
+        // y(i) = A(i,j) * x(j)
+        Assignment::new(
+            Access::new("y", vec!["i".into()]),
+            Expr::mul(
+                Expr::access("A", vec!["i".into(), "j".into()]),
+                Expr::access("x", vec!["j".into()]),
+            ),
+        )
+    }
+
+    #[test]
+    fn index_var_display_and_derive() {
+        let i = IndexVar::new("i");
+        assert_eq!(i.derived("o").name(), "io");
+        assert_eq!(format!("{i}"), "i");
+    }
+
+    #[test]
+    fn access_display() {
+        let a = Access::new("B", vec!["i".into(), "j".into()]);
+        assert_eq!(a.to_string(), "B(i,j)");
+        assert_eq!(Access::scalar("alpha").to_string(), "alpha");
+    }
+
+    #[test]
+    fn access_uses_and_rename() {
+        let mut a = Access::new("B", vec!["i".into(), "j".into()]);
+        assert!(a.uses(&"i".into()));
+        assert!(!a.uses(&"k".into()));
+        a.rename(&"j".into(), &"jw".into());
+        assert_eq!(a.to_string(), "B(i,jw)");
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert!(BinOp::Mul.is_intersection());
+        assert!(!BinOp::Add.is_intersection());
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn expr_display_with_precedence() {
+        let e = Expr::mul(
+            Expr::add(
+                Expr::access("B", vec!["i".into()]),
+                Expr::access("C", vec!["i".into()]),
+            ),
+            Expr::access("d", vec!["i".into()]),
+        );
+        assert_eq!(e.to_string(), "(B(i) + C(i)) * d(i)");
+    }
+
+    #[test]
+    fn expr_vars_and_tensors() {
+        let a = spmv();
+        assert_eq!(a.rhs.index_vars(), vec!["i".into(), "j".into()]);
+        assert_eq!(a.rhs.tensor_names(), vec!["A".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn reduction_vars_detected() {
+        let a = spmv();
+        assert_eq!(a.free_vars(), vec![IndexVar::new("i")]);
+        assert_eq!(a.reduction_vars(), vec![IndexVar::new("j")]);
+        assert_eq!(a.loop_order(), vec!["i".into(), "j".into()]);
+    }
+
+    #[test]
+    fn contains_and_replace() {
+        let mut e = Expr::mul(
+            Expr::access("B", vec!["i".into()]),
+            Expr::access("c", vec![]),
+        );
+        let b = Expr::access("B", vec!["i".into()]);
+        assert!(e.contains(&b));
+        let ws = Expr::access("ws", vec!["i".into()]);
+        assert_eq!(e.replace(&b, &ws), 1);
+        assert!(e.contains(&ws));
+        assert!(!e.contains(&b));
+    }
+
+    #[test]
+    fn rename_tensor_and_index() {
+        let mut e = spmv().rhs;
+        e.rename_tensor("x", "x_on");
+        e.rename_index(&"j".into(), &"jw".into());
+        assert_eq!(e.to_string(), "A(i,jw) * x_on(jw)");
+    }
+
+    #[test]
+    fn assignment_display() {
+        assert_eq!(spmv().to_string(), "y(i) = A(i,j) * x(j)");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_index_var_panics() {
+        let _ = IndexVar::new("");
+    }
+}

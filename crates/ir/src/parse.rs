@@ -1,0 +1,306 @@
+//! A small recursive-descent parser for tensor index notation.
+//!
+//! Accepts the syntax used throughout the paper, e.g.
+//! `A(i,j) = B(i,j) * C(i,k) * D(k,j)` or `y(i) = b(i) - A(i,j) * x(j)`,
+//! including scalar accesses (`alpha`), literals, parentheses, unary minus,
+//! and the accumulating form `+=`.
+
+use crate::error::IrError;
+use crate::expr::{Access, Assignment, Expr, IndexVar};
+
+/// Parses an index-notation assignment.
+///
+/// Returns the assignment plus a flag indicating whether the accumulating
+/// form (`+=`) was used.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a byte offset on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use stardust_ir::parse_assignment;
+///
+/// let (a, accumulate) = parse_assignment("y(i) = A(i,j) * x(j)").unwrap();
+/// assert!(!accumulate);
+/// assert_eq!(a.to_string(), "y(i) = A(i,j) * x(j)");
+/// assert_eq!(a.reduction_vars().len(), 1);
+/// ```
+pub fn parse_assignment(input: &str) -> Result<(Assignment, bool), IrError> {
+    let mut p = Parser::new(input);
+    let lhs = p.parse_access()?;
+    p.skip_ws();
+    let accumulate = if p.eat("+=") {
+        true
+    } else if p.eat("=") {
+        false
+    } else {
+        return Err(p.error("expected '=' or '+='"));
+    };
+    let rhs = p.parse_expr()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing input after expression"));
+    }
+    Ok((Assignment::new(lhs, rhs), accumulate))
+}
+
+/// Parses a standalone index-notation expression (right-hand side only).
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] on malformed input.
+pub fn parse_expr(input: &str) -> Result<Expr, IrError> {
+    let mut p = Parser::new(input);
+    let e = p.parse_expr()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest().is_empty()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: &str) -> IrError {
+        IrError::Parse {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<&'a str, IrError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .take_while(|(n, c)| c.is_alphanumeric() || *c == '_' && *n > 0 || c.is_alphabetic())
+            .map(|(n, c)| n + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        // Identifiers must start with a letter or underscore.
+        match rest.chars().next() {
+            Some(c) if c.is_alphabetic() || c == '_' => {}
+            _ => return Err(self.error("expected identifier")),
+        }
+        let ident = &rest[..end];
+        self.pos += end;
+        Ok(ident)
+    }
+
+    fn parse_access(&mut self) -> Result<Access, IrError> {
+        let name = self.parse_ident()?;
+        self.skip_ws();
+        let mut indices = Vec::new();
+        if self.eat("(") {
+            loop {
+                let ix = self.parse_ident()?;
+                indices.push(IndexVar::new(ix));
+                self.skip_ws();
+                if self.eat(")") {
+                    break;
+                }
+                if !self.eat(",") {
+                    return Err(self.error("expected ',' or ')' in access"));
+                }
+            }
+        }
+        Ok(Access::new(name, indices))
+    }
+
+    // expr := term (('+' | '-') term)*
+    fn parse_expr(&mut self) -> Result<Expr, IrError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("+=") {
+                return Err(self.error("unexpected '+=' inside expression"));
+            }
+            if self.eat("+") {
+                let rhs = self.parse_term()?;
+                lhs = Expr::add(lhs, rhs);
+            } else if self.eat("-") {
+                let rhs = self.parse_term()?;
+                lhs = Expr::sub(lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    // term := factor ('*' factor)*
+    fn parse_term(&mut self) -> Result<Expr, IrError> {
+        let mut lhs = self.parse_factor()?;
+        while self.eat("*") {
+            let rhs = self.parse_factor()?;
+            lhs = Expr::mul(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    // factor := '-' factor | '(' expr ')' | number | access
+    fn parse_factor(&mut self) -> Result<Expr, IrError> {
+        self.skip_ws();
+        if self.eat("-") {
+            return Ok(Expr::Neg(Box::new(self.parse_factor()?)));
+        }
+        if self.eat("(") {
+            let e = self.parse_expr()?;
+            if !self.eat(")") {
+                return Err(self.error("expected ')'"));
+            }
+            return Ok(e);
+        }
+        match self.peek() {
+            Some(c) if c.is_ascii_digit() => self.parse_number(),
+            Some(c) if c.is_alphabetic() || c == '_' => Ok(Expr::Access(self.parse_access()?)),
+            _ => Err(self.error("expected factor")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Expr, IrError> {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_digit() || *c == '.')
+            .map(|(n, c)| n + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        let text = &rest[..end];
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.error("malformed numeric literal"))?;
+        self.pos += end;
+        Ok(Expr::Literal(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    #[test]
+    fn parses_spmv() {
+        let (a, acc) = parse_assignment("y(i) = A(i,j) * x(j)").unwrap();
+        assert!(!acc);
+        assert_eq!(a.lhs.tensor, "y");
+        assert_eq!(a.reduction_vars(), vec![IndexVar::new("j")]);
+    }
+
+    #[test]
+    fn parses_sddmm() {
+        let (a, _) = parse_assignment("A(i,j) = B(i,j) * C(i,k) * D(k,j)").unwrap();
+        assert_eq!(a.rhs.tensor_names(), vec!["B", "C", "D"]);
+        assert_eq!(a.reduction_vars(), vec![IndexVar::new("k")]);
+        // Left-associated product.
+        assert_eq!(a.to_string(), "A(i,j) = B(i,j) * C(i,k) * D(k,j)");
+    }
+
+    #[test]
+    fn parses_accumulate() {
+        let (a, acc) = parse_assignment("A(i,j) += B(i,j,k) * c(k)").unwrap();
+        assert!(acc);
+        assert_eq!(a.lhs.rank(), 2);
+    }
+
+    #[test]
+    fn parses_mattransmul_shape() {
+        // y(i) = alpha * AT(i,j) * x(j) + beta * z(i)  (A^T represented as
+        // a CSC-formatted tensor named A in the kernel suite).
+        let (a, _) =
+            parse_assignment("y(i) = alpha * AT(i,j) * x(j) + beta * z(i)").unwrap();
+        assert_eq!(a.rhs.tensor_names(), vec!["alpha", "AT", "x", "beta", "z"]);
+        match &a.rhs {
+            Expr::Binary { op: BinOp::Add, .. } => {}
+            other => panic!("expected top-level +, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_residual() {
+        let (a, _) = parse_assignment("y(i) = b(i) - A(i,j) * x(j)").unwrap();
+        match &a.rhs {
+            Expr::Binary { op: BinOp::Sub, .. } => {}
+            other => panic!("expected top-level -, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parentheses_and_literals() {
+        let e = parse_expr("2 * (b(i) + 0.5)").unwrap();
+        assert_eq!(e.to_string(), "2 * (b(i) + 0.5)");
+    }
+
+    #[test]
+    fn parses_unary_minus() {
+        let e = parse_expr("-b(i) * c(i)").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_scalar_access() {
+        let e = parse_expr("alpha").unwrap();
+        assert_eq!(e, Expr::Access(Access::scalar("alpha")));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_assignment("y(i) == x(i)").is_err());
+        assert!(parse_assignment("y(i) = ").is_err());
+        assert!(parse_assignment("y(i = x(i)").is_err());
+        assert!(parse_assignment("y(i) = x(i) extra").is_err());
+        assert!(parse_expr("(a(i)").is_err());
+        assert!(parse_expr("1.2.3").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        match parse_assignment("y(i) @ x(i)") {
+            Err(IrError::Parse { at, .. }) => assert!(at >= 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let (a, _) = parse_assignment("  y( i )   =  A( i , j )*x( j )  ").unwrap();
+        assert_eq!(a.to_string(), "y(i) = A(i,j) * x(j)");
+    }
+}

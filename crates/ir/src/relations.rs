@@ -1,0 +1,477 @@
+//! Scheduling relations and the index space they induce.
+//!
+//! CIN `s.t.` nodes (Fig. 2) record *how* derived index variables relate to
+//! the original variables of an expression: `split_up`/`split_down`
+//! stripmine a loop, `fuse` collapses two nested loops, and `environment`
+//! bindings carry global backend configuration (Table 2). [`IndexSpace`]
+//! aggregates the extents of root variables (inferred from tensor
+//! dimensions) with these relations so that any variable's extent — and the
+//! value of any variable given bindings for the loop variables — can be
+//! recovered. This is the provenance machinery that makes scheduled CIN
+//! executable and lowerable.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::IrError;
+use crate::expr::IndexVar;
+
+/// A scheduling relation attached to a CIN `s.t.` node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Relation {
+    /// `split_up(i, io, ii, c)`: stripmines `∀i` into `∀io ∀ii` where the
+    /// *inner* loop has constant extent `c` (`i = io * c + ii`).
+    SplitUp {
+        /// The original variable.
+        orig: IndexVar,
+        /// The derived outer variable.
+        outer: IndexVar,
+        /// The derived inner variable.
+        inner: IndexVar,
+        /// Constant inner extent.
+        factor: usize,
+    },
+    /// `split_down(i, io, ii, c)`: stripmines `∀i` into `∀io ∀ii` where the
+    /// *outer* loop has constant extent `c` (`i = io * ceil(n/c) + ii`).
+    SplitDown {
+        /// The original variable.
+        orig: IndexVar,
+        /// The derived outer variable.
+        outer: IndexVar,
+        /// The derived inner variable.
+        inner: IndexVar,
+        /// Constant outer extent.
+        factor: usize,
+    },
+    /// `fuse(io, ii, if)`: collapses `∀io ∀ii` into `∀if` with
+    /// `if = io * extent(ii) + ii`.
+    Fuse {
+        /// Original outer variable.
+        outer: IndexVar,
+        /// Original inner variable.
+        inner: IndexVar,
+        /// The fused variable.
+        fused: IndexVar,
+    },
+    /// `environment(var, c)`: a global hardware configuration binding such
+    /// as `innerPar = 16` (Table 2). Ignored by evaluation; consumed by the
+    /// backend.
+    Env {
+        /// Configuration variable name.
+        name: String,
+        /// Bound value.
+        value: i64,
+    },
+    /// An explicit extent for a variable that appears in no input access
+    /// (e.g. a fresh workspace variable introduced by `precompute`).
+    Bound {
+        /// The variable.
+        var: IndexVar,
+        /// Its extent.
+        extent: usize,
+    },
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relation::SplitUp {
+                orig,
+                outer,
+                inner,
+                factor,
+            } => write!(f, "split_up({orig}, {outer}, {inner}, {factor})"),
+            Relation::SplitDown {
+                orig,
+                outer,
+                inner,
+                factor,
+            } => write!(f, "split_down({orig}, {outer}, {inner}, {factor})"),
+            Relation::Fuse {
+                outer,
+                inner,
+                fused,
+            } => write!(f, "fuse({outer}, {inner}, {fused})"),
+            Relation::Env { name, value } => write!(f, "{name} = {value}"),
+            Relation::Bound { var, extent } => write!(f, "bound({var}, {extent})"),
+        }
+    }
+}
+
+fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// The index space of a (possibly scheduled) statement: root variable
+/// extents plus scheduling relations.
+///
+/// # Example
+///
+/// ```
+/// use stardust_ir::{IndexSpace, IndexVar, Relation};
+///
+/// let mut space = IndexSpace::new();
+/// space.set_extent(IndexVar::new("i"), 10);
+/// space.add_relation(Relation::SplitUp {
+///     orig: "i".into(),
+///     outer: "io".into(),
+///     inner: "ii".into(),
+///     factor: 4,
+/// });
+/// assert_eq!(space.extent(&"io".into()).unwrap(), 3); // ceil(10/4)
+/// assert_eq!(space.extent(&"ii".into()).unwrap(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IndexSpace {
+    extents: HashMap<IndexVar, usize>,
+    relations: Vec<Relation>,
+}
+
+impl IndexSpace {
+    /// Creates an empty index space.
+    pub fn new() -> Self {
+        IndexSpace::default()
+    }
+
+    /// Sets (or confirms) the extent of a root variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InconsistentExtent`] when the variable already has
+    /// a different extent.
+    pub fn try_set_extent(&mut self, var: IndexVar, extent: usize) -> Result<(), IrError> {
+        if let Some(&existing) = self.extents.get(&var) {
+            if existing != extent {
+                return Err(IrError::InconsistentExtent {
+                    var: var.name().to_string(),
+                    first: existing,
+                    second: extent,
+                });
+            }
+            return Ok(());
+        }
+        self.extents.insert(var, extent);
+        Ok(())
+    }
+
+    /// Sets the extent of a root variable, panicking on inconsistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable already has a different extent.
+    pub fn set_extent(&mut self, var: IndexVar, extent: usize) {
+        self.try_set_extent(var, extent).expect("consistent extent");
+    }
+
+    /// Adds a scheduling relation.
+    pub fn add_relation(&mut self, rel: Relation) {
+        self.relations.push(rel);
+    }
+
+    /// The recorded relations, in insertion order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Looks up an environment binding by name.
+    pub fn env(&self, name: &str) -> Option<i64> {
+        self.relations.iter().rev().find_map(|r| match r {
+            Relation::Env { name: n, value } if n == name => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// The extent (trip count) of any root or derived variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnboundIndexVar`] when the variable is neither a
+    /// root with a known extent nor derivable through a relation.
+    pub fn extent(&self, var: &IndexVar) -> Result<usize, IrError> {
+        if let Some(&e) = self.extents.get(var) {
+            return Ok(e);
+        }
+        for rel in &self.relations {
+            match rel {
+                Relation::SplitUp {
+                    orig,
+                    outer,
+                    inner,
+                    factor,
+                } => {
+                    if outer == var {
+                        return Ok(ceil_div(self.extent(orig)?, *factor));
+                    }
+                    if inner == var {
+                        return Ok(*factor);
+                    }
+                }
+                Relation::SplitDown {
+                    orig,
+                    outer,
+                    inner,
+                    factor,
+                } => {
+                    if outer == var {
+                        return Ok(*factor);
+                    }
+                    if inner == var {
+                        return Ok(ceil_div(self.extent(orig)?, *factor));
+                    }
+                }
+                Relation::Fuse {
+                    outer,
+                    inner,
+                    fused,
+                } => {
+                    if fused == var {
+                        return Ok(self.extent(outer)? * self.extent(inner)?);
+                    }
+                }
+                Relation::Bound { var: v, extent } => {
+                    if v == var {
+                        return Ok(*extent);
+                    }
+                }
+                Relation::Env { .. } => {}
+            }
+        }
+        Err(IrError::UnboundIndexVar(var.name().to_string()))
+    }
+
+    /// Resolves the value of `var` given an environment binding the loop
+    /// variables actually iterated. Reconstructs original variables from
+    /// split/fused derived variables.
+    ///
+    /// Returns `None` when the value cannot be derived from `env`.
+    pub fn value_of(&self, var: &IndexVar, env: &HashMap<IndexVar, usize>) -> Option<usize> {
+        self.value_of_depth(var, env, 0)
+    }
+
+    fn value_of_depth(
+        &self,
+        var: &IndexVar,
+        env: &HashMap<IndexVar, usize>,
+        depth: usize,
+    ) -> Option<usize> {
+        if depth > 32 {
+            return None; // defensive: malformed cyclic relations
+        }
+        if let Some(&v) = env.get(var) {
+            return Some(v);
+        }
+        for rel in &self.relations {
+            match rel {
+                Relation::SplitUp {
+                    orig,
+                    outer,
+                    inner,
+                    factor,
+                } if orig == var => {
+                    let o = self.value_of_depth(outer, env, depth + 1)?;
+                    let i = self.value_of_depth(inner, env, depth + 1)?;
+                    return Some(o * factor + i);
+                }
+                Relation::SplitDown {
+                    orig,
+                    outer,
+                    inner,
+                    factor,
+                } if orig == var => {
+                    let inner_extent = ceil_div(self.extent(orig).ok()?, *factor);
+                    let o = self.value_of_depth(outer, env, depth + 1)?;
+                    let i = self.value_of_depth(inner, env, depth + 1)?;
+                    return Some(o * inner_extent + i);
+                }
+                Relation::Fuse {
+                    outer,
+                    inner,
+                    fused,
+                } => {
+                    if outer == var {
+                        let fv = self.value_of_depth(fused, env, depth + 1)?;
+                        return Some(fv / self.extent(inner).ok()?);
+                    }
+                    if inner == var {
+                        let fv = self.value_of_depth(fused, env, depth + 1)?;
+                        return Some(fv % self.extent(inner).ok()?);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Returns `true` when the value of `var` under `env` falls inside its
+    /// extent — the guard that makes stripmined tail iterations no-ops.
+    pub fn in_bounds(&self, var: &IndexVar, env: &HashMap<IndexVar, usize>) -> Option<bool> {
+        let v = self.value_of(var, env)?;
+        let e = self.extent(var).ok()?;
+        Some(v < e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_with_split_up() -> IndexSpace {
+        let mut s = IndexSpace::new();
+        s.set_extent("i".into(), 10);
+        s.add_relation(Relation::SplitUp {
+            orig: "i".into(),
+            outer: "io".into(),
+            inner: "ii".into(),
+            factor: 4,
+        });
+        s
+    }
+
+    #[test]
+    fn extents_for_split_up() {
+        let s = space_with_split_up();
+        assert_eq!(s.extent(&"i".into()).unwrap(), 10);
+        assert_eq!(s.extent(&"io".into()).unwrap(), 3);
+        assert_eq!(s.extent(&"ii".into()).unwrap(), 4);
+    }
+
+    #[test]
+    fn extents_for_split_down() {
+        let mut s = IndexSpace::new();
+        s.set_extent("i".into(), 10);
+        s.add_relation(Relation::SplitDown {
+            orig: "i".into(),
+            outer: "io".into(),
+            inner: "ii".into(),
+            factor: 4,
+        });
+        assert_eq!(s.extent(&"io".into()).unwrap(), 4);
+        assert_eq!(s.extent(&"ii".into()).unwrap(), 3);
+    }
+
+    #[test]
+    fn extents_for_fuse() {
+        let mut s = IndexSpace::new();
+        s.set_extent("i".into(), 3);
+        s.set_extent("j".into(), 5);
+        s.add_relation(Relation::Fuse {
+            outer: "i".into(),
+            inner: "j".into(),
+            fused: "f".into(),
+        });
+        assert_eq!(s.extent(&"f".into()).unwrap(), 15);
+    }
+
+    #[test]
+    fn value_reconstruction_split_up() {
+        let s = space_with_split_up();
+        let mut env = HashMap::new();
+        env.insert(IndexVar::new("io"), 2usize);
+        env.insert(IndexVar::new("ii"), 1usize);
+        assert_eq!(s.value_of(&"i".into(), &env), Some(9));
+        assert_eq!(s.in_bounds(&"i".into(), &env), Some(true));
+        env.insert(IndexVar::new("ii"), 3usize);
+        assert_eq!(s.value_of(&"i".into(), &env), Some(11));
+        assert_eq!(s.in_bounds(&"i".into(), &env), Some(false)); // tail guard
+    }
+
+    #[test]
+    fn value_reconstruction_fuse() {
+        let mut s = IndexSpace::new();
+        s.set_extent("i".into(), 3);
+        s.set_extent("j".into(), 5);
+        s.add_relation(Relation::Fuse {
+            outer: "i".into(),
+            inner: "j".into(),
+            fused: "f".into(),
+        });
+        let mut env = HashMap::new();
+        env.insert(IndexVar::new("f"), 13usize);
+        assert_eq!(s.value_of(&"i".into(), &env), Some(2));
+        assert_eq!(s.value_of(&"j".into(), &env), Some(3));
+    }
+
+    #[test]
+    fn chained_split_then_value() {
+        // Split i -> (io, ii), then split ii -> (iio, iii).
+        let mut s = space_with_split_up();
+        s.add_relation(Relation::SplitUp {
+            orig: "ii".into(),
+            outer: "iio".into(),
+            inner: "iii".into(),
+            factor: 2,
+        });
+        let mut env = HashMap::new();
+        env.insert(IndexVar::new("io"), 1usize);
+        env.insert(IndexVar::new("iio"), 1usize);
+        env.insert(IndexVar::new("iii"), 1usize);
+        // ii = 1*2+1 = 3; i = 1*4+3 = 7.
+        assert_eq!(s.value_of(&"i".into(), &env), Some(7));
+    }
+
+    #[test]
+    fn env_bindings() {
+        let mut s = IndexSpace::new();
+        s.add_relation(Relation::Env {
+            name: "innerPar".into(),
+            value: 16,
+        });
+        s.add_relation(Relation::Env {
+            name: "innerPar".into(),
+            value: 8,
+        });
+        assert_eq!(s.env("innerPar"), Some(8)); // last binding wins
+        assert_eq!(s.env("outerPar"), None);
+    }
+
+    #[test]
+    fn inconsistent_extent_rejected() {
+        let mut s = IndexSpace::new();
+        s.set_extent("i".into(), 4);
+        assert!(s.try_set_extent("i".into(), 4).is_ok());
+        assert!(matches!(
+            s.try_set_extent("i".into(), 5),
+            Err(IrError::InconsistentExtent { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_var_errors() {
+        let s = IndexSpace::new();
+        assert!(matches!(
+            s.extent(&"zz".into()),
+            Err(IrError::UnboundIndexVar(_))
+        ));
+    }
+
+    #[test]
+    fn bound_relation_gives_extent() {
+        let mut s = IndexSpace::new();
+        s.add_relation(Relation::Bound {
+            var: "w".into(),
+            extent: 7,
+        });
+        assert_eq!(s.extent(&"w".into()).unwrap(), 7);
+    }
+
+    #[test]
+    fn relation_display() {
+        let r = Relation::SplitUp {
+            orig: "i".into(),
+            outer: "io".into(),
+            inner: "ii".into(),
+            factor: 4,
+        };
+        assert_eq!(r.to_string(), "split_up(i, io, ii, 4)");
+        assert_eq!(
+            Relation::Fuse {
+                outer: "i".into(),
+                inner: "j".into(),
+                fused: "f".into()
+            }
+            .to_string(),
+            "fuse(i, j, f)"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! A Spatial-like parallel-pattern IR with executable semantics.
+//!
+//! Stardust lowers scheduled CIN to the Spatial programming model
+//! (Koeplinger et al., PLDI 2018): `Foreach`/`Reduce` parallel patterns
+//! with explicit parallelization factors, explicit DRAM/SRAM/FIFO/register
+//! memories, and Capstan's declarative-sparse `Scan` patterns over packed
+//! bit vectors (paper §3.2, Fig. 7 and Fig. 9).
+//!
+//! Because the authors' Spatial/SARA/Capstan toolchain is closed, this
+//! crate gives the IR *executable semantics*: the [`interp`] module runs a
+//! [`SpatialProgram`] against DRAM contents, producing both results (so
+//! compiled kernels can be checked against the CIN oracle) and an event
+//! trace ([`interp::ExecStats`]) that the Capstan simulator turns into
+//! cycle counts. The [`printer`] renders Fig.-11-style Spatial source,
+//! which drives the paper's lines-of-code comparison (Table 3).
+
+pub mod interp;
+pub mod ir;
+pub mod printer;
+pub mod validate;
+
+pub use interp::{ExecStats, Machine, RunError};
+pub use ir::{
+    BinSOp, Counter, MemDecl, MemKind, ScanOp, SExpr, SpatialProgram, SpatialStmt,
+};
+pub use printer::print_program;
+pub use validate::{validate, ValidationError};

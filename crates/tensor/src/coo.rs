@@ -1,0 +1,241 @@
+//! Coordinate-list (COO) tensors: the construction and interchange format.
+//!
+//! Datasets are generated as COO and then packed into level-format storage
+//! ([`crate::SparseTensor::from_coo`]). COO is also the lingua franca for
+//! comparing results across the Spatial interpreter, the CPU baseline, and
+//! the dense oracle.
+
+use crate::error::TensorError;
+use crate::value::Value;
+
+/// A tensor stored as an unordered list of `(coordinates, value)` entries.
+///
+/// # Example
+///
+/// ```
+/// use stardust_tensor::CooTensor;
+///
+/// let mut t = CooTensor::new(vec![2, 3]);
+/// t.push(&[1, 2], 4.0);
+/// t.push(&[0, 0], 1.0);
+/// t.push(&[1, 2], 0.5); // duplicate: summed by canonicalize
+/// t.canonicalize();
+/// assert_eq!(t.entries().len(), 2);
+/// assert_eq!(t.entries()[1], (vec![1, 2], 4.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooTensor<T> {
+    dims: Vec<usize>,
+    entries: Vec<(Vec<usize>, T)>,
+}
+
+impl<T: Value> CooTensor<T> {
+    /// Creates an empty COO tensor with the given dimension sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero-size dimension.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "tensor must have at least one mode");
+        assert!(dims.iter().all(|&d| d > 0), "dimension sizes must be positive");
+        CooTensor {
+            dims,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Tensor rank (number of modes).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The entry list, in whatever order entries currently are.
+    pub fn entries(&self) -> &[(Vec<usize>, T)] {
+        &self.entries
+    }
+
+    /// Appends an entry without validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the coordinate rank mismatches.
+    pub fn push(&mut self, coords: &[usize], value: T) {
+        debug_assert_eq!(coords.len(), self.rank(), "coordinate rank mismatch");
+        self.entries.push((coords.to_vec(), value));
+    }
+
+    /// Appends an entry with bounds checking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::CoordinateOutOfBounds`] when the entry is invalid.
+    pub fn try_push(&mut self, coords: &[usize], value: T) -> Result<(), TensorError> {
+        if coords.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                found: coords.len(),
+            });
+        }
+        for (mode, (&c, &d)) in coords.iter().zip(&self.dims).enumerate() {
+            if c >= d {
+                return Err(TensorError::CoordinateOutOfBounds {
+                    mode,
+                    coord: c,
+                    dim: d,
+                });
+            }
+        }
+        self.entries.push((coords.to_vec(), value));
+        Ok(())
+    }
+
+    /// Sorts entries lexicographically, sums duplicates, and drops explicit
+    /// zeros. After this call the entry list is a canonical set of nonzeros.
+    pub fn canonicalize(&mut self) {
+        self.entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out: Vec<(Vec<usize>, T)> = Vec::with_capacity(self.entries.len());
+        for (coords, v) in self.entries.drain(..) {
+            match out.last_mut() {
+                Some((last, acc)) if *last == coords => *acc = *acc + v,
+                _ => out.push((coords, v)),
+            }
+        }
+        out.retain(|(_, v)| !v.is_zero());
+        self.entries = out;
+    }
+
+    /// Sorts entries by the permuted coordinate order `mode_order` (used
+    /// when packing into a format with a non-identity mode ordering).
+    pub fn sort_by_mode_order(&mut self, mode_order: &[usize]) {
+        assert_eq!(mode_order.len(), self.rank());
+        self.entries.sort_by(|a, b| {
+            for &m in mode_order {
+                match a.0[m].cmp(&b.0[m]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    /// Number of stored entries (call [`CooTensor::canonicalize`] first for
+    /// this to equal the nonzero count).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Density: `nnz / product(dims)`.
+    pub fn density(&self) -> f64 {
+        let total: f64 = self.dims.iter().map(|&d| d as f64).product();
+        self.nnz() as f64 / total
+    }
+
+    /// Looks up the value at `coords` by linear scan (test helper; prefer
+    /// [`crate::SparseTensor::locate`] for packed tensors).
+    pub fn get(&self, coords: &[usize]) -> T {
+        self.entries
+            .iter()
+            .find(|(c, _)| c == coords)
+            .map(|&(_, v)| v)
+            .unwrap_or(T::ZERO)
+    }
+
+    /// Consumes the tensor, returning its entry list.
+    pub fn into_entries(self) -> Vec<(Vec<usize>, T)> {
+        self.entries
+    }
+}
+
+impl<T: Value> Extend<(Vec<usize>, T)> for CooTensor<T> {
+    fn extend<I: IntoIterator<Item = (Vec<usize>, T)>>(&mut self, iter: I) {
+        for (coords, v) in iter {
+            self.push(&coords, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut t = CooTensor::new(vec![3, 3]);
+        t.push(&[0, 1], 2.0);
+        assert_eq!(t.get(&[0, 1]), 2.0);
+        assert_eq!(t.get(&[1, 1]), 0.0);
+        assert_eq!(t.nnz(), 1);
+    }
+
+    #[test]
+    fn try_push_validates() {
+        let mut t: CooTensor<f64> = CooTensor::new(vec![2, 2]);
+        assert!(t.try_push(&[0, 0], 1.0).is_ok());
+        assert_eq!(
+            t.try_push(&[0], 1.0),
+            Err(TensorError::RankMismatch {
+                expected: 2,
+                found: 1
+            })
+        );
+        assert_eq!(
+            t.try_push(&[0, 2], 1.0),
+            Err(TensorError::CoordinateOutOfBounds {
+                mode: 1,
+                coord: 2,
+                dim: 2
+            })
+        );
+    }
+
+    #[test]
+    fn canonicalize_sorts_sums_drops_zeros() {
+        let mut t = CooTensor::new(vec![4]);
+        t.push(&[3], 1.0);
+        t.push(&[1], 2.0);
+        t.push(&[3], 2.0);
+        t.push(&[0], 5.0);
+        t.push(&[0], -5.0);
+        t.canonicalize();
+        assert_eq!(t.entries(), &[(vec![1], 2.0), (vec![3], 3.0)]);
+    }
+
+    #[test]
+    fn sort_by_mode_order_csc_style() {
+        let mut t = CooTensor::new(vec![2, 2]);
+        t.push(&[0, 1], 1.0);
+        t.push(&[1, 0], 2.0);
+        t.push(&[0, 0], 3.0);
+        t.sort_by_mode_order(&[1, 0]); // column-major
+        let coords: Vec<_> = t.entries().iter().map(|(c, _)| c.clone()).collect();
+        assert_eq!(coords, vec![vec![0, 0], vec![1, 0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn density() {
+        let mut t = CooTensor::new(vec![10, 10]);
+        t.push(&[0, 0], 1.0);
+        t.push(&[1, 1], 1.0);
+        assert!((t.density() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_collects() {
+        let mut t = CooTensor::new(vec![5]);
+        t.extend(vec![(vec![1], 1.0), (vec![2], 2.0)]);
+        assert_eq!(t.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _: CooTensor<f64> = CooTensor::new(vec![3, 0]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Dense (fully materialized) tensors.
+//!
+//! Used for the dense operands of SDDMM/MTTKRP (matrices `C` and `D` in the
+//! paper's evaluation), for the dense-output GPU baseline, and as the result
+//! representation of the semantic oracle that every compiled kernel is
+//! checked against.
+
+use crate::coo::CooTensor;
+use crate::value::Value;
+
+/// A dense row-major tensor (with explicit strides, so permuted layouts such
+/// as column-major can be represented too).
+///
+/// # Example
+///
+/// ```
+/// use stardust_tensor::DenseTensor;
+///
+/// let mut m = DenseTensor::zeros(vec![2, 3]);
+/// m.set(&[1, 2], 7.0);
+/// assert_eq!(m.get(&[1, 2]), 7.0);
+/// assert_eq!(m.get(&[0, 0]), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor<T> {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: Value> DenseTensor<T> {
+    /// All-zero tensor with row-major strides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or has a zero-size dimension.
+    pub fn zeros(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "tensor must have at least one mode");
+        assert!(dims.iter().all(|&d| d > 0), "dimension sizes must be positive");
+        let strides = row_major_strides(&dims);
+        let len = dims.iter().product();
+        DenseTensor {
+            dims,
+            strides,
+            data: vec![T::ZERO; len],
+        }
+    }
+
+    /// Builds a dense tensor from raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != product(dims)`.
+    pub fn from_data(dims: Vec<usize>, data: Vec<T>) -> Self {
+        let len: usize = dims.iter().product();
+        assert_eq!(data.len(), len, "data length must equal product of dims");
+        let strides = row_major_strides(&dims);
+        DenseTensor { dims, strides, data }
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Rank (number of modes).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Raw storage in layout order.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Linear offset of a coordinate tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on rank mismatch; out-of-bounds coordinates produce an
+    /// out-of-bounds offset that panics on access.
+    pub fn offset(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.rank());
+        coords
+            .iter()
+            .zip(&self.strides)
+            .map(|(&c, &s)| c * s)
+            .sum()
+    }
+
+    /// Reads the element at `coords`.
+    pub fn get(&self, coords: &[usize]) -> T {
+        self.data[self.offset(coords)]
+    }
+
+    /// Writes the element at `coords`.
+    pub fn set(&mut self, coords: &[usize], v: T) {
+        let off = self.offset(coords);
+        self.data[off] = v;
+    }
+
+    /// Adds `v` into the element at `coords` (the `+=` of CIN assignments).
+    pub fn add_assign(&mut self, coords: &[usize], v: T) {
+        let off = self.offset(coords);
+        self.data[off] = self.data[off] + v;
+    }
+
+    /// Number of stored elements (product of dims).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor stores no elements (never, given
+    /// positive dims — kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_zero()).count()
+    }
+
+    /// Converts to COO, dropping zeros.
+    pub fn to_coo(&self) -> CooTensor<T> {
+        let mut coo = CooTensor::new(self.dims.clone());
+        let mut coords = vec![0usize; self.rank()];
+        for (lin, &v) in self.data.iter().enumerate() {
+            if !v.is_zero() {
+                self.unflatten(lin, &mut coords);
+                coo.push(&coords, v);
+            }
+        }
+        coo.canonicalize();
+        coo
+    }
+
+    /// Element-wise approximate comparison; returns the first mismatching
+    /// coordinate if any.
+    pub fn approx_eq(&self, other: &DenseTensor<T>) -> Result<(), Vec<usize>> {
+        assert_eq!(self.dims, other.dims, "shape mismatch in comparison");
+        let mut coords = vec![0usize; self.rank()];
+        for lin in 0..self.data.len() {
+            if !self.data[lin].approx_eq(other.data[lin]) {
+                self.unflatten(lin, &mut coords);
+                return Err(coords);
+            }
+        }
+        Ok(())
+    }
+
+    fn unflatten(&self, mut lin: usize, coords: &mut [usize]) {
+        // Strides are row-major (strictly decreasing products), so peel from
+        // the front.
+        for (i, &s) in self.strides.iter().enumerate() {
+            coords[i] = lin / s;
+            lin %= s;
+        }
+    }
+}
+
+impl<T: Value> From<&CooTensor<T>> for DenseTensor<T> {
+    fn from(coo: &CooTensor<T>) -> Self {
+        let mut t = DenseTensor::zeros(coo.dims().to_vec());
+        for (coords, v) in coo.entries() {
+            t.add_assign(coords, *v);
+        }
+        t
+    }
+}
+
+fn row_major_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut t = DenseTensor::zeros(vec![2, 2, 2]);
+        assert_eq!(t.len(), 8);
+        t.set(&[1, 0, 1], 3.0);
+        assert_eq!(t.get(&[1, 0, 1]), 3.0);
+        assert_eq!(t.nnz(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let t: DenseTensor<f64> = DenseTensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.offset(&[0, 0, 1]), 1);
+        assert_eq!(t.offset(&[0, 1, 0]), 4);
+        assert_eq!(t.offset(&[1, 0, 0]), 12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = DenseTensor::zeros(vec![2]);
+        t.add_assign(&[0], 1.5);
+        t.add_assign(&[0], 2.5);
+        assert_eq!(t.get(&[0]), 4.0);
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let mut t = DenseTensor::zeros(vec![3, 2]);
+        t.set(&[0, 1], 1.0);
+        t.set(&[2, 0], -2.0);
+        let coo = t.to_coo();
+        assert_eq!(coo.nnz(), 2);
+        let back = DenseTensor::from(&coo);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_data_checks_len() {
+        let t = DenseTensor::from_data(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.get(&[1, 1]), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_data_bad_len_panics() {
+        let _ = DenseTensor::from_data(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn approx_eq_finds_mismatch() {
+        let mut a = DenseTensor::zeros(vec![2, 2]);
+        let mut b = DenseTensor::zeros(vec![2, 2]);
+        a.set(&[1, 0], 1.0);
+        b.set(&[1, 0], 1.0 + 1e-12);
+        assert!(a.approx_eq(&b).is_ok());
+        b.set(&[0, 1], 5.0);
+        assert_eq!(a.approx_eq(&b), Err(vec![0, 1]));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for tensor construction and conversion.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building or converting tensors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A coordinate tuple had the wrong number of dimensions.
+    RankMismatch {
+        /// Expected rank (length of `dims`).
+        expected: usize,
+        /// Rank that was provided.
+        found: usize,
+    },
+    /// A coordinate exceeded its dimension size.
+    CoordinateOutOfBounds {
+        /// The offending mode.
+        mode: usize,
+        /// The coordinate value.
+        coord: usize,
+        /// The size of that dimension.
+        dim: usize,
+    },
+    /// Two tensors (or a tensor and a format) disagreed on shape.
+    ShapeMismatch {
+        /// Human-readable context for the mismatch.
+        context: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::RankMismatch { expected, found } => {
+                write!(f, "rank mismatch: expected {expected}, found {found}")
+            }
+            TensorError::CoordinateOutOfBounds { mode, coord, dim } => write!(
+                f,
+                "coordinate {coord} out of bounds for mode {mode} of size {dim}"
+            ),
+            TensorError::ShapeMismatch { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TensorError::RankMismatch {
+            expected: 2,
+            found: 3,
+        };
+        assert_eq!(e.to_string(), "rank mismatch: expected 2, found 3");
+        let e = TensorError::CoordinateOutOfBounds {
+            mode: 1,
+            coord: 9,
+            dim: 4,
+        };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = TensorError::ShapeMismatch {
+            context: "a vs b".into(),
+        };
+        assert!(e.to_string().contains("a vs b"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn as_err(e: &dyn Error) -> String {
+            e.to_string()
+        }
+        let e = TensorError::RankMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(!as_err(&e).is_empty());
+    }
+}

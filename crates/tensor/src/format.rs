@@ -1,0 +1,321 @@
+//! Tensor formats: level formats + mode ordering + memory region.
+//!
+//! This is the data-representation language of §5.1. A [`Format`] describes
+//! how each dimension of a tensor is stored ([`LevelFormat`]), in which
+//! order the dimensions are nested (the *mode ordering*, enabling e.g.
+//! column-major CSC), and — Stardust's extension — whether the tensor lives
+//! in globally visible off-chip memory or in accelerator-local on-chip
+//! memory ([`MemoryRegion`]).
+
+use std::fmt;
+
+use crate::level::LevelFormat;
+
+/// Coarse-grained memory pinning of a tensor (§5.1).
+///
+/// Users only state whether a tensor is on the accelerator; the compiler's
+/// memory analysis (§6) later chooses the exact on-chip memory type for each
+/// of the tensor's sub-arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemoryRegion {
+    /// Globally accessible off-chip memory (host DRAM), the default.
+    #[default]
+    OffChip,
+    /// Accelerator-local on-chip memory (Capstan PMUs / registers).
+    OnChip,
+}
+
+impl MemoryRegion {
+    /// Returns `true` for on-chip (accelerator-local) placement.
+    pub fn is_on_chip(self) -> bool {
+        matches!(self, MemoryRegion::OnChip)
+    }
+}
+
+impl fmt::Display for MemoryRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryRegion::OffChip => write!(f, "offChip"),
+            MemoryRegion::OnChip => write!(f, "onChip"),
+        }
+    }
+}
+
+/// A complete tensor format.
+///
+/// # Example
+///
+/// ```
+/// use stardust_tensor::{Format, LevelFormat, MemoryRegion};
+///
+/// let csr = Format::csr();
+/// assert_eq!(csr.rank(), 2);
+/// assert_eq!(csr.level(0), LevelFormat::Dense);
+/// assert_eq!(csr.level(1), LevelFormat::Compressed);
+///
+/// // Column-major variant (CSC): store mode 1 before mode 0.
+/// let csc = Format::csc();
+/// assert_eq!(csc.mode_order(), &[1, 0]);
+///
+/// // Stardust's on-chip placement annotation:
+/// let on = Format::dense(1).with_region(MemoryRegion::OnChip);
+/// assert!(on.region().is_on_chip());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Format {
+    levels: Vec<LevelFormat>,
+    mode_order: Vec<usize>,
+    region: MemoryRegion,
+}
+
+impl Format {
+    /// Creates a format from per-level formats in storage order, with the
+    /// identity mode ordering and off-chip placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn new(levels: Vec<LevelFormat>) -> Self {
+        assert!(!levels.is_empty(), "a format needs at least one level");
+        let mode_order = (0..levels.len()).collect();
+        Format {
+            levels,
+            mode_order,
+            region: MemoryRegion::OffChip,
+        }
+    }
+
+    /// Creates a format with an explicit mode ordering.
+    ///
+    /// `mode_order[l]` is the tensor mode stored at level `l`; e.g. CSC is
+    /// `[1, 0]`: the column mode is the outer stored level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode_order` is not a permutation of `0..levels.len()`.
+    pub fn with_mode_order(levels: Vec<LevelFormat>, mode_order: Vec<usize>) -> Self {
+        assert_eq!(levels.len(), mode_order.len(), "mode order length mismatch");
+        let mut seen = vec![false; mode_order.len()];
+        for &m in &mode_order {
+            assert!(m < seen.len() && !seen[m], "mode order must be a permutation");
+            seen[m] = true;
+        }
+        Format {
+            levels,
+            mode_order,
+            region: MemoryRegion::OffChip,
+        }
+    }
+
+    /// All-dense format of the given rank (row-major).
+    pub fn dense(rank: usize) -> Self {
+        Format::new(vec![LevelFormat::Dense; rank])
+    }
+
+    /// Compressed sparse row: dense rows, compressed columns.
+    pub fn csr() -> Self {
+        Format::new(vec![LevelFormat::Dense, LevelFormat::Compressed])
+    }
+
+    /// Compressed sparse column: CSR with modes swapped.
+    pub fn csc() -> Self {
+        Format::with_mode_order(
+            vec![LevelFormat::Dense, LevelFormat::Compressed],
+            vec![1, 0],
+        )
+    }
+
+    /// Column-major dense matrix (used for the SDDMM `D` operand, Fig. 5).
+    pub fn dense_col_major() -> Self {
+        Format::with_mode_order(vec![LevelFormat::Dense, LevelFormat::Dense], vec![1, 0])
+    }
+
+    /// Compressed sparse fiber of the given rank: dense root, compressed
+    /// below (rank 3 gives the CSF variant used for TTV/TTM/MTTKRP).
+    pub fn csf(rank: usize) -> Self {
+        assert!(rank >= 1);
+        let mut levels = vec![LevelFormat::Dense];
+        levels.extend(std::iter::repeat(LevelFormat::Compressed).take(rank - 1));
+        Format::new(levels)
+    }
+
+    /// The CSR-like uncompressed-compressed-compressed rank-3 format the
+    /// paper uses for InnerProd and Plus2 (§8.1).
+    pub fn ucc() -> Self {
+        Format::new(vec![
+            LevelFormat::Dense,
+            LevelFormat::Compressed,
+            LevelFormat::Compressed,
+        ])
+    }
+
+    /// Fully compressed sparse vector.
+    pub fn sparse_vec() -> Self {
+        Format::new(vec![LevelFormat::Compressed])
+    }
+
+    /// Dense vector.
+    pub fn dense_vec() -> Self {
+        Format::new(vec![LevelFormat::Dense])
+    }
+
+    /// Returns a copy placed in the given memory region (builder style).
+    pub fn with_region(mut self, region: MemoryRegion) -> Self {
+        self.region = region;
+        self
+    }
+
+    /// Returns a copy placed on-chip.
+    pub fn on_chip(self) -> Self {
+        self.with_region(MemoryRegion::OnChip)
+    }
+
+    /// Number of levels (== tensor rank).
+    pub fn rank(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Level format at storage level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= rank()`.
+    pub fn level(&self, l: usize) -> LevelFormat {
+        self.levels[l]
+    }
+
+    /// All level formats in storage order.
+    pub fn levels(&self) -> &[LevelFormat] {
+        &self.levels
+    }
+
+    /// The mode stored at each level: `mode_order()[l]` is the tensor mode
+    /// of storage level `l`.
+    pub fn mode_order(&self) -> &[usize] {
+        &self.mode_order
+    }
+
+    /// The storage level holding tensor mode `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a mode of this format.
+    pub fn level_of_mode(&self, m: usize) -> usize {
+        self.mode_order
+            .iter()
+            .position(|&mm| mm == m)
+            .expect("mode not in format")
+    }
+
+    /// Memory region annotation.
+    pub fn region(&self) -> MemoryRegion {
+        self.region
+    }
+
+    /// Returns `true` when every level is dense.
+    pub fn is_all_dense(&self) -> bool {
+        self.levels.iter().all(|l| l.is_dense())
+    }
+
+    /// Returns `true` when any level is compressed.
+    pub fn has_compressed_level(&self) -> bool {
+        self.levels.iter().any(|l| l.is_compressed())
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, lvl) in self.levels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "d{}: {}", self.mode_order[i] + 1, lvl)?;
+        }
+        write!(f, "}} @ {}", self.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_levels() {
+        let f = Format::csr();
+        assert_eq!(f.rank(), 2);
+        assert!(f.level(0).is_dense());
+        assert!(f.level(1).is_compressed());
+        assert_eq!(f.mode_order(), &[0, 1]);
+        assert_eq!(f.region(), MemoryRegion::OffChip);
+    }
+
+    #[test]
+    fn csc_mode_order() {
+        let f = Format::csc();
+        assert_eq!(f.mode_order(), &[1, 0]);
+        assert_eq!(f.level_of_mode(0), 1);
+        assert_eq!(f.level_of_mode(1), 0);
+    }
+
+    #[test]
+    fn csf_shape() {
+        let f = Format::csf(3);
+        assert_eq!(f.rank(), 3);
+        assert!(f.level(0).is_dense());
+        assert!(f.level(1).is_compressed());
+        assert!(f.level(2).is_compressed());
+    }
+
+    #[test]
+    fn ucc_matches_paper() {
+        let f = Format::ucc();
+        assert_eq!(
+            f.levels(),
+            &[
+                LevelFormat::Dense,
+                LevelFormat::Compressed,
+                LevelFormat::Compressed
+            ]
+        );
+    }
+
+    #[test]
+    fn region_builder() {
+        let f = Format::csr().on_chip();
+        assert!(f.region().is_on_chip());
+        let g = Format::csr();
+        assert!(!g.region().is_on_chip());
+    }
+
+    #[test]
+    fn dense_predicates() {
+        assert!(Format::dense(2).is_all_dense());
+        assert!(!Format::csr().is_all_dense());
+        assert!(Format::csr().has_compressed_level());
+        assert!(!Format::dense_vec().has_compressed_level());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Format::csr().to_string();
+        assert!(s.contains("uncompressed"));
+        assert!(s.contains("compressed"));
+        assert!(s.contains("offChip"));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_mode_order_panics() {
+        let _ = Format::with_mode_order(
+            vec![LevelFormat::Dense, LevelFormat::Dense],
+            vec![0, 0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_format_panics() {
+        let _ = Format::new(vec![]);
+    }
+}

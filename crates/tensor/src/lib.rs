@@ -1,0 +1,45 @@
+//! Sparse tensor substrate for the Stardust reproduction.
+//!
+//! This crate implements the data-representation layer that the Stardust
+//! compiler (CGO 2025) builds on: per-dimension *level formats* in the style
+//! of Chou et al. (OOPSLA 2018), a [`Format`] that combines level formats
+//! with a mode ordering and an on-/off-chip [`MemoryRegion`], and concrete
+//! storage for sparse tensors as per-level position/coordinate arrays plus a
+//! values array (the classic `pos`/`crd`/`vals` decomposition used by TACO).
+//!
+//! The crate also provides a [`CooTensor`] builder representation, a
+//! [`DenseTensor`], and conversions between them, which the rest of the
+//! workspace uses both to construct benchmark datasets and as the semantic
+//! oracle for compiler correctness tests.
+//!
+//! # Example
+//!
+//! ```
+//! use stardust_tensor::{CooTensor, Format, SparseTensor};
+//!
+//! // A 4x4 CSR matrix with three explicit nonzeros.
+//! let mut coo = CooTensor::new(vec![4, 4]);
+//! coo.push(&[0, 1], 1.0);
+//! coo.push(&[1, 0], 2.0);
+//! coo.push(&[1, 2], 3.0);
+//! let csr = SparseTensor::from_coo(&coo, Format::csr());
+//! assert_eq!(csr.nnz(), 3);
+//! assert_eq!(csr.locate(&[1, 2]), Some(3.0));
+//! assert_eq!(csr.locate(&[3, 3]), None);
+//! ```
+
+pub mod coo;
+pub mod dense;
+pub mod error;
+pub mod format;
+pub mod level;
+pub mod tensor;
+pub mod value;
+
+pub use coo::CooTensor;
+pub use dense::DenseTensor;
+pub use error::TensorError;
+pub use format::{Format, MemoryRegion};
+pub use level::{LevelFormat, LevelStorage};
+pub use tensor::SparseTensor;
+pub use value::Value;

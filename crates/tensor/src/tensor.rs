@@ -1,0 +1,467 @@
+//! Level-format sparse tensor storage (`pos`/`crd`/`vals`).
+//!
+//! A [`SparseTensor`] packs a canonical [`CooTensor`] into the hierarchical
+//! per-level storage that both TACO and Stardust iterate over: each dense
+//! level is implicit, each compressed level stores a positions array and a
+//! coordinates array, and a single values array holds the scalars at the
+//! leaves (Fig. 8 of the paper shows the CSR instance of this layout).
+
+use crate::coo::CooTensor;
+use crate::dense::DenseTensor;
+use crate::format::Format;
+use crate::level::{LevelFormat, LevelStorage};
+use crate::value::Value;
+
+/// A sparse tensor stored in a hierarchical level format.
+///
+/// # Example
+///
+/// The matrix from Fig. 8 of the paper:
+///
+/// ```text
+///     0 1 0 0
+///     2 0 3 0        CSR:  pos [0,1,3,4,5]
+///     0 4 0 0              crd [1,0,2,1,3]
+///     0 0 0 5              vals [1,2,3,4,5]
+/// ```
+///
+/// ```
+/// use stardust_tensor::{CooTensor, Format, SparseTensor};
+///
+/// let mut coo = CooTensor::new(vec![4, 4]);
+/// for (r, c, v) in [(0, 1, 1.0), (1, 0, 2.0), (1, 2, 3.0), (2, 1, 4.0), (3, 3, 5.0)] {
+///     coo.push(&[r, c], v);
+/// }
+/// let b = SparseTensor::from_coo(&coo, Format::csr());
+/// assert_eq!(b.pos(1), &[0, 1, 3, 4, 5]);
+/// assert_eq!(b.crd(1), &[1, 0, 2, 1, 3]);
+/// assert_eq!(b.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseTensor<T> {
+    dims: Vec<usize>,
+    format: Format,
+    levels: Vec<LevelStorage>,
+    vals: Vec<T>,
+}
+
+impl<T: Value> SparseTensor<T> {
+    /// Packs a COO tensor into the given format.
+    ///
+    /// The input is canonicalized (sorted, duplicates summed, zeros dropped)
+    /// before packing, so callers may pass unnormalized COO.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the format rank differs from the tensor rank.
+    pub fn from_coo(coo: &CooTensor<T>, format: Format) -> Self {
+        assert_eq!(
+            format.rank(),
+            coo.rank(),
+            "format rank must equal tensor rank"
+        );
+        let mut coo = coo.clone();
+        coo.canonicalize();
+        coo.sort_by_mode_order(format.mode_order());
+        let dims = coo.dims().to_vec();
+        let entries = coo.into_entries();
+        let rank = format.rank();
+
+        // Stored coordinate of entry e at storage level l.
+        let stored = |e: &(Vec<usize>, T), l: usize| e.0[format.mode_order()[l]];
+
+        let mut levels = Vec::with_capacity(rank);
+        // Position of each entry at the current level's parent.
+        let mut parent_pos: Vec<usize> = vec![0; entries.len()];
+        let mut parent_count = 1usize;
+
+        for l in 0..rank {
+            let dim = dims[format.mode_order()[l]];
+            match format.level(l) {
+                LevelFormat::Dense => {
+                    for (e, entry) in entries.iter().enumerate() {
+                        parent_pos[e] = parent_pos[e] * dim + stored(entry, l);
+                    }
+                    parent_count *= dim;
+                    levels.push(LevelStorage::Dense { dim });
+                }
+                LevelFormat::Compressed => {
+                    let mut pos = vec![0usize; parent_count + 1];
+                    let mut crd = Vec::new();
+                    let mut last: Option<(usize, usize)> = None;
+                    for e in 0..entries.len() {
+                        let key = (parent_pos[e], stored(&entries[e], l));
+                        if last != Some(key) {
+                            crd.push(key.1);
+                            pos[key.0 + 1] += 1;
+                            last = Some(key);
+                        }
+                        parent_pos[e] = crd.len() - 1;
+                    }
+                    for p in 0..parent_count {
+                        pos[p + 1] += pos[p];
+                    }
+                    parent_count = crd.len();
+                    levels.push(LevelStorage::Compressed { pos, crd });
+                }
+            }
+        }
+
+        let mut vals = vec![T::ZERO; parent_count];
+        for (e, (_, v)) in entries.iter().enumerate() {
+            vals[parent_pos[e]] = *v;
+        }
+
+        SparseTensor {
+            dims,
+            format,
+            levels,
+            vals,
+        }
+    }
+
+    /// Packs a dense tensor (all elements, including zeros, participate in
+    /// packing; zeros are dropped).
+    pub fn from_dense(dense: &DenseTensor<T>, format: Format) -> Self {
+        SparseTensor::from_coo(&dense.to_coo(), format)
+    }
+
+    /// Assembles a tensor from raw level storage and values (used to read
+    /// results back out of simulated accelerator memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant when the parts are
+    /// inconsistent (wrong `pos` monotonicity, out-of-bounds coordinates,
+    /// mismatched values length, ...).
+    pub fn from_parts(
+        dims: Vec<usize>,
+        format: Format,
+        levels: Vec<LevelStorage>,
+        vals: Vec<T>,
+    ) -> Result<Self, String> {
+        if format.rank() != dims.len() || levels.len() != dims.len() {
+            return Err(format!(
+                "rank mismatch: {} dims, {} levels, format rank {}",
+                dims.len(),
+                levels.len(),
+                format.rank()
+            ));
+        }
+        for (l, (lvl, fmt)) in levels.iter().zip(format.levels()).enumerate() {
+            if lvl.format() != *fmt {
+                return Err(format!("level {l} storage does not match format {fmt}"));
+            }
+        }
+        let t = SparseTensor {
+            dims,
+            format,
+            levels,
+            vals,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Dimension sizes (logical mode order).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Tensor rank.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The tensor's format.
+    pub fn format(&self) -> &Format {
+        &self.format
+    }
+
+    /// Storage of level `l`.
+    pub fn level(&self, l: usize) -> &LevelStorage {
+        &self.levels[l]
+    }
+
+    /// The positions array of compressed level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when level `l` is dense.
+    pub fn pos(&self, l: usize) -> &[usize] {
+        match &self.levels[l] {
+            LevelStorage::Compressed { pos, .. } => pos,
+            LevelStorage::Dense { .. } => panic!("level {l} is dense and has no pos array"),
+        }
+    }
+
+    /// The coordinates array of compressed level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when level `l` is dense.
+    pub fn crd(&self, l: usize) -> &[usize] {
+        match &self.levels[l] {
+            LevelStorage::Compressed { crd, .. } => crd,
+            LevelStorage::Dense { .. } => panic!("level {l} is dense and has no crd array"),
+        }
+    }
+
+    /// The values array.
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Number of explicitly stored values (leaf positions). For formats with
+    /// a dense inner level this can exceed the logical nonzero count.
+    pub fn stored_len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of logically nonzero stored values.
+    pub fn nnz(&self) -> usize {
+        self.vals.iter().filter(|v| !v.is_zero()).count()
+    }
+
+    /// Random access by logical coordinates; `None` when not materialized.
+    pub fn locate(&self, coords: &[usize]) -> Option<T> {
+        debug_assert_eq!(coords.len(), self.rank());
+        let mut p = 0usize;
+        for l in 0..self.rank() {
+            let i = coords[self.format.mode_order()[l]];
+            p = self.levels[l].locate(p, i)?;
+        }
+        Some(self.vals[p])
+    }
+
+    /// Random access returning zero for missing coordinates.
+    pub fn get(&self, coords: &[usize]) -> T {
+        self.locate(coords).unwrap_or(T::ZERO)
+    }
+
+    /// Visits every stored leaf with its *logical* coordinates and value
+    /// (zeros stored under dense inner levels are skipped).
+    pub fn for_each_nonzero(&self, mut f: impl FnMut(&[usize], T)) {
+        let rank = self.rank();
+        let mut stored_coords = Vec::with_capacity(rank);
+        let mut logical = vec![0usize; rank];
+        self.walk(0, 0, &mut stored_coords, &mut |sc, v| {
+            if !v.is_zero() {
+                for (l, &c) in sc.iter().enumerate() {
+                    logical[self.format.mode_order()[l]] = c;
+                }
+                f(&logical, v);
+            }
+        });
+    }
+
+    fn walk(
+        &self,
+        l: usize,
+        p: usize,
+        stored_coords: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize], T),
+    ) {
+        if l == self.rank() {
+            f(stored_coords, self.vals[p]);
+            return;
+        }
+        match &self.levels[l] {
+            LevelStorage::Dense { dim } => {
+                for i in 0..*dim {
+                    stored_coords.push(i);
+                    self.walk(l + 1, p * dim + i, stored_coords, f);
+                    stored_coords.pop();
+                }
+            }
+            LevelStorage::Compressed { pos, crd } => {
+                for q in pos[p]..pos[p + 1] {
+                    stored_coords.push(crd[q]);
+                    self.walk(l + 1, q, stored_coords, f);
+                    stored_coords.pop();
+                }
+            }
+        }
+    }
+
+    /// Converts to canonical COO.
+    pub fn to_coo(&self) -> CooTensor<T> {
+        let mut coo = CooTensor::new(self.dims.clone());
+        self.for_each_nonzero(|coords, v| coo.push(coords, v));
+        coo.canonicalize();
+        coo
+    }
+
+    /// Converts to a dense tensor.
+    pub fn to_dense(&self) -> DenseTensor<T> {
+        let mut d = DenseTensor::zeros(self.dims.clone());
+        self.for_each_nonzero(|coords, v| d.add_assign(coords, v));
+        d
+    }
+
+    /// Validates all structural invariants of the packed representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut parent_count = 1usize;
+        for (l, lvl) in self.levels.iter().enumerate() {
+            let dim = self.dims[self.format.mode_order()[l]];
+            lvl.validate(parent_count, dim)?;
+            parent_count = lvl.positions(parent_count);
+        }
+        if self.vals.len() != parent_count {
+            return Err(format!(
+                "vals length {} != leaf positions {}",
+                self.vals.len(),
+                parent_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::MemoryRegion;
+
+    fn fig8_matrix() -> CooTensor<f64> {
+        let mut coo = CooTensor::new(vec![4, 4]);
+        for (r, c, v) in [
+            (0, 1, 1.0),
+            (1, 0, 2.0),
+            (1, 2, 3.0),
+            (2, 1, 4.0),
+            (3, 3, 5.0),
+        ] {
+            coo.push(&[r, c], v);
+        }
+        coo
+    }
+
+    #[test]
+    fn csr_matches_fig8() {
+        let b = SparseTensor::from_coo(&fig8_matrix(), Format::csr());
+        assert_eq!(b.pos(1), &[0, 1, 3, 4, 5]);
+        assert_eq!(b.crd(1), &[1, 0, 2, 1, 3]);
+        assert_eq!(b.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn csc_transposes_storage() {
+        let b = SparseTensor::from_coo(&fig8_matrix(), Format::csc());
+        // Columns: 0 -> {1}, 1 -> {0,2}, 2 -> {1}, 3 -> {3}
+        assert_eq!(b.pos(1), &[0, 1, 3, 4, 5]);
+        assert_eq!(b.crd(1), &[1, 0, 2, 1, 3]);
+        assert_eq!(b.get(&[1, 0]), 2.0);
+        assert_eq!(b.get(&[0, 1]), 1.0);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn locate_present_and_absent() {
+        let b = SparseTensor::from_coo(&fig8_matrix(), Format::csr());
+        assert_eq!(b.locate(&[1, 2]), Some(3.0));
+        assert_eq!(b.locate(&[0, 0]), None);
+        assert_eq!(b.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn dense_format_stores_all() {
+        let b = SparseTensor::from_coo(&fig8_matrix(), Format::dense(2));
+        assert_eq!(b.stored_len(), 16);
+        assert_eq!(b.nnz(), 5);
+        assert_eq!(b.get(&[3, 3]), 5.0);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn sparse_vector() {
+        let mut coo = CooTensor::new(vec![8]);
+        coo.push(&[2], 1.0);
+        coo.push(&[5], 2.0);
+        let v = SparseTensor::from_coo(&coo, Format::sparse_vec());
+        assert_eq!(v.pos(0), &[0, 2]);
+        assert_eq!(v.crd(0), &[2, 5]);
+        assert_eq!(v.get(&[5]), 2.0);
+    }
+
+    #[test]
+    fn csf_three_level() {
+        let mut coo = CooTensor::new(vec![2, 3, 4]);
+        coo.push(&[0, 1, 2], 1.0);
+        coo.push(&[0, 1, 3], 2.0);
+        coo.push(&[1, 0, 0], 3.0);
+        let t = SparseTensor::from_coo(&coo, Format::csf(3));
+        t.validate().unwrap();
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.get(&[0, 1, 3]), 2.0);
+        assert_eq!(t.get(&[1, 2, 0]), 0.0);
+        // Level 1 (compressed under dense root of size 2).
+        assert_eq!(t.pos(1), &[0, 1, 2]);
+        assert_eq!(t.crd(1), &[1, 0]);
+    }
+
+    #[test]
+    fn roundtrip_through_every_format() {
+        let coo = fig8_matrix();
+        for fmt in [
+            Format::csr(),
+            Format::csc(),
+            Format::dense(2),
+            Format::new(vec![LevelFormat::Compressed, LevelFormat::Compressed]),
+            Format::new(vec![LevelFormat::Compressed, LevelFormat::Dense]),
+        ] {
+            let t = SparseTensor::from_coo(&coo, fmt.clone());
+            t.validate().unwrap();
+            let mut back = t.to_coo();
+            back.canonicalize();
+            let mut orig = coo.clone();
+            orig.canonicalize();
+            assert_eq!(back, orig, "roundtrip failed for {fmt}");
+        }
+    }
+
+    #[test]
+    fn for_each_nonzero_yields_logical_coords() {
+        let t = SparseTensor::from_coo(&fig8_matrix(), Format::csc());
+        let mut seen = Vec::new();
+        t.for_each_nonzero(|c, v| seen.push((c.to_vec(), v)));
+        seen.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(seen[0], (vec![0, 1], 1.0));
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooTensor::new(vec![2, 2]);
+        coo.push(&[0, 0], 1.0);
+        coo.push(&[0, 0], 2.0);
+        let t = SparseTensor::from_coo(&coo, Format::csr());
+        assert_eq!(t.get(&[0, 0]), 3.0);
+        assert_eq!(t.nnz(), 1);
+    }
+
+    #[test]
+    fn format_region_is_carried() {
+        let t = SparseTensor::from_coo(
+            &fig8_matrix(),
+            Format::csr().with_region(MemoryRegion::OnChip),
+        );
+        assert!(t.format().region().is_on_chip());
+    }
+
+    #[test]
+    fn to_dense_matches_gets() {
+        let t = SparseTensor::from_coo(&fig8_matrix(), Format::csr());
+        let d = t.to_dense();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(d.get(&[r, c]), t.get(&[r, c]));
+            }
+        }
+    }
+}

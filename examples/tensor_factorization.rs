@@ -1,0 +1,85 @@
+//! Tensor factorization workloads on a social-network tensor: TTV and
+//! MTTKRP (the alternating-least-squares building block), as in the
+//! paper's facebook experiments.
+//!
+//! ```sh
+//! cargo run --example tensor_factorization
+//! ```
+
+use std::collections::HashMap;
+
+use stardust::capstan::{simulate, CapstanConfig, MemoryModel};
+use stardust::core::pipeline::TensorData;
+use stardust::datasets::{facebook, random_matrix, random_vector};
+use stardust::kernels;
+use stardust::tensor::Format;
+
+fn main() {
+    // A scaled-down facebook-like hyper-sparse interaction tensor.
+    let b = facebook(200);
+    let dims = b.dims().to_vec();
+    let (d0, d1, d2) = (dims[0], dims[1], dims[2]);
+    let rank = 8;
+    println!(
+        "tensor: {d0} x {d1} x {d2}, nnz = {}, density = {:.2e}\n",
+        b.nnz(),
+        b.density()
+    );
+
+    // --- TTV: contract the last mode with a vector -------------------
+    let ttv = kernels::ttv(d0, d1, d2);
+    let mut inputs = HashMap::new();
+    inputs.insert("B".to_string(), TensorData::from_coo(&b, Format::csf(3)));
+    inputs.insert(
+        "c".to_string(),
+        TensorData::from_coo(&random_vector(d2, 1), Format::dense_vec()),
+    );
+    let result = ttv.run(&inputs).expect("ttv runs");
+    let cfg = CapstanConfig::with_memory(MemoryModel::Hbm2e);
+    let report = simulate(
+        result.stages[0].compiled.spatial(),
+        &result.stages[0].stats,
+        &cfg,
+    );
+    println!(
+        "TTV:    {:>8.2} us on Capstan/HBM2E (bottleneck: {}), {} Spatial LoC",
+        report.seconds * 1e6,
+        report.bottleneck,
+        result.spatial_loc()
+    );
+
+    // --- MTTKRP: the ALS kernel --------------------------------------
+    let mttkrp = kernels::mttkrp(d0, d1, d2, rank);
+    let mut inputs = HashMap::new();
+    inputs.insert("B".to_string(), TensorData::from_coo(&b, Format::csf(3)));
+    inputs.insert(
+        "C".to_string(),
+        TensorData::from_coo(
+            &random_matrix(rank, d1, 1.0, 2),
+            Format::dense_col_major(),
+        ),
+    );
+    inputs.insert(
+        "D".to_string(),
+        TensorData::from_coo(
+            &random_matrix(rank, d2, 1.0, 3),
+            Format::dense_col_major(),
+        ),
+    );
+    let result = mttkrp.run(&inputs).expect("mttkrp runs");
+    let report = simulate(
+        result.stages[0].compiled.spatial(),
+        &result.stages[0].stats,
+        &cfg,
+    );
+    println!(
+        "MTTKRP: {:>8.2} us on Capstan/HBM2E (bottleneck: {}), {} Spatial LoC",
+        report.seconds * 1e6,
+        report.bottleneck,
+        result.spatial_loc()
+    );
+
+    // Factor-matrix row of the output, as ALS would consume it.
+    let a = result.output.to_dense();
+    println!("\nA[0, 0..{rank}] = {:?}", &a.data()[..rank]);
+}

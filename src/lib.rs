@@ -1,0 +1,33 @@
+//! # Stardust (reproduction)
+//!
+//! Facade crate for the Rust reproduction of *"Stardust: Compiling Sparse
+//! Tensor Algebra to a Reconfigurable Dataflow Architecture"* (CGO 2025).
+//!
+//! This crate re-exports the public API of every workspace crate so that
+//! downstream users (and the `examples/` directory) can depend on a single
+//! package:
+//!
+//! - [`tensor`] — sparse tensor formats and storage,
+//! - [`ir`] — index notation and concrete index notation (CIN),
+//! - [`spatial`] — the Spatial parallel-pattern IR, interpreter and printer,
+//! - [`core`] — the Stardust compiler (scheduling, memory analysis,
+//!   co-iteration lowering),
+//! - [`capstan`] — the Capstan RDA simulator,
+//! - [`baselines`] — TACO-style CPU and GPU baselines,
+//! - [`datasets`] — synthetic dataset generators,
+//! - [`kernels`] — the ten benchmark kernels of the paper's Table 3.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end SpMV compile-and-simulate
+//! walkthrough; the crate-level test suite in `tests/` exercises every kernel
+//! end to end against a dense semantic oracle.
+
+pub use stardust_baselines as baselines;
+pub use stardust_capstan as capstan;
+pub use stardust_core as core;
+pub use stardust_datasets as datasets;
+pub use stardust_ir as ir;
+pub use stardust_kernels as kernels;
+pub use stardust_spatial as spatial;
+pub use stardust_tensor as tensor;

@@ -1,0 +1,222 @@
+//! End-to-end correctness: every Table 3 kernel is compiled to Spatial,
+//! executed by the Spatial interpreter against real sparse data, and the
+//! result is compared with the dense CIN-oracle evaluation of the *same
+//! scheduled statement* (and, transitively, of the unscheduled expression,
+//! since scheduling is semantics-preserving by its own tests).
+
+use std::collections::HashMap;
+
+use stardust::core::pipeline::{KernelOutput, TensorData};
+use stardust::datasets::{random_matrix, random_tensor3, random_vector};
+use stardust::ir::{eval, EvalContext};
+use stardust::kernels::{self, Kernel};
+use stardust::tensor::{CooTensor, DenseTensor, Format};
+
+/// Runs a kernel's stages through the oracle evaluator.
+fn oracle(kernel: &Kernel, inputs: &HashMap<String, TensorData>) -> EvalContext {
+    let mut ctx = EvalContext::new();
+    for (name, data) in inputs {
+        match data {
+            TensorData::Scalar(v) => ctx.add_scalar(name.clone(), *v),
+            TensorData::Sparse(t) => ctx.add_tensor(name.clone(), t.to_dense()),
+        }
+    }
+    for stage in &kernel.stages {
+        let out = stage.program.output();
+        let decl = stage.program.decl(out).expect("output declared");
+        if decl.is_scalar() {
+            ctx.add_scalar(out.to_string(), 0.0);
+        } else {
+            ctx.add_tensor(out.to_string(), DenseTensor::zeros(decl.dims.clone()));
+        }
+        eval(&stage.stmt, &mut ctx).expect("oracle evaluates");
+    }
+    ctx
+}
+
+fn check(kernel: &Kernel, inputs: HashMap<String, TensorData>) {
+    let want_ctx = oracle(kernel, &inputs);
+    let result = kernel.run(&inputs).unwrap_or_else(|e| {
+        panic!("{} failed to compile/run: {e}", kernel.name);
+    });
+    let out_name = kernel.output();
+    match &result.output {
+        KernelOutput::Scalar(got) => {
+            let want = want_ctx.scalar(out_name).expect("oracle scalar");
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "{}: scalar mismatch {got} vs {want}",
+                kernel.name
+            );
+        }
+        KernelOutput::Tensor(t) => {
+            let got = t.to_dense();
+            let want = want_ctx.tensor(out_name).expect("oracle tensor");
+            if let Err(at) = got.approx_eq(want) {
+                panic!(
+                    "{}: mismatch at {at:?}: got {} want {}",
+                    kernel.name,
+                    got.get(&at),
+                    want.get(&at)
+                );
+            }
+        }
+    }
+}
+
+fn csr(coo: &CooTensor<f64>) -> TensorData {
+    TensorData::from_coo(coo, Format::csr())
+}
+
+fn dense_vec(coo: &CooTensor<f64>) -> TensorData {
+    TensorData::from_coo(coo, Format::dense_vec())
+}
+
+#[test]
+fn spmv_matches_oracle() {
+    let k = kernels::spmv(24);
+    let mut inputs = HashMap::new();
+    inputs.insert("A".into(), csr(&random_matrix(24, 24, 0.2, 11)));
+    inputs.insert("x".into(), dense_vec(&random_vector(24, 12)));
+    check(&k, inputs);
+}
+
+#[test]
+fn spmv_empty_rows() {
+    // Rows with no nonzeros must produce zeros, not garbage.
+    let k = kernels::spmv(16);
+    let mut a = CooTensor::new(vec![16, 16]);
+    a.push(&[3, 5], 2.0);
+    a.push(&[12, 0], -1.5);
+    let mut inputs = HashMap::new();
+    inputs.insert("A".into(), csr(&a));
+    inputs.insert("x".into(), dense_vec(&random_vector(16, 5)));
+    check(&k, inputs);
+}
+
+#[test]
+fn plus3_matches_oracle() {
+    let k = kernels::plus3(20);
+    let mut inputs = HashMap::new();
+    inputs.insert("B".into(), csr(&random_matrix(20, 20, 0.15, 21)));
+    inputs.insert("C".into(), csr(&random_matrix(20, 20, 0.15, 22)));
+    inputs.insert("D".into(), csr(&random_matrix(20, 20, 0.15, 23)));
+    check(&k, inputs);
+}
+
+#[test]
+fn sddmm_matches_oracle() {
+    let k = kernels::sddmm(16, 8);
+    let mut inputs = HashMap::new();
+    inputs.insert("B".into(), csr(&random_matrix(16, 16, 0.25, 31)));
+    inputs.insert(
+        "C".into(),
+        TensorData::from_coo(&random_matrix(16, 8, 1.0, 32), Format::dense(2)),
+    );
+    inputs.insert(
+        "D".into(),
+        TensorData::from_coo(&random_matrix(8, 16, 1.0, 33), Format::dense_col_major()),
+    );
+    check(&k, inputs);
+}
+
+#[test]
+fn mattransmul_matches_oracle() {
+    let k = kernels::mattransmul(18);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "A".into(),
+        TensorData::from_coo(&random_matrix(18, 18, 0.2, 41), Format::csc()),
+    );
+    inputs.insert("x".into(), dense_vec(&random_vector(18, 42)));
+    inputs.insert("z".into(), dense_vec(&random_vector(18, 43)));
+    inputs.insert("alpha".into(), TensorData::Scalar(1.5));
+    inputs.insert("beta".into(), TensorData::Scalar(-0.5));
+    check(&k, inputs);
+}
+
+#[test]
+fn residual_matches_oracle() {
+    let k = kernels::residual(18);
+    let mut inputs = HashMap::new();
+    inputs.insert("A".into(), csr(&random_matrix(18, 18, 0.2, 51)));
+    inputs.insert("x".into(), dense_vec(&random_vector(18, 52)));
+    inputs.insert("b".into(), dense_vec(&random_vector(18, 53)));
+    check(&k, inputs);
+}
+
+#[test]
+fn ttv_matches_oracle() {
+    let k = kernels::ttv(8, 10, 12);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "B".into(),
+        TensorData::from_coo(&random_tensor3(8, 10, 12, 0.1, 61), Format::csf(3)),
+    );
+    inputs.insert("c".into(), dense_vec(&random_vector(12, 62)));
+    check(&k, inputs);
+}
+
+#[test]
+fn ttm_matches_oracle() {
+    let k = kernels::ttm(6, 8, 10, 4);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "B".into(),
+        TensorData::from_coo(&random_tensor3(6, 8, 10, 0.12, 71), Format::csf(3)),
+    );
+    inputs.insert(
+        "C".into(),
+        TensorData::from_coo(&random_matrix(4, 10, 1.0, 72), Format::dense(2)),
+    );
+    check(&k, inputs);
+}
+
+#[test]
+fn mttkrp_matches_oracle() {
+    let k = kernels::mttkrp(6, 8, 10, 4);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "B".into(),
+        TensorData::from_coo(&random_tensor3(6, 8, 10, 0.12, 81), Format::csf(3)),
+    );
+    inputs.insert(
+        "C".into(),
+        TensorData::from_coo(&random_matrix(4, 8, 1.0, 82), Format::dense_col_major()),
+    );
+    inputs.insert(
+        "D".into(),
+        TensorData::from_coo(&random_matrix(4, 10, 1.0, 83), Format::dense_col_major()),
+    );
+    check(&k, inputs);
+}
+
+#[test]
+fn innerprod_matches_oracle() {
+    let k = kernels::innerprod(8, 10, 12);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "B".into(),
+        TensorData::from_coo(&random_tensor3(8, 10, 12, 0.15, 91), Format::ucc()),
+    );
+    inputs.insert(
+        "C".into(),
+        TensorData::from_coo(&random_tensor3(8, 10, 12, 0.15, 92), Format::ucc()),
+    );
+    check(&k, inputs);
+}
+
+#[test]
+fn plus2_matches_oracle() {
+    let k = kernels::plus2(6, 8, 10);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "B".into(),
+        TensorData::from_coo(&random_tensor3(6, 8, 10, 0.15, 101), Format::ucc()),
+    );
+    inputs.insert(
+        "C".into(),
+        TensorData::from_coo(&random_tensor3(6, 8, 10, 0.15, 102), Format::ucc()),
+    );
+    check(&k, inputs);
+}

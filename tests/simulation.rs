@@ -1,0 +1,218 @@
+//! Cross-crate integration: compiled kernels through the Capstan machine
+//! model — placement sanity, memory-system ordering, bottleneck
+//! attribution, and the harness's Table 6 invariants.
+
+use std::collections::HashMap;
+
+use stardust::capstan::{place, simulate, CapstanConfig, MemoryModel};
+use stardust::core::pipeline::TensorData;
+use stardust::datasets::{random_matrix, random_tensor3, random_vector};
+use stardust::kernels;
+use stardust::tensor::Format;
+
+fn spmv_run() -> (stardust::kernels::Kernel, HashMap<String, TensorData>) {
+    let n = 48;
+    let k = kernels::spmv(n);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "A".into(),
+        TensorData::from_coo(&random_matrix(n, n, 0.15, 3), Format::csr()),
+    );
+    inputs.insert(
+        "x".into(),
+        TensorData::from_coo(&random_vector(n, 4), Format::dense_vec()),
+    );
+    (k, inputs)
+}
+
+#[test]
+fn memory_systems_are_ordered() {
+    let (k, inputs) = spmv_run();
+    let result = k.run(&inputs).unwrap();
+    let stage = &result.stages[0];
+    let t = |m: MemoryModel| {
+        simulate(
+            stage.compiled.spatial(),
+            &stage.stats,
+            &CapstanConfig::with_memory(m),
+        )
+        .seconds
+    };
+    let (ideal, hbm, ddr) = (
+        t(MemoryModel::Ideal),
+        t(MemoryModel::Hbm2e),
+        t(MemoryModel::Ddr4),
+    );
+    assert!(ideal <= hbm, "ideal {ideal} vs hbm {hbm}");
+    assert!(hbm < ddr, "hbm {hbm} vs ddr {ddr}");
+}
+
+#[test]
+fn every_kernel_fits_the_chip() {
+    let cfg = CapstanConfig::default();
+    let n = 24;
+    let t3 = 10;
+    for kernel in kernels::suite(n, t3, 4) {
+        let mut inputs = HashMap::new();
+        match kernel.name.as_str() {
+            "SpMV" | "Residual" => {
+                inputs.insert(
+                    "A".into(),
+                    TensorData::from_coo(&random_matrix(n, n, 0.2, 1), Format::csr()),
+                );
+                inputs.insert(
+                    "x".into(),
+                    TensorData::from_coo(&random_vector(n, 2), Format::dense_vec()),
+                );
+                inputs.insert(
+                    "b".into(),
+                    TensorData::from_coo(&random_vector(n, 3), Format::dense_vec()),
+                );
+            }
+            "MatTransMul" => {
+                inputs.insert(
+                    "A".into(),
+                    TensorData::from_coo(&random_matrix(n, n, 0.2, 1), Format::csc()),
+                );
+                inputs.insert(
+                    "x".into(),
+                    TensorData::from_coo(&random_vector(n, 2), Format::dense_vec()),
+                );
+                inputs.insert(
+                    "z".into(),
+                    TensorData::from_coo(&random_vector(n, 3), Format::dense_vec()),
+                );
+                inputs.insert("alpha".into(), TensorData::Scalar(2.0));
+                inputs.insert("beta".into(), TensorData::Scalar(0.5));
+            }
+            "Plus3" => {
+                for (t, s) in [("B", 4), ("C", 5), ("D", 6)] {
+                    inputs.insert(
+                        t.into(),
+                        TensorData::from_coo(&random_matrix(n, n, 0.1, s), Format::csr()),
+                    );
+                }
+            }
+            "SDDMM" => {
+                inputs.insert(
+                    "B".into(),
+                    TensorData::from_coo(&random_matrix(n, n, 0.2, 1), Format::csr()),
+                );
+                inputs.insert(
+                    "C".into(),
+                    TensorData::from_coo(&random_matrix(n, 4, 1.0, 2), Format::dense(2)),
+                );
+                inputs.insert(
+                    "D".into(),
+                    TensorData::from_coo(
+                        &random_matrix(4, n, 1.0, 3),
+                        Format::dense_col_major(),
+                    ),
+                );
+            }
+            "TTV" => {
+                inputs.insert(
+                    "B".into(),
+                    TensorData::from_coo(&random_tensor3(t3, t3, t3, 0.1, 1), Format::csf(3)),
+                );
+                inputs.insert(
+                    "c".into(),
+                    TensorData::from_coo(&random_vector(t3, 2), Format::dense_vec()),
+                );
+            }
+            "TTM" => {
+                inputs.insert(
+                    "B".into(),
+                    TensorData::from_coo(&random_tensor3(t3, t3, t3, 0.1, 1), Format::csf(3)),
+                );
+                inputs.insert(
+                    "C".into(),
+                    TensorData::from_coo(&random_matrix(4, t3, 1.0, 2), Format::dense(2)),
+                );
+            }
+            "MTTKRP" => {
+                inputs.insert(
+                    "B".into(),
+                    TensorData::from_coo(&random_tensor3(t3, t3, t3, 0.1, 1), Format::csf(3)),
+                );
+                inputs.insert(
+                    "C".into(),
+                    TensorData::from_coo(
+                        &random_matrix(4, t3, 1.0, 2),
+                        Format::dense_col_major(),
+                    ),
+                );
+                inputs.insert(
+                    "D".into(),
+                    TensorData::from_coo(
+                        &random_matrix(4, t3, 1.0, 3),
+                        Format::dense_col_major(),
+                    ),
+                );
+            }
+            "InnerProd" | "Plus2" => {
+                inputs.insert(
+                    "B".into(),
+                    TensorData::from_coo(&random_tensor3(t3, t3, t3, 0.15, 1), Format::ucc()),
+                );
+                inputs.insert(
+                    "C".into(),
+                    TensorData::from_coo(&random_tensor3(t3, t3, t3, 0.15, 2), Format::ucc()),
+                );
+            }
+            other => panic!("unhandled kernel {other}"),
+        }
+        let compiled = kernel
+            .compile(&inputs)
+            .unwrap_or_else(|e| panic!("{} compile: {e}", kernel.name));
+        for stage in &compiled {
+            let r = place(stage.spatial(), &cfg);
+            assert!(
+                r.fits(),
+                "{} does not fit: {} PCUs {} PMUs {} MCs {} shufs",
+                kernel.name,
+                r.pcus,
+                r.pmus,
+                r.mcs,
+                r.shuffles
+            );
+        }
+    }
+}
+
+#[test]
+fn gather_kernels_claim_all_shuffles() {
+    let cfg = CapstanConfig::default();
+    let (k, inputs) = spmv_run();
+    let compiled = k.compile(&inputs).unwrap();
+    let r = place(compiled[0].spatial(), &cfg);
+    assert_eq!(r.shuffles, 16, "SpMV gathers x through 16 shuffle networks");
+    assert_eq!(r.limiting(), "Shuffle");
+}
+
+#[test]
+fn ddr4_shifts_bottleneck_to_dram() {
+    let (k, inputs) = spmv_run();
+    let result = k.run(&inputs).unwrap();
+    let stage = &result.stages[0];
+    let ddr = simulate(
+        stage.compiled.spatial(),
+        &stage.stats,
+        &CapstanConfig::with_memory(MemoryModel::Ddr4),
+    );
+    assert_eq!(ddr.bottleneck, "dram");
+}
+
+#[test]
+fn ideal_memory_still_costs_compute() {
+    let (k, inputs) = spmv_run();
+    let result = k.run(&inputs).unwrap();
+    let stage = &result.stages[0];
+    let ideal = simulate(
+        stage.compiled.spatial(),
+        &stage.stats,
+        &CapstanConfig::with_memory(MemoryModel::Ideal),
+    );
+    assert!(ideal.cycles > 0.0);
+    assert_eq!(ideal.dram_cycles, 0.0);
+}
