@@ -55,10 +55,7 @@ pub fn cpu_time(profile: &WorkProfile, model: &CpuModel) -> f64 {
         + profile.gathers as f64 * model.cycles_per_gather;
     // Parallel scaling is limited both by efficiency and by the available
     // outer-loop grain.
-    let usable_threads = model
-        .threads
-        .min(profile.outer_iterations as f64)
-        .max(1.0);
+    let usable_threads = model.threads.min(profile.outer_iterations as f64).max(1.0);
     let effective = (usable_threads * model.parallel_efficiency).max(1.0);
     let compute_time = cycles / model.clock_hz / effective;
     // Cold-cache streaming over the operands (§8.1 runs with a cold cache).

@@ -47,8 +47,7 @@ pub fn gpu_time(profile: &WorkProfile, model: &GpuModel) -> f64 {
     // Compute: regular flops at dense throughput, merge steps and gathers
     // at irregular throughput.
     let regular = profile.flops as f64 / model.dense_throughput;
-    let irregular =
-        (profile.merge_steps + profile.gathers) as f64 / model.irregular_throughput;
+    let irregular = (profile.merge_steps + profile.gathers) as f64 / model.irregular_throughput;
     zero_init + stream.max(regular + irregular) + model.launch_overhead
 }
 

@@ -26,17 +26,12 @@ pub struct WorkProfile {
 impl WorkProfile {
     /// Builds a profile from an execution trace and the kernel's output
     /// shape.
-    pub fn from_stats(
-        stats: &ExecStats,
-        dense_output_elems: u64,
-        outer_iterations: u64,
-    ) -> Self {
+    pub fn from_stats(stats: &ExecStats, dense_output_elems: u64, outer_iterations: u64) -> Self {
         WorkProfile {
             flops: stats.alu_ops,
             merge_steps: stats.scan_emits + stats.reduce_elems + stats.fifo_deqs / 2,
             stream_bytes: stats.total_dram_bytes(),
-            gathers: stats.shuffle_accesses + stats.dram_random_reads
-                + stats.dram_random_writes,
+            gathers: stats.shuffle_accesses + stats.dram_random_reads + stats.dram_random_writes,
             dense_output_elems,
             outer_iterations: outer_iterations.max(1),
         }
@@ -49,13 +44,15 @@ mod tests {
 
     #[test]
     fn from_stats_maps_fields() {
-        let mut stats = ExecStats::default();
-        stats.alu_ops = 100;
-        stats.scan_emits = 10;
-        stats.reduce_elems = 5;
-        stats.fifo_deqs = 8;
-        stats.shuffle_accesses = 3;
-        stats.dram_random_reads = 2;
+        let mut stats = ExecStats {
+            alu_ops: 100,
+            scan_emits: 10,
+            reduce_elems: 5,
+            fifo_deqs: 8,
+            shuffle_accesses: 3,
+            dram_random_reads: 2,
+            ..ExecStats::default()
+        };
         stats.dram_reads.insert("a".into(), 16);
         let p = WorkProfile::from_stats(&stats, 1000, 50);
         assert_eq!(p.flops, 100);

@@ -88,9 +88,7 @@ fn bench_accelerate_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("accelerate_ablation");
     group.sample_size(10);
     group.bench_function("accelerated", |b| b.iter(|| measure(accelerated, set)));
-    group.bench_function("plain", |b| {
-        b.iter(|| plain.run(&inputs).expect("runs"))
-    });
+    group.bench_function("plain", |b| b.iter(|| plain.run(&inputs).expect("runs")));
     group.finish();
 }
 

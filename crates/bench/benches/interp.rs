@@ -1,0 +1,338 @@
+//! Criterion bench: Spatial-interpreter throughput, resolved-slot engine
+//! vs the string-keyed reference engine.
+//!
+//! Measures elements/second (nonzeros of the stationary operand) on two
+//! interpreter-bound kernels at nnz ∈ {10⁴, 10⁵, 10⁶}:
+//!
+//! - **SpMV**: CSR matrix–vector product with the vector gathered from
+//!   SparseSRAM (per-row `Reduce` with data-dependent reads), and
+//! - **SpMSpM**: CSR×CSR Gustavson product accumulating each output row
+//!   into a SparseSRAM scatter buffer via `RmwAdd`.
+//!
+//! Every benchmark clones a pre-bound machine per sample (`iter_batched`
+//! setup, excluded from timing) so both engines execute from identical
+//! state. Quick mode (`--quick` or `CRITERION_QUICK=1`) runs the 10⁴
+//! point only; the bench finishes by printing the measured speedup at
+//! the largest configured size.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use stardust_datasets::random_matrix;
+use stardust_spatial::ir::MemDecl;
+use stardust_spatial::{
+    Counter, Machine, MemKind, ReferenceMachine, SExpr, SpatialProgram, SpatialStmt,
+};
+use stardust_tensor::{Format, SparseTensor};
+
+/// One DRAM image to bind before running.
+enum Image {
+    F64(Vec<f64>),
+    Usize(Vec<usize>),
+}
+
+struct Workload {
+    name: &'static str,
+    program: SpatialProgram,
+    images: Vec<(String, Image)>,
+    /// Elements processed per execution (nnz of the stationary matrix).
+    elements: u64,
+}
+
+impl Workload {
+    fn machine(&self) -> Machine {
+        let mut m = Machine::new(&self.program);
+        for (name, image) in &self.images {
+            match image {
+                Image::F64(data) => m.write_dram(name, data).expect("bind"),
+                Image::Usize(data) => m.write_dram_usize(name, data).expect("bind"),
+            }
+        }
+        m
+    }
+
+    fn reference(&self) -> ReferenceMachine {
+        let mut m = ReferenceMachine::new(&self.program);
+        for (name, image) in &self.images {
+            match image {
+                Image::F64(data) => m.write_dram(name, data).expect("bind"),
+                Image::Usize(data) => m.write_dram_usize(name, data).expect("bind"),
+            }
+        }
+        m
+    }
+}
+
+fn csr(n: usize, nnz_target: usize, seed: u64) -> SparseTensor<f64> {
+    let density = nnz_target as f64 / (n * n) as f64;
+    SparseTensor::from_coo(&random_matrix(n, n, density, seed), Format::csr())
+}
+
+/// CSR SpMV: `y(i) = Σ_j vals(j) * x(crd(j))` with all arrays staged
+/// on-chip and `x` gathered through the shuffle network.
+fn spmv_workload(nnz_target: usize) -> Workload {
+    // ~50 nonzeros per row keeps work proportional to nnz.
+    let n = (nnz_target / 50).max(8);
+    let a = csr(n, nnz_target, 0xA11CE);
+    let nnz = a.crd(1).len();
+    let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64 * 0.25 + 0.5).collect();
+
+    let mut p = SpatialProgram::new("spmv_interp");
+    p.add_dram("pos_d", n + 1);
+    p.add_dram("crd_d", nnz.max(1));
+    p.add_dram("vals_d", nnz.max(1));
+    p.add_dram("x_d", n);
+    p.add_dram("y_d", n);
+    for (mem, kind, size, src) in [
+        ("pos_s", MemKind::Sram, n + 1, "pos_d"),
+        ("crd_s", MemKind::Sram, nnz.max(1), "crd_d"),
+        ("vals_s", MemKind::Sram, nnz.max(1), "vals_d"),
+        ("x_s", MemKind::SparseSram, n, "x_d"),
+    ] {
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new(mem, kind, size)));
+        p.accel.push(SpatialStmt::Load {
+            dst: mem.into(),
+            src: src.into(),
+            start: SExpr::Const(0.0),
+            end: SExpr::Const(size as f64),
+            par: 16,
+        });
+    }
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::range_to("i", SExpr::Const(n as f64)),
+        par: 1,
+        body: vec![
+            SpatialStmt::Alloc(MemDecl::new("acc", MemKind::Reg, 1)),
+            SpatialStmt::Reduce {
+                id: 0,
+                reg: "acc".into(),
+                counter: Counter::Range {
+                    var: "j".into(),
+                    min: SExpr::read("pos_s", SExpr::var("i")),
+                    max: SExpr::read("pos_s", SExpr::add(SExpr::var("i"), SExpr::Const(1.0))),
+                    step: 1,
+                },
+                par: 16,
+                body: vec![],
+                expr: SExpr::mul(
+                    SExpr::read("vals_s", SExpr::var("j")),
+                    SExpr::read_random("x_s", SExpr::read("crd_s", SExpr::var("j"))),
+                ),
+            },
+            SpatialStmt::StoreScalar {
+                dst: "y_d".into(),
+                index: SExpr::var("i"),
+                value: SExpr::RegRead("acc".into()),
+            },
+        ],
+    });
+    p.assign_ids();
+
+    Workload {
+        name: "spmv",
+        program: p,
+        images: vec![
+            ("pos_d".into(), Image::Usize(a.pos(1).to_vec())),
+            ("crd_d".into(), Image::Usize(a.crd(1).to_vec())),
+            ("vals_d".into(), Image::F64(a.vals().to_vec())),
+            ("x_d".into(), Image::F64(x)),
+        ],
+        elements: nnz as u64,
+    }
+}
+
+/// CSR×CSR Gustavson SpMSpM: for each B(i,k), scatter-accumulate
+/// `B(i,k) * C(k,j)` into a SparseSRAM row buffer. C is kept very sparse
+/// (~4 nonzeros per row) so total work stays proportional to B's nnz.
+fn spmspm_workload(nnz_target: usize) -> Workload {
+    let n = (nnz_target / 50).max(8);
+    let b = csr(n, nnz_target, 0xB0B);
+    let c = csr(n, 4 * n, 0xC0C);
+    let b_nnz = b.crd(1).len().max(1);
+    let c_nnz = c.crd(1).len().max(1);
+
+    let mut p = SpatialProgram::new("spmspm_interp");
+    p.add_dram("bpos_d", n + 1);
+    p.add_dram("bcrd_d", b_nnz);
+    p.add_dram("bvals_d", b_nnz);
+    p.add_dram("cpos_d", n + 1);
+    p.add_dram("ccrd_d", c_nnz);
+    p.add_dram("cvals_d", c_nnz);
+    p.add_dram("out_d", 64 * 16);
+    for (mem, kind, size, src) in [
+        ("bpos_s", MemKind::Sram, n + 1, "bpos_d"),
+        ("bcrd_s", MemKind::Sram, b_nnz, "bcrd_d"),
+        ("bvals_s", MemKind::Sram, b_nnz, "bvals_d"),
+        ("cpos_s", MemKind::SparseSram, n + 1, "cpos_d"),
+        ("ccrd_s", MemKind::Sram, c_nnz, "ccrd_d"),
+        ("cvals_s", MemKind::Sram, c_nnz, "cvals_d"),
+    ] {
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new(mem, kind, size)));
+        p.accel.push(SpatialStmt::Load {
+            dst: mem.into(),
+            src: src.into(),
+            start: SExpr::Const(0.0),
+            end: SExpr::Const(size as f64),
+            par: 16,
+        });
+    }
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::range_to("i", SExpr::Const(n as f64)),
+        par: 1,
+        body: vec![
+            // Re-allocated per row: a zeroed scatter buffer.
+            SpatialStmt::Alloc(MemDecl::new("accrow", MemKind::SparseSram, n)),
+            SpatialStmt::Foreach {
+                id: 0,
+                counter: Counter::Range {
+                    var: "kk".into(),
+                    min: SExpr::read("bpos_s", SExpr::var("i")),
+                    max: SExpr::read("bpos_s", SExpr::add(SExpr::var("i"), SExpr::Const(1.0))),
+                    step: 1,
+                },
+                par: 1,
+                body: vec![
+                    SpatialStmt::Bind {
+                        var: "k".into(),
+                        value: SExpr::read("bcrd_s", SExpr::var("kk")),
+                    },
+                    SpatialStmt::Bind {
+                        var: "vb".into(),
+                        value: SExpr::read("bvals_s", SExpr::var("kk")),
+                    },
+                    SpatialStmt::Foreach {
+                        id: 0,
+                        counter: Counter::Range {
+                            var: "jj".into(),
+                            min: SExpr::read_random("cpos_s", SExpr::var("k")),
+                            max: SExpr::read_random(
+                                "cpos_s",
+                                SExpr::add(SExpr::var("k"), SExpr::Const(1.0)),
+                            ),
+                            step: 1,
+                        },
+                        par: 16,
+                        body: vec![SpatialStmt::RmwAdd {
+                            mem: "accrow".into(),
+                            index: SExpr::read("ccrd_s", SExpr::var("jj")),
+                            value: SExpr::mul(
+                                SExpr::var("vb"),
+                                SExpr::read("cvals_s", SExpr::var("jj")),
+                            ),
+                        }],
+                    },
+                ],
+            },
+            // Spill a 16-word window of the row so results are observable.
+            SpatialStmt::Store {
+                dst: "out_d".into(),
+                offset: SExpr::mul(
+                    SExpr::bin(
+                        stardust_spatial::BinSOp::Mod,
+                        SExpr::var("i"),
+                        SExpr::Const(64.0),
+                    ),
+                    SExpr::Const(16.0),
+                ),
+                src: "accrow".into(),
+                len: SExpr::Const(16.0),
+                par: 16,
+            },
+        ],
+    });
+    p.assign_ids();
+
+    Workload {
+        name: "spmspm",
+        program: p,
+        images: vec![
+            ("bpos_d".into(), Image::Usize(b.pos(1).to_vec())),
+            ("bcrd_d".into(), Image::Usize(b.crd(1).to_vec())),
+            ("bvals_d".into(), Image::F64(b.vals().to_vec())),
+            ("cpos_d".into(), Image::Usize(c.pos(1).to_vec())),
+            ("ccrd_d".into(), Image::Usize(c.crd(1).to_vec())),
+            ("cvals_d".into(), Image::F64(c.vals().to_vec())),
+        ],
+        elements: b.crd(1).len() as u64,
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+fn sizes() -> Vec<usize> {
+    if quick() {
+        vec![10_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    }
+}
+
+fn bench_engines(c: &mut Criterion, make: fn(usize) -> Workload) {
+    for nnz in sizes() {
+        let w = make(nnz);
+        let mut group = c.benchmark_group(w.name);
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(w.elements));
+        let program = w.program.clone();
+        group.bench_with_input(BenchmarkId::new("resolved", nnz), &w, |b, w| {
+            let proto = w.machine();
+            b.iter_batched(
+                || proto.clone(),
+                |mut m| m.run(&program).expect("runs"),
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("reference", nnz), &w, |b, w| {
+            let proto = w.reference();
+            b.iter_batched(
+                || proto.clone(),
+                |mut m| m.run(&program).expect("runs"),
+                BatchSize::LargeInput,
+            );
+        });
+        group.finish();
+    }
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    bench_engines(c, spmv_workload);
+}
+
+fn bench_spmspm(c: &mut Criterion) {
+    bench_engines(c, spmspm_workload);
+}
+
+/// Prints the resolved-over-reference speedup at the largest configured
+/// size (single timed run per engine, after one warmup).
+fn speedup_summary(_c: &mut Criterion) {
+    let nnz = *sizes().last().expect("nonempty");
+    for make in [spmv_workload as fn(usize) -> Workload, spmspm_workload] {
+        let w = make(nnz);
+        let mut fast = w.machine();
+        let mut slow = w.reference();
+        fast.clone().run(&w.program).expect("warmup");
+        let t0 = Instant::now();
+        fast.run(&w.program).expect("resolved runs");
+        let fast_t = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        slow.run(&w.program).expect("reference runs");
+        let slow_t = t1.elapsed().as_secs_f64();
+        println!(
+            "{} nnz={nnz}: resolved {:.1} ms, reference {:.1} ms, speedup {:.2}x",
+            w.name,
+            fast_t * 1e3,
+            slow_t * 1e3,
+            slow_t / fast_t
+        );
+    }
+}
+
+criterion_group!(benches, bench_spmv, bench_spmspm, speedup_summary);
+criterion_main!(benches);

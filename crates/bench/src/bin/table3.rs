@@ -35,9 +35,6 @@ fn main() {
             "  reduction:               {:.0}%",
             100.0 * (1.0 - input as f64 / handwritten_loc as f64)
         );
-        println!(
-            "  generated Spatial LoC:   {}",
-            compiled[0].spatial_loc()
-        );
+        println!("  generated Spatial LoC:   {}", compiled[0].spatial_loc());
     }
 }

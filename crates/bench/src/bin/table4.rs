@@ -8,10 +8,7 @@ fn main() {
     let scale = Scale::from_args(&args);
 
     println!("Table 4: Datasets");
-    println!(
-        "{:<28} {:<26} {:>12}",
-        "App", "Dimensions", "Density"
-    );
+    println!("{:<28} {:<26} {:>12}", "App", "Dimensions", "Density");
     for d in suite_matrices(&scale) {
         let dims = d.matrix.dims();
         println!(

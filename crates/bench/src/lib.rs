@@ -133,10 +133,7 @@ pub fn instantiate(name: &str, scale: &Scale) -> Vec<(Kernel, InputSet)> {
                         kernels::spmv(n)
                     }
                     "MatTransMul" => {
-                        inputs.insert(
-                            "A".into(),
-                            TensorData::from_coo(&d.matrix, Format::csc()),
-                        );
+                        inputs.insert("A".into(), TensorData::from_coo(&d.matrix, Format::csc()));
                         inputs.insert("x".into(), vec_of(n, 7));
                         inputs.insert("z".into(), vec_of(n, 8));
                         inputs.insert("alpha".into(), TensorData::Scalar(1.5));
@@ -347,7 +344,12 @@ pub fn measure(kernel: &Kernel, set: &InputSet) -> Measurement {
         .program
         .decl(kernel.output())
         .expect("output");
-    let dense_out: u64 = out_decl.dims.iter().map(|&d| d as u64).product::<u64>().max(1);
+    let dense_out: u64 = out_decl
+        .dims
+        .iter()
+        .map(|&d| d as u64)
+        .product::<u64>()
+        .max(1);
     let outer = set.dims[0] as u64;
     let profile = WorkProfile::from_stats(&stats, dense_out, outer);
 

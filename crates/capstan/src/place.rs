@@ -166,9 +166,7 @@ fn stmt_alu_ops(s: &SpatialStmt) -> usize {
         | SpatialStmt::Enq { value, .. } => value.alu_ops() + 1,
         SpatialStmt::WriteMem { index, value, .. }
         | SpatialStmt::RmwAdd { index, value, .. }
-        | SpatialStmt::StoreScalar { index, value, .. } => {
-            index.alu_ops() + value.alu_ops() + 1
-        }
+        | SpatialStmt::StoreScalar { index, value, .. } => index.alu_ops() + value.alu_ops() + 1,
         _ => 0,
     }
 }
@@ -186,9 +184,7 @@ fn walk(
                 MemKind::Sram | MemKind::SparseSram | MemKind::Fifo => {
                     (d.size as f64 / config.pmu_words() as f64).max(0.25)
                 }
-                MemKind::BitVector => {
-                    (d.size as f64 / (config.pmu_words() * 32) as f64).max(0.125)
-                }
+                MemKind::BitVector => (d.size as f64 / (config.pmu_words() * 32) as f64).max(0.125),
                 MemKind::Reg | MemKind::Dram | MemKind::SparseDram => 0.0,
             };
             tally.pmus += pmus * replication as f64;
@@ -222,9 +218,8 @@ fn walk(
             } else {
                 replication * par
             };
-            let ops: usize = body.iter().map(stmt_alu_ops).sum::<usize>()
-                + counter_ops(counter)
-                + 1;
+            let ops: usize =
+                body.iter().map(stmt_alu_ops).sum::<usize>() + counter_ops(counter) + 1;
             tally.pcus +=
                 (ops as f64 / config.pcu_stages as f64).ceil() * (rep * lane_groups) as f64;
             for b in body {

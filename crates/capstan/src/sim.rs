@@ -64,11 +64,7 @@ struct NodeInfo {
 
 /// Simulates a program execution described by `stats` on the configured
 /// machine.
-pub fn simulate(
-    program: &SpatialProgram,
-    stats: &ExecStats,
-    config: &CapstanConfig,
-) -> SimReport {
+pub fn simulate(program: &SpatialProgram, stats: &ExecStats, config: &CapstanConfig) -> SimReport {
     let resources = place(program, config);
     let nodes = collect_nodes(program, config);
 
@@ -104,8 +100,8 @@ pub fn simulate(
     let scan_cycles = scan_cycles.max(scan_emit_cycles);
 
     // --- DRAM time -----------------------------------------------------
-    let bulk_bytes = 4.0
-        * (stats.total_dram_read_words() as f64 + stats.total_dram_write_words() as f64);
+    let bulk_bytes =
+        4.0 * (stats.total_dram_read_words() as f64 + stats.total_dram_write_words() as f64);
     // Random reads waste most of a burst; random writes with (mostly)
     // monotonic addresses coalesce in DRAM row buffers and cost little
     // more than their payload.
@@ -262,12 +258,8 @@ fn collect_stmt(
 }
 
 fn body_has_loops(body: &[SpatialStmt]) -> bool {
-    body.iter().any(|s| {
-        matches!(
-            s,
-            SpatialStmt::Foreach { .. } | SpatialStmt::Reduce { .. }
-        )
-    })
+    body.iter()
+        .any(|s| matches!(s, SpatialStmt::Foreach { .. } | SpatialStmt::Reduce { .. }))
 }
 
 fn count_bursts(program: &SpatialProgram) -> usize {
@@ -294,11 +286,8 @@ mod tests {
         let mut p = SpatialProgram::new("stream");
         p.add_dram("in_dram", n);
         p.add_dram("out_dram", n);
-        p.accel.push(SpatialStmt::Alloc(MemDecl::new(
-            "buf",
-            MemKind::Sram,
-            n,
-        )));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("buf", MemKind::Sram, n)));
         p.accel.push(SpatialStmt::Load {
             dst: "buf".into(),
             src: "in_dram".into(),

@@ -251,11 +251,17 @@ mod tests {
         );
         // C ∩ U absorbs the universe.
         assert_eq!(
-            lower_iter(&[IterFormat::C(1), IterFormat::U], ContractionOp::Intersection),
+            lower_iter(
+                &[IterFormat::C(1), IterFormat::U],
+                ContractionOp::Intersection
+            ),
             IterStrategy::PositionLoop { operand: 1 }
         );
         assert_eq!(
-            lower_iter(&[IterFormat::U, IterFormat::C(1)], ContractionOp::Intersection),
+            lower_iter(
+                &[IterFormat::U, IterFormat::C(1)],
+                ContractionOp::Intersection
+            ),
             IterStrategy::PositionLoop { operand: 1 }
         );
     }
@@ -329,10 +335,7 @@ mod tests {
     #[test]
     fn contraction_from_multiplication() {
         let e = parse_expr("A(i,j) * x(j)").unwrap();
-        assert_eq!(
-            contraction_op(&e, &"j".into()),
-            ContractionOp::Intersection
-        );
+        assert_eq!(contraction_op(&e, &"j".into()), ContractionOp::Intersection);
     }
 
     #[test]
@@ -347,10 +350,7 @@ mod tests {
         let e = parse_expr("b(i) - A(i,j) * x(j)").unwrap();
         assert_eq!(contraction_op(&e, &"i".into()), ContractionOp::Union);
         // j only occurs in the product term.
-        assert_eq!(
-            contraction_op(&e, &"j".into()),
-            ContractionOp::Intersection
-        );
+        assert_eq!(contraction_op(&e, &"j".into()), ContractionOp::Intersection);
     }
 
     #[test]
@@ -359,10 +359,7 @@ mod tests {
         // the multiply, so the full contraction for i is an intersection at
         // the top.
         let e = parse_expr("(B(i) + C(i)) * d(i)").unwrap();
-        assert_eq!(
-            contraction_op(&e, &"i".into()),
-            ContractionOp::Intersection
-        );
+        assert_eq!(contraction_op(&e, &"i".into()), ContractionOp::Intersection);
     }
 
     #[test]
@@ -371,10 +368,7 @@ mod tests {
         // i appears in B and C (joined by *), j in B and D (*), k in C and
         // D (*).
         for v in ["i", "j", "k"] {
-            assert_eq!(
-                contraction_op(&e, &v.into()),
-                ContractionOp::Intersection
-            );
+            assert_eq!(contraction_op(&e, &v.into()), ContractionOp::Intersection);
         }
     }
 

@@ -54,7 +54,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(CompileError::Schedule("bad".into()).to_string().contains("bad"));
+        assert!(CompileError::Schedule("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(CompileError::UndeclaredTensor("T".into())
             .to_string()
             .contains('T'));

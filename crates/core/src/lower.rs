@@ -159,19 +159,14 @@ impl<'p> Lowerer<'p> {
     /// # Errors
     ///
     /// Returns [`CompileError`] when analysis fails.
-    pub fn new(
-        program: &'p Program,
-        stmt: &Stmt,
-        hints: SizeHints,
-    ) -> Result<Self, CompileError> {
+    pub fn new(program: &'p Program, stmt: &Stmt, hints: SizeHints) -> Result<Self, CompileError> {
         let plan = analyze(program, stmt)?;
         let facts = analyze_iteration(program, stmt)?;
         let iteration: HashMap<IndexVar, VarIteration> =
             facts.into_iter().map(|f| (f.var.clone(), f)).collect();
         let mut extents = HashMap::new();
         collect_extents(program, stmt, &mut extents)?;
-        let space =
-            stardust_ir::eval::build_index_space(stmt, &stardust_ir::EvalContext::new())?;
+        let space = stardust_ir::eval::build_index_space(stmt, &stardust_ir::EvalContext::new())?;
         let inner_par = space.env("innerPar").unwrap_or(1).max(1) as usize;
         let outer_par = space.env("outerPar").unwrap_or(1).max(1) as usize;
         let mut lowerer = Lowerer {
@@ -628,10 +623,7 @@ impl<'p> Lowerer<'p> {
                     out.push(SpatialStmt::Alloc(MemDecl::new(&t, MemKind::Reg, 1)));
                 } else {
                     let mem = format!("{t}_vals");
-                    let kind = self
-                        .plan
-                        .kind(&t, ArrayRole::Vals)
-                        .unwrap_or(MemKind::Sram);
+                    let kind = self.plan.kind(&t, ArrayRole::Vals).unwrap_or(MemKind::Sram);
                     out.push(SpatialStmt::Alloc(MemDecl::new(
                         &mem,
                         kind,
@@ -684,21 +676,21 @@ impl<'p> Lowerer<'p> {
         let mut offset = SExpr::Const(0.0);
         let mut stride: usize = slice_len;
         for n in (0..n_fixed).rev() {
-            let coord = scope
-                .coords
-                .get(&stored_vars[n])
-                .cloned()
-                .ok_or_else(|| {
-                    CompileError::NoLoweringRule(format!(
-                        "staged load of {} fixes unbound variable {}",
-                        rhs.tensor, stored_vars[n]
-                    ))
-                })?;
+            let coord = scope.coords.get(&stored_vars[n]).cloned().ok_or_else(|| {
+                CompileError::NoLoweringRule(format!(
+                    "staged load of {} fixes unbound variable {}",
+                    rhs.tensor, stored_vars[n]
+                ))
+            })?;
             offset = SExpr::add(offset, SExpr::mul(coord, SExpr::Const(stride as f64)));
             stride *= stored_dims[n];
         }
         let mem = format!("{}_vals", lhs.tensor);
-        out.push(SpatialStmt::Alloc(MemDecl::new(&mem, kind, slice_len.max(1))));
+        out.push(SpatialStmt::Alloc(MemDecl::new(
+            &mem,
+            kind,
+            slice_len.max(1),
+        )));
         out.push(SpatialStmt::Load {
             dst: mem,
             src: format!("{}_vals_dram", rhs.tensor),
@@ -989,7 +981,11 @@ impl<'p> Lowerer<'p> {
                 MemKind::Fifo,
                 seg_cap * dense_factor,
             )));
-            out.push(SpatialStmt::Alloc(MemDecl::new(&cf, MemKind::Fifo, seg_cap)));
+            out.push(SpatialStmt::Alloc(MemDecl::new(
+                &cf,
+                MemKind::Fifo,
+                seg_cap,
+            )));
             (Some(vf), Some(cf))
         } else {
             (None, None)
@@ -1143,7 +1139,11 @@ impl<'p> Lowerer<'p> {
                 par: 1,
             });
             let bv = self.fresh_name(&format!("bv_{t}"));
-            out.push(SpatialStmt::Alloc(MemDecl::new(&bv, MemKind::BitVector, dim)));
+            out.push(SpatialStmt::Alloc(MemDecl::new(
+                &bv,
+                MemKind::BitVector,
+                dim,
+            )));
             out.push(SpatialStmt::GenBitVector {
                 dst: bv.clone(),
                 src: crd_mem,
@@ -1290,10 +1290,7 @@ impl<'p> Lowerer<'p> {
                 let o_len = self.fresh_name("out_len");
                 out.push(SpatialStmt::Bind {
                     var: o_start.clone(),
-                    value: SExpr::read(
-                        format!("{output}{}_pos_dram", l + 1),
-                        parent.clone(),
-                    ),
+                    value: SExpr::read(format!("{output}{}_pos_dram", l + 1), parent.clone()),
                 });
                 out.push(SpatialStmt::Bind {
                     var: o_len.clone(),
@@ -1593,8 +1590,7 @@ impl<'p> Lowerer<'p> {
                 value,
             }),
             AssignOp::Accumulate => {
-                let cur =
-                    SExpr::read_random(format!("{}_vals_dram", lhs.tensor), offset.clone());
+                let cur = SExpr::read_random(format!("{}_vals_dram", lhs.tensor), offset.clone());
                 out.push(SpatialStmt::StoreScalar {
                     dst: format!("{}_vals_dram", lhs.tensor),
                     index: offset,
@@ -1605,6 +1601,7 @@ impl<'p> Lowerer<'p> {
         Ok(())
     }
 
+    #[allow(clippy::only_used_in_recursion)]
     fn translate_expr(
         &mut self,
         e: &Expr,
@@ -1971,9 +1968,7 @@ fn assign_under_foralls(s: &Stmt) -> Option<(Access, AssignOp, Expr, Vec<IndexVa
                 vars.push(index.clone());
                 cur = body;
             }
-            Stmt::Assign { lhs, op, rhs } => {
-                return Some((lhs.clone(), *op, rhs.clone(), vars))
-            }
+            Stmt::Assign { lhs, op, rhs } => return Some((lhs.clone(), *op, rhs.clone(), vars)),
             Stmt::SuchThat { body, .. } | Stmt::Map { body, .. } => cur = body,
             _ => return None,
         }

@@ -99,9 +99,9 @@ impl MemoryPlan {
 
     /// The DRAM-side binding of a sub-array (Dense vs Sparse DRAM).
     pub fn dram_binding(&self, tensor: &str, role: ArrayRole) -> Option<&ArrayBinding> {
-        self.bindings.iter().find(|b| {
-            b.tensor == tensor && b.role == role && b.kind.is_off_chip()
-        })
+        self.bindings
+            .iter()
+            .find(|b| b.tensor == tensor && b.role == role && b.kind.is_off_chip())
     }
 
     /// The memory kind of a sub-array, if bound (on-chip side preferred).
@@ -278,10 +278,8 @@ fn collect_foralls(stmt: &Stmt, depth: usize, out: &mut Vec<(IndexVar, usize)>) 
 /// be determined.
 pub fn analyze(program: &Program, stmt: &Stmt) -> Result<MemoryPlan, CompileError> {
     let iteration = analyze_iteration(program, stmt)?;
-    let depth_of: HashMap<IndexVar, usize> = iteration
-        .iter()
-        .map(|v| (v.var.clone(), v.depth))
-        .collect();
+    let depth_of: HashMap<IndexVar, usize> =
+        iteration.iter().map(|v| (v.var.clone(), v.depth)).collect();
 
     // Vars produced by compressed iteration: gathers when used to index
     // other (dense-at-that-var) tensors.
@@ -330,7 +328,7 @@ pub fn analyze(program: &Program, stmt: &Stmt) -> Result<MemoryPlan, CompileErro
     for (name, decl) in &decls {
         let is_output = *name == output;
         // The loop var iterating each level (for allocation depths).
-        let level_vars = level_vars_of(stmt, name, &decl.format.mode_order());
+        let level_vars = level_vars_of(stmt, name, decl.format.mode_order());
         let depth_at = |l: usize| -> usize {
             level_vars
                 .get(&l)
@@ -429,8 +427,7 @@ pub fn analyze(program: &Program, stmt: &Stmt) -> Result<MemoryPlan, CompileErro
                     role: ArrayRole::Pos(l),
                     kind: MemKind::Sram,
                     alloc_depth: d.saturating_sub(1),
-                    rationale: "position arrays are affine (addr, addr+1): dense SRAM"
-                        .into(),
+                    rationale: "position arrays are affine (addr, addr+1): dense SRAM".into(),
                 });
                 bindings.push(ArrayBinding {
                     tensor: name.clone(),
@@ -501,11 +498,7 @@ pub fn analyze(program: &Program, stmt: &Stmt) -> Result<MemoryPlan, CompileErro
 
 /// Maps each storage level of `tensor` to the index variable iterating it
 /// (from the accesses in the statement).
-fn level_vars_of(
-    stmt: &Stmt,
-    tensor: &str,
-    mode_order: &[usize],
-) -> BTreeMap<usize, IndexVar> {
+fn level_vars_of(stmt: &Stmt, tensor: &str, mode_order: &[usize]) -> BTreeMap<usize, IndexVar> {
     let mut out = BTreeMap::new();
     stmt.visit(&mut |s| {
         if let Stmt::Assign { lhs, rhs, .. } = s {
@@ -584,7 +577,10 @@ mod tests {
         // A's values: in-order position loop → FIFO.
         assert_eq!(plan.kind("A", ArrayRole::Vals), Some(MemKind::Fifo));
         // The gathered on-chip x copy: sparse SRAM (shuffle-network served).
-        assert_eq!(plan.kind("x_on", ArrayRole::Vals), Some(MemKind::SparseSram));
+        assert_eq!(
+            plan.kind("x_on", ArrayRole::Vals),
+            Some(MemKind::SparseSram)
+        );
         // The scalar workspace: register.
         assert_eq!(plan.kind("ws", ArrayRole::Vals), Some(MemKind::Reg));
         // j is produced by A's compressed level.
@@ -613,10 +609,18 @@ mod tests {
             .build()
             .unwrap();
         let mut s = Scheduler::new(&mut p);
-        s.precompute(&Expr::access("C", vec!["i".into(), "k".into()]), &["k"], "C_on")
-            .unwrap();
-        s.precompute(&Expr::access("D", vec!["k".into(), "j".into()]), &["k"], "D_on")
-            .unwrap();
+        s.precompute(
+            &Expr::access("C", vec!["i".into(), "k".into()]),
+            &["k"],
+            "C_on",
+        )
+        .unwrap();
+        s.precompute(
+            &Expr::access("D", vec!["k".into(), "j".into()]),
+            &["k"],
+            "D_on",
+        )
+        .unwrap();
         s.precompute_reduction("ws").unwrap();
         let stmt = s.finish();
         let plan = analyze(&p, &stmt).unwrap();

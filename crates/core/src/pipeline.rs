@@ -12,9 +12,7 @@ use std::collections::HashMap;
 use stardust_ir::cin::Stmt;
 use stardust_spatial::printer::spatial_loc;
 use stardust_spatial::{print_program, validate, ExecStats, Machine, SpatialProgram};
-use stardust_tensor::{
-    CooTensor, DenseTensor, Format, LevelFormat, LevelStorage, SparseTensor,
-};
+use stardust_tensor::{CooTensor, DenseTensor, Format, LevelFormat, LevelStorage, SparseTensor};
 
 use crate::context::Program;
 use crate::error::CompileError;
@@ -192,10 +190,7 @@ impl CompiledKernel {
     /// Returns [`CompileError`] on binding failures or interpreter errors
     /// (which indicate compiler bugs — see §6.1 on incorrect analyses
     /// causing simulation errors).
-    pub fn execute(
-        &self,
-        inputs: &HashMap<String, TensorData>,
-    ) -> Result<KernelRun, CompileError> {
+    pub fn execute(&self, inputs: &HashMap<String, TensorData>) -> Result<KernelRun, CompileError> {
         let mut machine = self.bind(inputs)?;
         let stats = machine
             .run(&self.spatial)
@@ -232,15 +227,19 @@ impl CompiledKernel {
                     parents *= dim;
                 }
                 LevelFormat::Compressed => {
-                    let pos_all = machine
-                        .dram_usize(&format!("{out}{}_pos_dram", l + 1))
+                    let mut pos = Vec::new();
+                    machine
+                        .read_dram_usize_into(
+                            &format!("{out}{}_pos_dram", l + 1),
+                            parents + 1,
+                            &mut pos,
+                        )
                         .ok_or_else(|| CompileError::Memory("missing pos array".into()))?;
-                    let pos: Vec<usize> = pos_all[..=parents].to_vec();
                     let nnz = pos[parents];
-                    let crd_all = machine
-                        .dram_usize(&format!("{out}{}_crd_dram", l + 1))
+                    let mut crd = Vec::new();
+                    machine
+                        .read_dram_usize_into(&format!("{out}{}_crd_dram", l + 1), nnz, &mut crd)
                         .ok_or_else(|| CompileError::Memory("missing crd array".into()))?;
-                    let crd: Vec<usize> = crd_all[..nnz].to_vec();
                     levels.push(LevelStorage::Compressed { pos, crd });
                     parents = nnz;
                 }
@@ -250,9 +249,8 @@ impl CompiledKernel {
             .dram(&format!("{out}_vals_dram"))
             .ok_or_else(|| CompileError::Memory("missing vals array".into()))?;
         let vals: Vec<f64> = vals_all[..parents].to_vec();
-        let tensor =
-            SparseTensor::from_parts(decl.dims.clone(), decl.format.clone(), levels, vals)
-                .map_err(|e| CompileError::Memory(format!("malformed output: {e}")))?;
+        let tensor = SparseTensor::from_parts(decl.dims.clone(), decl.format.clone(), levels, vals)
+            .map_err(|e| CompileError::Memory(format!("malformed output: {e}")))?;
         Ok(KernelOutput::Tensor(tensor))
     }
 }
@@ -369,10 +367,7 @@ mod tests {
         let x: Vec<f64> = (0..8).map(|n| n as f64 * 0.5 + 1.0).collect();
 
         let mut inputs = HashMap::new();
-        inputs.insert(
-            "A".to_string(),
-            TensorData::from_coo(&a, Format::csr()),
-        );
+        inputs.insert("A".to_string(), TensorData::from_coo(&a, Format::csr()));
         let mut x_coo = CooTensor::new(vec![8]);
         for (n, &v) in x.iter().enumerate() {
             x_coo.push(&[n], v);
@@ -389,10 +384,7 @@ mod tests {
         // Oracle: evaluate the scheduled CIN densely.
         let mut ctx = EvalContext::new();
         ctx.add_tensor("A", DenseTensor::from(&a));
-        ctx.add_tensor(
-            "x",
-            DenseTensor::from_data(vec![8], x.clone()),
-        );
+        ctx.add_tensor("x", DenseTensor::from_data(vec![8], x.clone()));
         ctx.add_tensor("y", DenseTensor::zeros(vec![8]));
         eval(&stmt, &mut ctx).unwrap();
 

@@ -102,13 +102,7 @@ impl<'p> Scheduler<'p> {
     ///
     /// Returns [`CompileError::Schedule`] when `∀i` does not exist or `c`
     /// is zero.
-    pub fn split_up(
-        &mut self,
-        i: &str,
-        io: &str,
-        ii: &str,
-        c: usize,
-    ) -> Result<(), CompileError> {
+    pub fn split_up(&mut self, i: &str, io: &str, ii: &str, c: usize) -> Result<(), CompileError> {
         self.split(i, io, ii, c, true)
     }
 
@@ -137,7 +131,9 @@ impl<'p> Scheduler<'p> {
         up: bool,
     ) -> Result<(), CompileError> {
         if c == 0 {
-            return Err(CompileError::Schedule("split factor must be positive".into()));
+            return Err(CompileError::Schedule(
+                "split factor must be positive".into(),
+            ));
         }
         let var = IndexVar::new(i);
         let (iov, iiv) = (IndexVar::new(io), IndexVar::new(ii));
@@ -157,7 +153,9 @@ impl<'p> Scheduler<'p> {
             true
         });
         if !replaced {
-            return Err(CompileError::Schedule(format!("no forall over {i} to split")));
+            return Err(CompileError::Schedule(format!(
+                "no forall over {i} to split"
+            )));
         }
         let name = if up { "split_up" } else { "split_down" };
         self.program
@@ -253,9 +251,7 @@ impl<'p> Scheduler<'p> {
                         vars.push(index.clone());
                         cur = body;
                     }
-                    if vars.len() != wanted.len()
-                        || !wanted.iter().all(|w| vars.contains(w))
-                    {
+                    if vars.len() != wanted.len() || !wanted.iter().all(|w| vars.contains(w)) {
                         error = Some(CompileError::Schedule(format!(
                             "reorder({order:?}) does not match spine {vars:?}"
                         )));
@@ -293,12 +289,7 @@ impl<'p> Scheduler<'p> {
     ///
     /// Returns [`CompileError::Schedule`] when `e` does not occur in the
     /// statement or `ivars` don't cover `e`'s non-enclosing variables.
-    pub fn precompute(
-        &mut self,
-        e: &Expr,
-        ivars: &[&str],
-        ws: &str,
-    ) -> Result<(), CompileError> {
+    pub fn precompute(&mut self, e: &Expr, ivars: &[&str], ws: &str) -> Result<(), CompileError> {
         let ivars: Vec<IndexVar> = ivars.iter().map(|s| IndexVar::new(*s)).collect();
         // Declare the workspace: dims from the ivars' extents in the
         // program's declarations.
@@ -308,17 +299,13 @@ impl<'p> Scheduler<'p> {
         } else {
             Format::dense(dims.len()).with_region(MemoryRegion::OnChip)
         };
-        self.program
-            .add_decl(TensorDecl::new(ws, dims, format));
+        self.program.add_decl(TensorDecl::new(ws, dims, format));
         self.program.note_input_line(format!(
             "stmt = stmt.precompute({e}, {ivars:?}, {ivars:?}, {ws});"
         ));
 
         let ws_access = Access::new(ws, ivars.clone());
-        let producer = Stmt::foralls(
-            ivars.iter().cloned().collect::<Vec<_>>(),
-            Stmt::assign(ws_access.clone(), e.clone()),
-        );
+        let producer = Stmt::foralls(ivars.to_vec(), Stmt::assign(ws_access.clone(), e.clone()));
 
         // Replace e in the (unique) assign whose rhs contains it, then wrap
         // the outermost forall binding any ivar (or the assign itself) in a
@@ -435,9 +422,9 @@ impl<'p> Scheduler<'p> {
             if let Stmt::Forall { .. } = s {
                 if let Some((lhs, _, rhs, vars)) = assign_under_foralls(s) {
                     let ok = !vars.is_empty()
-                        && vars.iter().all(|v| {
-                            ivars.contains(v) || !lhs.indices.contains(v)
-                        })
+                        && vars
+                            .iter()
+                            .all(|v| ivars.contains(v) || !lhs.indices.contains(v))
                         && ivars.iter().all(|v| vars.contains(v))
                         && vars.iter().any(|v| !ivars.contains(v));
                     if ok {
@@ -453,10 +440,8 @@ impl<'p> Scheduler<'p> {
                         );
                         let mut producer_vars = rvars;
                         producer_vars.extend(ivars.iter().cloned());
-                        let producer = Stmt::foralls(
-                            producer_vars,
-                            Stmt::accumulate(ws_access, rhs.clone()),
-                        );
+                        let producer =
+                            Stmt::foralls(producer_vars, Stmt::accumulate(ws_access, rhs.clone()));
                         *s = Stmt::where_(consumer, producer);
                         rewritten = true;
                         return false;
@@ -538,10 +523,8 @@ impl<'p> Scheduler<'p> {
                     let spine_owner = s.clone();
                     if let Some((lhs, _, rhs, rvars)) = reduction_nest(&spine_owner, &relations) {
                         if rvars.first() == Some(&index) && !rvars.is_empty() {
-                            let consumer = Stmt::assign(
-                                lhs.clone(),
-                                Expr::Access(Access::scalar(&ws_name)),
-                            );
+                            let consumer =
+                                Stmt::assign(lhs.clone(), Expr::Access(Access::scalar(&ws_name)));
                             let producer = Stmt::foralls(
                                 rvars.clone(),
                                 Stmt::accumulate(Access::scalar(&ws_name), rhs.clone()),
@@ -750,9 +733,10 @@ impl<'p> Scheduler<'p> {
                     }
                 }
             });
-            dims.push(extent.ok_or_else(|| {
-                CompileError::Schedule(format!("cannot infer extent of {v}"))
-            })?);
+            dims.push(
+                extent
+                    .ok_or_else(|| CompileError::Schedule(format!("cannot infer extent of {v}")))?,
+            );
         }
         Ok(dims)
     }
@@ -786,7 +770,10 @@ fn insert_where_at(
         Stmt::SuchThat { body, .. } | Stmt::Map { body, .. } => {
             insert_where_at(body, ivars, deps, bound, producer, inserted);
         }
-        Stmt::Where { consumer, producer: p } => {
+        Stmt::Where {
+            consumer,
+            producer: p,
+        } => {
             insert_where_at(consumer, ivars, deps, bound, producer, inserted);
             insert_where_at(p, ivars, deps, bound, producer, inserted);
         }
@@ -819,26 +806,17 @@ fn reduction_nest(
 
 /// The transitive closure of variables related to `seed` through
 /// scheduling relations (split parents/children, fuse partners).
-fn related_vars(
-    seed: &[IndexVar],
-    relations: &[Relation],
-) -> std::collections::HashSet<IndexVar> {
+fn related_vars(seed: &[IndexVar], relations: &[Relation]) -> std::collections::HashSet<IndexVar> {
     let mut set: std::collections::HashSet<IndexVar> = seed.iter().cloned().collect();
     loop {
         let before = set.len();
         for rel in relations {
             match rel {
                 Relation::SplitUp {
-                    orig,
-                    outer,
-                    inner,
-                    ..
+                    orig, outer, inner, ..
                 }
                 | Relation::SplitDown {
-                    orig,
-                    outer,
-                    inner,
-                    ..
+                    orig, outer, inner, ..
                 } => {
                     if set.contains(orig) || set.contains(outer) || set.contains(inner) {
                         set.insert(orig.clone());
@@ -905,7 +883,10 @@ mod tests {
         let mut ctx = EvalContext::new();
         let a: Vec<f64> = (0..16).map(f64::from).collect();
         ctx.add_tensor("A", DenseTensor::from_data(vec![4, 4], a));
-        ctx.add_tensor("x", DenseTensor::from_data(vec![4], vec![1.0, 2.0, 3.0, 4.0]));
+        ctx.add_tensor(
+            "x",
+            DenseTensor::from_data(vec![4], vec![1.0, 2.0, 3.0, 4.0]),
+        );
         ctx.add_tensor("y", DenseTensor::zeros(vec![4]));
         eval(stmt, &mut ctx).unwrap();
         ctx.tensor("y").unwrap().data().to_vec()

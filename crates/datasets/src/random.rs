@@ -56,13 +56,7 @@ pub fn random_vector(len: usize, seed: u64) -> CooTensor<f64> {
 }
 
 /// A uniform random sparse 3-tensor with the given density.
-pub fn random_tensor3(
-    d0: usize,
-    d1: usize,
-    d2: usize,
-    density: f64,
-    seed: u64,
-) -> CooTensor<f64> {
+pub fn random_tensor3(d0: usize, d1: usize, d2: usize, density: f64, seed: u64) -> CooTensor<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut coo = CooTensor::new(vec![d0, d1, d2]);
     let total = d0 * d1 * d2;

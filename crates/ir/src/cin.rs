@@ -503,11 +503,7 @@ mod tests {
         let s = sddmm_stmt();
         assert_eq!(
             s.forall_spine(),
-            vec![
-                IndexVar::new("i"),
-                IndexVar::new("j"),
-                IndexVar::new("k")
-            ]
+            vec![IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k")]
         );
         assert_eq!(
             s.to_string(),

@@ -162,8 +162,7 @@ fn materialize_missing(
             let mut accesses: Vec<&Access> = vec![lhs];
             accesses.extend(rhs.accesses());
             for a in accesses {
-                if ctx.tensor(&a.tensor).is_some()
-                    || to_create.iter().any(|(n, _)| n == &a.tensor)
+                if ctx.tensor(&a.tensor).is_some() || to_create.iter().any(|(n, _)| n == &a.tensor)
                 {
                     continue;
                 }
@@ -413,10 +412,7 @@ mod tests {
         };
         // ∀io ∀ii ∀j ... s.t. split_up(i, io, ii, 3)  on extent 4 (tail!)
         let stmt = Stmt::such_that(
-            Stmt::foralls(
-                vec!["io".into(), "ii".into(), "j".into()],
-                leaf,
-            ),
+            Stmt::foralls(vec!["io".into(), "ii".into(), "j".into()], leaf),
             vec![Relation::SplitUp {
                 orig: "i".into(),
                 outer: "io".into(),

@@ -191,16 +191,19 @@ impl Expr {
     }
 
     /// Builds `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Add, lhs, rhs)
     }
 
     /// Builds `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Sub, lhs, rhs)
     }
 
     /// Builds `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Mul, lhs, rhs)
     }

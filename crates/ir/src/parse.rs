@@ -244,8 +244,7 @@ mod tests {
     fn parses_mattransmul_shape() {
         // y(i) = alpha * AT(i,j) * x(j) + beta * z(i)  (A^T represented as
         // a CSC-formatted tensor named A in the kernel suite).
-        let (a, _) =
-            parse_assignment("y(i) = alpha * AT(i,j) * x(j) + beta * z(i)").unwrap();
+        let (a, _) = parse_assignment("y(i) = alpha * AT(i,j) * x(j) + beta * z(i)").unwrap();
         assert_eq!(a.rhs.tensor_names(), vec!["alpha", "AT", "x", "beta", "z"]);
         match &a.rhs {
             Expr::Binary { op: BinOp::Add, .. } => {}

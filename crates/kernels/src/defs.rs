@@ -39,15 +39,15 @@ impl Kernel {
 
     /// The final stage's output tensor name.
     pub fn output(&self) -> &str {
-        self.stages.last().expect("at least one stage").program.output()
+        self.stages
+            .last()
+            .expect("at least one stage")
+            .program
+            .output()
     }
 }
 
-fn accelerate_reduction_schedule(
-    s: &mut Scheduler<'_>,
-    inner_par: i64,
-    outer_par: i64,
-) {
+fn accelerate_reduction_schedule(s: &mut Scheduler<'_>, inner_par: i64, outer_par: i64) {
     s.environment("innerPar", inner_par).expect("innerPar");
     s.environment("outerPar", outer_par).expect("outerPar");
     s.precompute_reduction("ws").expect("precompute ws");
@@ -99,7 +99,10 @@ pub fn plus3(n: usize) -> Kernel {
     };
     Kernel {
         name: "Plus3".into(),
-        stages: vec![stage("plus3_t", "T", "B", "C"), stage("plus3_a", "A", "T", "D")],
+        stages: vec![
+            stage("plus3_t", "T", "B", "C"),
+            stage("plus3_a", "A", "T", "D"),
+        ],
         table5_par: 8,
     }
 }

@@ -16,7 +16,7 @@ pub mod defs;
 pub mod runner;
 
 pub use defs::{
-    innerprod, mattransmul, mttkrp, plus2, plus3, residual, sddmm, spmv, suite, ttm, ttv,
-    Kernel, Stage,
+    innerprod, mattransmul, mttkrp, plus2, plus3, residual, sddmm, spmv, suite, ttm, ttv, Kernel,
+    Stage,
 };
 pub use runner::{KernelResult, StageRun};

@@ -3,9 +3,7 @@
 use std::collections::HashMap;
 
 use stardust_core::lower::SizeHints;
-use stardust_core::pipeline::{
-    CompiledKernel, Compiler, KernelOutput, TensorData,
-};
+use stardust_core::pipeline::{CompiledKernel, Compiler, KernelOutput, TensorData};
 use stardust_core::CompileError;
 use stardust_spatial::ExecStats;
 use stardust_tensor::SparseTensor;
@@ -95,10 +93,7 @@ impl Kernel {
             compiled.push(kernel);
             // Later stages size against a bound for this stage's output;
             // record a placeholder so hint derivation can see it.
-            known.insert(
-                stage.program.output().to_string(),
-                TensorData::Scalar(0.0),
-            );
+            known.insert(stage.program.output().to_string(), TensorData::Scalar(0.0));
         }
         Ok(compiled)
     }
@@ -109,10 +104,7 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns the first compile or simulation error.
-    pub fn run(
-        &self,
-        inputs: &HashMap<String, TensorData>,
-    ) -> Result<KernelResult, CompileError> {
+    pub fn run(&self, inputs: &HashMap<String, TensorData>) -> Result<KernelResult, CompileError> {
         let mut available = inputs.clone();
         let mut stages = Vec::with_capacity(self.stages.len());
         let mut last_output = None;

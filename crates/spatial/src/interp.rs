@@ -1,4 +1,4 @@
-//! Functional interpreter for the Spatial IR.
+//! Resolved-slot interpreter for the Spatial IR.
 //!
 //! Executes a [`SpatialProgram`] against DRAM contents. This provides the
 //! executable semantics that the authors obtained from the Spatial/SARA
@@ -6,12 +6,33 @@
 //! oracle by running them here, and the [`ExecStats`] event trace (elements
 //! processed per pattern, DRAM words moved, scanner bits examined, shuffle
 //! accesses, ALU operations) feeds the Capstan cycle simulator.
+//!
+//! # Execution engine
+//!
+//! [`Machine::new`] first runs the [`crate::resolve`] link pass, which
+//! interns every memory, register, FIFO, and variable name into dense
+//! `u32` slots and flattens every expression tree into one arena. The
+//! interpreter loop then works exclusively on `Vec`-indexed state —
+//! DRAM arrays, on-chip memories, the variable environment, and all
+//! statistics counters are dense vectors — so the hot path never hashes
+//! a string. Dense counters are folded back into the string-keyed
+//! [`ExecStats`] shape when [`Machine::run`] finishes.
+//!
+//! The original name-keyed tree walker survives as
+//! [`crate::ReferenceMachine`]; differential tests assert both engines
+//! produce byte-identical DRAM contents and identical [`ExecStats`], and
+//! `cargo bench --bench interp` measures the speedup.
 
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
-use crate::ir::{Counter, MemDecl, MemKind, ScanOp, SExpr, SpatialProgram, SpatialStmt};
+use crate::ir::{MemKind, ScanOp, SpatialProgram};
+use crate::resolve::{
+    resolve, ExprId, ResolvedCounter, ResolvedExpr, ResolvedProgram, ResolvedStmt, Slot,
+    SymbolTable,
+};
 
 /// Errors raised while executing a Spatial program.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,8 +152,117 @@ enum Mem {
     Bits(Vec<bool>),
 }
 
+#[derive(Debug, Clone)]
+struct OnChip {
+    kind: MemKind,
+    mem: Mem,
+}
+
+#[derive(Debug, Clone)]
+struct DramArray {
+    kind: MemKind,
+    data: Vec<f64>,
+}
+
+/// Dense statistics counters, indexed by slot / node id. `Option`
+/// distinguishes "never touched" from "touched with zero words" so the
+/// fold reproduces the reference engine's map-entry creation exactly.
+#[derive(Debug, Clone, Default)]
+struct DenseStats {
+    dram_reads: Vec<Option<u64>>,
+    dram_writes: Vec<Option<u64>>,
+    node_trips: Vec<u64>,
+    node_dram_read_words: Vec<Option<u64>>,
+    node_dram_write_words: Vec<Option<u64>>,
+    dram_random_reads: u64,
+    dram_random_writes: u64,
+    alu_ops: u64,
+    sram_reads: u64,
+    sram_writes: u64,
+    shuffle_accesses: u64,
+    fifo_enqs: u64,
+    fifo_deqs: u64,
+    scan_bits: u64,
+    scan_emits: u64,
+    bv_gen_bits: u64,
+    reduce_elems: u64,
+}
+
+impl DenseStats {
+    fn note_dram_read(&mut self, slot: Slot, words: u64, node: Option<usize>) {
+        *self.dram_reads[slot as usize].get_or_insert(0) += words;
+        if let Some(n) = node {
+            *self.node_dram_read_words[n].get_or_insert(0) += words;
+        }
+    }
+
+    fn note_dram_write(&mut self, slot: Slot, words: u64, node: Option<usize>) {
+        *self.dram_writes[slot as usize].get_or_insert(0) += words;
+        if let Some(n) = node {
+            *self.node_dram_write_words[n].get_or_insert(0) += words;
+        }
+    }
+
+    fn fold(&self, syms: &SymbolTable) -> ExecStats {
+        let mut out = ExecStats {
+            dram_random_reads: self.dram_random_reads,
+            dram_random_writes: self.dram_random_writes,
+            alu_ops: self.alu_ops,
+            sram_reads: self.sram_reads,
+            sram_writes: self.sram_writes,
+            shuffle_accesses: self.shuffle_accesses,
+            fifo_enqs: self.fifo_enqs,
+            fifo_deqs: self.fifo_deqs,
+            scan_bits: self.scan_bits,
+            scan_emits: self.scan_emits,
+            bv_gen_bits: self.bv_gen_bits,
+            reduce_elems: self.reduce_elems,
+            ..ExecStats::default()
+        };
+        for (slot, words) in self.dram_reads.iter().enumerate() {
+            if let Some(w) = words {
+                out.dram_reads
+                    .insert(syms.dram_name(slot as Slot).to_string(), *w);
+            }
+        }
+        for (slot, words) in self.dram_writes.iter().enumerate() {
+            if let Some(w) = words {
+                out.dram_writes
+                    .insert(syms.dram_name(slot as Slot).to_string(), *w);
+            }
+        }
+        for (node, trips) in self.node_trips.iter().enumerate() {
+            if *trips > 0 {
+                out.node_trips.insert(node, *trips);
+            }
+        }
+        for (node, words) in self.node_dram_read_words.iter().enumerate() {
+            if let Some(w) = words {
+                out.node_dram_read_words.insert(node, *w);
+            }
+        }
+        for (node, words) in self.node_dram_write_words.iter().enumerate() {
+            if let Some(w) = words {
+                out.node_dram_write_words.insert(node, *w);
+            }
+        }
+        out
+    }
+}
+
+fn index_of(v: f64, context: impl FnOnce() -> String) -> Result<usize, RunError> {
+    if v < 0.0 {
+        return Err(RunError::NegativeIndex {
+            context: context(),
+            value: v,
+        });
+    }
+    Ok(v.round() as usize)
+}
+
 /// The machine state a program executes against: DRAM plus on-chip
-/// memories, variable bindings, and statistics.
+/// memories, variable bindings, and statistics — all held in dense,
+/// slot-indexed vectors produced by the [`crate::resolve`] link pass.
 ///
 /// # Example
 ///
@@ -168,34 +298,85 @@ enum Mem {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Machine {
-    drams: HashMap<String, Vec<f64>>,
-    dram_kinds: HashMap<String, MemKind>,
-    on_chip: HashMap<String, Mem>,
-    on_chip_kinds: HashMap<String, MemKind>,
-    env: HashMap<String, f64>,
+    syms: SymbolTable,
+    resolved: Rc<ResolvedProgram>,
+    source: SpatialProgram,
+    drams: Vec<Option<DramArray>>,
+    on_chip: Vec<Option<OnChip>>,
+    env: Vec<Option<f64>>,
+    dense: DenseStats,
     stats: ExecStats,
     node_stack: Vec<usize>,
+    scratch: Vec<usize>,
 }
 
 impl Machine {
     /// Creates a machine with zeroed DRAM arrays sized per the program's
-    /// declarations.
+    /// declarations. The program is linked (resolved to slots) here;
+    /// [`Machine::run`] re-links only when handed a different program.
     pub fn new(program: &SpatialProgram) -> Self {
-        let mut drams = HashMap::new();
-        let mut dram_kinds = HashMap::new();
-        for d in &program.drams {
-            drams.insert(d.name.clone(), vec![0.0; d.size]);
-            dram_kinds.insert(d.name.clone(), d.kind);
-        }
-        Machine {
-            drams,
-            dram_kinds,
-            on_chip: HashMap::new(),
-            on_chip_kinds: HashMap::new(),
-            env: HashMap::new(),
+        let mut syms = SymbolTable::default();
+        let resolved = Rc::new(resolve(program, &mut syms));
+        let mut m = Machine {
+            syms,
+            resolved: Rc::clone(&resolved),
+            source: program.clone(),
+            drams: Vec::new(),
+            on_chip: Vec::new(),
+            env: Vec::new(),
+            dense: DenseStats::default(),
             stats: ExecStats::default(),
             node_stack: Vec::new(),
+            scratch: Vec::new(),
+        };
+        m.grow_state();
+        for d in &resolved.drams {
+            m.drams[d.slot as usize] = Some(DramArray {
+                kind: d.kind,
+                data: vec![0.0; d.size],
+            });
         }
+        m
+    }
+
+    /// Grows slot-indexed state to match the symbol table after a
+    /// resolution pass. Existing slots keep their contents.
+    fn grow_state(&mut self) {
+        let drams = self.syms.dram_count();
+        let chips = self.syms.chip_count();
+        let vars = self.syms.var_count();
+        let nodes = self.resolved.node_limit.max(self.dense.node_trips.len());
+        if self.drams.len() < drams {
+            self.drams.resize_with(drams, || None);
+            self.dense.dram_reads.resize(drams, None);
+            self.dense.dram_writes.resize(drams, None);
+        }
+        if self.on_chip.len() < chips {
+            self.on_chip.resize_with(chips, || None);
+        }
+        if self.env.len() < vars {
+            self.env.resize(vars, None);
+        }
+        if self.dense.node_trips.len() < nodes {
+            self.dense.node_trips.resize(nodes, 0);
+            self.dense.node_dram_read_words.resize(nodes, None);
+            self.dense.node_dram_write_words.resize(nodes, None);
+        }
+    }
+
+    fn unknown_dram(&self, slot: Slot) -> RunError {
+        RunError::UnknownMemory(self.syms.dram_name(slot).to_string())
+    }
+
+    fn unknown_chip(&self, slot: Slot) -> RunError {
+        RunError::UnknownMemory(self.syms.chip_name(slot).to_string())
+    }
+
+    fn dram_slot_of(&self, name: &str) -> Result<Slot, RunError> {
+        self.syms
+            .dram_slot(name)
+            .filter(|&s| self.drams[s as usize].is_some())
+            .ok_or_else(|| RunError::UnknownMemory(name.to_string()))
     }
 
     /// Overwrites the head of a DRAM array with `data`.
@@ -205,10 +386,8 @@ impl Machine {
     /// Returns [`RunError::UnknownMemory`] or [`RunError::OutOfBounds`] when
     /// the array is missing or too small.
     pub fn write_dram(&mut self, name: &str, data: &[f64]) -> Result<(), RunError> {
-        let arr = self
-            .drams
-            .get_mut(name)
-            .ok_or_else(|| RunError::UnknownMemory(name.to_string()))?;
+        let slot = self.dram_slot_of(name)?;
+        let arr = &mut self.drams[slot as usize].as_mut().expect("checked").data;
         if data.len() > arr.len() {
             return Err(RunError::OutOfBounds {
                 mem: name.to_string(),
@@ -220,47 +399,94 @@ impl Machine {
         Ok(())
     }
 
-    /// Writes an integer array (e.g. a `pos`/`crd` sub-array) into DRAM.
+    /// Writes an integer array (e.g. a `pos`/`crd` sub-array) into DRAM,
+    /// converting in place — no intermediate allocation.
     ///
     /// # Errors
     ///
     /// Same as [`Machine::write_dram`].
     pub fn write_dram_usize(&mut self, name: &str, data: &[usize]) -> Result<(), RunError> {
-        let as_f: Vec<f64> = data.iter().map(|&x| x as f64).collect();
-        self.write_dram(name, &as_f)
+        let slot = self.dram_slot_of(name)?;
+        let arr = &mut self.drams[slot as usize].as_mut().expect("checked").data;
+        if data.len() > arr.len() {
+            return Err(RunError::OutOfBounds {
+                mem: name.to_string(),
+                index: data.len() as i64,
+                len: arr.len(),
+            });
+        }
+        for (dst, &x) in arr.iter_mut().zip(data) {
+            *dst = x as f64;
+        }
+        Ok(())
     }
 
     /// Reads a DRAM array.
     pub fn dram(&self, name: &str) -> Option<&[f64]> {
-        self.drams.get(name).map(Vec::as_slice)
+        let slot = self.syms.dram_slot(name)?;
+        self.drams[slot as usize]
+            .as_ref()
+            .map(|a| a.data.as_slice())
     }
 
     /// The declared kind of a DRAM array.
     pub fn dram_kind(&self, name: &str) -> Option<MemKind> {
-        self.dram_kinds.get(name).copied()
+        let slot = self.syms.dram_slot(name)?;
+        self.drams[slot as usize].as_ref().map(|a| a.kind)
     }
 
     /// Reads a DRAM array as integers (rounding).
     pub fn dram_usize(&self, name: &str) -> Option<Vec<usize>> {
-        self.drams
-            .get(name)
-            .map(|v| v.iter().map(|&x| x.round() as usize).collect())
+        let arr = self.dram(name)?;
+        let mut out = Vec::with_capacity(arr.len());
+        self.read_dram_usize_into(name, arr.len(), &mut out)?;
+        Some(out)
     }
 
-    /// The statistics gathered so far.
+    /// Streams the first `len` words of a DRAM array into `out` as
+    /// integers (rounding), clearing `out` first. Returns `None` when the
+    /// array is missing or shorter than `len`; `out` is left empty then.
+    pub fn read_dram_usize_into(&self, name: &str, len: usize, out: &mut Vec<usize>) -> Option<()> {
+        out.clear();
+        let arr = self.dram(name)?;
+        if arr.len() < len {
+            return None;
+        }
+        out.extend(arr[..len].iter().map(|&x| x.round() as usize));
+        Some(())
+    }
+
+    /// The statistics gathered so far (updated when [`Machine::run`]
+    /// returns).
     pub fn stats(&self) -> &ExecStats {
         &self.stats
     }
 
     /// Executes the program's Accel block.
     ///
+    /// The resolved form produced at construction is reused when
+    /// `program` equals the program the machine was built from;
+    /// otherwise the new program is linked against the machine's
+    /// existing slot space first.
+    ///
     /// # Errors
     ///
     /// Returns the first [`RunError`] encountered.
     pub fn run(&mut self, program: &SpatialProgram) -> Result<ExecStats, RunError> {
-        for stmt in &program.accel {
-            self.exec(stmt)?;
+        if *program != self.source {
+            self.source = program.clone();
+            self.resolved = Rc::new(resolve(program, &mut self.syms));
+            self.grow_state();
         }
+        let prog = Rc::clone(&self.resolved);
+        let result = (|| {
+            for stmt in &prog.body {
+                self.exec(&prog, stmt)?;
+            }
+            Ok(())
+        })();
+        self.stats = self.dense.fold(&self.syms);
+        result?;
         Ok(self.stats.clone())
     }
 
@@ -268,457 +494,530 @@ impl Machine {
         self.node_stack.last().copied()
     }
 
-    fn note_dram_read(&mut self, dram: &str, words: u64) {
-        *self.stats.dram_reads.entry(dram.to_string()).or_default() += words;
-        if let Some(n) = self.current_node() {
-            *self.stats.node_dram_read_words.entry(n).or_default() += words;
-        }
-    }
-
-    fn note_dram_write(&mut self, dram: &str, words: u64) {
-        *self.stats.dram_writes.entry(dram.to_string()).or_default() += words;
-        if let Some(n) = self.current_node() {
-            *self.stats.node_dram_write_words.entry(n).or_default() += words;
-        }
-    }
-
-    fn index_of(&self, v: f64, context: &str) -> Result<usize, RunError> {
-        if v < 0.0 {
-            return Err(RunError::NegativeIndex {
-                context: context.to_string(),
-                value: v,
-            });
-        }
-        Ok(v.round() as usize)
-    }
-
-    fn eval(&mut self, e: &SExpr) -> Result<f64, RunError> {
-        match e {
-            SExpr::Const(c) => Ok(*c),
-            SExpr::Var(v) => self
-                .env
-                .get(v)
-                .copied()
-                .ok_or_else(|| RunError::UnboundVar(v.clone())),
-            SExpr::RegRead(r) => match self.on_chip.get(r) {
-                Some(Mem::Reg(v)) => Ok(*v),
-                _ => Err(RunError::UnknownMemory(r.clone())),
+    fn eval(&mut self, p: &ResolvedProgram, id: ExprId) -> Result<f64, RunError> {
+        match p.expr(id) {
+            ResolvedExpr::Const(c) => Ok(c),
+            ResolvedExpr::Var(v) => self.env[v as usize]
+                .ok_or_else(|| RunError::UnboundVar(self.syms.var_name(v).to_string())),
+            ResolvedExpr::RegRead(r) => match &self.on_chip[r as usize] {
+                Some(OnChip {
+                    mem: Mem::Reg(v), ..
+                }) => Ok(*v),
+                _ => Err(self.unknown_chip(r)),
             },
-            SExpr::Deq(fifo) => {
-                self.stats.fifo_deqs += 1;
-                match self.on_chip.get_mut(fifo) {
-                    Some(Mem::Fifo(q)) => {
-                        q.pop_front().ok_or_else(|| RunError::FifoUnderflow(fifo.clone()))
+            ResolvedExpr::Deq(f) => {
+                self.dense.fifo_deqs += 1;
+                match &mut self.on_chip[f as usize] {
+                    Some(OnChip {
+                        mem: Mem::Fifo(q), ..
+                    }) => {
+                        let popped = q.pop_front();
+                        popped.ok_or_else(|| {
+                            RunError::FifoUnderflow(self.syms.chip_name(f).to_string())
+                        })
                     }
-                    _ => Err(RunError::UnknownMemory(fifo.clone())),
+                    _ => Err(self.unknown_chip(f)),
                 }
             }
-            SExpr::ReadMem { mem, index, random } => {
-                let ix = self.eval(index)?;
-                let ix = self.index_of(ix, mem)?;
+            ResolvedExpr::ReadMem {
+                chip,
+                dram,
+                index,
+                random,
+            } => {
+                let ix = self.eval(p, index)?;
+                let syms = &self.syms;
+                let ix = index_of(ix, || syms.chip_name(chip).to_string())?;
                 // On-chip first, then DRAM (SparseDram random reads).
-                if let Some(kind) = self.on_chip_kinds.get(mem).copied() {
-                    let m = self.on_chip.get(mem).expect("kind implies presence");
-                    let v = match m {
-                        Mem::Words(w) => *w.get(ix).ok_or(RunError::OutOfBounds {
-                            mem: mem.clone(),
-                            index: ix as i64,
-                            len: w.len(),
-                        })?,
-                        _ => return Err(RunError::UnknownMemory(mem.clone())),
+                if let Some(oc) = &self.on_chip[chip as usize] {
+                    let kind = oc.kind;
+                    let v = match &oc.mem {
+                        Mem::Words(w) => {
+                            let len = w.len();
+                            *w.get(ix).ok_or_else(|| RunError::OutOfBounds {
+                                mem: syms.chip_name(chip).to_string(),
+                                index: ix as i64,
+                                len,
+                            })?
+                        }
+                        _ => return Err(self.unknown_chip(chip)),
                     };
-                    self.stats.sram_reads += 1;
-                    if *random && kind == MemKind::SparseSram {
-                        self.stats.shuffle_accesses += 1;
+                    self.dense.sram_reads += 1;
+                    if random && kind == MemKind::SparseSram {
+                        self.dense.shuffle_accesses += 1;
                     }
                     Ok(v)
-                } else if let Some(arr) = self.drams.get(mem) {
-                    let v = *arr.get(ix).ok_or(RunError::OutOfBounds {
-                        mem: mem.clone(),
+                } else if let Some(arr) = &self.drams[dram as usize] {
+                    let len = arr.data.len();
+                    let v = *arr.data.get(ix).ok_or_else(|| RunError::OutOfBounds {
+                        mem: syms.dram_name(dram).to_string(),
                         index: ix as i64,
-                        len: arr.len(),
+                        len,
                     })?;
-                    self.stats.dram_random_reads += 1;
+                    self.dense.dram_random_reads += 1;
                     Ok(v)
                 } else {
-                    Err(RunError::UnknownMemory(mem.clone()))
+                    Err(self.unknown_chip(chip))
                 }
             }
-            SExpr::Neg(inner) => {
-                let v = self.eval(inner)?;
-                self.stats.alu_ops += 1;
+            ResolvedExpr::Neg(inner) => {
+                let v = self.eval(p, inner)?;
+                self.dense.alu_ops += 1;
                 Ok(-v)
             }
-            SExpr::Binary { op, lhs, rhs } => {
-                let a = self.eval(lhs)?;
-                let b = self.eval(rhs)?;
-                self.stats.alu_ops += 1;
+            ResolvedExpr::Binary { op, lhs, rhs } => {
+                let a = self.eval(p, lhs)?;
+                let b = self.eval(p, rhs)?;
+                self.dense.alu_ops += 1;
                 Ok(op.apply(a, b))
             }
-            SExpr::Select {
+            ResolvedExpr::Select {
                 cond,
                 if_true,
                 if_false,
             } => {
-                let c = self.eval(cond)?;
-                self.stats.alu_ops += 1;
+                let c = self.eval(p, cond)?;
+                self.dense.alu_ops += 1;
                 // Both sides are evaluated in hardware (they are wires);
                 // evaluate lazily here only to avoid spurious OOB on the
                 // untaken side, which a mux masks out.
                 if c != 0.0 {
-                    self.eval(if_true)
+                    self.eval(p, if_true)
                 } else {
-                    self.eval(if_false)
+                    self.eval(p, if_false)
                 }
             }
         }
     }
 
-    fn alloc(&mut self, decl: &MemDecl) -> Result<(), RunError> {
-        let mem = match decl.kind {
-            MemKind::Sram | MemKind::SparseSram => Mem::Words(vec![0.0; decl.size]),
-            MemKind::Fifo => Mem::Fifo(VecDeque::new()),
-            MemKind::Reg => Mem::Reg(0.0),
-            MemKind::BitVector => Mem::Bits(vec![false; decl.size]),
-            MemKind::Dram | MemKind::SparseDram => {
-                // DRAM is declared at program level, not allocated in Accel.
-                return Err(RunError::UnknownMemory(decl.name.clone()));
-            }
-        };
-        self.on_chip.insert(decl.name.clone(), mem);
-        self.on_chip_kinds.insert(decl.name.clone(), decl.kind);
-        Ok(())
-    }
-
     fn write_on_chip(
         &mut self,
-        mem: &str,
+        mem: Slot,
         ix: usize,
         value: f64,
         random: bool,
         accumulate: bool,
     ) -> Result<(), RunError> {
-        let kind = self
-            .on_chip_kinds
-            .get(mem)
-            .copied()
-            .ok_or_else(|| RunError::UnknownMemory(mem.to_string()))?;
-        match self.on_chip.get_mut(mem) {
-            Some(Mem::Words(w)) => {
+        match &mut self.on_chip[mem as usize] {
+            Some(OnChip {
+                kind,
+                mem: Mem::Words(w),
+            }) => {
+                let kind = *kind;
                 let len = w.len();
-                let slot = w.get_mut(ix).ok_or(RunError::OutOfBounds {
-                    mem: mem.to_string(),
-                    index: ix as i64,
-                    len,
-                })?;
+                let slot = match w.get_mut(ix) {
+                    Some(s) => s,
+                    None => {
+                        return Err(RunError::OutOfBounds {
+                            mem: self.syms.chip_name(mem).to_string(),
+                            index: ix as i64,
+                            len,
+                        })
+                    }
+                };
                 if accumulate {
                     *slot += value;
                 } else {
                     *slot = value;
                 }
-                self.stats.sram_writes += 1;
+                self.dense.sram_writes += 1;
                 if (random || accumulate) && kind == MemKind::SparseSram {
-                    self.stats.shuffle_accesses += 1;
+                    self.dense.shuffle_accesses += 1;
                 }
                 Ok(())
             }
-            _ => Err(RunError::UnknownMemory(mem.to_string())),
+            _ => Err(self.unknown_chip(mem)),
         }
     }
 
-    fn exec(&mut self, stmt: &SpatialStmt) -> Result<(), RunError> {
+    fn exec(&mut self, p: &ResolvedProgram, stmt: &ResolvedStmt) -> Result<(), RunError> {
         match stmt {
-            SpatialStmt::Comment(_) => Ok(()),
-            SpatialStmt::Alloc(decl) => self.alloc(decl),
-            SpatialStmt::Bind { var, value } => {
-                let v = self.eval(value)?;
-                self.env.insert(var.clone(), v);
+            ResolvedStmt::Alloc { slot, kind, size } => {
+                let mem = match kind {
+                    MemKind::Sram | MemKind::SparseSram => Mem::Words(vec![0.0; *size]),
+                    MemKind::Fifo => Mem::Fifo(VecDeque::new()),
+                    MemKind::Reg => Mem::Reg(0.0),
+                    MemKind::BitVector => Mem::Bits(vec![false; *size]),
+                    MemKind::Dram | MemKind::SparseDram => {
+                        // DRAM is declared at program level, not allocated
+                        // in Accel.
+                        return Err(self.unknown_chip(*slot));
+                    }
+                };
+                self.on_chip[*slot as usize] = Some(OnChip { kind: *kind, mem });
                 Ok(())
             }
-            SpatialStmt::Load {
+            ResolvedStmt::Bind { var, value } => {
+                let v = self.eval(p, *value)?;
+                self.env[*var as usize] = Some(v);
+                Ok(())
+            }
+            ResolvedStmt::Load {
                 dst,
                 src,
                 start,
                 end,
-                ..
             } => {
-                let s = self.eval(start)?;
-                let e = self.eval(end)?;
-                let s = self.index_of(s, "load start")?;
-                let e = self.index_of(e, "load end")?;
-                let arr = self
-                    .drams
-                    .get(src)
-                    .ok_or_else(|| RunError::UnknownMemory(src.clone()))?;
-                if e > arr.len() {
+                let s = self.eval(p, *start)?;
+                let e = self.eval(p, *end)?;
+                let s = index_of(s, || "load start".to_string())?;
+                let e = index_of(e, || "load end".to_string())?;
+                let alen = match &self.drams[*src as usize] {
+                    Some(arr) => arr.data.len(),
+                    None => return Err(self.unknown_dram(*src)),
+                };
+                if e > alen {
                     return Err(RunError::OutOfBounds {
-                        mem: src.clone(),
+                        mem: self.syms.dram_name(*src).to_string(),
                         index: e as i64,
-                        len: arr.len(),
+                        len: alen,
                     });
                 }
-                let data: Vec<f64> = arr[s..e].to_vec();
-                self.note_dram_read(src, (e - s) as u64);
-                match self.on_chip.get_mut(dst) {
-                    Some(Mem::Words(w)) => {
-                        if data.len() > w.len() {
-                            return Err(RunError::OutOfBounds {
-                                mem: dst.clone(),
-                                index: data.len() as i64,
-                                len: w.len(),
-                            });
-                        }
-                        w[..data.len()].copy_from_slice(&data);
-                        self.stats.sram_writes += data.len() as u64;
-                        Ok(())
-                    }
-                    Some(Mem::Fifo(q)) => {
-                        self.stats.fifo_enqs += data.len() as u64;
-                        q.extend(data);
-                        Ok(())
-                    }
-                    _ => Err(RunError::UnknownMemory(dst.clone())),
-                }
-            }
-            SpatialStmt::Store {
-                dst,
-                offset,
-                src,
-                len,
-                ..
-            } => {
-                let off = self.eval(offset)?;
-                let off = self.index_of(off, "store offset")?;
-                let n = self.eval(len)?;
-                let n = self.index_of(n, "store len")?;
-                let data: Vec<f64> = match self.on_chip.get(src) {
-                    Some(Mem::Words(w)) => {
+                let n = e.checked_sub(s).expect("load start beyond load end");
+                self.dense
+                    .note_dram_read(*src, n as u64, self.current_node());
+                let src_arr = self.drams[*src as usize].as_ref().expect("checked");
+                match &mut self.on_chip[*dst as usize] {
+                    Some(OnChip {
+                        mem: Mem::Words(w), ..
+                    }) => {
                         if n > w.len() {
                             return Err(RunError::OutOfBounds {
-                                mem: src.clone(),
+                                mem: self.syms.chip_name(*dst).to_string(),
                                 index: n as i64,
                                 len: w.len(),
                             });
                         }
-                        w[..n].to_vec()
+                        w[..n].copy_from_slice(&src_arr.data[s..e]);
+                        self.dense.sram_writes += n as u64;
+                        Ok(())
                     }
-                    _ => return Err(RunError::UnknownMemory(src.clone())),
+                    Some(OnChip {
+                        mem: Mem::Fifo(q), ..
+                    }) => {
+                        self.dense.fifo_enqs += n as u64;
+                        q.extend(src_arr.data[s..e].iter().copied());
+                        Ok(())
+                    }
+                    _ => Err(RunError::UnknownMemory(
+                        self.syms.chip_name(*dst).to_string(),
+                    )),
+                }
+            }
+            ResolvedStmt::Store {
+                dst,
+                offset,
+                src,
+                len,
+            } => {
+                let off = self.eval(p, *offset)?;
+                let off = index_of(off, || "store offset".to_string())?;
+                let n = self.eval(p, *len)?;
+                let n = index_of(n, || "store len".to_string())?;
+                let w = match &self.on_chip[*src as usize] {
+                    Some(OnChip {
+                        mem: Mem::Words(w), ..
+                    }) => w,
+                    _ => return Err(self.unknown_chip(*src)),
                 };
-                self.stats.sram_reads += n as u64;
-                let arr = self
-                    .drams
-                    .get_mut(dst)
-                    .ok_or_else(|| RunError::UnknownMemory(dst.clone()))?;
+                if n > w.len() {
+                    return Err(RunError::OutOfBounds {
+                        mem: self.syms.chip_name(*src).to_string(),
+                        index: n as i64,
+                        len: w.len(),
+                    });
+                }
+                self.dense.sram_reads += n as u64;
+                let arr = match &mut self.drams[*dst as usize] {
+                    Some(arr) => &mut arr.data,
+                    None => {
+                        return Err(RunError::UnknownMemory(
+                            self.syms.dram_name(*dst).to_string(),
+                        ))
+                    }
+                };
                 if off + n > arr.len() {
                     return Err(RunError::OutOfBounds {
-                        mem: dst.clone(),
+                        mem: self.syms.dram_name(*dst).to_string(),
                         index: (off + n) as i64,
                         len: arr.len(),
                     });
                 }
-                arr[off..off + n].copy_from_slice(&data);
-                self.note_dram_write(dst, n as u64);
+                arr[off..off + n].copy_from_slice(&w[..n]);
+                self.dense
+                    .note_dram_write(*dst, n as u64, self.current_node());
                 Ok(())
             }
-            SpatialStmt::StreamStore {
+            ResolvedStmt::StreamStore {
                 dst,
                 offset,
                 fifo,
                 len,
             } => {
-                let off = self.eval(offset)?;
-                let off = self.index_of(off, "stream store offset")?;
-                let n = self.eval(len)?;
-                let n = self.index_of(n, "stream store len")?;
-                let mut data = Vec::with_capacity(n);
-                match self.on_chip.get_mut(fifo) {
-                    Some(Mem::Fifo(q)) => {
-                        for _ in 0..n {
-                            data.push(
-                                q.pop_front()
-                                    .ok_or_else(|| RunError::FifoUnderflow(fifo.clone()))?,
-                            );
-                        }
+                let off = self.eval(p, *offset)?;
+                let off = index_of(off, || "stream store offset".to_string())?;
+                let n = self.eval(p, *len)?;
+                let n = index_of(n, || "stream store len".to_string())?;
+                let q = match &mut self.on_chip[*fifo as usize] {
+                    Some(OnChip {
+                        mem: Mem::Fifo(q), ..
+                    }) => q,
+                    _ => {
+                        return Err(RunError::UnknownMemory(
+                            self.syms.chip_name(*fifo).to_string(),
+                        ))
                     }
-                    _ => return Err(RunError::UnknownMemory(fifo.clone())),
+                };
+                if q.len() < n {
+                    // The reference engine pops one element at a time and
+                    // fails on the first missing one — the FIFO ends up
+                    // drained and the dequeues uncounted.
+                    q.clear();
+                    return Err(RunError::FifoUnderflow(
+                        self.syms.chip_name(*fifo).to_string(),
+                    ));
                 }
-                self.stats.fifo_deqs += n as u64;
-                let arr = self
-                    .drams
-                    .get_mut(dst)
-                    .ok_or_else(|| RunError::UnknownMemory(dst.clone()))?;
+                self.dense.fifo_deqs += n as u64;
+                let arr = match &mut self.drams[*dst as usize] {
+                    Some(arr) => &mut arr.data,
+                    None => {
+                        let q = match &mut self.on_chip[*fifo as usize] {
+                            Some(OnChip {
+                                mem: Mem::Fifo(q), ..
+                            }) => q,
+                            _ => unreachable!("checked above"),
+                        };
+                        q.drain(..n);
+                        return Err(RunError::UnknownMemory(
+                            self.syms.dram_name(*dst).to_string(),
+                        ));
+                    }
+                };
                 if off + n > arr.len() {
+                    let len = arr.len();
+                    let q = match &mut self.on_chip[*fifo as usize] {
+                        Some(OnChip {
+                            mem: Mem::Fifo(q), ..
+                        }) => q,
+                        _ => unreachable!("checked above"),
+                    };
+                    q.drain(..n);
                     return Err(RunError::OutOfBounds {
-                        mem: dst.clone(),
+                        mem: self.syms.dram_name(*dst).to_string(),
                         index: (off + n) as i64,
-                        len: arr.len(),
+                        len,
                     });
                 }
-                arr[off..off + n].copy_from_slice(&data);
-                self.note_dram_write(dst, n as u64);
+                for (slot, v) in arr[off..off + n].iter_mut().zip(q.drain(..n)) {
+                    *slot = v;
+                }
+                self.dense
+                    .note_dram_write(*dst, n as u64, self.current_node());
                 Ok(())
             }
-            SpatialStmt::StoreScalar { dst, index, value } => {
-                let ix = self.eval(index)?;
-                let ix = self.index_of(ix, "scalar store index")?;
-                let v = self.eval(value)?;
-                let arr = self
-                    .drams
-                    .get_mut(dst)
-                    .ok_or_else(|| RunError::UnknownMemory(dst.clone()))?;
+            ResolvedStmt::StoreScalar { dst, index, value } => {
+                let ix = self.eval(p, *index)?;
+                let ix = index_of(ix, || "scalar store index".to_string())?;
+                let v = self.eval(p, *value)?;
+                let arr = match &mut self.drams[*dst as usize] {
+                    Some(arr) => &mut arr.data,
+                    None => {
+                        return Err(RunError::UnknownMemory(
+                            self.syms.dram_name(*dst).to_string(),
+                        ))
+                    }
+                };
                 let len = arr.len();
-                let slot = arr.get_mut(ix).ok_or(RunError::OutOfBounds {
-                    mem: dst.clone(),
-                    index: ix as i64,
-                    len,
-                })?;
+                let slot = match arr.get_mut(ix) {
+                    Some(s) => s,
+                    None => {
+                        return Err(RunError::OutOfBounds {
+                            mem: self.syms.dram_name(*dst).to_string(),
+                            index: ix as i64,
+                            len,
+                        })
+                    }
+                };
                 *slot = v;
-                self.stats.dram_random_writes += 1;
+                self.dense.dram_random_writes += 1;
                 Ok(())
             }
-            SpatialStmt::WriteMem {
+            ResolvedStmt::WriteMem {
                 mem,
                 index,
                 value,
                 random,
             } => {
-                let ix = self.eval(index)?;
-                let ix = self.index_of(ix, mem)?;
-                let v = self.eval(value)?;
-                self.write_on_chip(mem, ix, v, *random, false)
+                let ix = self.eval(p, *index)?;
+                let syms = &self.syms;
+                let ix = index_of(ix, || syms.chip_name(*mem).to_string())?;
+                let v = self.eval(p, *value)?;
+                self.write_on_chip(*mem, ix, v, *random, false)
             }
-            SpatialStmt::RmwAdd { mem, index, value } => {
-                let ix = self.eval(index)?;
-                let ix = self.index_of(ix, mem)?;
-                let v = self.eval(value)?;
-                self.write_on_chip(mem, ix, v, true, true)
+            ResolvedStmt::RmwAdd { mem, index, value } => {
+                let ix = self.eval(p, *index)?;
+                let syms = &self.syms;
+                let ix = index_of(ix, || syms.chip_name(*mem).to_string())?;
+                let v = self.eval(p, *value)?;
+                self.write_on_chip(*mem, ix, v, true, true)
             }
-            SpatialStmt::SetReg { reg, value } => {
-                let v = self.eval(value)?;
-                match self.on_chip.get_mut(reg) {
-                    Some(Mem::Reg(r)) => {
+            ResolvedStmt::SetReg { reg, value } => {
+                let v = self.eval(p, *value)?;
+                match &mut self.on_chip[*reg as usize] {
+                    Some(OnChip {
+                        mem: Mem::Reg(r), ..
+                    }) => {
                         *r = v;
                         Ok(())
                     }
-                    _ => Err(RunError::UnknownMemory(reg.clone())),
+                    _ => Err(self.unknown_chip(*reg)),
                 }
             }
-            SpatialStmt::Enq { fifo, value } => {
-                let v = self.eval(value)?;
-                match self.on_chip.get_mut(fifo) {
-                    Some(Mem::Fifo(q)) => {
+            ResolvedStmt::Enq { fifo, value } => {
+                let v = self.eval(p, *value)?;
+                match &mut self.on_chip[*fifo as usize] {
+                    Some(OnChip {
+                        mem: Mem::Fifo(q), ..
+                    }) => {
                         q.push_back(v);
-                        self.stats.fifo_enqs += 1;
+                        self.dense.fifo_enqs += 1;
                         Ok(())
                     }
-                    _ => Err(RunError::UnknownMemory(fifo.clone())),
+                    _ => Err(self.unknown_chip(*fifo)),
                 }
             }
-            SpatialStmt::GenBitVector {
+            ResolvedStmt::GenBitVector {
                 dst,
                 src,
                 src_start,
                 count,
                 dim,
             } => {
-                let n = self.eval(count)?;
-                let n = self.index_of(n, "genbv count")?;
-                let d = self.eval(dim)?;
-                let d = self.index_of(d, "genbv dim")?;
-                let s = self.eval(src_start)?;
-                let s = self.index_of(s, "genbv start")?;
-                // Gather coordinates from the source memory.
-                let coords: Vec<usize> = match self.on_chip.get_mut(src) {
-                    Some(Mem::Fifo(q)) => {
-                        let mut out = Vec::with_capacity(n);
-                        for _ in 0..n {
-                            let v = q
-                                .pop_front()
-                                .ok_or_else(|| RunError::FifoUnderflow(src.clone()))?;
-                            out.push(v.round() as usize);
+                let n = self.eval(p, *count)?;
+                let n = index_of(n, || "genbv count".to_string())?;
+                let d = self.eval(p, *dim)?;
+                let d = index_of(d, || "genbv dim".to_string())?;
+                let s = self.eval(p, *src_start)?;
+                let s = index_of(s, || "genbv start".to_string())?;
+                // Gather coordinates from the source memory into the
+                // reusable scratch buffer.
+                let mut coords = std::mem::take(&mut self.scratch);
+                coords.clear();
+                match &mut self.on_chip[*src as usize] {
+                    Some(OnChip {
+                        mem: Mem::Fifo(q), ..
+                    }) => {
+                        if q.len() < n {
+                            // Reference semantics: pop until empty, fail.
+                            q.clear();
+                            return Err(RunError::FifoUnderflow(
+                                self.syms.chip_name(*src).to_string(),
+                            ));
                         }
-                        self.stats.fifo_deqs += n as u64;
-                        out
+                        coords.extend(q.drain(..n).map(|v| v.round() as usize));
+                        self.dense.fifo_deqs += n as u64;
                     }
-                    Some(Mem::Words(w)) => {
+                    Some(OnChip {
+                        mem: Mem::Words(w), ..
+                    }) => {
                         if s + n > w.len() {
                             return Err(RunError::OutOfBounds {
-                                mem: src.clone(),
+                                mem: self.syms.chip_name(*src).to_string(),
                                 index: (s + n) as i64,
                                 len: w.len(),
                             });
                         }
-                        self.stats.sram_reads += n as u64;
-                        w[s..s + n].iter().map(|&v| v.round() as usize).collect()
+                        self.dense.sram_reads += n as u64;
+                        coords.extend(w[s..s + n].iter().map(|&v| v.round() as usize));
                     }
-                    _ => return Err(RunError::UnknownMemory(src.clone())),
-                };
-                match self.on_chip.get_mut(dst) {
-                    Some(Mem::Bits(bits)) => {
+                    _ => {
+                        return Err(RunError::UnknownMemory(
+                            self.syms.chip_name(*src).to_string(),
+                        ))
+                    }
+                }
+                let result = match &mut self.on_chip[*dst as usize] {
+                    Some(OnChip {
+                        mem: Mem::Bits(bits),
+                        ..
+                    }) => {
                         if bits.len() < d {
                             bits.resize(d, false);
                         }
                         bits.iter_mut().for_each(|b| *b = false);
-                        for c in coords {
+                        let mut failed = None;
+                        for &c in &coords {
                             if c >= bits.len() {
-                                return Err(RunError::OutOfBounds {
-                                    mem: dst.clone(),
+                                failed = Some(RunError::OutOfBounds {
+                                    mem: self.syms.chip_name(*dst).to_string(),
                                     index: c as i64,
                                     len: bits.len(),
                                 });
+                                break;
                             }
                             bits[c] = true;
                         }
-                        self.stats.bv_gen_bits += d as u64;
-                        Ok(())
+                        match failed {
+                            Some(e) => Err(e),
+                            None => {
+                                self.dense.bv_gen_bits += d as u64;
+                                Ok(())
+                            }
+                        }
                     }
-                    _ => Err(RunError::UnknownMemory(dst.clone())),
-                }
+                    _ => Err(RunError::UnknownMemory(
+                        self.syms.chip_name(*dst).to_string(),
+                    )),
+                };
+                self.scratch = coords;
+                result
             }
-            SpatialStmt::Foreach {
-                id, counter, body, ..
-            } => {
+            ResolvedStmt::Foreach { id, counter, body } => {
                 self.node_stack.push(*id);
-                let result = self.run_counter(counter, |m| {
-                    *m.stats.node_trips.entry(*id).or_default() += 1;
+                let result = self.run_counter(p, counter, |m| {
+                    m.dense.node_trips[*id] += 1;
                     for s in body {
-                        m.exec(s)?;
+                        m.exec(p, s)?;
                     }
                     Ok(())
                 });
                 self.node_stack.pop();
                 result
             }
-            SpatialStmt::Reduce {
+            ResolvedStmt::Reduce {
                 id,
                 reg,
                 counter,
                 body,
                 expr,
-                ..
             } => {
                 self.node_stack.push(*id);
-                let mut acc = match self.on_chip.get(reg) {
-                    Some(Mem::Reg(v)) => *v,
+                let mut acc = match &self.on_chip[*reg as usize] {
+                    Some(OnChip {
+                        mem: Mem::Reg(v), ..
+                    }) => *v,
                     _ => {
                         self.node_stack.pop();
-                        return Err(RunError::UnknownMemory(reg.clone()));
+                        return Err(self.unknown_chip(*reg));
                     }
                 };
-                let result = self.run_counter(counter, |m| {
-                    *m.stats.node_trips.entry(*id).or_default() += 1;
+                let result = self.run_counter(p, counter, |m| {
+                    m.dense.node_trips[*id] += 1;
                     for s in body {
-                        m.exec(s)?;
+                        m.exec(p, s)?;
                     }
-                    let v = m.eval(expr)?;
-                    m.stats.reduce_elems += 1;
-                    m.stats.alu_ops += 1; // the tree-add
+                    let v = m.eval(p, *expr)?;
+                    m.dense.reduce_elems += 1;
+                    m.dense.alu_ops += 1; // the tree-add
                     acc += v;
                     Ok(())
                 });
                 self.node_stack.pop();
                 result?;
-                if let Some(Mem::Reg(r)) = self.on_chip.get_mut(reg) {
+                if let Some(OnChip {
+                    mem: Mem::Reg(r), ..
+                }) = &mut self.on_chip[*reg as usize]
+                {
                     *r = acc;
                 }
                 Ok(())
@@ -728,57 +1027,62 @@ impl Machine {
 
     fn run_counter(
         &mut self,
-        counter: &Counter,
+        p: &ResolvedProgram,
+        counter: &ResolvedCounter,
         mut body: impl FnMut(&mut Machine) -> Result<(), RunError>,
     ) -> Result<(), RunError> {
         match counter {
-            Counter::Range {
+            ResolvedCounter::Range {
                 var,
                 min,
                 max,
                 step,
             } => {
-                let lo = self.eval(min)?;
-                let hi = self.eval(max)?;
+                let lo = self.eval(p, *min)?;
+                let hi = self.eval(p, *max)?;
                 let step = *step;
                 debug_assert!(step > 0, "non-positive loop step");
-                let saved = self.env.get(var).copied();
+                let var = *var as usize;
+                let saved = self.env[var];
                 let mut v = lo;
                 while v < hi {
-                    self.env.insert(var.clone(), v);
+                    self.env[var] = Some(v);
                     body(self)?;
                     v += step as f64;
                 }
-                restore(&mut self.env, var, saved);
+                self.env[var] = saved;
                 Ok(())
             }
-            Counter::Scan1 {
+            ResolvedCounter::Scan1 {
                 bv,
                 pos_var,
                 idx_var,
             } => {
-                let bits = match self.on_chip.get(bv) {
-                    Some(Mem::Bits(b)) => b.clone(),
-                    _ => return Err(RunError::UnknownMemory(bv.clone())),
+                let bits = match &self.on_chip[*bv as usize] {
+                    Some(OnChip {
+                        mem: Mem::Bits(b), ..
+                    }) => b.clone(),
+                    _ => return Err(self.unknown_chip(*bv)),
                 };
-                self.stats.scan_bits += bits.len() as u64;
-                let saved_pos = self.env.get(pos_var).copied();
-                let saved_idx = self.env.get(idx_var).copied();
+                self.dense.scan_bits += bits.len() as u64;
+                let (pos_var, idx_var) = (*pos_var as usize, *idx_var as usize);
+                let saved_pos = self.env[pos_var];
+                let saved_idx = self.env[idx_var];
                 let mut pos = 0u64;
                 for (idx, set) in bits.iter().enumerate() {
                     if *set {
-                        self.env.insert(pos_var.clone(), pos as f64);
-                        self.env.insert(idx_var.clone(), idx as f64);
-                        self.stats.scan_emits += 1;
+                        self.env[pos_var] = Some(pos as f64);
+                        self.env[idx_var] = Some(idx as f64);
+                        self.dense.scan_emits += 1;
                         body(self)?;
                         pos += 1;
                     }
                 }
-                restore(&mut self.env, pos_var, saved_pos);
-                restore(&mut self.env, idx_var, saved_idx);
+                self.env[pos_var] = saved_pos;
+                self.env[idx_var] = saved_idx;
                 Ok(())
             }
-            Counter::Scan2 {
+            ResolvedCounter::Scan2 {
                 op,
                 bv_a,
                 bv_b,
@@ -787,21 +1091,27 @@ impl Machine {
                 out_pos_var,
                 idx_var,
             } => {
-                let a = match self.on_chip.get(bv_a) {
-                    Some(Mem::Bits(b)) => b.clone(),
-                    _ => return Err(RunError::UnknownMemory(bv_a.clone())),
+                let a = match &self.on_chip[*bv_a as usize] {
+                    Some(OnChip {
+                        mem: Mem::Bits(b), ..
+                    }) => b.clone(),
+                    _ => return Err(self.unknown_chip(*bv_a)),
                 };
-                let b = match self.on_chip.get(bv_b) {
-                    Some(Mem::Bits(bb)) => bb.clone(),
-                    _ => return Err(RunError::UnknownMemory(bv_b.clone())),
+                let b = match &self.on_chip[*bv_b as usize] {
+                    Some(OnChip {
+                        mem: Mem::Bits(bb), ..
+                    }) => bb.clone(),
+                    _ => return Err(self.unknown_chip(*bv_b)),
                 };
                 let dim = a.len().max(b.len());
-                self.stats.scan_bits += 2 * dim as u64;
-                let saved: Vec<(String, Option<f64>)> =
-                    [a_pos_var, b_pos_var, out_pos_var, idx_var]
-                        .iter()
-                        .map(|v| ((*v).clone(), self.env.get(*v).copied()))
-                        .collect();
+                self.dense.scan_bits += 2 * dim as u64;
+                let vars = [
+                    *a_pos_var as usize,
+                    *b_pos_var as usize,
+                    *out_pos_var as usize,
+                    *idx_var as usize,
+                ];
+                let saved = vars.map(|v| self.env[v]);
                 let (mut ap, mut bp, mut op_count) = (0u64, 0u64, 0u64);
                 for idx in 0..dim {
                     let has_a = a.get(idx).copied().unwrap_or(false);
@@ -811,17 +1121,11 @@ impl Machine {
                         ScanOp::Or => has_a || has_b,
                     };
                     if combined {
-                        self.env.insert(
-                            a_pos_var.clone(),
-                            if has_a { ap as f64 } else { -1.0 },
-                        );
-                        self.env.insert(
-                            b_pos_var.clone(),
-                            if has_b { bp as f64 } else { -1.0 },
-                        );
-                        self.env.insert(out_pos_var.clone(), op_count as f64);
-                        self.env.insert(idx_var.clone(), idx as f64);
-                        self.stats.scan_emits += 1;
+                        self.env[vars[0]] = Some(if has_a { ap as f64 } else { -1.0 });
+                        self.env[vars[1]] = Some(if has_b { bp as f64 } else { -1.0 });
+                        self.env[vars[2]] = Some(op_count as f64);
+                        self.env[vars[3]] = Some(idx as f64);
+                        self.dense.scan_emits += 1;
                         body(self)?;
                         op_count += 1;
                     }
@@ -832,8 +1136,8 @@ impl Machine {
                         bp += 1;
                     }
                 }
-                for (v, old) in saved {
-                    restore(&mut self.env, &v, old);
+                for (v, old) in vars.iter().zip(saved) {
+                    self.env[*v] = old;
                 }
                 Ok(())
             }
@@ -841,99 +1145,77 @@ impl Machine {
     }
 }
 
-fn restore(env: &mut HashMap<String, f64>, var: &str, saved: Option<f64>) {
-    match saved {
-        Some(v) => {
-            env.insert(var.to_string(), v);
-        }
-        None => {
-            env.remove(var);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{BinSOp, MemDecl};
+    use crate::ir::{Counter, MemDecl, SExpr, SpatialStmt};
+    use crate::reference::ReferenceMachine;
 
-    fn empty_program() -> SpatialProgram {
-        SpatialProgram::new("t")
+    /// Runs `program` on both engines with the given DRAM inputs and
+    /// asserts byte-identical DRAM contents plus identical statistics
+    /// (or identical errors).
+    fn assert_engines_agree(program: &SpatialProgram, writes: &[(&str, Vec<f64>)]) -> ExecStats {
+        let mut fast = Machine::new(program);
+        let mut reference = ReferenceMachine::new(program);
+        for (name, data) in writes {
+            fast.write_dram(name, data).unwrap();
+            reference.write_dram(name, data).unwrap();
+        }
+        let fast_result = fast.run(program);
+        let ref_result = reference.run(program);
+        assert_eq!(fast_result, ref_result, "run results diverge");
+        for d in &program.drams {
+            let a = fast.dram(&d.name).unwrap();
+            let b = reference.dram(&d.name).unwrap();
+            let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "DRAM {} diverges", d.name);
+        }
+        assert_eq!(fast.stats(), reference.stats(), "stats diverge");
+        fast_result.unwrap_or_else(|_| fast.stats().clone())
     }
 
     #[test]
-    fn bind_and_eval_arithmetic() {
-        let p = empty_program();
-        let mut m = Machine::new(&p);
-        m.exec(&SpatialStmt::Bind {
-            var: "x".into(),
-            value: SExpr::Const(3.0),
-        })
-        .unwrap();
-        let v = m
-            .eval(&SExpr::bin(
-                BinSOp::Mul,
-                SExpr::var("x"),
-                SExpr::Const(4.0),
-            ))
-            .unwrap();
-        assert_eq!(v, 12.0);
-        assert_eq!(m.stats().alu_ops, 1);
-    }
-
-    #[test]
-    fn load_to_sram_and_fifo() {
-        let mut p = empty_program();
-        p.add_dram("d", 4);
-        let mut m = Machine::new(&p);
-        m.write_dram("d", &[1.0, 2.0, 3.0, 4.0]).unwrap();
-        m.exec(&SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, 4)))
-            .unwrap();
-        m.exec(&SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 16)))
-            .unwrap();
-        m.exec(&SpatialStmt::Load {
-            dst: "s".into(),
-            src: "d".into(),
-            start: SExpr::Const(1.0),
-            end: SExpr::Const(3.0),
-            par: 1,
-        })
-        .unwrap();
-        m.exec(&SpatialStmt::Load {
-            dst: "f".into(),
-            src: "d".into(),
+    fn doc_example_doubles_vector() {
+        let mut p = SpatialProgram::new("double");
+        p.add_dram("x", 4);
+        p.add_dram("y", 4);
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("xs", MemKind::Sram, 4)));
+        p.accel.push(SpatialStmt::Load {
+            dst: "xs".into(),
+            src: "x".into(),
             start: SExpr::Const(0.0),
-            end: SExpr::Const(2.0),
+            end: SExpr::Const(4.0),
             par: 1,
-        })
-        .unwrap();
-        assert_eq!(m.eval(&SExpr::read("s", SExpr::Const(0.0))).unwrap(), 2.0);
-        assert_eq!(m.eval(&SExpr::Deq("f".into())).unwrap(), 1.0);
-        assert_eq!(m.eval(&SExpr::Deq("f".into())).unwrap(), 2.0);
-        assert_eq!(m.stats().dram_reads["d"], 4);
-    }
-
-    #[test]
-    fn fifo_underflow_detected() {
-        let p = empty_program();
+        });
+        p.accel.push(SpatialStmt::Foreach {
+            id: 0,
+            counter: Counter::range_to("i", SExpr::Const(4.0)),
+            par: 1,
+            body: vec![SpatialStmt::StoreScalar {
+                dst: "y".into(),
+                index: SExpr::var("i"),
+                value: SExpr::mul(SExpr::read("xs", SExpr::var("i")), SExpr::Const(2.0)),
+            }],
+        });
+        p.assign_ids();
         let mut m = Machine::new(&p);
-        m.exec(&SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 4)))
-            .unwrap();
-        assert_eq!(
-            m.eval(&SExpr::Deq("f".into())),
-            Err(RunError::FifoUnderflow("f".into()))
-        );
+        m.write_dram("x", &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let stats = m.run(&p).unwrap();
+        assert_eq!(m.dram("y").unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(stats.trips(0), 4);
+        assert_eq!(stats.dram_reads["x"], 4);
+        assert_eq!(stats.dram_random_writes, 4);
+        assert_engines_agree(&p, &[("x", vec![1.0, 2.0, 3.0, 4.0])]);
     }
 
     #[test]
     fn reduce_accumulates() {
-        let mut p = empty_program();
+        let mut p = SpatialProgram::new("t");
         p.add_dram("out", 1);
-        p.accel.push(SpatialStmt::Alloc(MemDecl::new(
-            "acc",
-            MemKind::Reg,
-            1,
-        )));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("acc", MemKind::Reg, 1)));
         p.accel.push(SpatialStmt::Reduce {
             id: 0,
             reg: "acc".into(),
@@ -953,38 +1235,97 @@ mod tests {
         assert_eq!(m.dram("out").unwrap()[0], 10.0);
         assert_eq!(m.stats().reduce_elems, 5);
         assert_eq!(m.stats().trips(0), 5);
+        assert_engines_agree(&p, &[]);
+    }
+
+    #[test]
+    fn load_to_sram_and_fifo() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("d", 4);
+        p.add_dram("out", 4);
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, 4)));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 16)));
+        p.accel.push(SpatialStmt::Load {
+            dst: "s".into(),
+            src: "d".into(),
+            start: SExpr::Const(1.0),
+            end: SExpr::Const(3.0),
+            par: 1,
+        });
+        p.accel.push(SpatialStmt::Load {
+            dst: "f".into(),
+            src: "d".into(),
+            start: SExpr::Const(0.0),
+            end: SExpr::Const(2.0),
+            par: 1,
+        });
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::read("s", SExpr::Const(0.0)),
+        });
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(1.0),
+            value: SExpr::Deq("f".into()),
+        });
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(2.0),
+            value: SExpr::Deq("f".into()),
+        });
+        let mut m = Machine::new(&p);
+        m.write_dram("d", &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        m.run(&p).unwrap();
+        assert_eq!(&m.dram("out").unwrap()[..3], &[2.0, 1.0, 2.0]);
+        assert_eq!(m.stats().dram_reads["d"], 4);
+        assert_eq!(m.stats().fifo_deqs, 2);
+        assert_engines_agree(&p, &[("d", vec![1.0, 2.0, 3.0, 4.0])]);
+    }
+
+    #[test]
+    fn fifo_underflow_detected() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 1);
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 4)));
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::Deq("f".into()),
+        });
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(&p), Err(RunError::FifoUnderflow("f".into())));
+        assert_engines_agree(&p, &[]);
     }
 
     #[test]
     fn scan1_visits_set_bits() {
-        let p = empty_program();
-        let mut m = Machine::new(&p);
-        m.exec(&SpatialStmt::Alloc(MemDecl::new(
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 8);
+        p.accel.push(SpatialStmt::Alloc(MemDecl::new(
             "bv",
             MemKind::BitVector,
             8,
-        )))
-        .unwrap();
-        m.exec(&SpatialStmt::Alloc(MemDecl::new("crd", MemKind::Fifo, 8)))
-            .unwrap();
+        )));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("crd", MemKind::Fifo, 8)));
         for c in [1.0, 4.0, 6.0] {
-            m.exec(&SpatialStmt::Enq {
+            p.accel.push(SpatialStmt::Enq {
                 fifo: "crd".into(),
                 value: SExpr::Const(c),
-            })
-            .unwrap();
+            });
         }
-        m.exec(&SpatialStmt::GenBitVector {
+        p.accel.push(SpatialStmt::GenBitVector {
             dst: "bv".into(),
             src: "crd".into(),
             src_start: SExpr::Const(0.0),
             count: SExpr::Const(3.0),
             dim: SExpr::Const(8.0),
-        })
-        .unwrap();
-        m.exec(&SpatialStmt::Alloc(MemDecl::new("out", MemKind::Sram, 8)))
-            .unwrap();
-        m.exec(&SpatialStmt::Foreach {
+        });
+        p.accel.push(SpatialStmt::Foreach {
             id: 0,
             counter: Counter::Scan1 {
                 bv: "bv".into(),
@@ -992,66 +1333,53 @@ mod tests {
                 idx_var: "i".into(),
             },
             par: 1,
-            body: vec![SpatialStmt::WriteMem {
-                mem: "out".into(),
+            body: vec![SpatialStmt::StoreScalar {
+                dst: "out".into(),
                 index: SExpr::var("p"),
                 value: SExpr::var("i"),
-                random: false,
             }],
-        })
-        .unwrap();
-        let out = match m.on_chip.get("out") {
-            Some(Mem::Words(w)) => w.clone(),
-            _ => panic!(),
-        };
-        assert_eq!(&out[..3], &[1.0, 4.0, 6.0]);
+        });
+        p.assign_ids();
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        assert_eq!(&m.dram("out").unwrap()[..3], &[1.0, 4.0, 6.0]);
         assert_eq!(m.stats().scan_emits, 3);
         assert_eq!(m.stats().scan_bits, 8);
+        assert_engines_agree(&p, &[]);
     }
 
     /// The worked example of Fig. 7: A crd {1,2,5}, B crd {0,2,3,8},
-    /// union produces out crd {0,1,2,3,5,8} with the pattern indices shown
-    /// in the figure.
+    /// union produces out crd {0,1,2,3,5,8} with the pattern indices
+    /// shown in the figure (X rendered as -1).
     #[test]
     fn scan2_union_matches_fig7() {
-        let p = empty_program();
-        let mut m = Machine::new(&p);
-        for (bv, coords) in [("bvA", vec![1.0, 2.0, 5.0]), ("bvB", vec![0.0, 2.0, 3.0, 8.0])]
-        {
-            m.exec(&SpatialStmt::Alloc(MemDecl::new(bv, MemKind::BitVector, 9)))
-                .unwrap();
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out_crd", 9);
+        p.add_dram("out_tuples", 16);
+        for (bv, coords) in [
+            ("bvA", vec![1.0, 2.0, 5.0]),
+            ("bvB", vec![0.0, 2.0, 3.0, 8.0]),
+        ] {
+            p.accel
+                .push(SpatialStmt::Alloc(MemDecl::new(bv, MemKind::BitVector, 9)));
             let fifo = format!("{bv}_crd");
-            m.exec(&SpatialStmt::Alloc(MemDecl::new(&fifo, MemKind::Fifo, 9)))
-                .unwrap();
+            p.accel
+                .push(SpatialStmt::Alloc(MemDecl::new(&fifo, MemKind::Fifo, 9)));
             for c in &coords {
-                m.exec(&SpatialStmt::Enq {
+                p.accel.push(SpatialStmt::Enq {
                     fifo: fifo.clone(),
                     value: SExpr::Const(*c),
-                })
-                .unwrap();
+                });
             }
-            m.exec(&SpatialStmt::GenBitVector {
+            p.accel.push(SpatialStmt::GenBitVector {
                 dst: bv.into(),
                 src: fifo,
                 src_start: SExpr::Const(0.0),
                 count: SExpr::Const(coords.len() as f64),
                 dim: SExpr::Const(9.0),
-            })
-            .unwrap();
+            });
         }
-        m.exec(&SpatialStmt::Alloc(MemDecl::new(
-            "out_crd",
-            MemKind::Sram,
-            9,
-        )))
-        .unwrap();
-        m.exec(&SpatialStmt::Alloc(MemDecl::new(
-            "tuples",
-            MemKind::Fifo,
-            64,
-        )))
-        .unwrap();
-        m.exec(&SpatialStmt::Foreach {
+        p.accel.push(SpatialStmt::Foreach {
             id: 0,
             counter: Counter::Scan2 {
                 op: ScanOp::Or,
@@ -1064,38 +1392,36 @@ mod tests {
             },
             par: 1,
             body: vec![
-                SpatialStmt::WriteMem {
-                    mem: "out_crd".into(),
+                SpatialStmt::StoreScalar {
+                    dst: "out_crd".into(),
                     index: SExpr::var("pO"),
                     value: SExpr::var("i"),
-                    random: false,
                 },
-                SpatialStmt::Enq {
-                    fifo: "tuples".into(),
+                SpatialStmt::StoreScalar {
+                    dst: "out_tuples".into(),
+                    index: SExpr::mul(SExpr::var("pO"), SExpr::Const(2.0)),
                     value: SExpr::var("pA"),
                 },
-                SpatialStmt::Enq {
-                    fifo: "tuples".into(),
+                SpatialStmt::StoreScalar {
+                    dst: "out_tuples".into(),
+                    index: SExpr::add(
+                        SExpr::mul(SExpr::var("pO"), SExpr::Const(2.0)),
+                        SExpr::Const(1.0),
+                    ),
                     value: SExpr::var("pB"),
                 },
             ],
-        })
-        .unwrap();
-        let out = match m.on_chip.get("out_crd") {
-            Some(Mem::Words(w)) => w.clone(),
-            _ => panic!(),
-        };
-        assert_eq!(&out[..6], &[0.0, 1.0, 2.0, 3.0, 5.0, 8.0]);
-        // Pattern indices from Fig. 7 (X rendered as -1):
-        // (X,0) (0,X) (1,1) (X,2) (2,X) (X,3) — wait, the figure lists
-        // (A,B) pairs per output: (X,0),(0,X),(1,1),(X,2),(2,X),(X,3).
-        let tuples = match m.on_chip.get("tuples") {
-            Some(Mem::Fifo(q)) => q.iter().copied().collect::<Vec<_>>(),
-            _ => panic!(),
-        };
+        });
+        p.assign_ids();
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
         assert_eq!(
-            tuples,
-            vec![
+            &m.dram("out_crd").unwrap()[..6],
+            &[0.0, 1.0, 2.0, 3.0, 5.0, 8.0]
+        );
+        assert_eq!(
+            &m.dram("out_tuples").unwrap()[..12],
+            &[
                 -1.0, 0.0, // i=0: only B
                 0.0, -1.0, // i=1: only A
                 1.0, 1.0, // i=2: both
@@ -1105,128 +1431,100 @@ mod tests {
             ]
         );
         assert_eq!(m.stats().scan_emits, 6);
-    }
-
-    #[test]
-    fn scan2_intersection() {
-        let p = empty_program();
-        let mut m = Machine::new(&p);
-        for (bv, coords) in [("bvA", vec![1usize, 2, 5]), ("bvB", vec![0, 2, 5, 7])] {
-            m.exec(&SpatialStmt::Alloc(MemDecl::new(bv, MemKind::BitVector, 8)))
-                .unwrap();
-            match m.on_chip.get_mut(bv) {
-                Some(Mem::Bits(b)) => {
-                    for &c in &coords {
-                        b[c] = true;
-                    }
-                }
-                _ => panic!(),
-            }
-        }
-        let mut emitted = Vec::new();
-        m.run_counter(
-            &Counter::Scan2 {
-                op: ScanOp::And,
-                bv_a: "bvA".into(),
-                bv_b: "bvB".into(),
-                a_pos_var: "pA".into(),
-                b_pos_var: "pB".into(),
-                out_pos_var: "pO".into(),
-                idx_var: "i".into(),
-            },
-            |m| {
-                emitted.push((
-                    m.env["pA"] as i64,
-                    m.env["pB"] as i64,
-                    m.env["pO"] as i64,
-                    m.env["i"] as i64,
-                ));
-                Ok(())
-            },
-        )
-        .unwrap();
-        assert_eq!(emitted, vec![(1, 1, 0, 2), (2, 2, 1, 5)]);
+        assert_engines_agree(&p, &[]);
     }
 
     #[test]
     fn rmw_add_into_sparse_sram_counts_shuffle() {
-        let p = empty_program();
-        let mut m = Machine::new(&p);
-        m.exec(&SpatialStmt::Alloc(MemDecl::new(
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 1);
+        p.accel.push(SpatialStmt::Alloc(MemDecl::new(
             "acc",
             MemKind::SparseSram,
             4,
-        )))
-        .unwrap();
-        m.exec(&SpatialStmt::RmwAdd {
-            mem: "acc".into(),
-            index: SExpr::Const(2.0),
-            value: SExpr::Const(1.5),
-        })
-        .unwrap();
-        m.exec(&SpatialStmt::RmwAdd {
-            mem: "acc".into(),
-            index: SExpr::Const(2.0),
-            value: SExpr::Const(1.0),
-        })
-        .unwrap();
-        assert_eq!(
-            m.eval(&SExpr::read("acc", SExpr::Const(2.0))).unwrap(),
-            2.5
-        );
+        )));
+        for v in [1.5, 1.0] {
+            p.accel.push(SpatialStmt::RmwAdd {
+                mem: "acc".into(),
+                index: SExpr::Const(2.0),
+                value: SExpr::Const(v),
+            });
+        }
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::read("acc", SExpr::Const(2.0)),
+        });
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        assert_eq!(m.dram("out").unwrap()[0], 2.5);
         assert_eq!(m.stats().shuffle_accesses, 2);
+        assert_engines_agree(&p, &[]);
     }
 
     #[test]
     fn sparse_dram_random_read() {
-        let mut p = empty_program();
+        let mut p = SpatialProgram::new("t");
         p.add_sparse_dram("x", 8);
+        p.add_dram("out", 1);
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::read_random("x", SExpr::Const(2.0)),
+        });
         let mut m = Machine::new(&p);
         m.write_dram("x", &[0.0, 10.0, 20.0]).unwrap();
-        let v = m
-            .eval(&SExpr::read_random("x", SExpr::Const(2.0)))
-            .unwrap();
-        assert_eq!(v, 20.0);
+        m.run(&p).unwrap();
+        assert_eq!(m.dram("out").unwrap()[0], 20.0);
         assert_eq!(m.stats().dram_random_reads, 1);
+        assert_eq!(m.dram_kind("x"), Some(MemKind::SparseDram));
+        assert_engines_agree(&p, &[("x", vec![0.0, 10.0, 20.0])]);
     }
 
     #[test]
     fn out_of_bounds_reported() {
-        let mut p = empty_program();
+        let mut p = SpatialProgram::new("t");
         p.add_dram("d", 2);
+        p.add_dram("out", 1);
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::read("d", SExpr::Const(5.0)),
+        });
         let mut m = Machine::new(&p);
-        let err = m.eval(&SExpr::read("d", SExpr::Const(5.0))).unwrap_err();
+        let err = m.run(&p).unwrap_err();
         assert!(matches!(err, RunError::OutOfBounds { .. }));
+        assert_engines_agree(&p, &[]);
     }
 
     #[test]
     fn stream_store_drains_fifo() {
-        let mut p = empty_program();
+        let mut p = SpatialProgram::new("t");
         p.add_dram("out", 8);
-        let mut m = Machine::new(&p);
-        m.exec(&SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 8)))
-            .unwrap();
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 8)));
         for v in [5.0, 6.0, 7.0] {
-            m.exec(&SpatialStmt::Enq {
+            p.accel.push(SpatialStmt::Enq {
                 fifo: "f".into(),
                 value: SExpr::Const(v),
-            })
-            .unwrap();
+            });
         }
-        m.exec(&SpatialStmt::StreamStore {
+        p.accel.push(SpatialStmt::StreamStore {
             dst: "out".into(),
             offset: SExpr::Const(2.0),
             fifo: "f".into(),
             len: SExpr::Const(3.0),
-        })
-        .unwrap();
+        });
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
         assert_eq!(&m.dram("out").unwrap()[2..5], &[5.0, 6.0, 7.0]);
         assert_eq!(m.stats().dram_writes["out"], 3);
+        assert_engines_agree(&p, &[]);
     }
 
     #[test]
     fn nested_foreach_trips_recorded() {
-        let mut p = empty_program();
+        let mut p = SpatialProgram::new("t");
         p.accel.push(SpatialStmt::Foreach {
             id: 0,
             counter: Counter::range_to("i", SExpr::Const(3.0)),
@@ -1243,13 +1541,14 @@ mod tests {
         let stats = m.run(&p).unwrap();
         assert_eq!(stats.trips(0), 3);
         assert_eq!(stats.trips(1), 12);
+        assert_engines_agree(&p, &[]);
     }
 
     #[test]
     fn alloc_in_loop_resets() {
         // A register allocated inside a loop body starts at zero each
         // iteration.
-        let mut p = empty_program();
+        let mut p = SpatialProgram::new("t");
         p.add_dram("out", 4);
         p.accel.push(SpatialStmt::Foreach {
             id: 0,
@@ -1272,5 +1571,107 @@ mod tests {
         let mut m = Machine::new(&p);
         m.run(&p).unwrap();
         assert_eq!(&m.dram("out").unwrap()[..3], &[0.0, 1.0, 2.0]);
+        assert_engines_agree(&p, &[]);
+    }
+
+    #[test]
+    fn unbound_var_reported() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 1);
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::var("ghost"),
+        });
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(&p), Err(RunError::UnboundVar("ghost".into())));
+        assert_engines_agree(&p, &[]);
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 1);
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::add(SExpr::Const(1.0), SExpr::Const(2.0)),
+        });
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        assert_eq!(m.stats().alu_ops, 1);
+        let stats = m.run(&p).unwrap();
+        assert_eq!(stats.alu_ops, 2);
+        assert_eq!(stats.dram_random_writes, 2);
+    }
+
+    #[test]
+    fn run_relinks_a_different_program() {
+        let mut p1 = SpatialProgram::new("a");
+        p1.add_dram("x", 2);
+        p1.accel.push(SpatialStmt::StoreScalar {
+            dst: "x".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::Const(7.0),
+        });
+        // Same DRAM, different statement — and a reference to a DRAM the
+        // machine never allocated.
+        let mut p2 = SpatialProgram::new("b");
+        p2.add_dram("x", 2);
+        p2.accel.push(SpatialStmt::StoreScalar {
+            dst: "x".into(),
+            index: SExpr::Const(1.0),
+            value: SExpr::Const(9.0),
+        });
+        let mut m = Machine::new(&p1);
+        m.run(&p1).unwrap();
+        m.run(&p2).unwrap();
+        assert_eq!(m.dram("x").unwrap(), &[7.0, 9.0]);
+
+        let mut p3 = SpatialProgram::new("c");
+        p3.add_dram("ghost", 2);
+        p3.accel.push(SpatialStmt::StoreScalar {
+            dst: "ghost".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::Const(1.0),
+        });
+        // `ghost` was not declared when the machine was built: its slots
+        // exist after re-linking but carry no storage, like the
+        // reference engine's behavior.
+        assert_eq!(m.run(&p3), Err(RunError::UnknownMemory("ghost".into())));
+    }
+
+    #[test]
+    fn write_dram_usize_converts_in_place() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("pos", 4);
+        let mut m = Machine::new(&p);
+        m.write_dram_usize("pos", &[0, 2, 5]).unwrap();
+        assert_eq!(&m.dram("pos").unwrap()[..3], &[0.0, 2.0, 5.0]);
+        assert_eq!(m.dram_usize("pos").unwrap(), vec![0, 2, 5, 0]);
+        let mut buf = Vec::new();
+        m.read_dram_usize_into("pos", 2, &mut buf).unwrap();
+        assert_eq!(buf, vec![0, 2]);
+        assert!(m.read_dram_usize_into("pos", 9, &mut buf).is_none());
+        assert!(m.write_dram_usize("ghost", &[1]).is_err());
+    }
+
+    #[test]
+    fn zero_length_load_still_creates_stats_entry() {
+        // The reference engine creates a dram_reads entry even for a
+        // zero-word load; the fold must reproduce that.
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("d", 4);
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, 4)));
+        p.accel.push(SpatialStmt::Load {
+            dst: "s".into(),
+            src: "d".into(),
+            start: SExpr::Const(2.0),
+            end: SExpr::Const(2.0),
+            par: 1,
+        });
+        let stats = assert_engines_agree(&p, &[]);
+        assert_eq!(stats.dram_reads.get("d"), Some(&0));
     }
 }

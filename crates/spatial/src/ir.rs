@@ -203,16 +203,19 @@ impl SExpr {
     }
 
     /// `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: SExpr, rhs: SExpr) -> SExpr {
         SExpr::bin(BinSOp::Add, lhs, rhs)
     }
 
     /// `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: SExpr, rhs: SExpr) -> SExpr {
         SExpr::bin(BinSOp::Sub, lhs, rhs)
     }
 
     /// `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: SExpr, rhs: SExpr) -> SExpr {
         SExpr::bin(BinSOp::Mul, lhs, rhs)
     }
@@ -374,7 +377,9 @@ impl Counter {
     pub fn bound_vars(&self) -> Vec<&str> {
         match self {
             Counter::Range { var, .. } => vec![var],
-            Counter::Scan1 { pos_var, idx_var, .. } => vec![pos_var, idx_var],
+            Counter::Scan1 {
+                pos_var, idx_var, ..
+            } => vec![pos_var, idx_var],
             Counter::Scan2 {
                 a_pos_var,
                 b_pos_var,

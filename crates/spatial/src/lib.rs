@@ -13,15 +13,24 @@
 //! trace ([`interp::ExecStats`]) that the Capstan simulator turns into
 //! cycle counts. The [`printer`] renders Fig.-11-style Spatial source,
 //! which drives the paper's lines-of-code comparison (Table 3).
+//!
+//! Execution goes through the [`resolve`] link pass first: names are
+//! interned into dense slots and expression trees are flattened into an
+//! arena, so the interpreting [`Machine`] never hashes a string on its
+//! hot path. The original name-keyed tree walker is preserved as
+//! [`ReferenceMachine`] and serves as the differential-testing oracle
+//! and benchmark baseline for the resolved engine.
 
 pub mod interp;
 pub mod ir;
 pub mod printer;
+pub mod reference;
+pub mod resolve;
 pub mod validate;
 
 pub use interp::{ExecStats, Machine, RunError};
-pub use ir::{
-    BinSOp, Counter, MemDecl, MemKind, ScanOp, SExpr, SpatialProgram, SpatialStmt,
-};
+pub use ir::{BinSOp, Counter, MemDecl, MemKind, SExpr, ScanOp, SpatialProgram, SpatialStmt};
 pub use printer::print_program;
+pub use reference::ReferenceMachine;
+pub use resolve::{resolve, ResolvedProgram, SymbolTable};
 pub use validate::{validate, ValidationError};

@@ -69,9 +69,9 @@ fn print_counter(c: &Counter, par: usize) -> String {
             format!("({min} until {max} by {step} par {par})")
         }
         Counter::Scan1 { bv, .. } => format!("(Scan(par={par}, {bv}.deq))"),
-        Counter::Scan2 {
-            op, bv_a, bv_b, ..
-        } => format!("(Scan(par={par}, {op}, {bv_a}.deq, {bv_b}.deq))"),
+        Counter::Scan2 { op, bv_a, bv_b, .. } => {
+            format!("(Scan(par={par}, {op}, {bv_a}.deq, {bv_b}.deq))")
+        }
     }
 }
 
@@ -116,7 +116,10 @@ fn print_stmt(s: &SpatialStmt, depth: usize, out: &mut String) {
             par,
         } => {
             indent(depth, out);
-            let _ = writeln!(out, "{dst}({offset}::({offset} + {len}) par {par}) store {src}");
+            let _ = writeln!(
+                out,
+                "{dst}({offset}::({offset} + {len}) par {par}) store {src}"
+            );
         }
         SpatialStmt::StreamStore {
             dst,
@@ -200,7 +203,10 @@ fn print_stmt(s: &SpatialStmt, depth: usize, out: &mut String) {
             ..
         } => {
             indent(depth, out);
-            let _ = writeln!(out, "val {dst} = genBitvector({src}, len={count}, dim={dim})");
+            let _ = writeln!(
+                out,
+                "val {dst} = genBitvector({src}, len={count}, dim={dim})"
+            );
         }
     }
 }

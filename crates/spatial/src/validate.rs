@@ -104,10 +104,7 @@ fn expect_kind(
     }
 }
 
-fn validate_expr(
-    e: &SExpr,
-    scope: &HashMap<String, MemKind>,
-) -> Result<(), ValidationError> {
+fn validate_expr(e: &SExpr, scope: &HashMap<String, MemKind>) -> Result<(), ValidationError> {
     match e {
         SExpr::Var(_) | SExpr::Const(_) => Ok(()),
         SExpr::RegRead(r) => expect_kind(scope, r, &[MemKind::Reg], "register"),
@@ -143,10 +140,7 @@ fn validate_expr(
     }
 }
 
-fn validate_counter(
-    c: &Counter,
-    scope: &HashMap<String, MemKind>,
-) -> Result<(), ValidationError> {
+fn validate_counter(c: &Counter, scope: &HashMap<String, MemKind>) -> Result<(), ValidationError> {
     match c {
         Counter::Range { min, max, step, .. } => {
             if *step <= 0 {
@@ -155,9 +149,7 @@ fn validate_counter(
             validate_expr(min, scope)?;
             validate_expr(max, scope)
         }
-        Counter::Scan1 { bv, .. } => {
-            expect_kind(scope, bv, &[MemKind::BitVector], "bit vector")
-        }
+        Counter::Scan1 { bv, .. } => expect_kind(scope, bv, &[MemKind::BitVector], "bit vector"),
         Counter::Scan2 { bv_a, bv_b, .. } => {
             expect_kind(scope, bv_a, &[MemKind::BitVector], "bit vector")?;
             expect_kind(scope, bv_b, &[MemKind::BitVector], "bit vector")
@@ -442,7 +434,10 @@ mod tests {
         let mut p = SpatialProgram::new("dup");
         p.add_dram("d", 4);
         p.add_dram("d", 8);
-        assert_eq!(validate(&p), Err(ValidationError::DuplicateDram("d".into())));
+        assert_eq!(
+            validate(&p),
+            Err(ValidationError::DuplicateDram("d".into()))
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl<T: Value> CooTensor<T> {
     /// Panics if `dims` is empty or contains a zero-size dimension.
     pub fn new(dims: Vec<usize>) -> Self {
         assert!(!dims.is_empty(), "tensor must have at least one mode");
-        assert!(dims.iter().all(|&d| d > 0), "dimension sizes must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "dimension sizes must be positive"
+        );
         CooTensor {
             dims,
             entries: Vec::new(),
@@ -97,24 +100,39 @@ impl<T: Value> CooTensor<T> {
 
     /// Sorts entries lexicographically, sums duplicates, and drops explicit
     /// zeros. After this call the entry list is a canonical set of nonzeros.
+    ///
+    /// Works in place: entries are compacted by swapping, never by cloning
+    /// their coordinate vectors, and no intermediate list is allocated.
     pub fn canonicalize(&mut self) {
-        self.entries.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut out: Vec<(Vec<usize>, T)> = Vec::with_capacity(self.entries.len());
-        for (coords, v) in self.entries.drain(..) {
-            match out.last_mut() {
-                Some((last, acc)) if *last == coords => *acc = *acc + v,
-                _ => out.push((coords, v)),
+        // Duplicates compare equal under any order, so the unstable sort
+        // cannot change which entries fold together — but it may reorder
+        // a duplicate run, so with 3+ entries at one coordinate the
+        // floating-point summation order (and thus rounding) can differ
+        // from insertion order. Folding stays deterministic per input.
+        self.entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut write = 0usize;
+        for read in 0..self.entries.len() {
+            if write > 0 && self.entries[write - 1].0 == self.entries[read].0 {
+                let v = self.entries[read].1;
+                let acc = &mut self.entries[write - 1].1;
+                *acc = *acc + v;
+            } else {
+                self.entries.swap(write, read);
+                write += 1;
             }
         }
-        out.retain(|(_, v)| !v.is_zero());
-        self.entries = out;
+        self.entries.truncate(write);
+        self.entries.retain(|(_, v)| !v.is_zero());
     }
 
     /// Sorts entries by the permuted coordinate order `mode_order` (used
     /// when packing into a format with a non-identity mode ordering).
     pub fn sort_by_mode_order(&mut self, mode_order: &[usize]) {
         assert_eq!(mode_order.len(), self.rank());
-        self.entries.sort_by(|a, b| {
+        // A full mode permutation makes keys total: ties only occur for
+        // duplicate coordinates, which compare equal either way, so the
+        // unstable sort is safe.
+        self.entries.sort_unstable_by(|a, b| {
             for &m in mode_order {
                 match a.0[m].cmp(&b.0[m]) {
                     std::cmp::Ordering::Equal => continue,

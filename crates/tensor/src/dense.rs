@@ -36,7 +36,10 @@ impl<T: Value> DenseTensor<T> {
     /// Panics if `dims` is empty or has a zero-size dimension.
     pub fn zeros(dims: Vec<usize>) -> Self {
         assert!(!dims.is_empty(), "tensor must have at least one mode");
-        assert!(dims.iter().all(|&d| d > 0), "dimension sizes must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "dimension sizes must be positive"
+        );
         let strides = row_major_strides(&dims);
         let len = dims.iter().product();
         DenseTensor {
@@ -55,7 +58,11 @@ impl<T: Value> DenseTensor<T> {
         let len: usize = dims.iter().product();
         assert_eq!(data.len(), len, "data length must equal product of dims");
         let strides = row_major_strides(&dims);
-        DenseTensor { dims, strides, data }
+        DenseTensor {
+            dims,
+            strides,
+            data,
+        }
     }
 
     /// Dimension sizes.
@@ -86,11 +93,7 @@ impl<T: Value> DenseTensor<T> {
     /// out-of-bounds offset that panics on access.
     pub fn offset(&self, coords: &[usize]) -> usize {
         debug_assert_eq!(coords.len(), self.rank());
-        coords
-            .iter()
-            .zip(&self.strides)
-            .map(|(&c, &s)| c * s)
-            .sum()
+        coords.iter().zip(&self.strides).map(|(&c, &s)| c * s).sum()
     }
 
     /// Reads the element at `coords`.

@@ -97,7 +97,10 @@ impl Format {
         assert_eq!(levels.len(), mode_order.len(), "mode order length mismatch");
         let mut seen = vec![false; mode_order.len()];
         for &m in &mode_order {
-            assert!(m < seen.len() && !seen[m], "mode order must be a permutation");
+            assert!(
+                m < seen.len() && !seen[m],
+                "mode order must be a permutation"
+            );
             seen[m] = true;
         }
         Format {
@@ -135,7 +138,7 @@ impl Format {
     pub fn csf(rank: usize) -> Self {
         assert!(rank >= 1);
         let mut levels = vec![LevelFormat::Dense];
-        levels.extend(std::iter::repeat(LevelFormat::Compressed).take(rank - 1));
+        levels.extend(std::iter::repeat_n(LevelFormat::Compressed, rank - 1));
         Format::new(levels)
     }
 
@@ -307,10 +310,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "permutation")]
     fn bad_mode_order_panics() {
-        let _ = Format::with_mode_order(
-            vec![LevelFormat::Dense, LevelFormat::Dense],
-            vec![0, 0],
-        );
+        let _ = Format::with_mode_order(vec![LevelFormat::Dense, LevelFormat::Dense], vec![0, 0]);
     }
 
     #[test]

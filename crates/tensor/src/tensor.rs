@@ -51,6 +51,11 @@ impl<T: Value> SparseTensor<T> {
     /// The input is canonicalized (sorted, duplicates summed, zeros dropped)
     /// before packing, so callers may pass unnormalized COO.
     ///
+    /// Canonicalization happens on an *index view*: entry indices are
+    /// sorted by permuted coordinate order and duplicates are folded into
+    /// per-index sums, so the entries' coordinate vectors are never
+    /// cloned.
+    ///
     /// # Panics
     ///
     /// Panics when the format rank differs from the tensor rank.
@@ -60,26 +65,55 @@ impl<T: Value> SparseTensor<T> {
             coo.rank(),
             "format rank must equal tensor rank"
         );
-        let mut coo = coo.clone();
-        coo.canonicalize();
-        coo.sort_by_mode_order(format.mode_order());
         let dims = coo.dims().to_vec();
-        let entries = coo.into_entries();
+        let entries = coo.entries();
         let rank = format.rank();
+        let order = format.mode_order();
 
-        // Stored coordinate of entry e at storage level l.
-        let stored = |e: &(Vec<usize>, T), l: usize| e.0[format.mode_order()[l]];
+        // Sort an index view by the permuted coordinate order. Duplicate
+        // coordinates compare equal under any order, so the unstable sort
+        // cannot change which entries fold together below — though it may
+        // reorder a duplicate run, so with 3+ entries at one coordinate
+        // the floating-point summation order (and thus rounding) can
+        // differ from insertion order. Folding stays deterministic.
+        let mut perm: Vec<u32> = (0..entries.len() as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            let (ca, cb) = (&entries[a as usize].0, &entries[b as usize].0);
+            for &m in order {
+                match ca[m].cmp(&cb[m]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+
+        // Fold duplicates (summing values) and drop explicit zeros,
+        // keeping only a representative index plus the folded value.
+        let mut folded: Vec<(u32, T)> = Vec::with_capacity(perm.len());
+        for &e in &perm {
+            match folded.last_mut() {
+                Some((last, acc)) if entries[*last as usize].0 == entries[e as usize].0 => {
+                    *acc = *acc + entries[e as usize].1;
+                }
+                _ => folded.push((e, entries[e as usize].1)),
+            }
+        }
+        folded.retain(|&(_, v)| !v.is_zero());
+
+        // Stored coordinate of folded entry f at storage level l.
+        let stored = |f: &(u32, T), l: usize| entries[f.0 as usize].0[order[l]];
 
         let mut levels = Vec::with_capacity(rank);
-        // Position of each entry at the current level's parent.
-        let mut parent_pos: Vec<usize> = vec![0; entries.len()];
+        // Position of each folded entry at the current level's parent.
+        let mut parent_pos: Vec<usize> = vec![0; folded.len()];
         let mut parent_count = 1usize;
 
         for l in 0..rank {
-            let dim = dims[format.mode_order()[l]];
+            let dim = dims[order[l]];
             match format.level(l) {
                 LevelFormat::Dense => {
-                    for (e, entry) in entries.iter().enumerate() {
+                    for (e, entry) in folded.iter().enumerate() {
                         parent_pos[e] = parent_pos[e] * dim + stored(entry, l);
                     }
                     parent_count *= dim;
@@ -89,8 +123,8 @@ impl<T: Value> SparseTensor<T> {
                     let mut pos = vec![0usize; parent_count + 1];
                     let mut crd = Vec::new();
                     let mut last: Option<(usize, usize)> = None;
-                    for e in 0..entries.len() {
-                        let key = (parent_pos[e], stored(&entries[e], l));
+                    for e in 0..folded.len() {
+                        let key = (parent_pos[e], stored(&folded[e], l));
                         if last != Some(key) {
                             crd.push(key.1);
                             pos[key.0 + 1] += 1;
@@ -108,8 +142,8 @@ impl<T: Value> SparseTensor<T> {
         }
 
         let mut vals = vec![T::ZERO; parent_count];
-        for (e, (_, v)) in entries.iter().enumerate() {
-            vals[parent_pos[e]] = *v;
+        for (e, &(_, v)) in folded.iter().enumerate() {
+            vals[parent_pos[e]] = v;
         }
 
         SparseTensor {
@@ -275,8 +309,8 @@ impl<T: Value> SparseTensor<T> {
                 }
             }
             LevelStorage::Compressed { pos, crd } => {
-                for q in pos[p]..pos[p + 1] {
-                    stored_coords.push(crd[q]);
+                for (q, &coord) in crd.iter().enumerate().take(pos[p + 1]).skip(pos[p]) {
+                    stored_coords.push(coord);
                     self.walk(l + 1, q, stored_coords, f);
                     stored_coords.pop();
                 }

@@ -150,7 +150,8 @@ mod tests {
     #[test]
     fn identities() {
         assert_eq!(f64::ZERO + f64::ONE, 1.0);
-        assert_eq!(i64::ONE * i64::ONE, 1);
+        let one = i64::ONE;
+        assert_eq!(one * one, 1);
         assert_eq!(f32::ZERO, 0.0f32);
         assert_eq!(i32::ZERO, 0);
     }

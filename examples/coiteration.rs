@@ -9,7 +9,7 @@
 //! crd {0,1,2,3,5,8}, with per-operand pattern indices (X = absent).
 
 use stardust::spatial::ir::MemDecl;
-use stardust::spatial::{Counter, Machine, MemKind, ScanOp, SExpr, SpatialProgram, SpatialStmt};
+use stardust::spatial::{Counter, Machine, MemKind, SExpr, ScanOp, SpatialProgram, SpatialStmt};
 
 fn main() {
     let mut p = SpatialProgram::new("fig7");
@@ -18,8 +18,10 @@ fn main() {
     p.add_dram("out_crd_dram", 16);
 
     let dim = 9.0;
-    p.accel.push(SpatialStmt::Alloc(MemDecl::new("a_crd", MemKind::Fifo, 8)));
-    p.accel.push(SpatialStmt::Alloc(MemDecl::new("b_crd", MemKind::Fifo, 8)));
+    p.accel
+        .push(SpatialStmt::Alloc(MemDecl::new("a_crd", MemKind::Fifo, 8)));
+    p.accel
+        .push(SpatialStmt::Alloc(MemDecl::new("b_crd", MemKind::Fifo, 8)));
     p.accel.push(SpatialStmt::Load {
         dst: "a_crd".into(),
         src: "a_crd_dram".into(),
@@ -73,10 +75,7 @@ fn main() {
     println!("A crd: [1, 2, 5]");
     println!("B crd: [0, 2, 3, 8]");
     let out = m.dram_usize("out_crd_dram").unwrap();
-    println!(
-        "Out crd (union): {:?}",
-        &out[..stats.scan_emits as usize]
-    );
+    println!("Out crd (union): {:?}", &out[..stats.scan_emits as usize]);
     println!(
         "scanner examined {} bits, emitted {} coordinates",
         stats.scan_bits, stats.scan_emits

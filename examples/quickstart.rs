@@ -60,7 +60,10 @@ fn main() {
     let kernel = Compiler::compile(&program, &stmt, hints).expect("compiles");
 
     println!("== Memory analysis (§6) ==\n{}", kernel.plan().to_table());
-    println!("== Generated Spatial (Fig. 11 style) ==\n{}", kernel.source());
+    println!(
+        "== Generated Spatial (Fig. 11 style) ==\n{}",
+        kernel.source()
+    );
 
     // 4. Execute on the Spatial interpreter and time on Capstan.
     let run = kernel.execute(&inputs).expect("runs");

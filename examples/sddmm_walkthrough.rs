@@ -36,13 +36,21 @@ fn main() {
     s.environment("innerPar", 16).unwrap();
     s.environment("outerPar", 2).unwrap();
 
-    s.precompute(&Expr::access("C", vec!["i".into(), "k".into()]), &["k"], "C_on")
-        .unwrap();
+    s.precompute(
+        &Expr::access("C", vec!["i".into(), "k".into()]),
+        &["k"],
+        "C_on",
+    )
+    .unwrap();
     println!("== After precompute(C(i,k), {{k}}, {{k}}, C_on) (Fig. 6a) ==");
     println!("{}\n", s.stmt());
 
-    s.precompute(&Expr::access("D", vec!["k".into(), "j".into()]), &["k"], "D_on")
-        .unwrap();
+    s.precompute(
+        &Expr::access("D", vec!["k".into(), "j".into()]),
+        &["k"],
+        "D_on",
+    )
+    .unwrap();
     println!("== After precompute(D(k,j), {{k}}, {{k}}, D_on) ==");
     println!("{}\n", s.stmt());
 

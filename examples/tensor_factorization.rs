@@ -54,17 +54,11 @@ fn main() {
     inputs.insert("B".to_string(), TensorData::from_coo(&b, Format::csf(3)));
     inputs.insert(
         "C".to_string(),
-        TensorData::from_coo(
-            &random_matrix(rank, d1, 1.0, 2),
-            Format::dense_col_major(),
-        ),
+        TensorData::from_coo(&random_matrix(rank, d1, 1.0, 2), Format::dense_col_major()),
     );
     inputs.insert(
         "D".to_string(),
-        TensorData::from_coo(
-            &random_matrix(rank, d2, 1.0, 3),
-            Format::dense_col_major(),
-        ),
+        TensorData::from_coo(&random_matrix(rank, d2, 1.0, 3), Format::dense_col_major()),
     );
     let result = mttkrp.run(&inputs).expect("mttkrp runs");
     let report = simulate(

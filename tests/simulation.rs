@@ -104,10 +104,7 @@ fn every_kernel_fits_the_chip() {
                 );
                 inputs.insert(
                     "D".into(),
-                    TensorData::from_coo(
-                        &random_matrix(4, n, 1.0, 3),
-                        Format::dense_col_major(),
-                    ),
+                    TensorData::from_coo(&random_matrix(4, n, 1.0, 3), Format::dense_col_major()),
                 );
             }
             "TTV" => {
@@ -137,17 +134,11 @@ fn every_kernel_fits_the_chip() {
                 );
                 inputs.insert(
                     "C".into(),
-                    TensorData::from_coo(
-                        &random_matrix(4, t3, 1.0, 2),
-                        Format::dense_col_major(),
-                    ),
+                    TensorData::from_coo(&random_matrix(4, t3, 1.0, 2), Format::dense_col_major()),
                 );
                 inputs.insert(
                     "D".into(),
-                    TensorData::from_coo(
-                        &random_matrix(4, t3, 1.0, 3),
-                        Format::dense_col_major(),
-                    ),
+                    TensorData::from_coo(&random_matrix(4, t3, 1.0, 3), Format::dense_col_major()),
                 );
             }
             "InnerProd" | "Plus2" => {

@@ -1,0 +1,428 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses.
+//!
+//! The build container has no access to crates.io, so this vendored shim
+//! implements the benchmark-facing API (`Criterion`, `BenchmarkGroup`,
+//! `Bencher`, `BenchmarkId`, `Throughput`, the `criterion_group!` /
+//! `criterion_main!` macros) with a simple but honest wall-clock
+//! measurement loop: per benchmark it warms up, auto-scales the iteration
+//! count to a target sample time, collects `sample_size` samples, and
+//! reports mean / min / max plus throughput when configured.
+//!
+//! Command line: a positional argument filters benchmarks by substring
+//! (as `cargo bench -- <filter>` does); `--quick` (or the
+//! `CRITERION_QUICK=1` environment variable) cuts warmup and sample
+//! counts for CI smoke runs. Other flags criterion accepts are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                // Flags cargo/criterion pass that take a value.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit name and parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<&&str> for BenchmarkId {
+    fn from(s: &&str) -> Self {
+        BenchmarkId {
+            name: (*s).to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Configures per-iteration throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks one function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.name)
+        };
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.sample_size, self.criterion.quick);
+        f(&mut bencher);
+        bencher.report(&full, self.throughput);
+        self
+    }
+
+    /// Benchmarks one function against an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// How setup output is batched in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state: batch many iterations.
+    SmallInput,
+    /// Large per-iteration state: small batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Collected timing for one benchmark.
+struct Samples {
+    /// Per-iteration mean duration of each sample.
+    per_iter: Vec<f64>,
+}
+
+/// The measurement handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    quick: bool,
+    samples: Option<Samples>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, quick: bool) -> Self {
+        Bencher {
+            sample_size: if quick {
+                sample_size.min(10)
+            } else {
+                sample_size
+            },
+            quick,
+            samples: None,
+        }
+    }
+
+    fn target_sample_time(&self) -> Duration {
+        if self.quick {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(100)
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that fills the
+        // target sample time.
+        let mut iters = 1u64;
+        let target = self.target_sample_time();
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target / 2 || iters >= 1 << 24 {
+                let scale = target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                iters = ((iters as f64 * scale).ceil() as u64).max(1);
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        self.samples = Some(Samples { per_iter });
+    }
+
+    /// Times `routine` over fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<S, O, Setup, R>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        // One setup per timed iteration; setup time is excluded by timing
+        // each routine call individually.
+        let warmups = if self.quick { 1 } else { 2 };
+        for _ in 0..warmups {
+            black_box(routine(setup()));
+        }
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let state = setup();
+            let start = Instant::now();
+            black_box(routine(state));
+            per_iter.push(start.elapsed().as_secs_f64());
+        }
+        self.samples = Some(Samples { per_iter });
+    }
+
+    /// Like [`Bencher::iter_batched`], passing the state by reference.
+    pub fn iter_batched_ref<S, O, Setup, R>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        R: FnMut(&mut S) -> O,
+    {
+        let warmups = if self.quick { 1 } else { 2 };
+        for _ in 0..warmups {
+            let mut state = setup();
+            black_box(routine(&mut state));
+        }
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut state = setup();
+            let start = Instant::now();
+            black_box(routine(&mut state));
+            per_iter.push(start.elapsed().as_secs_f64());
+        }
+        self.samples = Some(Samples { per_iter });
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let Some(samples) = &self.samples else {
+            println!("{name:<40} (no measurement)");
+            return;
+        };
+        let n = samples.per_iter.len() as f64;
+        let mean = samples.per_iter.iter().sum::<f64>() / n;
+        let min = samples
+            .per_iter
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = samples.per_iter.iter().copied().fold(0.0f64, f64::max);
+        let mut line = format!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+        if let Some(tp) = throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(e) => (e as f64, "elem/s"),
+                Throughput::Bytes(b) => (b as f64, "B/s"),
+            };
+            line.push_str(&format!(" thrpt: {} {unit}", fmt_rate(count / mean)));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut b = Bencher::new(3, true);
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            counter
+        });
+        assert!(b.samples.is_some());
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(4, true);
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        // warmup (1) + samples (4)
+        assert_eq!(setups, 5);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("spmv", 100).name, "spmv/100");
+        assert_eq!(BenchmarkId::from_parameter(42).name, "42");
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build container has no access to crates.io, so this vendored shim
+//! provides the exact API surface the dataset generators rely on:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`], and
+//! [`Rng::gen_range`] over the common integer and float ranges. The
+//! generator is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! well distributed, and fast; streams differ from upstream `rand`, but
+//! every consumer in this workspace only depends on seeded determinism
+//! and uniformity, not on upstream's exact byte streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generator sources.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Distribution support: types samplable from a generator.
+pub trait SampleUniform: Sized {
+    /// Draws one value uniformly from `range`.
+    fn sample_range(rng: &mut rngs::StdRng, range: &SampleRangeBounds<Self>) -> Self;
+}
+
+/// Lower/upper bounds captured from a `Range`/`RangeInclusive`.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleRangeBounds<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Converts to explicit bounds.
+    fn bounds(self) -> SampleRangeBounds<T>;
+}
+
+impl<T: Copy> SampleRange<T> for Range<T> {
+    fn bounds(self) -> SampleRangeBounds<T> {
+        SampleRangeBounds {
+            low: self.start,
+            high: self.end,
+            inclusive: false,
+        }
+    }
+}
+
+impl<T: Copy> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> SampleRangeBounds<T> {
+        SampleRangeBounds {
+            low: *self.start(),
+            high: *self.end(),
+            inclusive: true,
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut rngs::StdRng, range: &SampleRangeBounds<Self>) -> Self {
+                let (low, high) = (range.low as i128, range.high as i128);
+                let span = if range.inclusive {
+                    high - low + 1
+                } else {
+                    high - low
+                };
+                assert!(span > 0, "cannot sample from empty range");
+                // Multiply-shift rejection-free bounded sampling is overkill
+                // here; modulo bias is negligible for the small spans the
+                // dataset generators draw.
+                (low + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut rngs::StdRng, range: &SampleRangeBounds<Self>) -> Self {
+        let unit = rng.next_f64();
+        range.low + unit * (range.high - range.low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(rng: &mut rngs::StdRng, range: &SampleRangeBounds<Self>) -> Self {
+        let unit = rng.next_f64() as f32;
+        range.low + unit * (range.high - range.low)
+    }
+}
+
+/// Values producible by a plain `gen()` call.
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution for the type.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_f64() as f32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Random value generation methods, mirrored from `rand::Rng`.
+pub trait Rng {
+    /// Draws one value from the type's standard distribution
+    /// (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{Rng, SampleRange, SampleUniform, SeedableRng, Standard};
+
+    /// The standard seeded generator: xoshiro256++ with SplitMix64 seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        pub(crate) fn next_f64(&mut self) -> f64 {
+            // 53 random mantissa bits → uniform in [0, 1).
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn gen<T: Standard>(&mut self) -> T {
+            T::sample(self)
+        }
+
+        fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+            let bounds = range.bounds();
+            T::sample_range(self, &bounds)
+        }
+
+        fn gen_bool(&mut self, p: f64) -> bool {
+            self.next_f64() < p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<f64>(), c.gen::<f64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(-4i32..=4);
+            assert!((-4..=4).contains(&w));
+            let f = rng.gen_range(0.25..1.25);
+            assert!((0.25..1.25).contains(&f));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
