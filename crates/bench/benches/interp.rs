@@ -1,5 +1,6 @@
-//! Criterion bench: Spatial-interpreter throughput, resolved-slot engine
-//! vs the string-keyed reference engine.
+//! Criterion bench: Spatial-interpreter throughput across all three
+//! engines — flat bytecode (`Machine::run`), the recursive resolved
+//! tree (`Machine::run_tree`), and the string-keyed reference walker.
 //!
 //! Measures elements/second (nonzeros of the stationary operand) on two
 //! interpreter-bound kernels at nnz ∈ {10⁴, 10⁵, 10⁶}:
@@ -10,11 +11,14 @@
 //!   into a SparseSRAM scatter buffer via `RmwAdd`.
 //!
 //! Every benchmark clones a pre-bound machine per sample (`iter_batched`
-//! setup, excluded from timing) so both engines execute from identical
+//! setup, excluded from timing) so all engines execute from identical
 //! state. Quick mode (`--quick` or `CRITERION_QUICK=1`) runs the 10⁴
-//! point only; the bench finishes by printing the measured speedup at
-//! the largest configured size.
+//! point only; the bench finishes by printing the measured speedups at
+//! the largest configured size and, when `BENCH_SUMMARY_JSON` names a
+//! path, writing a machine-readable summary there (the CI perf
+//! artifact).
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
@@ -281,11 +285,19 @@ fn bench_engines(c: &mut Criterion, make: fn(usize) -> Workload) {
         group.sample_size(10);
         group.throughput(Throughput::Elements(w.elements));
         let program = w.program.clone();
-        group.bench_with_input(BenchmarkId::new("resolved", nnz), &w, |b, w| {
+        group.bench_with_input(BenchmarkId::new("bytecode", nnz), &w, |b, w| {
             let proto = w.machine();
             b.iter_batched(
                 || proto.clone(),
                 |mut m| m.run(&program).expect("runs"),
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("resolved-tree", nnz), &w, |b, w| {
+            let proto = w.machine();
+            b.iter_batched(
+                || proto.clone(),
+                |mut m| m.run_tree(&program).expect("runs"),
                 BatchSize::LargeInput,
             );
         });
@@ -309,28 +321,83 @@ fn bench_spmspm(c: &mut Criterion) {
     bench_engines(c, spmspm_workload);
 }
 
-/// Prints the resolved-over-reference speedup at the largest configured
-/// size (single timed run per engine, after one warmup).
+/// Best-of-N wall time for one engine run, re-cloned from a pre-bound
+/// prototype each rep so every run starts from identical state. The
+/// minimum is the standard robust statistic on a noisy machine.
+fn time_best<M: Clone>(proto: &M, mut run: impl FnMut(&mut M)) -> f64 {
+    let reps = 5;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut m = proto.clone();
+        let t0 = Instant::now();
+        run(&mut m);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Prints the engine speedups at the largest configured size (best of
+/// five timed runs per engine, after warmup) and writes the
+/// machine-readable summary when `BENCH_SUMMARY_JSON` is set.
 fn speedup_summary(_c: &mut Criterion) {
     let nnz = *sizes().last().expect("nonempty");
+    let mut rows = String::new();
     for make in [spmv_workload as fn(usize) -> Workload, spmspm_workload] {
         let w = make(nnz);
-        let mut fast = w.machine();
-        let mut slow = w.reference();
-        fast.clone().run(&w.program).expect("warmup");
-        let t0 = Instant::now();
-        fast.run(&w.program).expect("resolved runs");
-        let fast_t = t0.elapsed().as_secs_f64();
-        let t1 = Instant::now();
-        slow.run(&w.program).expect("reference runs");
-        let slow_t = t1.elapsed().as_secs_f64();
+        let bytecode = w.machine();
+        let reference = w.reference();
+        bytecode.clone().run(&w.program).expect("warmup");
+        let bc_t = time_best(&bytecode, |m| {
+            m.run(&w.program).expect("bytecode runs");
+        });
+        let tree_t = time_best(&bytecode, |m| {
+            m.run_tree(&w.program).expect("resolved tree runs");
+        });
+        let ref_t = time_best(&reference, |m| {
+            m.run(&w.program).expect("reference runs");
+        });
         println!(
-            "{} nnz={nnz}: resolved {:.1} ms, reference {:.1} ms, speedup {:.2}x",
+            "{} nnz={nnz}: bytecode {:.1} ms, resolved-tree {:.1} ms, reference {:.1} ms, \
+             bytecode/tree {:.2}x, bytecode/reference {:.2}x",
             w.name,
-            fast_t * 1e3,
-            slow_t * 1e3,
-            slow_t / fast_t
+            bc_t * 1e3,
+            tree_t * 1e3,
+            ref_t * 1e3,
+            tree_t / bc_t,
+            ref_t / bc_t,
         );
+        let elems = w.elements as f64;
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        write!(
+            rows,
+            r#"
+    {{"kernel": "{}", "nnz": {nnz}, "elements": {},
+     "engines": {{
+       "bytecode": {{"seconds": {bc_t:.6e}, "elems_per_sec": {:.6e}}},
+       "resolved_tree": {{"seconds": {tree_t:.6e}, "elems_per_sec": {:.6e}}},
+       "reference": {{"seconds": {ref_t:.6e}, "elems_per_sec": {:.6e}}}
+     }},
+     "speedup_bytecode_vs_tree": {:.4},
+     "speedup_bytecode_vs_reference": {:.4}}}"#,
+            w.name,
+            w.elements,
+            elems / bc_t,
+            elems / tree_t,
+            elems / ref_t,
+            tree_t / bc_t,
+            ref_t / bc_t,
+        )
+        .expect("write to string");
+    }
+    if let Ok(path) = std::env::var("BENCH_SUMMARY_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"interp\",\n  \"quick\": {},\n  \"results\": [{rows}\n  ]\n}}\n",
+            quick()
+        );
+        std::fs::write(&path, json).expect("write bench summary");
+        println!("bench summary written to {path}");
     }
 }
 

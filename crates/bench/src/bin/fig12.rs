@@ -1,7 +1,7 @@
 //! Figure 12: impact of DRAM bandwidth on performance. For each kernel,
 //! speedup over the 20 GB/s configuration across 20–2000 GB/s.
 
-use stardust_bench::{gmean, instantiate, measure_bandwidth, Scale, KERNEL_NAMES};
+use stardust_bench::{gmean, instantiate, measure_bandwidth_sweep, Scale, KERNEL_NAMES};
 
 const BANDWIDTHS: [f64; 7] = [20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0];
 
@@ -22,10 +22,11 @@ fn main() {
         let mut base = Vec::new();
         let mut at_bw: Vec<Vec<f64>> = vec![Vec::new(); BANDWIDTHS.len()];
         for (kernel, set) in &sets {
-            let t20 = measure_bandwidth(kernel, set, BANDWIDTHS[0]);
+            // One compile + execute covers the whole bandwidth curve.
+            let times = measure_bandwidth_sweep(kernel, set, &BANDWIDTHS);
+            let t20 = times[0];
             base.push(t20);
-            for (n, &bw) in BANDWIDTHS.iter().enumerate() {
-                let t = measure_bandwidth(kernel, set, bw);
+            for (n, &t) in times.iter().enumerate() {
                 at_bw[n].push(t20 / t);
             }
         }

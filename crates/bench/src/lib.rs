@@ -17,15 +17,26 @@
 //! crossovers) is what these harnesses reproduce.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use stardust_baselines::{cpu_time, gpu_time, CpuModel, GpuModel, WorkProfile};
-use stardust_capstan::sim::combine;
+use stardust_capstan::sim::{combine, SimModel};
 use stardust_capstan::{simulate, CapstanConfig, MemoryModel, SimReport};
 use stardust_core::pipeline::TensorData;
 use stardust_datasets as datasets;
 use stardust_kernels as kernels;
 use stardust_kernels::Kernel;
+use stardust_spatial::ProgramCache;
 use stardust_tensor::{CooTensor, Format};
+
+/// The process-wide compiled-Spatial-program cache: every harness entry
+/// point compiles through it, so repeated measurements of one kernel
+/// (bandwidth sweeps, multi-table runs over the same datasets) re-bind
+/// machines to shared artifacts instead of re-linking.
+pub fn spatial_cache() -> &'static ProgramCache {
+    static CACHE: OnceLock<ProgramCache> = OnceLock::new();
+    CACHE.get_or_init(ProgramCache::new)
+}
 
 /// Harness configuration: dataset scale.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -320,7 +331,7 @@ pub struct Measurement {
 /// Panics when compilation or simulation fails (they are bugs).
 pub fn measure(kernel: &Kernel, set: &InputSet) -> Measurement {
     let result = kernel
-        .run(&set.inputs)
+        .run_cached(&set.inputs, spatial_cache())
         .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
 
     let sim_on = |memory: MemoryModel| -> SimReport {
@@ -369,16 +380,35 @@ pub fn measure(kernel: &Kernel, set: &InputSet) -> Measurement {
 
 /// Runs a kernel on a custom-bandwidth Capstan (Fig. 12 sweep).
 pub fn measure_bandwidth(kernel: &Kernel, set: &InputSet, gbps: f64) -> f64 {
+    measure_bandwidth_sweep(kernel, set, &[gbps])[0]
+}
+
+/// Runs a kernel **once** and simulates it at every requested DRAM
+/// bandwidth — the Fig. 12 sweep pays one compile + execute for the
+/// whole curve instead of one per point.
+pub fn measure_bandwidth_sweep(kernel: &Kernel, set: &InputSet, bandwidths: &[f64]) -> Vec<f64> {
     let result = kernel
-        .run(&set.inputs)
+        .run_cached(&set.inputs, spatial_cache())
         .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
-    let cfg = CapstanConfig::with_memory(MemoryModel::Custom { gbps });
-    let reports: Vec<SimReport> = result
+    // Placement/node/burst analysis is bandwidth-independent: build one
+    // model per stage and re-time it at each memory configuration.
+    let base = CapstanConfig::default();
+    let models: Vec<(SimModel, &stardust_spatial::ExecStats)> = result
         .stages
         .iter()
-        .map(|s| simulate(s.compiled.spatial(), &s.stats, &cfg))
+        .map(|s| (SimModel::new(s.compiled.spatial(), &base), &s.stats))
         .collect();
-    combine(&reports).seconds
+    bandwidths
+        .iter()
+        .map(|&gbps| {
+            let cfg = CapstanConfig::with_memory(MemoryModel::Custom { gbps });
+            let reports: Vec<SimReport> = models
+                .iter()
+                .map(|(m, stats)| m.run_at(stats, &cfg))
+                .collect();
+            combine(&reports).seconds
+        })
+        .collect()
 }
 
 /// Geometric mean.

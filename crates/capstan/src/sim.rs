@@ -62,16 +62,71 @@ struct NodeInfo {
     is_scan: bool,
 }
 
+/// Precomputed, stats-independent analysis of one program on one
+/// configuration: placement, per-node throughput, and burst counts.
+/// Build it once per `(program, config)` and call [`SimModel::run`]
+/// for each execution trace — a bandwidth or dataset sweep pays the
+/// program walk once instead of per point.
+pub struct SimModel {
+    name: String,
+    resources: ResourceReport,
+    nodes: HashMap<usize, NodeInfo>,
+    bursts: usize,
+    config: CapstanConfig,
+}
+
+impl SimModel {
+    /// Analyzes `program` under `config`.
+    pub fn new(program: &SpatialProgram, config: &CapstanConfig) -> Self {
+        SimModel {
+            name: program.name.clone(),
+            resources: place(program, config),
+            nodes: collect_nodes(program, config),
+            bursts: count_bursts(program),
+            config: *config,
+        }
+    }
+
+    /// Simulates one execution trace on the analyzed program.
+    pub fn run(&self, stats: &ExecStats) -> SimReport {
+        self.run_at(stats, &self.config)
+    }
+
+    /// Simulates one execution trace under a different configuration,
+    /// reusing this model's placement/node/burst analysis. Valid when
+    /// `config` differs from the construction configuration only in
+    /// ways the static analysis ignores — in practice, the memory
+    /// model of a bandwidth sweep.
+    pub fn run_at(&self, stats: &ExecStats, config: &CapstanConfig) -> SimReport {
+        simulate_with(
+            &self.name,
+            &self.resources,
+            &self.nodes,
+            self.bursts,
+            stats,
+            config,
+        )
+    }
+}
+
 /// Simulates a program execution described by `stats` on the configured
 /// machine.
 pub fn simulate(program: &SpatialProgram, stats: &ExecStats, config: &CapstanConfig) -> SimReport {
-    let resources = place(program, config);
-    let nodes = collect_nodes(program, config);
+    SimModel::new(program, config).run(stats)
+}
 
+fn simulate_with(
+    name: &str,
+    resources: &ResourceReport,
+    nodes: &HashMap<usize, NodeInfo>,
+    bursts: usize,
+    stats: &ExecStats,
+    config: &CapstanConfig,
+) -> SimReport {
     // --- Per-phase compute/scan time --------------------------------
     let mut phase_compute: HashMap<usize, f64> = HashMap::new();
     let mut phase_scan: HashMap<usize, f64> = HashMap::new();
-    for (id, info) in &nodes {
+    for (id, info) in nodes {
         let trips = stats.trips(*id) as f64;
         if trips == 0.0 {
             continue;
@@ -125,7 +180,7 @@ pub fn simulate(program: &SpatialProgram, stats: &ExecStats, config: &CapstanCon
     // --- Fill / latency ---------------------------------------------------
     // Each load/store burst pays first-word latency, amortized across the
     // MCs; pipelines pay their depth once per phase.
-    let bursts = count_bursts(program) as f64;
+    let bursts = bursts as f64;
     let latency_cycles = config.memory.latency_sec() * config.clock_hz;
     let fill_cycles = bursts * latency_cycles / resources.mcs.max(1) as f64
         + nodes.len() as f64 * config.pcu_stages as f64;
@@ -148,7 +203,7 @@ pub fn simulate(program: &SpatialProgram, stats: &ExecStats, config: &CapstanCon
     .to_string();
 
     SimReport {
-        name: program.name.clone(),
+        name: name.to_string(),
         cycles,
         seconds: cycles / config.clock_hz,
         compute_cycles,
@@ -157,7 +212,7 @@ pub fn simulate(program: &SpatialProgram, stats: &ExecStats, config: &CapstanCon
         shuffle_cycles,
         fill_cycles,
         bottleneck,
-        resources: *Box::new(resources),
+        resources: resources.clone(),
     }
 }
 

@@ -8,10 +8,13 @@
 //! path every correctness test and every simulated benchmark goes through.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use stardust_ir::cin::Stmt;
 use stardust_spatial::printer::spatial_loc;
-use stardust_spatial::{print_program, validate, ExecStats, Machine, SpatialProgram};
+use stardust_spatial::{
+    print_program, validate, CompiledProgram, ExecStats, Machine, ProgramCache, SpatialProgram,
+};
 use stardust_tensor::{CooTensor, DenseTensor, Format, LevelFormat, LevelStorage, SparseTensor};
 
 use crate::context::Program;
@@ -80,11 +83,16 @@ pub struct KernelRun {
 }
 
 /// A fully compiled kernel.
+///
+/// The Spatial program is carried in its executable bytecode form
+/// behind an [`Arc`], so every [`CompiledKernel::bind`] across a
+/// dataset sweep re-binds a fresh [`Machine`] to the same compiled
+/// artifact without re-linking or re-lowering.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
     program: Program,
     cin: Stmt,
-    spatial: SpatialProgram,
+    spatial: Arc<CompiledProgram>,
     source: String,
     plan: MemoryPlan,
 }
@@ -102,6 +110,11 @@ impl CompiledKernel {
 
     /// The lowered Spatial IR.
     pub fn spatial(&self) -> &SpatialProgram {
+        self.spatial.source()
+    }
+
+    /// The shared executable (bytecode) form of the Spatial IR.
+    pub fn compiled_spatial(&self) -> &Arc<CompiledProgram> {
         &self.spatial
     }
 
@@ -122,7 +135,7 @@ impl CompiledKernel {
 
     /// Generated Spatial lines of code (Table 3, "Spatial" column).
     pub fn spatial_loc(&self) -> usize {
-        spatial_loc(&self.spatial)
+        spatial_loc(self.spatial.source())
     }
 
     /// Binds input tensors into a fresh machine.
@@ -132,7 +145,7 @@ impl CompiledKernel {
     /// Returns [`CompileError`] when an input is missing, has the wrong
     /// format, or does not fit its declared DRAM arrays.
     pub fn bind(&self, inputs: &HashMap<String, TensorData>) -> Result<Machine, CompileError> {
-        let mut machine = Machine::new(&self.spatial);
+        let mut machine = Machine::from_compiled(Arc::clone(&self.spatial));
         for decl in self.program.decls() {
             if decl.format.region().is_on_chip() || decl.name == self.program.output() {
                 continue;
@@ -193,7 +206,7 @@ impl CompiledKernel {
     pub fn execute(&self, inputs: &HashMap<String, TensorData>) -> Result<KernelRun, CompileError> {
         let mut machine = self.bind(inputs)?;
         let stats = machine
-            .run(&self.spatial)
+            .run(self.spatial.source())
             .map_err(|e| CompileError::Memory(format!("simulation error: {e}")))?;
         let output = self.read_output(&machine)?;
         Ok(KernelRun { output, stats })
@@ -275,12 +288,42 @@ impl Compiler {
         stmt: &Stmt,
         hints: SizeHints,
     ) -> Result<CompiledKernel, CompileError> {
+        Self::compile_impl(program, stmt, hints, None)
+    }
+
+    /// Like [`Compiler::compile`], but resolves the generated Spatial
+    /// program through `cache`: repeated compilations of an identical
+    /// program (bandwidth sweeps, repeated runs of one kernel) share one
+    /// linked-and-lowered artifact instead of re-linking per call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiler::compile`].
+    pub fn compile_cached(
+        program: &Program,
+        stmt: &Stmt,
+        hints: SizeHints,
+        cache: &ProgramCache,
+    ) -> Result<CompiledKernel, CompileError> {
+        Self::compile_impl(program, stmt, hints, Some(cache))
+    }
+
+    fn compile_impl(
+        program: &Program,
+        stmt: &Stmt,
+        hints: SizeHints,
+        cache: Option<&ProgramCache>,
+    ) -> Result<CompiledKernel, CompileError> {
         let lowerer = Lowerer::new(program, stmt, hints)?;
         let plan = lowerer.plan().clone();
         let spatial = lowerer.lower(stmt)?;
         validate(&spatial)
             .map_err(|e| CompileError::Memory(format!("generated program invalid: {e}")))?;
         let source = print_program(&spatial);
+        let spatial = match cache {
+            Some(cache) => cache.get_or_compile(&spatial),
+            None => Arc::new(CompiledProgram::compile(&spatial)),
+        };
         Ok(CompiledKernel {
             program: program.clone(),
             cin: stmt.clone(),

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use stardust_core::lower::SizeHints;
 use stardust_core::pipeline::{CompiledKernel, Compiler, KernelOutput, TensorData};
 use stardust_core::CompileError;
-use stardust_spatial::ExecStats;
+use stardust_spatial::{ExecStats, ProgramCache};
 use stardust_tensor::SparseTensor;
 
 use crate::defs::Kernel;
@@ -85,11 +85,37 @@ impl Kernel {
         &self,
         inputs: &HashMap<String, TensorData>,
     ) -> Result<Vec<CompiledKernel>, CompileError> {
+        self.compile_with(inputs, None)
+    }
+
+    /// Like [`Kernel::compile`], but shares linked Spatial artifacts
+    /// through `cache` — sweeping one kernel across datasets or memory
+    /// models re-binds machines without re-linking identical programs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CompileError`].
+    pub fn compile_cached(
+        &self,
+        inputs: &HashMap<String, TensorData>,
+        cache: &ProgramCache,
+    ) -> Result<Vec<CompiledKernel>, CompileError> {
+        self.compile_with(inputs, Some(cache))
+    }
+
+    fn compile_with(
+        &self,
+        inputs: &HashMap<String, TensorData>,
+        cache: Option<&ProgramCache>,
+    ) -> Result<Vec<CompiledKernel>, CompileError> {
         let mut compiled = Vec::with_capacity(self.stages.len());
         let mut known = inputs.clone();
         for stage in &self.stages {
             let hints = stage_hints(stage, &known)?;
-            let kernel = Compiler::compile(&stage.program, &stage.stmt, hints)?;
+            let kernel = match cache {
+                Some(cache) => Compiler::compile_cached(&stage.program, &stage.stmt, hints, cache)?,
+                None => Compiler::compile(&stage.program, &stage.stmt, hints)?,
+            };
             compiled.push(kernel);
             // Later stages size against a bound for this stage's output;
             // record a placeholder so hint derivation can see it.
@@ -105,12 +131,37 @@ impl Kernel {
     ///
     /// Returns the first compile or simulation error.
     pub fn run(&self, inputs: &HashMap<String, TensorData>) -> Result<KernelResult, CompileError> {
+        self.run_with(inputs, None)
+    }
+
+    /// Like [`Kernel::run`], but shares linked Spatial artifacts through
+    /// `cache` (see [`Kernel::compile_cached`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile or simulation error.
+    pub fn run_cached(
+        &self,
+        inputs: &HashMap<String, TensorData>,
+        cache: &ProgramCache,
+    ) -> Result<KernelResult, CompileError> {
+        self.run_with(inputs, Some(cache))
+    }
+
+    fn run_with(
+        &self,
+        inputs: &HashMap<String, TensorData>,
+        cache: Option<&ProgramCache>,
+    ) -> Result<KernelResult, CompileError> {
         let mut available = inputs.clone();
         let mut stages = Vec::with_capacity(self.stages.len());
         let mut last_output = None;
         for stage in &self.stages {
             let hints = stage_hints(stage, &available)?;
-            let compiled = Compiler::compile(&stage.program, &stage.stmt, hints)?;
+            let compiled = match cache {
+                Some(cache) => Compiler::compile_cached(&stage.program, &stage.stmt, hints, cache)?,
+                None => Compiler::compile(&stage.program, &stage.stmt, hints)?,
+            };
             let run = compiled.execute(&available)?;
             if let KernelOutput::Tensor(t) = &run.output {
                 available.insert(

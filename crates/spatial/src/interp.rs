@@ -7,31 +7,37 @@
 //! processed per pattern, DRAM words moved, scanner bits examined, shuffle
 //! accesses, ALU operations) feeds the Capstan cycle simulator.
 //!
-//! # Execution engine
+//! # Execution engines
 //!
-//! [`Machine::new`] first runs the [`crate::resolve`] link pass, which
-//! interns every memory, register, FIFO, and variable name into dense
-//! `u32` slots and flattens every expression tree into one arena. The
-//! interpreter loop then works exclusively on `Vec`-indexed state —
-//! DRAM arrays, on-chip memories, the variable environment, and all
-//! statistics counters are dense vectors — so the hot path never hashes
-//! a string. Dense counters are folded back into the string-keyed
-//! [`ExecStats`] shape when [`Machine::run`] finishes.
+//! [`Machine::new`] runs the two-stage compilation pipeline: the
+//! [`crate::resolve`] link pass interns every memory, register, FIFO,
+//! and variable name into dense `u32` slots and flattens every
+//! expression tree into one arena, and the [`crate::bytecode`] pass
+//! lowers the resolved tree into a flat op vector with explicit jump
+//! targets. [`Machine::run`] executes that bytecode with a program
+//! counter and a dense frame stack — no statement recursion, no
+//! per-iteration closures — over `Vec`-indexed state, so the hot path
+//! never hashes a string or chases a statement tree. Dense counters are
+//! folded back into the string-keyed [`ExecStats`] shape when
+//! [`Machine::run`] finishes.
 //!
-//! The original name-keyed tree walker survives as
-//! [`crate::ReferenceMachine`]; differential tests assert both engines
-//! produce byte-identical DRAM contents and identical [`ExecStats`], and
-//! `cargo bench --bench interp` measures the speedup.
+//! Two older engines survive as differential-testing oracles: the PR-1
+//! recursive resolved-tree walker as [`Machine::run_tree`] (same
+//! machine state, same compiled artifact) and the original name-keyed
+//! tree walker as [`crate::ReferenceMachine`]. Differential tests
+//! assert all three produce byte-identical DRAM contents and identical
+//! [`ExecStats`], and `cargo bench --bench interp` measures the
+//! speedups.
 
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
+use crate::bytecode::{CompiledProgram, EOp, FusedOp, GatherRef, Op, OpId, Operand};
 use crate::ir::{MemKind, ScanOp, SpatialProgram};
 use crate::resolve::{
-    resolve, ExprId, ResolvedCounter, ResolvedExpr, ResolvedProgram, ResolvedStmt, Slot,
-    SymbolTable,
+    ExprId, ResolvedCounter, ResolvedExpr, ResolvedProgram, ResolvedStmt, Slot, SymbolTable,
 };
 
 /// Errors raised while executing a Spatial program.
@@ -164,6 +170,98 @@ struct DramArray {
     data: Vec<f64>,
 }
 
+/// An epoch-stamped scan snapshot: slot `i` is "set" iff `a[i]` (or
+/// `b[i]`) equals the epoch issued at the most recent loop entry using
+/// this buffer. Re-stamping on entry replaces the per-entry
+/// `Vec<bool>` clone the engines used to pay — no allocation and no
+/// clearing pass, only the set bits are touched.
+#[derive(Debug, Clone, Default)]
+struct ScanBuf {
+    epoch: u32,
+    a: Vec<u32>,
+    b: Vec<u32>,
+}
+
+impl ScanBuf {
+    /// Starts a new snapshot epoch; clears stale stamps on wrap-around.
+    fn bump(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.a.iter_mut().for_each(|s| *s = 0);
+            self.b.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+
+    fn stamp(slots: &mut Vec<u32>, bits: &[bool], epoch: u32) {
+        if slots.len() < bits.len() {
+            slots.resize(bits.len(), 0);
+        }
+        for (slot, &set) in slots.iter_mut().zip(bits) {
+            if set {
+                *slot = epoch;
+            }
+        }
+    }
+
+    fn a_set(&self, idx: usize, epoch: u32) -> bool {
+        self.a.get(idx).is_some_and(|&s| s == epoch)
+    }
+
+    fn b_set(&self, idx: usize, epoch: u32) -> bool {
+        self.b.get(idx).is_some_and(|&s| s == epoch)
+    }
+}
+
+/// Iteration state of one active loop in the bytecode engine.
+#[derive(Debug, Clone)]
+enum FrameState {
+    /// Dense `Range` loop.
+    Range {
+        var: Slot,
+        saved: Option<f64>,
+        v: f64,
+        hi: f64,
+        step: f64,
+    },
+    /// Single bit-vector scan.
+    Scan1 {
+        depth: usize,
+        epoch: u32,
+        dim: usize,
+        idx: usize,
+        pos: u64,
+        pos_var: Slot,
+        idx_var: Slot,
+        saved: [Option<f64>; 2],
+    },
+    /// Two-input co-iteration scan.
+    Scan2 {
+        depth: usize,
+        epoch: u32,
+        dim: usize,
+        idx: usize,
+        ap: u64,
+        bp: u64,
+        emitted: u64,
+        op: ScanOp,
+        vars: [Slot; 4],
+        saved: [Option<f64>; 4],
+    },
+}
+
+/// One active loop of the bytecode dispatch loop: the pattern node id
+/// (for trip/DRAM attribution), the reduction accumulator when the loop
+/// is a `Reduce`, and the counter state.
+#[derive(Debug, Clone)]
+struct Frame {
+    node: usize,
+    reduce: Option<Slot>,
+    acc: f64,
+    state: FrameState,
+}
+
 /// Dense statistics counters, indexed by slot / node id. `Option`
 /// distinguishes "never touched" from "touched with zero words" so the
 /// fold reproduces the reference engine's map-entry creation exactly.
@@ -250,12 +348,21 @@ impl DenseStats {
     }
 }
 
+#[inline]
 fn index_of(v: f64, context: impl FnOnce() -> String) -> Result<usize, RunError> {
     if v < 0.0 {
         return Err(RunError::NegativeIndex {
             context: context(),
             value: v,
         });
+    }
+    // Exact-integer fast path: the cast round-trips iff `v` is a
+    // non-negative integer below 2^64, where `round` is the identity.
+    // This keeps `f64::round` (a libm call on baseline x86-64) off the
+    // hot path without changing a single result.
+    let t = v as usize;
+    if t as f64 == v {
+        return Ok(t);
     }
     Ok(v.round() as usize)
 }
@@ -298,9 +405,11 @@ fn index_of(v: f64, context: impl FnOnce() -> String) -> Result<usize, RunError>
 /// ```
 #[derive(Debug, Clone)]
 pub struct Machine {
+    compiled: Arc<CompiledProgram>,
+    /// Machine-local copy of the compiled program's symbol table.
+    /// Kept as a field (not read through `compiled`) so error paths can
+    /// name memories while other fields are mutably borrowed.
     syms: SymbolTable,
-    resolved: Rc<ResolvedProgram>,
-    source: SpatialProgram,
     drams: Vec<Option<DramArray>>,
     on_chip: Vec<Option<OnChip>>,
     env: Vec<Option<f64>>,
@@ -308,19 +417,31 @@ pub struct Machine {
     stats: ExecStats,
     node_stack: Vec<usize>,
     scratch: Vec<usize>,
+    frames: Vec<Frame>,
+    vstack: Vec<f64>,
+    scan_pool: Vec<ScanBuf>,
+    scan_depth: usize,
 }
 
 impl Machine {
     /// Creates a machine with zeroed DRAM arrays sized per the program's
-    /// declarations. The program is linked (resolved to slots) here;
+    /// declarations. The program is linked and lowered to bytecode here;
     /// [`Machine::run`] re-links only when handed a different program.
     pub fn new(program: &SpatialProgram) -> Self {
-        let mut syms = SymbolTable::default();
-        let resolved = Rc::new(resolve(program, &mut syms));
+        Machine::from_compiled(Arc::new(CompiledProgram::compile(program)))
+    }
+
+    /// Creates a machine bound to an already-compiled program, sharing
+    /// the artifact with every other machine holding the same `Arc` —
+    /// the re-bind path for dataset sweeps (see
+    /// [`crate::bytecode::ProgramCache`]). Machine *state* (DRAM,
+    /// on-chip memories, statistics) is per-machine; only the immutable
+    /// compiled form is shared.
+    pub fn from_compiled(compiled: Arc<CompiledProgram>) -> Self {
+        let syms = compiled.syms().clone();
         let mut m = Machine {
+            compiled,
             syms,
-            resolved: Rc::clone(&resolved),
-            source: program.clone(),
             drams: Vec::new(),
             on_chip: Vec::new(),
             env: Vec::new(),
@@ -328,9 +449,14 @@ impl Machine {
             stats: ExecStats::default(),
             node_stack: Vec::new(),
             scratch: Vec::new(),
+            frames: Vec::new(),
+            vstack: Vec::new(),
+            scan_pool: Vec::new(),
+            scan_depth: 0,
         };
         m.grow_state();
-        for d in &resolved.drams {
+        let compiled = Arc::clone(&m.compiled);
+        for d in &compiled.resolved().drams {
             m.drams[d.slot as usize] = Some(DramArray {
                 kind: d.kind,
                 data: vec![0.0; d.size],
@@ -339,13 +465,34 @@ impl Machine {
         m
     }
 
+    /// The compiled program this machine is bound to.
+    pub fn compiled(&self) -> &Arc<CompiledProgram> {
+        &self.compiled
+    }
+
+    /// Re-links and re-lowers when handed a program other than the one
+    /// the machine is bound to. The new program is resolved against the
+    /// existing symbol table, so slots (and machine state) survive.
+    fn relink(&mut self, program: &SpatialProgram) {
+        if *program != *self.compiled.source() {
+            let syms = std::mem::take(&mut self.syms);
+            self.compiled = Arc::new(CompiledProgram::compile_with(program, syms));
+            self.syms = self.compiled.syms().clone();
+            self.grow_state();
+        }
+    }
+
     /// Grows slot-indexed state to match the symbol table after a
     /// resolution pass. Existing slots keep their contents.
     fn grow_state(&mut self) {
         let drams = self.syms.dram_count();
         let chips = self.syms.chip_count();
         let vars = self.syms.var_count();
-        let nodes = self.resolved.node_limit.max(self.dense.node_trips.len());
+        let nodes = self
+            .compiled
+            .resolved()
+            .node_limit
+            .max(self.dense.node_trips.len());
         if self.drams.len() < drams {
             self.drams.resize_with(drams, || None);
             self.dense.dram_reads.resize(drams, None);
@@ -462,9 +609,11 @@ impl Machine {
         &self.stats
     }
 
-    /// Executes the program's Accel block.
+    /// Executes the program's Accel block on the flat bytecode engine
+    /// (a program counter over the op vector, loop state in a dense
+    /// frame stack — no recursion).
     ///
-    /// The resolved form produced at construction is reused when
+    /// The compiled form produced at construction is reused when
     /// `program` equals the program the machine was built from;
     /// otherwise the new program is linked against the machine's
     /// existing slot space first.
@@ -473,15 +622,33 @@ impl Machine {
     ///
     /// Returns the first [`RunError`] encountered.
     pub fn run(&mut self, program: &SpatialProgram) -> Result<ExecStats, RunError> {
-        if *program != self.source {
-            self.source = program.clone();
-            self.resolved = Rc::new(resolve(program, &mut self.syms));
-            self.grow_state();
-        }
-        let prog = Rc::clone(&self.resolved);
+        self.relink(program);
+        let prog = Arc::clone(&self.compiled);
+        let result = self.run_ops(&prog);
+        self.stats = self.dense.fold(&self.syms);
+        result?;
+        Ok(self.stats.clone())
+    }
+
+    /// Executes the program on the recursive resolved-tree engine (the
+    /// PR-1 walker). Semantically identical to [`Machine::run`] — it is
+    /// kept as a differential-testing oracle and benchmark baseline for
+    /// the bytecode engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RunError`] encountered.
+    pub fn run_tree(&mut self, program: &SpatialProgram) -> Result<ExecStats, RunError> {
+        self.relink(program);
+        let prog = Arc::clone(&self.compiled);
+        self.node_stack.clear();
+        self.frames.clear();
+        self.vstack.clear();
+        self.scan_depth = 0;
         let result = (|| {
-            for stmt in &prog.body {
-                self.exec(&prog, stmt)?;
+            let resolved = prog.resolved();
+            for stmt in &resolved.body {
+                self.exec(resolved, stmt)?;
             }
             Ok(())
         })();
@@ -491,7 +658,15 @@ impl Machine {
     }
 
     fn current_node(&self) -> Option<usize> {
-        self.node_stack.last().copied()
+        // `node_stack` wins over `frames`: the tree walker uses it
+        // exclusively, and in the bytecode engine only `RangeSimple`
+        // superinstructions push it — always after (inside) any framed
+        // loop, and nested superinstructions push in nesting order — so
+        // the last entry is the innermost active loop.
+        self.node_stack
+            .last()
+            .copied()
+            .or_else(|| self.frames.last().map(|f| f.node))
     }
 
     fn eval(&mut self, p: &ResolvedProgram, id: ExprId) -> Result<f64, RunError> {
@@ -526,39 +701,7 @@ impl Machine {
                 random,
             } => {
                 let ix = self.eval(p, index)?;
-                let syms = &self.syms;
-                let ix = index_of(ix, || syms.chip_name(chip).to_string())?;
-                // On-chip first, then DRAM (SparseDram random reads).
-                if let Some(oc) = &self.on_chip[chip as usize] {
-                    let kind = oc.kind;
-                    let v = match &oc.mem {
-                        Mem::Words(w) => {
-                            let len = w.len();
-                            *w.get(ix).ok_or_else(|| RunError::OutOfBounds {
-                                mem: syms.chip_name(chip).to_string(),
-                                index: ix as i64,
-                                len,
-                            })?
-                        }
-                        _ => return Err(self.unknown_chip(chip)),
-                    };
-                    self.dense.sram_reads += 1;
-                    if random && kind == MemKind::SparseSram {
-                        self.dense.shuffle_accesses += 1;
-                    }
-                    Ok(v)
-                } else if let Some(arr) = &self.drams[dram as usize] {
-                    let len = arr.data.len();
-                    let v = *arr.data.get(ix).ok_or_else(|| RunError::OutOfBounds {
-                        mem: syms.dram_name(dram).to_string(),
-                        index: ix as i64,
-                        len,
-                    })?;
-                    self.dense.dram_random_reads += 1;
-                    Ok(v)
-                } else {
-                    Err(self.unknown_chip(chip))
-                }
+                self.read_mem_value(chip, dram, ix, random)
             }
             ResolvedExpr::Neg(inner) => {
                 let v = self.eval(p, inner)?;
@@ -590,6 +733,61 @@ impl Machine {
         }
     }
 
+    /// Shared `mem[index]` read used by both expression engines:
+    /// on-chip first, then the SparseDRAM random-read fallback. `ix` is
+    /// the already-evaluated (f64) index.
+    #[inline(always)]
+    fn read_mem_value(
+        &mut self,
+        chip: Slot,
+        dram: Slot,
+        ix: f64,
+        random: bool,
+    ) -> Result<f64, RunError> {
+        let ix = index_of(ix, || self.syms.chip_name(chip).to_string())?;
+        if let Some(oc) = &self.on_chip[chip as usize] {
+            let kind = oc.kind;
+            let v = match &oc.mem {
+                Mem::Words(w) => {
+                    let len = w.len();
+                    match w.get(ix) {
+                        Some(v) => *v,
+                        None => {
+                            return Err(RunError::OutOfBounds {
+                                mem: self.syms.chip_name(chip).to_string(),
+                                index: ix as i64,
+                                len,
+                            })
+                        }
+                    }
+                }
+                _ => return Err(self.unknown_chip(chip)),
+            };
+            self.dense.sram_reads += 1;
+            if random && kind == MemKind::SparseSram {
+                self.dense.shuffle_accesses += 1;
+            }
+            Ok(v)
+        } else if let Some(arr) = &self.drams[dram as usize] {
+            let len = arr.data.len();
+            let v = match arr.data.get(ix) {
+                Some(v) => *v,
+                None => {
+                    return Err(RunError::OutOfBounds {
+                        mem: self.syms.dram_name(dram).to_string(),
+                        index: ix as i64,
+                        len,
+                    })
+                }
+            };
+            self.dense.dram_random_reads += 1;
+            Ok(v)
+        } else {
+            Err(self.unknown_chip(chip))
+        }
+    }
+
+    #[inline(always)]
     fn write_on_chip(
         &mut self,
         mem: Slot,
@@ -630,23 +828,330 @@ impl Machine {
         }
     }
 
-    fn exec(&mut self, p: &ResolvedProgram, stmt: &ResolvedStmt) -> Result<(), RunError> {
-        match stmt {
-            ResolvedStmt::Alloc { slot, kind, size } => {
-                let mem = match kind {
-                    MemKind::Sram | MemKind::SparseSram => Mem::Words(vec![0.0; *size]),
-                    MemKind::Fifo => Mem::Fifo(VecDeque::new()),
-                    MemKind::Reg => Mem::Reg(0.0),
-                    MemKind::BitVector => Mem::Bits(vec![false; *size]),
-                    MemKind::Dram | MemKind::SparseDram => {
-                        // DRAM is declared at program level, not allocated
-                        // in Accel.
-                        return Err(self.unknown_chip(*slot));
-                    }
-                };
-                self.on_chip[*slot as usize] = Some(OnChip { kind: *kind, mem });
+    // --- Statement executors shared by the tree walker and the
+    // --- bytecode dispatch loop. Operands are already evaluated.
+
+    fn do_alloc(&mut self, slot: Slot, kind: MemKind, size: usize) -> Result<(), RunError> {
+        let mem = match kind {
+            MemKind::Sram | MemKind::SparseSram => Mem::Words(vec![0.0; size]),
+            MemKind::Fifo => Mem::Fifo(VecDeque::new()),
+            MemKind::Reg => Mem::Reg(0.0),
+            MemKind::BitVector => Mem::Bits(vec![false; size]),
+            MemKind::Dram | MemKind::SparseDram => {
+                // DRAM is declared at program level, not allocated in
+                // Accel.
+                return Err(self.unknown_chip(slot));
+            }
+        };
+        self.on_chip[slot as usize] = Some(OnChip { kind, mem });
+        Ok(())
+    }
+
+    fn do_load(&mut self, dst: Slot, src: Slot, s: f64, e: f64) -> Result<(), RunError> {
+        let s = index_of(s, || "load start".to_string())?;
+        let e = index_of(e, || "load end".to_string())?;
+        let alen = match &self.drams[src as usize] {
+            Some(arr) => arr.data.len(),
+            None => return Err(self.unknown_dram(src)),
+        };
+        if e > alen {
+            return Err(RunError::OutOfBounds {
+                mem: self.syms.dram_name(src).to_string(),
+                index: e as i64,
+                len: alen,
+            });
+        }
+        let n = e.checked_sub(s).expect("load start beyond load end");
+        self.dense
+            .note_dram_read(src, n as u64, self.current_node());
+        let src_arr = self.drams[src as usize].as_ref().expect("checked");
+        match &mut self.on_chip[dst as usize] {
+            Some(OnChip {
+                mem: Mem::Words(w), ..
+            }) => {
+                if n > w.len() {
+                    return Err(RunError::OutOfBounds {
+                        mem: self.syms.chip_name(dst).to_string(),
+                        index: n as i64,
+                        len: w.len(),
+                    });
+                }
+                w[..n].copy_from_slice(&src_arr.data[s..e]);
+                self.dense.sram_writes += n as u64;
                 Ok(())
             }
+            Some(OnChip {
+                mem: Mem::Fifo(q), ..
+            }) => {
+                self.dense.fifo_enqs += n as u64;
+                q.extend(src_arr.data[s..e].iter().copied());
+                Ok(())
+            }
+            _ => Err(RunError::UnknownMemory(
+                self.syms.chip_name(dst).to_string(),
+            )),
+        }
+    }
+
+    fn do_store(&mut self, dst: Slot, off: usize, src: Slot, n: usize) -> Result<(), RunError> {
+        let w = match &self.on_chip[src as usize] {
+            Some(OnChip {
+                mem: Mem::Words(w), ..
+            }) => w,
+            _ => return Err(self.unknown_chip(src)),
+        };
+        if n > w.len() {
+            return Err(RunError::OutOfBounds {
+                mem: self.syms.chip_name(src).to_string(),
+                index: n as i64,
+                len: w.len(),
+            });
+        }
+        self.dense.sram_reads += n as u64;
+        let arr = match &mut self.drams[dst as usize] {
+            Some(arr) => &mut arr.data,
+            None => {
+                return Err(RunError::UnknownMemory(
+                    self.syms.dram_name(dst).to_string(),
+                ))
+            }
+        };
+        if off + n > arr.len() {
+            return Err(RunError::OutOfBounds {
+                mem: self.syms.dram_name(dst).to_string(),
+                index: (off + n) as i64,
+                len: arr.len(),
+            });
+        }
+        let w = match &self.on_chip[src as usize] {
+            Some(OnChip {
+                mem: Mem::Words(w), ..
+            }) => w,
+            _ => unreachable!("checked above"),
+        };
+        let arr = match &mut self.drams[dst as usize] {
+            Some(arr) => &mut arr.data,
+            None => unreachable!("checked above"),
+        };
+        arr[off..off + n].copy_from_slice(&w[..n]);
+        self.dense
+            .note_dram_write(dst, n as u64, self.current_node());
+        Ok(())
+    }
+
+    fn do_stream_store(
+        &mut self,
+        dst: Slot,
+        off: usize,
+        fifo: Slot,
+        n: usize,
+    ) -> Result<(), RunError> {
+        let q = match &mut self.on_chip[fifo as usize] {
+            Some(OnChip {
+                mem: Mem::Fifo(q), ..
+            }) => q,
+            _ => {
+                return Err(RunError::UnknownMemory(
+                    self.syms.chip_name(fifo).to_string(),
+                ))
+            }
+        };
+        if q.len() < n {
+            // The reference engine pops one element at a time and fails
+            // on the first missing one — the FIFO ends up drained and
+            // the dequeues uncounted.
+            q.clear();
+            return Err(RunError::FifoUnderflow(
+                self.syms.chip_name(fifo).to_string(),
+            ));
+        }
+        self.dense.fifo_deqs += n as u64;
+        let arr = match &mut self.drams[dst as usize] {
+            Some(arr) => &mut arr.data,
+            None => {
+                let q = match &mut self.on_chip[fifo as usize] {
+                    Some(OnChip {
+                        mem: Mem::Fifo(q), ..
+                    }) => q,
+                    _ => unreachable!("checked above"),
+                };
+                q.drain(..n);
+                return Err(RunError::UnknownMemory(
+                    self.syms.dram_name(dst).to_string(),
+                ));
+            }
+        };
+        if off + n > arr.len() {
+            let len = arr.len();
+            let q = match &mut self.on_chip[fifo as usize] {
+                Some(OnChip {
+                    mem: Mem::Fifo(q), ..
+                }) => q,
+                _ => unreachable!("checked above"),
+            };
+            q.drain(..n);
+            return Err(RunError::OutOfBounds {
+                mem: self.syms.dram_name(dst).to_string(),
+                index: (off + n) as i64,
+                len,
+            });
+        }
+        let (drams, on_chip) = (&mut self.drams, &mut self.on_chip);
+        let arr = match &mut drams[dst as usize] {
+            Some(arr) => &mut arr.data,
+            None => unreachable!("checked above"),
+        };
+        let q = match &mut on_chip[fifo as usize] {
+            Some(OnChip {
+                mem: Mem::Fifo(q), ..
+            }) => q,
+            _ => unreachable!("checked above"),
+        };
+        for (slot, v) in arr[off..off + n].iter_mut().zip(q.drain(..n)) {
+            *slot = v;
+        }
+        self.dense
+            .note_dram_write(dst, n as u64, self.current_node());
+        Ok(())
+    }
+
+    fn do_store_scalar(&mut self, dst: Slot, ix: usize, v: f64) -> Result<(), RunError> {
+        let arr = match &mut self.drams[dst as usize] {
+            Some(arr) => &mut arr.data,
+            None => {
+                return Err(RunError::UnknownMemory(
+                    self.syms.dram_name(dst).to_string(),
+                ))
+            }
+        };
+        let len = arr.len();
+        match arr.get_mut(ix) {
+            Some(slot) => {
+                *slot = v;
+                self.dense.dram_random_writes += 1;
+                Ok(())
+            }
+            None => Err(RunError::OutOfBounds {
+                mem: self.syms.dram_name(dst).to_string(),
+                index: ix as i64,
+                len,
+            }),
+        }
+    }
+
+    fn do_set_reg(&mut self, reg: Slot, v: f64) -> Result<(), RunError> {
+        match &mut self.on_chip[reg as usize] {
+            Some(OnChip {
+                mem: Mem::Reg(r), ..
+            }) => {
+                *r = v;
+                Ok(())
+            }
+            _ => Err(self.unknown_chip(reg)),
+        }
+    }
+
+    fn do_enq(&mut self, fifo: Slot, v: f64) -> Result<(), RunError> {
+        match &mut self.on_chip[fifo as usize] {
+            Some(OnChip {
+                mem: Mem::Fifo(q), ..
+            }) => {
+                q.push_back(v);
+                self.dense.fifo_enqs += 1;
+                Ok(())
+            }
+            _ => Err(self.unknown_chip(fifo)),
+        }
+    }
+
+    fn do_gen_bit_vector(
+        &mut self,
+        dst: Slot,
+        src: Slot,
+        s: usize,
+        n: usize,
+        d: usize,
+    ) -> Result<(), RunError> {
+        // Gather coordinates from the source memory into the reusable
+        // scratch buffer.
+        let mut coords = std::mem::take(&mut self.scratch);
+        coords.clear();
+        match &mut self.on_chip[src as usize] {
+            Some(OnChip {
+                mem: Mem::Fifo(q), ..
+            }) => {
+                if q.len() < n {
+                    // Reference semantics: pop until empty, fail.
+                    q.clear();
+                    self.scratch = coords;
+                    return Err(RunError::FifoUnderflow(
+                        self.syms.chip_name(src).to_string(),
+                    ));
+                }
+                coords.extend(q.drain(..n).map(|v| v.round() as usize));
+                self.dense.fifo_deqs += n as u64;
+            }
+            Some(OnChip {
+                mem: Mem::Words(w), ..
+            }) => {
+                if s + n > w.len() {
+                    self.scratch = coords;
+                    return Err(RunError::OutOfBounds {
+                        mem: self.syms.chip_name(src).to_string(),
+                        index: (s + n) as i64,
+                        len: w.len(),
+                    });
+                }
+                self.dense.sram_reads += n as u64;
+                coords.extend(w[s..s + n].iter().map(|&v| v.round() as usize));
+            }
+            _ => {
+                self.scratch = coords;
+                return Err(RunError::UnknownMemory(
+                    self.syms.chip_name(src).to_string(),
+                ));
+            }
+        }
+        let result = match &mut self.on_chip[dst as usize] {
+            Some(OnChip {
+                mem: Mem::Bits(bits),
+                ..
+            }) => {
+                if bits.len() < d {
+                    bits.resize(d, false);
+                }
+                bits.iter_mut().for_each(|b| *b = false);
+                let mut failed = None;
+                for &c in &coords {
+                    if c >= bits.len() {
+                        failed = Some(RunError::OutOfBounds {
+                            mem: self.syms.chip_name(dst).to_string(),
+                            index: c as i64,
+                            len: bits.len(),
+                        });
+                        break;
+                    }
+                    bits[c] = true;
+                }
+                match failed {
+                    Some(e) => Err(e),
+                    None => {
+                        self.dense.bv_gen_bits += d as u64;
+                        Ok(())
+                    }
+                }
+            }
+            _ => Err(RunError::UnknownMemory(
+                self.syms.chip_name(dst).to_string(),
+            )),
+        };
+        self.scratch = coords;
+        result
+    }
+
+    fn exec(&mut self, p: &ResolvedProgram, stmt: &ResolvedStmt) -> Result<(), RunError> {
+        match stmt {
+            ResolvedStmt::Alloc { slot, kind, size } => self.do_alloc(*slot, *kind, *size),
             ResolvedStmt::Bind { var, value } => {
                 let v = self.eval(p, *value)?;
                 self.env[*var as usize] = Some(v);
@@ -660,49 +1165,7 @@ impl Machine {
             } => {
                 let s = self.eval(p, *start)?;
                 let e = self.eval(p, *end)?;
-                let s = index_of(s, || "load start".to_string())?;
-                let e = index_of(e, || "load end".to_string())?;
-                let alen = match &self.drams[*src as usize] {
-                    Some(arr) => arr.data.len(),
-                    None => return Err(self.unknown_dram(*src)),
-                };
-                if e > alen {
-                    return Err(RunError::OutOfBounds {
-                        mem: self.syms.dram_name(*src).to_string(),
-                        index: e as i64,
-                        len: alen,
-                    });
-                }
-                let n = e.checked_sub(s).expect("load start beyond load end");
-                self.dense
-                    .note_dram_read(*src, n as u64, self.current_node());
-                let src_arr = self.drams[*src as usize].as_ref().expect("checked");
-                match &mut self.on_chip[*dst as usize] {
-                    Some(OnChip {
-                        mem: Mem::Words(w), ..
-                    }) => {
-                        if n > w.len() {
-                            return Err(RunError::OutOfBounds {
-                                mem: self.syms.chip_name(*dst).to_string(),
-                                index: n as i64,
-                                len: w.len(),
-                            });
-                        }
-                        w[..n].copy_from_slice(&src_arr.data[s..e]);
-                        self.dense.sram_writes += n as u64;
-                        Ok(())
-                    }
-                    Some(OnChip {
-                        mem: Mem::Fifo(q), ..
-                    }) => {
-                        self.dense.fifo_enqs += n as u64;
-                        q.extend(src_arr.data[s..e].iter().copied());
-                        Ok(())
-                    }
-                    _ => Err(RunError::UnknownMemory(
-                        self.syms.chip_name(*dst).to_string(),
-                    )),
-                }
+                self.do_load(*dst, *src, s, e)
             }
             ResolvedStmt::Store {
                 dst,
@@ -714,39 +1177,7 @@ impl Machine {
                 let off = index_of(off, || "store offset".to_string())?;
                 let n = self.eval(p, *len)?;
                 let n = index_of(n, || "store len".to_string())?;
-                let w = match &self.on_chip[*src as usize] {
-                    Some(OnChip {
-                        mem: Mem::Words(w), ..
-                    }) => w,
-                    _ => return Err(self.unknown_chip(*src)),
-                };
-                if n > w.len() {
-                    return Err(RunError::OutOfBounds {
-                        mem: self.syms.chip_name(*src).to_string(),
-                        index: n as i64,
-                        len: w.len(),
-                    });
-                }
-                self.dense.sram_reads += n as u64;
-                let arr = match &mut self.drams[*dst as usize] {
-                    Some(arr) => &mut arr.data,
-                    None => {
-                        return Err(RunError::UnknownMemory(
-                            self.syms.dram_name(*dst).to_string(),
-                        ))
-                    }
-                };
-                if off + n > arr.len() {
-                    return Err(RunError::OutOfBounds {
-                        mem: self.syms.dram_name(*dst).to_string(),
-                        index: (off + n) as i64,
-                        len: arr.len(),
-                    });
-                }
-                arr[off..off + n].copy_from_slice(&w[..n]);
-                self.dense
-                    .note_dram_write(*dst, n as u64, self.current_node());
-                Ok(())
+                self.do_store(*dst, off, *src, n)
             }
             ResolvedStmt::StreamStore {
                 dst,
@@ -758,89 +1189,13 @@ impl Machine {
                 let off = index_of(off, || "stream store offset".to_string())?;
                 let n = self.eval(p, *len)?;
                 let n = index_of(n, || "stream store len".to_string())?;
-                let q = match &mut self.on_chip[*fifo as usize] {
-                    Some(OnChip {
-                        mem: Mem::Fifo(q), ..
-                    }) => q,
-                    _ => {
-                        return Err(RunError::UnknownMemory(
-                            self.syms.chip_name(*fifo).to_string(),
-                        ))
-                    }
-                };
-                if q.len() < n {
-                    // The reference engine pops one element at a time and
-                    // fails on the first missing one — the FIFO ends up
-                    // drained and the dequeues uncounted.
-                    q.clear();
-                    return Err(RunError::FifoUnderflow(
-                        self.syms.chip_name(*fifo).to_string(),
-                    ));
-                }
-                self.dense.fifo_deqs += n as u64;
-                let arr = match &mut self.drams[*dst as usize] {
-                    Some(arr) => &mut arr.data,
-                    None => {
-                        let q = match &mut self.on_chip[*fifo as usize] {
-                            Some(OnChip {
-                                mem: Mem::Fifo(q), ..
-                            }) => q,
-                            _ => unreachable!("checked above"),
-                        };
-                        q.drain(..n);
-                        return Err(RunError::UnknownMemory(
-                            self.syms.dram_name(*dst).to_string(),
-                        ));
-                    }
-                };
-                if off + n > arr.len() {
-                    let len = arr.len();
-                    let q = match &mut self.on_chip[*fifo as usize] {
-                        Some(OnChip {
-                            mem: Mem::Fifo(q), ..
-                        }) => q,
-                        _ => unreachable!("checked above"),
-                    };
-                    q.drain(..n);
-                    return Err(RunError::OutOfBounds {
-                        mem: self.syms.dram_name(*dst).to_string(),
-                        index: (off + n) as i64,
-                        len,
-                    });
-                }
-                for (slot, v) in arr[off..off + n].iter_mut().zip(q.drain(..n)) {
-                    *slot = v;
-                }
-                self.dense
-                    .note_dram_write(*dst, n as u64, self.current_node());
-                Ok(())
+                self.do_stream_store(*dst, off, *fifo, n)
             }
             ResolvedStmt::StoreScalar { dst, index, value } => {
                 let ix = self.eval(p, *index)?;
                 let ix = index_of(ix, || "scalar store index".to_string())?;
                 let v = self.eval(p, *value)?;
-                let arr = match &mut self.drams[*dst as usize] {
-                    Some(arr) => &mut arr.data,
-                    None => {
-                        return Err(RunError::UnknownMemory(
-                            self.syms.dram_name(*dst).to_string(),
-                        ))
-                    }
-                };
-                let len = arr.len();
-                let slot = match arr.get_mut(ix) {
-                    Some(s) => s,
-                    None => {
-                        return Err(RunError::OutOfBounds {
-                            mem: self.syms.dram_name(*dst).to_string(),
-                            index: ix as i64,
-                            len,
-                        })
-                    }
-                };
-                *slot = v;
-                self.dense.dram_random_writes += 1;
-                Ok(())
+                self.do_store_scalar(*dst, ix, v)
             }
             ResolvedStmt::WriteMem {
                 mem,
@@ -849,42 +1204,23 @@ impl Machine {
                 random,
             } => {
                 let ix = self.eval(p, *index)?;
-                let syms = &self.syms;
-                let ix = index_of(ix, || syms.chip_name(*mem).to_string())?;
+                let ix = index_of(ix, || self.syms.chip_name(*mem).to_string())?;
                 let v = self.eval(p, *value)?;
                 self.write_on_chip(*mem, ix, v, *random, false)
             }
             ResolvedStmt::RmwAdd { mem, index, value } => {
                 let ix = self.eval(p, *index)?;
-                let syms = &self.syms;
-                let ix = index_of(ix, || syms.chip_name(*mem).to_string())?;
+                let ix = index_of(ix, || self.syms.chip_name(*mem).to_string())?;
                 let v = self.eval(p, *value)?;
                 self.write_on_chip(*mem, ix, v, true, true)
             }
             ResolvedStmt::SetReg { reg, value } => {
                 let v = self.eval(p, *value)?;
-                match &mut self.on_chip[*reg as usize] {
-                    Some(OnChip {
-                        mem: Mem::Reg(r), ..
-                    }) => {
-                        *r = v;
-                        Ok(())
-                    }
-                    _ => Err(self.unknown_chip(*reg)),
-                }
+                self.do_set_reg(*reg, v)
             }
             ResolvedStmt::Enq { fifo, value } => {
                 let v = self.eval(p, *value)?;
-                match &mut self.on_chip[*fifo as usize] {
-                    Some(OnChip {
-                        mem: Mem::Fifo(q), ..
-                    }) => {
-                        q.push_back(v);
-                        self.dense.fifo_enqs += 1;
-                        Ok(())
-                    }
-                    _ => Err(self.unknown_chip(*fifo)),
-                }
+                self.do_enq(*fifo, v)
             }
             ResolvedStmt::GenBitVector {
                 dst,
@@ -899,78 +1235,7 @@ impl Machine {
                 let d = index_of(d, || "genbv dim".to_string())?;
                 let s = self.eval(p, *src_start)?;
                 let s = index_of(s, || "genbv start".to_string())?;
-                // Gather coordinates from the source memory into the
-                // reusable scratch buffer.
-                let mut coords = std::mem::take(&mut self.scratch);
-                coords.clear();
-                match &mut self.on_chip[*src as usize] {
-                    Some(OnChip {
-                        mem: Mem::Fifo(q), ..
-                    }) => {
-                        if q.len() < n {
-                            // Reference semantics: pop until empty, fail.
-                            q.clear();
-                            return Err(RunError::FifoUnderflow(
-                                self.syms.chip_name(*src).to_string(),
-                            ));
-                        }
-                        coords.extend(q.drain(..n).map(|v| v.round() as usize));
-                        self.dense.fifo_deqs += n as u64;
-                    }
-                    Some(OnChip {
-                        mem: Mem::Words(w), ..
-                    }) => {
-                        if s + n > w.len() {
-                            return Err(RunError::OutOfBounds {
-                                mem: self.syms.chip_name(*src).to_string(),
-                                index: (s + n) as i64,
-                                len: w.len(),
-                            });
-                        }
-                        self.dense.sram_reads += n as u64;
-                        coords.extend(w[s..s + n].iter().map(|&v| v.round() as usize));
-                    }
-                    _ => {
-                        return Err(RunError::UnknownMemory(
-                            self.syms.chip_name(*src).to_string(),
-                        ))
-                    }
-                }
-                let result = match &mut self.on_chip[*dst as usize] {
-                    Some(OnChip {
-                        mem: Mem::Bits(bits),
-                        ..
-                    }) => {
-                        if bits.len() < d {
-                            bits.resize(d, false);
-                        }
-                        bits.iter_mut().for_each(|b| *b = false);
-                        let mut failed = None;
-                        for &c in &coords {
-                            if c >= bits.len() {
-                                failed = Some(RunError::OutOfBounds {
-                                    mem: self.syms.chip_name(*dst).to_string(),
-                                    index: c as i64,
-                                    len: bits.len(),
-                                });
-                                break;
-                            }
-                            bits[c] = true;
-                        }
-                        match failed {
-                            Some(e) => Err(e),
-                            None => {
-                                self.dense.bv_gen_bits += d as u64;
-                                Ok(())
-                            }
-                        }
-                    }
-                    _ => Err(RunError::UnknownMemory(
-                        self.syms.chip_name(*dst).to_string(),
-                    )),
-                };
-                self.scratch = coords;
-                result
+                self.do_gen_bit_vector(*dst, *src, s, n, d)
             }
             ResolvedStmt::Foreach { id, counter, body } => {
                 self.node_stack.push(*id);
@@ -1058,19 +1323,15 @@ impl Machine {
                 pos_var,
                 idx_var,
             } => {
-                let bits = match &self.on_chip[*bv as usize] {
-                    Some(OnChip {
-                        mem: Mem::Bits(b), ..
-                    }) => b.clone(),
-                    _ => return Err(self.unknown_chip(*bv)),
-                };
-                self.dense.scan_bits += bits.len() as u64;
+                let depth = self.scan_depth;
+                let (dim, epoch) = self.scan_snapshot1(*bv)?;
+                self.scan_depth = depth + 1;
                 let (pos_var, idx_var) = (*pos_var as usize, *idx_var as usize);
                 let saved_pos = self.env[pos_var];
                 let saved_idx = self.env[idx_var];
                 let mut pos = 0u64;
-                for (idx, set) in bits.iter().enumerate() {
-                    if *set {
+                for idx in 0..dim {
+                    if self.scan_pool[depth].a_set(idx, epoch) {
                         self.env[pos_var] = Some(pos as f64);
                         self.env[idx_var] = Some(idx as f64);
                         self.dense.scan_emits += 1;
@@ -1078,6 +1339,7 @@ impl Machine {
                         pos += 1;
                     }
                 }
+                self.scan_depth = depth;
                 self.env[pos_var] = saved_pos;
                 self.env[idx_var] = saved_idx;
                 Ok(())
@@ -1091,20 +1353,9 @@ impl Machine {
                 out_pos_var,
                 idx_var,
             } => {
-                let a = match &self.on_chip[*bv_a as usize] {
-                    Some(OnChip {
-                        mem: Mem::Bits(b), ..
-                    }) => b.clone(),
-                    _ => return Err(self.unknown_chip(*bv_a)),
-                };
-                let b = match &self.on_chip[*bv_b as usize] {
-                    Some(OnChip {
-                        mem: Mem::Bits(bb), ..
-                    }) => bb.clone(),
-                    _ => return Err(self.unknown_chip(*bv_b)),
-                };
-                let dim = a.len().max(b.len());
-                self.dense.scan_bits += 2 * dim as u64;
+                let depth = self.scan_depth;
+                let (dim, epoch) = self.scan_snapshot2(*bv_a, *bv_b)?;
+                self.scan_depth = depth + 1;
                 let vars = [
                     *a_pos_var as usize,
                     *b_pos_var as usize,
@@ -1114,8 +1365,8 @@ impl Machine {
                 let saved = vars.map(|v| self.env[v]);
                 let (mut ap, mut bp, mut op_count) = (0u64, 0u64, 0u64);
                 for idx in 0..dim {
-                    let has_a = a.get(idx).copied().unwrap_or(false);
-                    let has_b = b.get(idx).copied().unwrap_or(false);
+                    let has_a = self.scan_pool[depth].a_set(idx, epoch);
+                    let has_b = self.scan_pool[depth].b_set(idx, epoch);
                     let combined = match op {
                         ScanOp::And => has_a && has_b,
                         ScanOp::Or => has_a || has_b,
@@ -1136,12 +1387,957 @@ impl Machine {
                         bp += 1;
                     }
                 }
+                self.scan_depth = depth;
                 for (v, old) in vars.iter().zip(saved) {
                     self.env[*v] = old;
                 }
                 Ok(())
             }
         }
+    }
+
+    /// Snapshots one bit vector into the scan pool slot at the current
+    /// depth, returning `(dim, epoch)`. Counts the entry's `scan_bits`.
+    fn scan_snapshot1(&mut self, bv: Slot) -> Result<(usize, u32), RunError> {
+        let depth = self.scan_depth;
+        if self.scan_pool.len() <= depth {
+            self.scan_pool.resize_with(depth + 1, ScanBuf::default);
+        }
+        if !matches!(
+            &self.on_chip[bv as usize],
+            Some(OnChip {
+                mem: Mem::Bits(_),
+                ..
+            })
+        ) {
+            return Err(self.unknown_chip(bv));
+        }
+        let Some(OnChip {
+            mem: Mem::Bits(bits),
+            ..
+        }) = &self.on_chip[bv as usize]
+        else {
+            unreachable!("checked above");
+        };
+        let buf = &mut self.scan_pool[depth];
+        let epoch = buf.bump();
+        ScanBuf::stamp(&mut buf.a, bits, epoch);
+        self.dense.scan_bits += bits.len() as u64;
+        Ok((bits.len(), epoch))
+    }
+
+    /// Snapshots both bit vectors of a `Scan2` into the scan pool slot
+    /// at the current depth, returning `(dim, epoch)` where `dim` is
+    /// the longer of the two. Counts the entry's `scan_bits`.
+    fn scan_snapshot2(&mut self, bv_a: Slot, bv_b: Slot) -> Result<(usize, u32), RunError> {
+        let depth = self.scan_depth;
+        if self.scan_pool.len() <= depth {
+            self.scan_pool.resize_with(depth + 1, ScanBuf::default);
+        }
+        // Error order matches the tree engines: `a` is examined first.
+        if !matches!(
+            &self.on_chip[bv_a as usize],
+            Some(OnChip {
+                mem: Mem::Bits(_),
+                ..
+            })
+        ) {
+            return Err(self.unknown_chip(bv_a));
+        }
+        if !matches!(
+            &self.on_chip[bv_b as usize],
+            Some(OnChip {
+                mem: Mem::Bits(_),
+                ..
+            })
+        ) {
+            return Err(self.unknown_chip(bv_b));
+        }
+        let (
+            Some(OnChip {
+                mem: Mem::Bits(a), ..
+            }),
+            Some(OnChip {
+                mem: Mem::Bits(b), ..
+            }),
+        ) = (&self.on_chip[bv_a as usize], &self.on_chip[bv_b as usize])
+        else {
+            unreachable!("checked above");
+        };
+        let dim = a.len().max(b.len());
+        let buf = &mut self.scan_pool[depth];
+        let epoch = buf.bump();
+        ScanBuf::stamp(&mut buf.a, a, epoch);
+        ScanBuf::stamp(&mut buf.b, b, epoch);
+        self.dense.scan_bits += 2 * dim as u64;
+        Ok((dim, epoch))
+    }
+}
+
+/// The bytecode dispatch engine: a program counter over the compiled
+/// op vector, loop state in a dense frame stack, expressions evaluated
+/// postfix on a value stack with the top cached in a register. No
+/// recursion anywhere on the hot path (nested `RangeSimple`
+/// superinstructions recurse to a constant depth bounded by
+/// [`crate::bytecode::MAX_SIMPLE_RANK`]).
+impl Machine {
+    /// Executes the compiled op vector from the top.
+    fn run_ops(&mut self, prog: &CompiledProgram) -> Result<(), RunError> {
+        self.frames.clear();
+        self.vstack.clear();
+        self.node_stack.clear();
+        self.scan_depth = 0;
+        let ops = prog.ops();
+        let mut pc = 0usize;
+        loop {
+            match &ops[pc] {
+                Op::Halt => return Ok(()),
+                Op::RangeSimple {
+                    id,
+                    var,
+                    min,
+                    max,
+                    step,
+                    body,
+                    body_len,
+                    reduce,
+                } => {
+                    pc = self.run_range_simple(
+                        prog, *id, *var, *min, *max, *step, *body, *body_len, *reduce,
+                    )?;
+                }
+                Op::EnterRange {
+                    id,
+                    var,
+                    min,
+                    max,
+                    step,
+                    reduce,
+                    exit,
+                } => {
+                    pc =
+                        self.enter_range(prog, pc, *id, *var, *min, *max, *step, *reduce, *exit)?;
+                }
+                Op::EnterScan1 {
+                    id,
+                    bv,
+                    pos_var,
+                    idx_var,
+                    reduce,
+                    exit,
+                } => {
+                    pc = self.enter_scan1(pc, *id, *bv, *pos_var, *idx_var, *reduce, *exit)?;
+                }
+                Op::EnterScan2 {
+                    id,
+                    op,
+                    bv_a,
+                    bv_b,
+                    vars,
+                    reduce,
+                    exit,
+                } => {
+                    pc = self.enter_scan2(pc, *id, *op, *bv_a, *bv_b, *vars, *reduce, *exit)?;
+                }
+                Op::ReduceTail { expr } => {
+                    let v = self.operand_value(prog, *expr)?;
+                    self.dense.reduce_elems += 1;
+                    self.dense.alu_ops += 1; // the tree-add
+                    self.frames.last_mut().expect("reduce frame").acc += v;
+                    pc += 1;
+                }
+                Op::Next { body } => {
+                    pc = self.loop_next(*body, pc);
+                }
+                op => {
+                    self.exec_simple_op(prog, op)?;
+                    pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Executes one straight-line op (everything except loop control).
+    #[inline(always)]
+    fn exec_simple_op(&mut self, prog: &CompiledProgram, op: &Op) -> Result<(), RunError> {
+        match op {
+            Op::Alloc { slot, kind, size } => self.do_alloc(*slot, *kind, *size),
+            Op::Bind { var, value } => {
+                let v = self.operand_value(prog, *value)?;
+                self.env[*var as usize] = Some(v);
+                Ok(())
+            }
+            Op::Load {
+                dst,
+                src,
+                start,
+                end,
+            } => {
+                let s = self.operand_value(prog, *start)?;
+                let e = self.operand_value(prog, *end)?;
+                self.do_load(*dst, *src, s, e)
+            }
+            Op::Store {
+                dst,
+                offset,
+                src,
+                len,
+            } => {
+                let off = self.operand_value(prog, *offset)?;
+                let off = index_of(off, || "store offset".to_string())?;
+                let n = self.operand_value(prog, *len)?;
+                let n = index_of(n, || "store len".to_string())?;
+                self.do_store(*dst, off, *src, n)
+            }
+            Op::StreamStore {
+                dst,
+                offset,
+                fifo,
+                len,
+            } => {
+                let off = self.operand_value(prog, *offset)?;
+                let off = index_of(off, || "stream store offset".to_string())?;
+                let n = self.operand_value(prog, *len)?;
+                let n = index_of(n, || "stream store len".to_string())?;
+                self.do_stream_store(*dst, off, *fifo, n)
+            }
+            Op::StoreScalar { dst, index, value } => {
+                let ix = self.operand_value(prog, *index)?;
+                let ix = index_of(ix, || "scalar store index".to_string())?;
+                let v = self.operand_value(prog, *value)?;
+                self.do_store_scalar(*dst, ix, v)
+            }
+            Op::WriteMem {
+                mem,
+                index,
+                value,
+                random,
+            } => {
+                let ix = self.operand_value(prog, *index)?;
+                let ix = index_of(ix, || self.syms.chip_name(*mem).to_string())?;
+                let v = self.operand_value(prog, *value)?;
+                self.write_on_chip(*mem, ix, v, *random, false)
+            }
+            Op::RmwAdd { mem, index, value } => {
+                let ix = self.operand_value(prog, *index)?;
+                let ix = index_of(ix, || self.syms.chip_name(*mem).to_string())?;
+                let v = self.operand_value(prog, *value)?;
+                self.write_on_chip(*mem, ix, v, true, true)
+            }
+            Op::SetReg { reg, value } => {
+                let v = self.operand_value(prog, *value)?;
+                self.do_set_reg(*reg, v)
+            }
+            Op::Enq { fifo, value } => {
+                let v = self.operand_value(prog, *value)?;
+                self.do_enq(*fifo, v)
+            }
+            Op::GenBitVector {
+                dst,
+                src,
+                src_start,
+                count,
+                dim,
+            } => {
+                let n = self.operand_value(prog, *count)?;
+                let n = index_of(n, || "genbv count".to_string())?;
+                let d = self.operand_value(prog, *dim)?;
+                let d = index_of(d, || "genbv dim".to_string())?;
+                let s = self.operand_value(prog, *src_start)?;
+                let s = index_of(s, || "genbv start".to_string())?;
+                self.do_gen_bit_vector(*dst, *src, s, n, d)
+            }
+            _ => unreachable!("loop-control op in straight-line position"),
+        }
+    }
+
+    /// Runs a straight-line-body `Range` loop natively: bounds evaluated
+    /// once, the body ops stepped per iteration, the optional reduction
+    /// folded — no frame, no per-iteration dispatch of loop control.
+    #[allow(clippy::too_many_arguments)]
+    fn run_range_simple(
+        &mut self,
+        prog: &CompiledProgram,
+        id: usize,
+        var: Slot,
+        min: Operand,
+        max: Operand,
+        step: i64,
+        body: OpId,
+        body_len: u32,
+        reduce: Option<(Slot, Operand)>,
+    ) -> Result<usize, RunError> {
+        let mut acc = self.read_reduce_acc(reduce.map(|(reg, _)| reg))?;
+        let lo = self.operand_value(prog, min)?;
+        let hi = self.operand_value(prog, max)?;
+        debug_assert!(step > 0, "non-positive loop step");
+        let var = var as usize;
+        let saved = self.env[var];
+        let ops = prog.ops();
+        let end = (body + body_len) as usize;
+        let fstep = step as f64;
+        let mut v = lo;
+        // Trip/fold counts accumulate in registers and flush to the
+        // dense counters on every exit path — including errors — so the
+        // observable statistics are identical to per-iteration bumping.
+        let mut trips = 0u64;
+        let mut folds = 0u64;
+        let mut result: Result<(), RunError> = Ok(());
+        // Single-statement bodies (the scatter-accumulate shape) get a
+        // dedicated loop: the body op is loop-invariant, so its
+        // dispatch is hoisted out of the iteration entirely.
+        if body_len == 1 && reduce.is_none() {
+            let op = &ops[body as usize];
+            if !matches!(op, Op::RangeSimple { .. }) {
+                if v < hi {
+                    self.node_stack.push(id);
+                    while v < hi {
+                        self.env[var] = Some(v);
+                        trips += 1;
+                        if let Err(e) = self.exec_simple_op(prog, op) {
+                            result = Err(e);
+                            break;
+                        }
+                        v += fstep;
+                    }
+                    if result.is_ok() {
+                        self.node_stack.pop();
+                    }
+                }
+                self.dense.node_trips[id] += trips;
+                result?;
+                self.env[var] = saved;
+                return Ok(end);
+            }
+        }
+        if v < hi {
+            self.node_stack.push(id);
+            'iters: while v < hi {
+                self.env[var] = Some(v);
+                trips += 1;
+                let mut i = body as usize;
+                while i < end {
+                    match &ops[i] {
+                        // A nested superinstruction runs its own loop
+                        // (constant recursion depth, capped by
+                        // `MAX_SIMPLE_RANK`) and its body span is
+                        // skipped here.
+                        Op::RangeSimple {
+                            id,
+                            var,
+                            min,
+                            max,
+                            step,
+                            body,
+                            body_len,
+                            reduce,
+                        } => {
+                            match self.run_range_simple(
+                                prog, *id, *var, *min, *max, *step, *body, *body_len, *reduce,
+                            ) {
+                                Ok(next) => i = next,
+                                Err(e) => {
+                                    result = Err(e);
+                                    break 'iters;
+                                }
+                            }
+                        }
+                        op => match self.exec_simple_op(prog, op) {
+                            Ok(()) => i += 1,
+                            Err(e) => {
+                                result = Err(e);
+                                break 'iters;
+                            }
+                        },
+                    }
+                }
+                if let Some((_, expr)) = reduce {
+                    match self.operand_value(prog, expr) {
+                        Ok(x) => {
+                            folds += 1; // reduce_elems and the tree-add
+                            acc += x;
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break 'iters;
+                        }
+                    }
+                }
+                v += fstep;
+            }
+            if result.is_ok() {
+                self.node_stack.pop();
+            }
+        }
+        self.dense.node_trips[id] += trips;
+        if folds > 0 {
+            self.dense.reduce_elems += folds;
+            self.dense.alu_ops += folds;
+        }
+        result?;
+        self.env[var] = saved;
+        self.write_reduce_acc(reduce.map(|(reg, _)| reg), acc);
+        Ok(end)
+    }
+
+    /// Fetches a statement operand: immediates inline, fused compound
+    /// shapes from the side table, expression programs through the
+    /// postfix interpreter.
+    #[inline(always)]
+    fn operand_value(&mut self, prog: &CompiledProgram, o: Operand) -> Result<f64, RunError> {
+        match o {
+            Operand::Const(c) => Ok(c),
+            Operand::Var(v) => match self.env[v as usize] {
+                Some(x) => Ok(x),
+                None => Err(RunError::UnboundVar(self.syms.var_name(v).to_string())),
+            },
+            Operand::Gather {
+                chip,
+                dram,
+                random,
+                var,
+            } => {
+                let ix = match self.env[var as usize] {
+                    Some(x) => x,
+                    None => {
+                        return Err(RunError::UnboundVar(self.syms.var_name(var).to_string()));
+                    }
+                };
+                self.read_mem_value(chip, dram, ix, random)
+            }
+            Operand::Fused(i) => self.fused_value(&prog.fused()[i as usize]),
+            Operand::Expr(e) => self.eval_ops(prog, e),
+        }
+    }
+
+    /// Reads one `mem[env[var]]` reference of a fused shape.
+    #[inline(always)]
+    fn gather_value(&mut self, g: GatherRef) -> Result<f64, RunError> {
+        let ix = match self.env[g.var as usize] {
+            Some(x) => x,
+            None => {
+                return Err(RunError::UnboundVar(self.syms.var_name(g.var).to_string()));
+            }
+        };
+        self.read_mem_value(g.chip, g.dram, ix, g.random)
+    }
+
+    /// Evaluates a fused compound operand, reproducing the unfused
+    /// evaluation order (stats and error identity included) exactly.
+    #[inline(always)]
+    fn fused_value(&mut self, f: &FusedOp) -> Result<f64, RunError> {
+        match *f {
+            FusedOp::GatherOffset { mem, c, op } => {
+                let x = match self.env[mem.var as usize] {
+                    Some(x) => x,
+                    None => {
+                        return Err(RunError::UnboundVar(
+                            self.syms.var_name(mem.var).to_string(),
+                        ));
+                    }
+                };
+                self.dense.alu_ops += 1;
+                self.read_mem_value(mem.chip, mem.dram, op.apply(x, c), mem.random)
+            }
+            FusedOp::BinGather { a, op, mem } => {
+                let x = match self.env[a as usize] {
+                    Some(x) => x,
+                    None => {
+                        return Err(RunError::UnboundVar(self.syms.var_name(a).to_string()));
+                    }
+                };
+                let v = self.gather_value(mem)?;
+                self.dense.alu_ops += 1;
+                Ok(op.apply(x, v))
+            }
+            FusedOp::BinGatherInd {
+                lhs,
+                op,
+                inner,
+                outer,
+            } => {
+                let l = self.gather_value(lhs)?;
+                let ix = self.gather_value(inner)?;
+                let r = self.read_mem_value(outer.chip, outer.dram, ix, outer.random)?;
+                self.dense.alu_ops += 1;
+                Ok(op.apply(l, r))
+            }
+        }
+    }
+
+    /// Evaluates one postfix expression program starting at `start`.
+    ///
+    /// ALU-op counts are accumulated in a register and flushed to the
+    /// dense counters on every exit path (including errors), so the
+    /// observable statistics are identical to per-op bumping.
+    #[inline(always)]
+    fn eval_ops(&mut self, prog: &CompiledProgram, start: u32) -> Result<f64, RunError> {
+        let mut alu = 0u64;
+        let r = self.eval_ops_inner(prog, start, &mut alu);
+        self.dense.alu_ops += alu;
+        r
+    }
+
+    #[inline(always)]
+    fn eval_ops_inner(
+        &mut self,
+        prog: &CompiledProgram,
+        start: u32,
+        alu: &mut u64,
+    ) -> Result<f64, RunError> {
+        // Top-of-stack caching: the logical stack top lives in `tos`;
+        // `vstack` holds everything below it (plus one junk word from
+        // the first push, discarded by the truncate at `End`). Ops with
+        // one input and one output never touch the memory stack.
+        let base = self.vstack.len();
+        let mut tos = 0.0f64;
+        let eops = prog.eops();
+        let mut pc = start as usize;
+        loop {
+            match eops[pc] {
+                EOp::Const(c) => {
+                    self.vstack.push(tos);
+                    tos = c;
+                    pc += 1;
+                }
+                EOp::Var(v) => match self.env[v as usize] {
+                    Some(x) => {
+                        self.vstack.push(tos);
+                        tos = x;
+                        pc += 1;
+                    }
+                    None => {
+                        return Err(RunError::UnboundVar(self.syms.var_name(v).to_string()));
+                    }
+                },
+                EOp::RegRead(r) => match &self.on_chip[r as usize] {
+                    Some(OnChip {
+                        mem: Mem::Reg(v), ..
+                    }) => {
+                        self.vstack.push(tos);
+                        tos = *v;
+                        pc += 1;
+                    }
+                    _ => return Err(self.unknown_chip(r)),
+                },
+                EOp::Deq(f) => {
+                    self.dense.fifo_deqs += 1;
+                    match &mut self.on_chip[f as usize] {
+                        Some(OnChip {
+                            mem: Mem::Fifo(q), ..
+                        }) => match q.pop_front() {
+                            Some(v) => {
+                                self.vstack.push(tos);
+                                tos = v;
+                                pc += 1;
+                            }
+                            None => {
+                                return Err(RunError::FifoUnderflow(
+                                    self.syms.chip_name(f).to_string(),
+                                ));
+                            }
+                        },
+                        _ => return Err(self.unknown_chip(f)),
+                    }
+                }
+                EOp::ReadMem { chip, dram, random } => {
+                    tos = self.read_mem_value(chip, dram, tos, random)?;
+                    pc += 1;
+                }
+                EOp::Neg => {
+                    *alu += 1;
+                    tos = -tos;
+                    pc += 1;
+                }
+                EOp::Binary(op) => {
+                    let a = self.vstack.pop().expect("lhs on stack");
+                    *alu += 1;
+                    tos = op.apply(a, tos);
+                    pc += 1;
+                }
+                EOp::VarReadMem {
+                    chip,
+                    dram,
+                    random,
+                    var,
+                } => {
+                    let ix = match self.env[var as usize] {
+                        Some(x) => x,
+                        None => {
+                            return Err(RunError::UnboundVar(self.syms.var_name(var).to_string()));
+                        }
+                    };
+                    let v = self.read_mem_value(chip, dram, ix, random)?;
+                    self.vstack.push(tos);
+                    tos = v;
+                    pc += 1;
+                }
+                EOp::VarBinGather {
+                    a,
+                    op,
+                    chip,
+                    dram,
+                    random,
+                    ivar,
+                } => {
+                    let x = match self.env[a as usize] {
+                        Some(x) => x,
+                        None => {
+                            return Err(RunError::UnboundVar(self.syms.var_name(a).to_string()));
+                        }
+                    };
+                    let ix = match self.env[ivar as usize] {
+                        Some(x) => x,
+                        None => {
+                            return Err(RunError::UnboundVar(self.syms.var_name(ivar).to_string()));
+                        }
+                    };
+                    let v = self.read_mem_value(chip, dram, ix, random)?;
+                    *alu += 1;
+                    self.vstack.push(tos);
+                    tos = op.apply(x, v);
+                    pc += 1;
+                }
+                EOp::VarConstBin { var, c, op } => {
+                    let a = match self.env[var as usize] {
+                        Some(x) => x,
+                        None => {
+                            return Err(RunError::UnboundVar(self.syms.var_name(var).to_string()));
+                        }
+                    };
+                    *alu += 1;
+                    self.vstack.push(tos);
+                    tos = op.apply(a, c);
+                    pc += 1;
+                }
+                EOp::BranchFalse { target } => {
+                    let c = tos;
+                    tos = self.vstack.pop().expect("stack below condition");
+                    *alu += 1;
+                    // Both sides are wires in hardware; evaluating only
+                    // the taken side mirrors the tree walker's mux and
+                    // avoids spurious OOB on the masked side.
+                    pc = if c != 0.0 { pc + 1 } else { target as usize };
+                }
+                EOp::Jump { target } => pc = target as usize,
+                EOp::End => {
+                    self.vstack.truncate(base);
+                    return Ok(tos);
+                }
+            }
+        }
+    }
+
+    /// Reads the accumulator register at loop entry when the loop is a
+    /// `Reduce` (the error ordering the tree walker has: a missing
+    /// register is reported before the counter bounds are evaluated).
+    fn read_reduce_acc(&self, reduce: Option<Slot>) -> Result<f64, RunError> {
+        match reduce {
+            None => Ok(0.0),
+            Some(reg) => match &self.on_chip[reg as usize] {
+                Some(OnChip {
+                    mem: Mem::Reg(v), ..
+                }) => Ok(*v),
+                _ => Err(self.unknown_chip(reg)),
+            },
+        }
+    }
+
+    /// Writes the accumulator back at loop exit. Silently skips a slot
+    /// that is no longer a register, as the tree walker does.
+    fn write_reduce_acc(&mut self, reduce: Option<Slot>, acc: f64) {
+        if let Some(reg) = reduce {
+            if let Some(OnChip {
+                mem: Mem::Reg(r), ..
+            }) = &mut self.on_chip[reg as usize]
+            {
+                *r = acc;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enter_range(
+        &mut self,
+        prog: &CompiledProgram,
+        pc: usize,
+        id: usize,
+        var: Slot,
+        min: Operand,
+        max: Operand,
+        step: i64,
+        reduce: Option<Slot>,
+        exit: OpId,
+    ) -> Result<usize, RunError> {
+        let acc = self.read_reduce_acc(reduce)?;
+        let lo = self.operand_value(prog, min)?;
+        let hi = self.operand_value(prog, max)?;
+        debug_assert!(step > 0, "non-positive loop step");
+        let saved = self.env[var as usize];
+        if lo < hi {
+            self.env[var as usize] = Some(lo);
+            self.dense.node_trips[id] += 1;
+            self.frames.push(Frame {
+                node: id,
+                reduce,
+                acc,
+                state: FrameState::Range {
+                    var,
+                    saved,
+                    v: lo,
+                    hi,
+                    step: step as f64,
+                },
+            });
+            Ok(pc + 1)
+        } else {
+            self.write_reduce_acc(reduce, acc);
+            Ok(exit as usize)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enter_scan1(
+        &mut self,
+        pc: usize,
+        id: usize,
+        bv: Slot,
+        pos_var: Slot,
+        idx_var: Slot,
+        reduce: Option<Slot>,
+        exit: OpId,
+    ) -> Result<usize, RunError> {
+        let acc = self.read_reduce_acc(reduce)?;
+        let depth = self.scan_depth;
+        let (dim, epoch) = self.scan_snapshot1(bv)?;
+        let saved = [self.env[pos_var as usize], self.env[idx_var as usize]];
+        let mut idx = 0usize;
+        while idx < dim && !self.scan_pool[depth].a_set(idx, epoch) {
+            idx += 1;
+        }
+        if idx < dim {
+            self.scan_depth = depth + 1;
+            self.env[pos_var as usize] = Some(0.0);
+            self.env[idx_var as usize] = Some(idx as f64);
+            self.dense.scan_emits += 1;
+            self.dense.node_trips[id] += 1;
+            self.frames.push(Frame {
+                node: id,
+                reduce,
+                acc,
+                state: FrameState::Scan1 {
+                    depth,
+                    epoch,
+                    dim,
+                    idx,
+                    pos: 0,
+                    pos_var,
+                    idx_var,
+                    saved,
+                },
+            });
+            Ok(pc + 1)
+        } else {
+            self.write_reduce_acc(reduce, acc);
+            Ok(exit as usize)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enter_scan2(
+        &mut self,
+        pc: usize,
+        id: usize,
+        op: ScanOp,
+        bv_a: Slot,
+        bv_b: Slot,
+        vars: [Slot; 4],
+        reduce: Option<Slot>,
+        exit: OpId,
+    ) -> Result<usize, RunError> {
+        let acc = self.read_reduce_acc(reduce)?;
+        let depth = self.scan_depth;
+        let (dim, epoch) = self.scan_snapshot2(bv_a, bv_b)?;
+        let saved = vars.map(|v| self.env[v as usize]);
+        let (mut idx, mut ap, mut bp) = (0usize, 0u64, 0u64);
+        while idx < dim {
+            let has_a = self.scan_pool[depth].a_set(idx, epoch);
+            let has_b = self.scan_pool[depth].b_set(idx, epoch);
+            let combined = match op {
+                ScanOp::And => has_a && has_b,
+                ScanOp::Or => has_a || has_b,
+            };
+            if combined {
+                self.scan_depth = depth + 1;
+                self.env[vars[0] as usize] = Some(if has_a { ap as f64 } else { -1.0 });
+                self.env[vars[1] as usize] = Some(if has_b { bp as f64 } else { -1.0 });
+                self.env[vars[2] as usize] = Some(0.0);
+                self.env[vars[3] as usize] = Some(idx as f64);
+                self.dense.scan_emits += 1;
+                self.dense.node_trips[id] += 1;
+                self.frames.push(Frame {
+                    node: id,
+                    reduce,
+                    acc,
+                    state: FrameState::Scan2 {
+                        depth,
+                        epoch,
+                        dim,
+                        idx,
+                        ap,
+                        bp,
+                        emitted: 0,
+                        op,
+                        vars,
+                        saved,
+                    },
+                });
+                return Ok(pc + 1);
+            }
+            if has_a {
+                ap += 1;
+            }
+            if has_b {
+                bp += 1;
+            }
+            idx += 1;
+        }
+        self.write_reduce_acc(reduce, acc);
+        Ok(exit as usize)
+    }
+
+    /// Advances the innermost loop frame: returns the body pc for the
+    /// next iteration, or pops the frame (restoring loop variables and
+    /// writing back a reduction) and returns the fall-through pc.
+    fn loop_next(&mut self, body: OpId, pc: usize) -> usize {
+        let Machine {
+            frames,
+            env,
+            dense,
+            scan_pool,
+            scan_depth,
+            on_chip,
+            ..
+        } = self;
+        let frame = frames.last_mut().expect("active frame");
+        match &mut frame.state {
+            FrameState::Range {
+                var, v, hi, step, ..
+            } => {
+                *v += *step;
+                if *v < *hi {
+                    env[*var as usize] = Some(*v);
+                    dense.node_trips[frame.node] += 1;
+                    return body as usize;
+                }
+            }
+            FrameState::Scan1 {
+                depth,
+                epoch,
+                dim,
+                idx,
+                pos,
+                pos_var,
+                idx_var,
+                ..
+            } => {
+                let buf = &scan_pool[*depth];
+                *pos += 1;
+                *idx += 1;
+                while *idx < *dim && !buf.a_set(*idx, *epoch) {
+                    *idx += 1;
+                }
+                if *idx < *dim {
+                    env[*pos_var as usize] = Some(*pos as f64);
+                    env[*idx_var as usize] = Some(*idx as f64);
+                    dense.scan_emits += 1;
+                    dense.node_trips[frame.node] += 1;
+                    return body as usize;
+                }
+            }
+            FrameState::Scan2 {
+                depth,
+                epoch,
+                dim,
+                idx,
+                ap,
+                bp,
+                emitted,
+                op,
+                vars,
+                ..
+            } => {
+                let buf = &scan_pool[*depth];
+                // The emitting index advances its positions after the
+                // body, exactly as the tree walkers do.
+                if buf.a_set(*idx, *epoch) {
+                    *ap += 1;
+                }
+                if buf.b_set(*idx, *epoch) {
+                    *bp += 1;
+                }
+                *emitted += 1;
+                *idx += 1;
+                while *idx < *dim {
+                    let has_a = buf.a_set(*idx, *epoch);
+                    let has_b = buf.b_set(*idx, *epoch);
+                    let combined = match op {
+                        ScanOp::And => has_a && has_b,
+                        ScanOp::Or => has_a || has_b,
+                    };
+                    if combined {
+                        env[vars[0] as usize] = Some(if has_a { *ap as f64 } else { -1.0 });
+                        env[vars[1] as usize] = Some(if has_b { *bp as f64 } else { -1.0 });
+                        env[vars[2] as usize] = Some(*emitted as f64);
+                        env[vars[3] as usize] = Some(*idx as f64);
+                        dense.scan_emits += 1;
+                        dense.node_trips[frame.node] += 1;
+                        return body as usize;
+                    }
+                    if has_a {
+                        *ap += 1;
+                    }
+                    if has_b {
+                        *bp += 1;
+                    }
+                    *idx += 1;
+                }
+            }
+        }
+        // Loop finished: restore the counter-bound variables, release
+        // the scan snapshot depth, write back a reduction accumulator.
+        let frame = frames.pop().expect("active frame");
+        match frame.state {
+            FrameState::Range { var, saved, .. } => env[var as usize] = saved,
+            FrameState::Scan1 {
+                depth,
+                pos_var,
+                idx_var,
+                saved,
+                ..
+            } => {
+                *scan_depth = depth;
+                env[pos_var as usize] = saved[0];
+                env[idx_var as usize] = saved[1];
+            }
+            FrameState::Scan2 {
+                depth, vars, saved, ..
+            } => {
+                *scan_depth = depth;
+                for (v, old) in vars.iter().zip(saved) {
+                    env[*v as usize] = old;
+                }
+            }
+        }
+        if let Some(reg) = frame.reduce {
+            if let Some(OnChip {
+                mem: Mem::Reg(r), ..
+            }) = &mut on_chip[reg as usize]
+            {
+                *r = frame.acc;
+            }
+        }
+        pc + 1
     }
 }
 
@@ -1151,9 +2347,10 @@ mod tests {
     use crate::ir::{Counter, MemDecl, SExpr, SpatialStmt};
     use crate::reference::ReferenceMachine;
 
-    /// Runs `program` on both engines with the given DRAM inputs and
-    /// asserts byte-identical DRAM contents plus identical statistics
-    /// (or identical errors).
+    /// Runs `program` on all three engines (bytecode, resolved tree,
+    /// string-keyed reference) with the given DRAM inputs and asserts
+    /// byte-identical DRAM contents plus identical statistics (or
+    /// identical errors).
     fn assert_engines_agree(program: &SpatialProgram, writes: &[(&str, Vec<f64>)]) -> ExecStats {
         let mut fast = Machine::new(program);
         let mut reference = ReferenceMachine::new(program);
@@ -1161,16 +2358,23 @@ mod tests {
             fast.write_dram(name, data).unwrap();
             reference.write_dram(name, data).unwrap();
         }
+        let mut tree = fast.clone();
         let fast_result = fast.run(program);
+        let tree_result = tree.run_tree(program);
         let ref_result = reference.run(program);
+        assert_eq!(fast_result, tree_result, "bytecode vs tree results diverge");
         assert_eq!(fast_result, ref_result, "run results diverge");
         for d in &program.drams {
             let a = fast.dram(&d.name).unwrap();
+            let t = tree.dram(&d.name).unwrap();
             let b = reference.dram(&d.name).unwrap();
             let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let t_bits: Vec<u64> = t.iter().map(|v| v.to_bits()).collect();
             let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, t_bits, "DRAM {} bytecode vs tree diverges", d.name);
             assert_eq!(a_bits, b_bits, "DRAM {} diverges", d.name);
         }
+        assert_eq!(fast.stats(), tree.stats(), "bytecode vs tree stats diverge");
         assert_eq!(fast.stats(), reference.stats(), "stats diverge");
         fast_result.unwrap_or_else(|_| fast.stats().clone())
     }
@@ -1432,6 +2636,211 @@ mod tests {
         );
         assert_eq!(m.stats().scan_emits, 6);
         assert_engines_agree(&p, &[]);
+    }
+
+    /// Regression for the per-loop-entry bit-vector clone: a scan nested
+    /// inside a `Foreach` re-enters once per outer iteration over a
+    /// large dimension. The epoch-stamped snapshot pool must reproduce
+    /// the reference engine's clone semantics (and stats) exactly.
+    #[test]
+    fn scan_reentry_over_large_dimension_matches_reference() {
+        const DIM: usize = 1 << 14;
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 1);
+        p.accel.push(SpatialStmt::Alloc(MemDecl::new(
+            "bv",
+            MemKind::BitVector,
+            DIM,
+        )));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("crd", MemKind::Fifo, 8)));
+        let coords = [1.0, 7.0, (DIM - 2) as f64];
+        for c in coords {
+            p.accel.push(SpatialStmt::Enq {
+                fifo: "crd".into(),
+                value: SExpr::Const(c),
+            });
+        }
+        p.accel.push(SpatialStmt::GenBitVector {
+            dst: "bv".into(),
+            src: "crd".into(),
+            src_start: SExpr::Const(0.0),
+            count: SExpr::Const(coords.len() as f64),
+            dim: SExpr::Const(DIM as f64),
+        });
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("acc", MemKind::Reg, 1)));
+        p.accel.push(SpatialStmt::Foreach {
+            id: 0,
+            counter: Counter::range_to("r", SExpr::Const(3.0)),
+            par: 1,
+            body: vec![SpatialStmt::Reduce {
+                id: 1,
+                reg: "acc".into(),
+                counter: Counter::Scan1 {
+                    bv: "bv".into(),
+                    pos_var: "p".into(),
+                    idx_var: "i".into(),
+                },
+                par: 1,
+                body: vec![],
+                expr: SExpr::var("i"),
+            }],
+        });
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::RegRead("acc".into()),
+        });
+        p.assign_ids();
+        let stats = assert_engines_agree(&p, &[]);
+        assert_eq!(stats.scan_bits, 3 * DIM as u64, "three re-entries");
+        assert_eq!(stats.scan_emits, 9);
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        let per_entry: f64 = coords.iter().sum();
+        assert_eq!(m.dram("out").unwrap()[0], 3.0 * per_entry);
+    }
+
+    /// The scanned bit vector is regenerated inside the loop body; the
+    /// active scan must keep iterating its entry-time snapshot, exactly
+    /// like the engines that cloned the bits at entry.
+    #[test]
+    fn scan_snapshot_survives_mid_loop_regeneration() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 8);
+        p.accel.push(SpatialStmt::Alloc(MemDecl::new(
+            "bv",
+            MemKind::BitVector,
+            8,
+        )));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("crd", MemKind::Fifo, 8)));
+        for c in [1.0, 4.0, 6.0] {
+            p.accel.push(SpatialStmt::Enq {
+                fifo: "crd".into(),
+                value: SExpr::Const(c),
+            });
+        }
+        p.accel.push(SpatialStmt::GenBitVector {
+            dst: "bv".into(),
+            src: "crd".into(),
+            src_start: SExpr::Const(0.0),
+            count: SExpr::Const(3.0),
+            dim: SExpr::Const(8.0),
+        });
+        // Each iteration records its index, then clobbers the scanned
+        // bit vector with {0}.
+        p.accel.push(SpatialStmt::Foreach {
+            id: 0,
+            counter: Counter::Scan1 {
+                bv: "bv".into(),
+                pos_var: "p".into(),
+                idx_var: "i".into(),
+            },
+            par: 1,
+            body: vec![
+                SpatialStmt::StoreScalar {
+                    dst: "out".into(),
+                    index: SExpr::var("p"),
+                    value: SExpr::var("i"),
+                },
+                SpatialStmt::Enq {
+                    fifo: "crd".into(),
+                    value: SExpr::Const(0.0),
+                },
+                SpatialStmt::GenBitVector {
+                    dst: "bv".into(),
+                    src: "crd".into(),
+                    src_start: SExpr::Const(0.0),
+                    count: SExpr::Const(1.0),
+                    dim: SExpr::Const(8.0),
+                },
+            ],
+        });
+        // A second scan sees the regenerated {0}.
+        p.accel.push(SpatialStmt::Foreach {
+            id: 1,
+            counter: Counter::Scan1 {
+                bv: "bv".into(),
+                pos_var: "q".into(),
+                idx_var: "j".into(),
+            },
+            par: 1,
+            body: vec![SpatialStmt::StoreScalar {
+                dst: "out".into(),
+                index: SExpr::add(SExpr::var("q"), SExpr::Const(4.0)),
+                value: SExpr::add(SExpr::var("j"), SExpr::Const(100.0)),
+            }],
+        });
+        p.assign_ids();
+        let stats = assert_engines_agree(&p, &[]);
+        assert_eq!(stats.trips(0), 3, "first scan iterates its snapshot");
+        assert_eq!(stats.trips(1), 1, "second scan sees the new bits");
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        assert_eq!(&m.dram("out").unwrap()[..5], &[1.0, 4.0, 6.0, 0.0, 100.0]);
+    }
+
+    /// Nested scans allocate distinct snapshot-pool depths.
+    #[test]
+    fn nested_scans_use_distinct_pool_depths() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 64);
+        for (bv, coords) in [("bvA", vec![2.0, 5.0]), ("bvB", vec![1.0, 3.0, 4.0])] {
+            p.accel
+                .push(SpatialStmt::Alloc(MemDecl::new(bv, MemKind::BitVector, 8)));
+            let fifo = format!("{bv}_crd");
+            p.accel
+                .push(SpatialStmt::Alloc(MemDecl::new(&fifo, MemKind::Fifo, 8)));
+            for c in &coords {
+                p.accel.push(SpatialStmt::Enq {
+                    fifo: fifo.clone(),
+                    value: SExpr::Const(*c),
+                });
+            }
+            p.accel.push(SpatialStmt::GenBitVector {
+                dst: bv.into(),
+                src: fifo,
+                src_start: SExpr::Const(0.0),
+                count: SExpr::Const(coords.len() as f64),
+                dim: SExpr::Const(8.0),
+            });
+        }
+        p.accel.push(SpatialStmt::Foreach {
+            id: 0,
+            counter: Counter::Scan1 {
+                bv: "bvA".into(),
+                pos_var: "pa".into(),
+                idx_var: "ia".into(),
+            },
+            par: 1,
+            body: vec![SpatialStmt::Foreach {
+                id: 1,
+                counter: Counter::Scan1 {
+                    bv: "bvB".into(),
+                    pos_var: "pb".into(),
+                    idx_var: "ib".into(),
+                },
+                par: 1,
+                body: vec![SpatialStmt::StoreScalar {
+                    dst: "out".into(),
+                    index: SExpr::add(
+                        SExpr::mul(SExpr::var("ia"), SExpr::Const(8.0)),
+                        SExpr::var("ib"),
+                    ),
+                    value: SExpr::add(SExpr::var("pa"), SExpr::var("pb")),
+                }],
+            }],
+        });
+        p.assign_ids();
+        let stats = assert_engines_agree(&p, &[]);
+        assert_eq!(stats.trips(0), 2);
+        assert_eq!(stats.trips(1), 6);
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        // Outer idx 5 (pos 1), inner idx 4 (pos 2) -> out[5*8+4] = 3.
+        assert_eq!(m.dram("out").unwrap()[5 * 8 + 4], 3.0);
     }
 
     #[test]

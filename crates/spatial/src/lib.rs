@@ -14,13 +14,20 @@
 //! cycle counts. The [`printer`] renders Fig.-11-style Spatial source,
 //! which drives the paper's lines-of-code comparison (Table 3).
 //!
-//! Execution goes through the [`resolve`] link pass first: names are
-//! interned into dense slots and expression trees are flattened into an
-//! arena, so the interpreting [`Machine`] never hashes a string on its
-//! hot path. The original name-keyed tree walker is preserved as
-//! [`ReferenceMachine`] and serves as the differential-testing oracle
-//! and benchmark baseline for the resolved engine.
+//! Execution goes through a two-stage compilation pipeline: the
+//! [`resolve`] link pass interns names into dense slots and flattens
+//! expression trees into an arena, then the [`bytecode`] pass lowers
+//! the resolved tree into a flat op vector with explicit jump targets
+//! and fused superinstructions. The interpreting [`Machine`] runs the
+//! bytecode with a non-recursive dispatch loop and never hashes a
+//! string on its hot path; compiled artifacts are shared behind `Arc`
+//! (and cached by [`ProgramCache`]) so harness sweeps re-bind machines
+//! without re-linking. The PR-1 recursive resolved-tree walker
+//! ([`Machine::run_tree`]) and the original name-keyed walker
+//! ([`ReferenceMachine`]) are preserved as differential-testing oracles
+//! and benchmark baselines.
 
+pub mod bytecode;
 pub mod interp;
 pub mod ir;
 pub mod printer;
@@ -28,6 +35,7 @@ pub mod reference;
 pub mod resolve;
 pub mod validate;
 
+pub use bytecode::{CompiledProgram, ProgramCache};
 pub use interp::{ExecStats, Machine, RunError};
 pub use ir::{BinSOp, Counter, MemDecl, MemKind, SExpr, ScanOp, SpatialProgram, SpatialStmt};
 pub use printer::print_program;

@@ -1,7 +1,8 @@
-//! Property tests for the resolution pass: random well-formed Spatial
-//! programs must resolve without panicking, survive the printer
-//! unchanged, resolve idempotently, and execute identically on the
-//! resolved-slot and reference engines.
+//! Property tests for the resolution and bytecode passes: random
+//! well-formed Spatial programs must resolve without panicking, survive
+//! the printer unchanged, resolve idempotently, and execute identically
+//! on all three engines (flat bytecode, resolved tree, string-keyed
+//! reference). Raise `PROPTEST_CASES` for deeper sweeps (CI does).
 
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
@@ -391,8 +392,8 @@ fn inputs(seed: u64) -> Vec<(&'static str, Vec<f64>)> {
         .collect()
 }
 
-/// Runs `p` on both engines and asserts bitwise-identical DRAM images and
-/// identical statistics (or identical errors).
+/// Runs `p` on all three engines and asserts bitwise-identical DRAM
+/// images and identical statistics (or identical errors).
 fn assert_engines_agree(p: &SpatialProgram, writes: &[(&str, Vec<f64>)]) {
     let mut fast = Machine::new(p);
     let mut reference = ReferenceMachine::new(p);
@@ -400,11 +401,20 @@ fn assert_engines_agree(p: &SpatialProgram, writes: &[(&str, Vec<f64>)]) {
         fast.write_dram(name, data).unwrap();
         reference.write_dram(name, data).unwrap();
     }
+    let mut tree = fast.clone();
     let fast_result = fast.run(p);
+    let tree_result = tree.run_tree(p);
     let ref_result = reference.run(p);
+    assert_eq!(fast_result, tree_result, "bytecode vs tree results diverge");
     assert_eq!(fast_result, ref_result, "run results diverge");
     for d in &p.drams {
         let a: Vec<u64> = fast
+            .dram(&d.name)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let t: Vec<u64> = tree
             .dram(&d.name)
             .unwrap()
             .iter()
@@ -416,8 +426,10 @@ fn assert_engines_agree(p: &SpatialProgram, writes: &[(&str, Vec<f64>)]) {
             .iter()
             .map(|v| v.to_bits())
             .collect();
+        assert_eq!(a, t, "DRAM {} bytecode vs tree diverges", d.name);
         assert_eq!(a, b, "DRAM {} diverges", d.name);
     }
+    assert_eq!(fast.stats(), tree.stats(), "bytecode vs tree stats diverge");
     assert_eq!(fast.stats(), reference.stats(), "stats diverge");
 }
 

@@ -27,6 +27,17 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }
+
+        /// The case count actually run: the `PROPTEST_CASES`
+        /// environment variable overrides the configured value when
+        /// set (matching the real proptest crate), so CI can demand
+        /// deeper sweeps than local runs without code changes.
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
     }
 
     impl Default for ProptestConfig {
@@ -410,8 +421,9 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = config.resolved_cases();
             let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 let result = {
                     $(
                         let $arg =
@@ -421,10 +433,9 @@ macro_rules! __proptest_tests {
                 };
                 if let Err(payload) = std::panic::catch_unwind(result) {
                     eprintln!(
-                        "proptest {}: failed at case {case}/{} \
+                        "proptest {}: failed at case {case}/{cases} \
                          (set PROPTEST_SEED to vary inputs)",
                         stringify!($name),
-                        config.cases,
                     );
                     std::panic::resume_unwind(payload);
                 }
