@@ -370,17 +370,25 @@ fn speedup_summary(_c: &mut Criterion) {
         if !rows.is_empty() {
             rows.push(',');
         }
+        // "state" labels the on-chip memory representation each engine
+        // runs on: the bytecode and resolved-tree engines share the
+        // flat-arena machine state, while the string-keyed reference
+        // walker keeps the pre-arena per-slot heap containers — so the
+        // bytecode/reference and tree/reference ratios track the
+        // arena-vs-pre-arena perf trajectory across PRs.
         write!(
             rows,
             r#"
     {{"kernel": "{}", "nnz": {nnz}, "elements": {},
      "engines": {{
-       "bytecode": {{"seconds": {bc_t:.6e}, "elems_per_sec": {:.6e}}},
-       "resolved_tree": {{"seconds": {tree_t:.6e}, "elems_per_sec": {:.6e}}},
-       "reference": {{"seconds": {ref_t:.6e}, "elems_per_sec": {:.6e}}}
+       "bytecode": {{"seconds": {bc_t:.6e}, "elems_per_sec": {:.6e}, "state": "arena"}},
+       "resolved_tree": {{"seconds": {tree_t:.6e}, "elems_per_sec": {:.6e}, "state": "arena"}},
+       "reference": {{"seconds": {ref_t:.6e}, "elems_per_sec": {:.6e}, "state": "per_slot_heap"}}
      }},
      "speedup_bytecode_vs_tree": {:.4},
-     "speedup_bytecode_vs_reference": {:.4}}}"#,
+     "speedup_bytecode_vs_reference": {:.4},
+     "speedup_arena_bytecode_vs_prearena_reference": {:.4},
+     "speedup_arena_tree_vs_prearena_reference": {:.4}}}"#,
             w.name,
             w.elements,
             elems / bc_t,
@@ -388,6 +396,8 @@ fn speedup_summary(_c: &mut Criterion) {
             elems / ref_t,
             tree_t / bc_t,
             ref_t / bc_t,
+            ref_t / bc_t,
+            ref_t / tree_t,
         )
         .expect("write to string");
     }

@@ -1,0 +1,111 @@
+//! Thread-parallel dataset-sweep executor: runs the kernel × dataset
+//! measurement suite serially and at each requested thread count,
+//! asserts the parallel measurements are **bitwise identical** to the
+//! serial ones, and reports the wall-clock speedup per thread count.
+//!
+//! This is the CI leg proving that fanning the evaluation sweep across
+//! cores (per-thread machines bound to `Arc`-shared compiled programs)
+//! changes nothing but the wall clock. When `BENCH_SUMMARY_JSON` names
+//! a path, a machine-readable summary (including the thread counts and
+//! per-thread-count timings) is written there.
+//!
+//! Usage: `sweep [--scale N | --full] [--threads 1,2,4] [--kernels A,B]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use stardust_bench::{measure_kernel, measure_kernel_parallel, Measurement, Scale, KERNEL_NAMES};
+
+fn list_arg(args: &[String], flag: &str) -> Option<Vec<String>> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let raw = args.get(pos + 1)?;
+    Some(raw.split(',').map(|s| s.trim().to_string()).collect())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    // Thread counts are an assertion surface (each one gates CI on
+    // serial identity), so a malformed list is an error, not a silent
+    // no-op that would pass vacuously.
+    let threads: Vec<usize> = list_arg(&args, "--threads")
+        .map(|ts| {
+            ts.iter()
+                .map(|t| {
+                    t.parse()
+                        .unwrap_or_else(|_| panic!("invalid --threads value {t:?}"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    assert!(!threads.is_empty(), "--threads list is empty");
+    let kernels: Vec<String> = match list_arg(&args, "--kernels") {
+        Some(ks) if ks.iter().any(|k| k == "all") => {
+            KERNEL_NAMES.iter().map(|s| s.to_string()).collect()
+        }
+        Some(ks) => ks,
+        None => vec!["SpMV".into(), "Plus3".into()],
+    };
+
+    println!(
+        "parallel sweep executor: kernels {:?}, thread counts {:?}",
+        kernels, threads
+    );
+
+    // Warm the process-wide program cache before timing anything, so
+    // the serial baseline and the parallel runs pay identical (cached)
+    // compilation costs and speedup_vs_serial measures threading only.
+    for name in &kernels {
+        measure_kernel(name, &scale);
+    }
+
+    // Serial baseline: the ground truth every parallel run must match.
+    let t0 = Instant::now();
+    let serial: Vec<Vec<Measurement>> = kernels
+        .iter()
+        .map(|name| measure_kernel(name, &scale))
+        .collect();
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let datasets: usize = serial.iter().map(Vec::len).sum();
+    println!("serial: {datasets} kernel×dataset measurements in {serial_secs:.3} s");
+
+    let mut rows = String::new();
+    for &t in &threads {
+        let t0 = Instant::now();
+        let parallel: Vec<Vec<Measurement>> = kernels
+            .iter()
+            .map(|name| measure_kernel_parallel(name, &scale, t))
+            .collect();
+        let secs = t0.elapsed().as_secs_f64();
+        // Hard identity gate: a parallel sweep that measures anything
+        // different from the serial path is a bug, not a perf tradeoff.
+        assert_eq!(
+            serial, parallel,
+            "{t}-thread sweep measurements diverge from serial"
+        );
+        let speedup = serial_secs / secs;
+        println!("threads={t}: {secs:.3} s ({speedup:.2}x vs serial), measurements identical");
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        write!(
+            rows,
+            r#"
+    {{"threads": {t}, "seconds": {secs:.6e}, "speedup_vs_serial": {speedup:.4}, "identical_to_serial": true}}"#
+        )
+        .expect("write to string");
+    }
+
+    if let Ok(path) = std::env::var("BENCH_SUMMARY_JSON") {
+        let kernel_list = kernels
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let json = format!(
+            "{{\n  \"bench\": \"parallel-sweep\",\n  \"kernels\": [{kernel_list}],\n  \"datasets\": {datasets},\n  \"serial_seconds\": {serial_secs:.6e},\n  \"thread_counts\": {threads:?},\n  \"runs\": [{rows}\n  ]\n}}\n",
+        );
+        std::fs::write(&path, json).expect("write sweep summary");
+        println!("sweep summary written to {path}");
+    }
+}

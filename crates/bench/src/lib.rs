@@ -17,7 +17,8 @@
 //! crossovers) is what these harnesses reproduce.
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use stardust_baselines::{cpu_time, gpu_time, CpuModel, GpuModel, WorkProfile};
 use stardust_capstan::sim::{combine, SimModel};
@@ -300,7 +301,7 @@ pub const KERNEL_NAMES: [&str; 10] = [
 ];
 
 /// One kernel × dataset measurement across all platforms.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Kernel name.
     pub kernel: String,
@@ -387,6 +388,86 @@ pub fn measure_bandwidth(kernel: &Kernel, set: &InputSet, gbps: f64) -> f64 {
 /// bandwidth — the Fig. 12 sweep pays one compile + execute for the
 /// whole curve instead of one per point.
 pub fn measure_bandwidth_sweep(kernel: &Kernel, set: &InputSet, bandwidths: &[f64]) -> Vec<f64> {
+    measure_bandwidth_sweep_parallel(kernel, set, bandwidths, 1)
+}
+
+// --- Thread-parallel sweep executor ----------------------------------
+//
+// Kernel × dataset × memory-config sweeps are embarrassingly parallel:
+// each measurement binds a fresh `Machine` to an `Arc`-shared
+// `CompiledProgram` (through the process-wide [`spatial_cache`]) and
+// mutates only per-thread state, so work items can be fanned out across
+// OS threads with no coordination beyond a work-stealing index. The
+// executor is deterministic — results land in input order and each item
+// computes exactly what the serial path computes — so parallel sweeps
+// are asserted bitwise-equal to serial ones in CI.
+
+/// Runs `f` over every item of `items` on up to `threads` OS threads
+/// (scoped; no detached work), returning results in input order.
+///
+/// `threads == 1` (or a single item) degenerates to the serial path
+/// with no thread spawned. Each item is processed exactly once; work is
+/// distributed dynamically via an atomic cursor so imbalanced items
+/// (e.g. datasets of very different nnz) do not idle whole threads.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_sweep<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every item processed")
+        })
+        .collect()
+}
+
+/// [`measure_kernel`] fanned out across `threads` OS threads: every
+/// (kernel, dataset) pair of the suite is measured on its own machine
+/// bound to the shared compiled artifact. Results are bitwise-identical
+/// to the serial path and in the same order.
+pub fn measure_kernel_parallel(name: &str, scale: &Scale, threads: usize) -> Vec<Measurement> {
+    let sets = instantiate(name, scale);
+    parallel_sweep(&sets, threads, |(k, set)| measure(k, set))
+}
+
+/// [`measure_bandwidth_sweep`] with the per-bandwidth re-timing fanned
+/// out across `threads` OS threads (the serial sweep is this function
+/// at `threads == 1`, where [`parallel_sweep`] degenerates to a plain
+/// map with no thread spawned). The kernel executes once, serially,
+/// through the shared program cache; only the bandwidth points are
+/// parallel. Results are bitwise-identical across thread counts.
+pub fn measure_bandwidth_sweep_parallel(
+    kernel: &Kernel,
+    set: &InputSet,
+    bandwidths: &[f64],
+    threads: usize,
+) -> Vec<f64> {
     let result = kernel
         .run_cached(&set.inputs, spatial_cache())
         .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
@@ -398,17 +479,14 @@ pub fn measure_bandwidth_sweep(kernel: &Kernel, set: &InputSet, bandwidths: &[f6
         .iter()
         .map(|s| (SimModel::new(s.compiled.spatial(), &base), &s.stats))
         .collect();
-    bandwidths
-        .iter()
-        .map(|&gbps| {
-            let cfg = CapstanConfig::with_memory(MemoryModel::Custom { gbps });
-            let reports: Vec<SimReport> = models
-                .iter()
-                .map(|(m, stats)| m.run_at(stats, &cfg))
-                .collect();
-            combine(&reports).seconds
-        })
-        .collect()
+    parallel_sweep(bandwidths, threads, |&gbps| {
+        let cfg = CapstanConfig::with_memory(MemoryModel::Custom { gbps });
+        let reports: Vec<SimReport> = models
+            .iter()
+            .map(|(m, stats)| m.run_at(stats, &cfg))
+            .collect();
+        combine(&reports).seconds
+    })
 }
 
 /// Geometric mean.
@@ -473,5 +551,39 @@ mod tests {
             let sets = instantiate(name, &scale);
             assert!(!sets.is_empty(), "{name} has no datasets");
         }
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order_and_covers_every_item() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_sweep(&items, threads, |&i| i * 3);
+            assert_eq!(out, (0..37).map(|i| i * 3).collect::<Vec<_>>());
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_sweep(&empty, 4, |&i: &usize| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_kernel_sweep_is_bitwise_equal_to_serial() {
+        let scale = Scale::ci();
+        let serial = measure_kernel("SpMV", &scale);
+        for threads in [2, 4] {
+            let parallel = measure_kernel_parallel("SpMV", &scale, threads);
+            assert_eq!(serial, parallel, "{threads}-thread sweep diverges");
+        }
+    }
+
+    #[test]
+    fn parallel_bandwidth_sweep_is_bitwise_equal_to_serial() {
+        let scale = Scale::ci();
+        let sets = instantiate("SpMV", &scale);
+        let (k, set) = &sets[0];
+        let bandwidths = [20.0, 50.0, 100.0, 500.0, 2000.0];
+        let serial = measure_bandwidth_sweep(k, set, &bandwidths);
+        let parallel = measure_bandwidth_sweep_parallel(k, set, &bandwidths, 4);
+        let s_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let p_bits: Vec<u64> = parallel.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(s_bits, p_bits, "bandwidth curve diverges under threads");
     }
 }

@@ -53,15 +53,9 @@ fn merge_stats(into: &mut ExecStats, from: &ExecStats) {
     }
     into.dram_random_reads += from.dram_random_reads;
     into.dram_random_writes += from.dram_random_writes;
-    for (k, v) in &from.node_trips {
-        *into.node_trips.entry(*k).or_default() += v;
-    }
-    for (k, v) in &from.node_dram_read_words {
-        *into.node_dram_read_words.entry(*k).or_default() += v;
-    }
-    for (k, v) in &from.node_dram_write_words {
-        *into.node_dram_write_words.entry(*k).or_default() += v;
-    }
+    ExecStats::merge_node(&mut into.node_trips, &from.node_trips);
+    ExecStats::merge_node(&mut into.node_dram_read_words, &from.node_dram_read_words);
+    ExecStats::merge_node(&mut into.node_dram_write_words, &from.node_dram_write_words);
     into.alu_ops += from.alu_ops;
     into.sram_reads += from.sram_reads;
     into.sram_writes += from.sram_writes;

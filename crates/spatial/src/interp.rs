@@ -29,15 +29,16 @@
 //! [`ExecStats`], and `cargo bench --bench interp` measures the
 //! speedups.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::bytecode::{CompiledProgram, EOp, FusedOp, GatherRef, Op, OpId, Operand};
-use crate::ir::{MemKind, ScanOp, SpatialProgram};
+use crate::ir::{BinSOp, MemKind, ScanOp, SpatialProgram};
 use crate::resolve::{
-    ExprId, ResolvedCounter, ResolvedExpr, ResolvedProgram, ResolvedStmt, Slot, SymbolTable,
+    bit_words_for, ExprId, ResolvedCounter, ResolvedExpr, ResolvedProgram, ResolvedStmt, Slot,
+    SymbolTable,
 };
 
 /// Errors raised while executing a Spatial program.
@@ -96,12 +97,15 @@ pub struct ExecStats {
     pub dram_random_reads: u64,
     /// Single-element (random) DRAM writes.
     pub dram_random_writes: u64,
-    /// Iterations executed per pattern node id.
-    pub node_trips: HashMap<usize, u64>,
-    /// DRAM words read by loads under each pattern node id.
-    pub node_dram_read_words: HashMap<usize, u64>,
-    /// DRAM words written by stores under each pattern node id.
-    pub node_dram_write_words: HashMap<usize, u64>,
+    /// Iterations executed per pattern node id, dense (index = node id,
+    /// trailing zeros trimmed so the representation is canonical).
+    pub node_trips: Vec<u64>,
+    /// DRAM words read by loads under each pattern node id (dense,
+    /// trailing zeros trimmed).
+    pub node_dram_read_words: Vec<u64>,
+    /// DRAM words written by stores under each pattern node id (dense,
+    /// trailing zeros trimmed).
+    pub node_dram_write_words: Vec<u64>,
     /// Scalar ALU operations evaluated.
     pub alu_ops: u64,
     /// On-chip affine memory reads.
@@ -146,22 +150,83 @@ impl ExecStats {
 
     /// Iterations of a given pattern node.
     pub fn trips(&self, node: usize) -> u64 {
-        self.node_trips.get(&node).copied().unwrap_or(0)
+        self.node_trips.get(node).copied().unwrap_or(0)
+    }
+
+    /// Adds `delta` to a dense node-indexed counter, growing the vector
+    /// on demand while keeping the no-trailing-zeros canonical form
+    /// (a zero delta never creates entries).
+    pub fn bump_node(counts: &mut Vec<u64>, node: usize, delta: u64) {
+        if delta == 0 && node >= counts.len() {
+            return;
+        }
+        if counts.len() <= node {
+            counts.resize(node + 1, 0);
+        }
+        counts[node] += delta;
+    }
+
+    /// Elementwise-adds a dense node-indexed counter into another
+    /// (merging stage statistics).
+    pub fn merge_node(into: &mut Vec<u64>, from: &[u64]) {
+        if into.len() < from.len() {
+            into.resize(from.len(), 0);
+        }
+        for (d, s) in into.iter_mut().zip(from) {
+            *d += s;
+        }
     }
 }
 
-#[derive(Debug, Clone)]
-enum Mem {
-    Words(Vec<f64>),
-    Fifo(VecDeque<f64>),
-    Reg(f64),
-    Bits(Vec<bool>),
+/// Allocation state of one on-chip slot: what the slot currently is.
+/// This is the only discriminant left on the memory hot path — the
+/// storage itself lives in the machine's flat arenas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChipTag {
+    /// Never allocated (touching it reproduces `UnknownMemory`).
+    None,
+    /// Addressable words (SRAM / SparseSRAM).
+    Words,
+    /// A FIFO ring over the slot's word region.
+    Fifo,
+    /// A single register word.
+    Reg,
+    /// A packed bit vector in the bitset arena.
+    Bits,
 }
 
-#[derive(Debug, Clone)]
-struct OnChip {
+/// Flat per-slot on-chip state: the current allocation tag/kind plus
+/// the slot's region inside the word and bitset arenas. Regions start
+/// at the static [`crate::resolve::ArenaLayout`] homes and move to the
+/// end of an arena only on dynamic growth (FIFO overflow, bit-vector
+/// regeneration past the declared dimension, re-linking).
+///
+/// Field roles by tag: `len` is the logical word length for `Words`,
+/// the element count for `Fifo`, and the logical bit length for
+/// `Bits`; `head` is the ring read position for `Fifo`.
+#[derive(Debug, Clone, Copy)]
+struct ChipState {
+    tag: ChipTag,
     kind: MemKind,
-    mem: Mem,
+    woff: usize,
+    wcap: usize,
+    boff: usize,
+    bcap: usize,
+    len: usize,
+    head: usize,
+}
+
+impl ChipState {
+    const UNMAPPED: ChipState = ChipState {
+        tag: ChipTag::None,
+        kind: MemKind::Dram,
+        woff: 0,
+        wcap: 0,
+        boff: 0,
+        bcap: 0,
+        len: 0,
+        head: 0,
+    };
 }
 
 #[derive(Debug, Clone)]
@@ -170,47 +235,134 @@ struct DramArray {
     data: Vec<f64>,
 }
 
-/// An epoch-stamped scan snapshot: slot `i` is "set" iff `a[i]` (or
-/// `b[i]`) equals the epoch issued at the most recent loop entry using
-/// this buffer. Re-stamping on entry replaces the per-entry
-/// `Vec<bool>` clone the engines used to pay — no allocation and no
-/// clearing pass, only the set bits are touched.
+/// A gather operand pre-resolved for the scatter superinstruction: the
+/// source slot's region, logical length, and shuffle attribution are
+/// hoisted out of the loop (the loop body provably cannot change them).
+#[derive(Debug, Clone, Copy)]
+struct HotGather {
+    /// Chip slot (for error naming).
+    chip: Slot,
+    /// Index variable slot.
+    var: Slot,
+    /// Hoisted word-arena offset.
+    woff: usize,
+    /// Hoisted logical length.
+    len: usize,
+    /// Whether each read counts a shuffle access.
+    shuffle: bool,
+}
+
+/// Operand shapes the scatter superinstruction can evaluate without the
+/// generic dispatch: literals, variables, single gathers, and the
+/// scale-by-gathered-value shape.
+#[derive(Debug, Clone, Copy)]
+enum HotValue {
+    Const(f64),
+    Var(Slot),
+    Gather(HotGather),
+    BinGather { a: Slot, op: BinSOp, g: HotGather },
+}
+
+/// Register-batched statistics for the scatter superinstruction,
+/// flushed to the dense counters on every loop exit path.
+#[derive(Debug, Default, Clone, Copy)]
+struct HotCounters {
+    sram_reads: u64,
+    shuffles: u64,
+    alu_ops: u64,
+}
+
+// --- FIFO ring primitives over a word-arena region -------------------
+//
+// A FIFO occupies `st.wcap` words at `st.woff`; `st.head` is the read
+// position and `st.len` the element count. The queue itself is
+// unbounded (matching the reference engine's `VecDeque`): when an
+// enqueue would exceed the region, the ring relocates to a larger
+// region at the end of the arena. Free functions (not methods) so
+// callers can split-borrow `words` against other machine fields.
+
+/// Makes room for `additional` more elements, relocating and
+/// linearizing the ring at the end of the arena when the current
+/// region is too small.
+fn fifo_reserve(words: &mut Vec<f64>, st: &mut ChipState, additional: usize) {
+    let need = st.len + additional;
+    if need <= st.wcap {
+        return;
+    }
+    let new_cap = need.next_power_of_two().max(4);
+    let new_off = words.len();
+    words.resize(new_off + new_cap, 0.0);
+    for i in 0..st.len {
+        words[new_off + i] = words[st.woff + (st.head + i) % st.wcap];
+    }
+    st.woff = new_off;
+    st.wcap = new_cap;
+    st.head = 0;
+}
+
+/// Appends one element. Capacity must have been reserved.
+#[inline(always)]
+fn fifo_push(words: &mut [f64], st: &mut ChipState, v: f64) {
+    debug_assert!(st.len < st.wcap, "fifo_push without reserve");
+    words[st.woff + (st.head + st.len) % st.wcap] = v;
+    st.len += 1;
+}
+
+/// Pops the front element, or `None` when empty.
+#[inline(always)]
+fn fifo_pop(words: &[f64], st: &mut ChipState) -> Option<f64> {
+    if st.len == 0 {
+        return None;
+    }
+    let v = words[st.woff + st.head];
+    st.head = (st.head + 1) % st.wcap;
+    st.len -= 1;
+    Some(v)
+}
+
+/// Drops all elements (the reference engine's drained-on-error state).
+#[inline(always)]
+fn fifo_clear(st: &mut ChipState) {
+    st.head = 0;
+    st.len = 0;
+}
+
+/// A scan snapshot: the packed bit-vector words memcpy'd out of the
+/// bitset arena at loop entry, so the active scan keeps iterating its
+/// entry-time image even if the body regenerates the bit vector.
+/// `aw`/`bw` bound the words valid for this entry (the buffers are
+/// pooled and may be longer from a previous, larger snapshot).
 #[derive(Debug, Clone, Default)]
 struct ScanBuf {
-    epoch: u32,
-    a: Vec<u32>,
-    b: Vec<u32>,
+    a: Vec<u64>,
+    b: Vec<u64>,
+    aw: usize,
+    bw: usize,
 }
 
 impl ScanBuf {
-    /// Starts a new snapshot epoch; clears stale stamps on wrap-around.
-    fn bump(&mut self) -> u32 {
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.a.iter_mut().for_each(|s| *s = 0);
-            self.b.iter_mut().for_each(|s| *s = 0);
-            self.epoch = 1;
+    fn copy_into(dst: &mut Vec<u64>, src: &[u64]) -> usize {
+        if dst.len() < src.len() {
+            dst.resize(src.len(), 0);
         }
-        self.epoch
+        dst[..src.len()].copy_from_slice(src);
+        src.len()
     }
 
-    fn stamp(slots: &mut Vec<u32>, bits: &[bool], epoch: u32) {
-        if slots.len() < bits.len() {
-            slots.resize(bits.len(), 0);
-        }
-        for (slot, &set) in slots.iter_mut().zip(bits) {
-            if set {
-                *slot = epoch;
-            }
-        }
+    #[inline(always)]
+    fn bit(words: &[u64], valid: usize, idx: usize) -> bool {
+        let w = idx >> 6;
+        w < valid && (words[w] >> (idx & 63)) & 1 == 1
     }
 
-    fn a_set(&self, idx: usize, epoch: u32) -> bool {
-        self.a.get(idx).is_some_and(|&s| s == epoch)
+    #[inline(always)]
+    fn a_set(&self, idx: usize) -> bool {
+        Self::bit(&self.a, self.aw, idx)
     }
 
-    fn b_set(&self, idx: usize, epoch: u32) -> bool {
-        self.b.get(idx).is_some_and(|&s| s == epoch)
+    #[inline(always)]
+    fn b_set(&self, idx: usize) -> bool {
+        Self::bit(&self.b, self.bw, idx)
     }
 }
 
@@ -228,7 +380,6 @@ enum FrameState {
     /// Single bit-vector scan.
     Scan1 {
         depth: usize,
-        epoch: u32,
         dim: usize,
         idx: usize,
         pos: u64,
@@ -239,7 +390,6 @@ enum FrameState {
     /// Two-input co-iteration scan.
     Scan2 {
         depth: usize,
-        epoch: u32,
         dim: usize,
         idx: usize,
         ap: u64,
@@ -262,16 +412,18 @@ struct Frame {
     state: FrameState,
 }
 
-/// Dense statistics counters, indexed by slot / node id. `Option`
-/// distinguishes "never touched" from "touched with zero words" so the
-/// fold reproduces the reference engine's map-entry creation exactly.
+/// Dense statistics counters, indexed by slot / node id. `Option` on
+/// the DRAM-name counters distinguishes "never touched" from "touched
+/// with zero words" so the fold reproduces the reference engine's
+/// map-entry creation exactly; the node-indexed counters are plain
+/// vectors (their public form is dense too).
 #[derive(Debug, Clone, Default)]
 struct DenseStats {
     dram_reads: Vec<Option<u64>>,
     dram_writes: Vec<Option<u64>>,
     node_trips: Vec<u64>,
-    node_dram_read_words: Vec<Option<u64>>,
-    node_dram_write_words: Vec<Option<u64>>,
+    node_dram_read_words: Vec<u64>,
+    node_dram_write_words: Vec<u64>,
     dram_random_reads: u64,
     dram_random_writes: u64,
     alu_ops: u64,
@@ -290,14 +442,14 @@ impl DenseStats {
     fn note_dram_read(&mut self, slot: Slot, words: u64, node: Option<usize>) {
         *self.dram_reads[slot as usize].get_or_insert(0) += words;
         if let Some(n) = node {
-            *self.node_dram_read_words[n].get_or_insert(0) += words;
+            self.node_dram_read_words[n] += words;
         }
     }
 
     fn note_dram_write(&mut self, slot: Slot, words: u64, node: Option<usize>) {
         *self.dram_writes[slot as usize].get_or_insert(0) += words;
         if let Some(n) = node {
-            *self.node_dram_write_words[n].get_or_insert(0) += words;
+            self.node_dram_write_words[n] += words;
         }
     }
 
@@ -329,23 +481,22 @@ impl DenseStats {
                     .insert(syms.dram_name(slot as Slot).to_string(), *w);
             }
         }
-        for (node, trips) in self.node_trips.iter().enumerate() {
-            if *trips > 0 {
-                out.node_trips.insert(node, *trips);
-            }
-        }
-        for (node, words) in self.node_dram_read_words.iter().enumerate() {
-            if let Some(w) = words {
-                out.node_dram_read_words.insert(node, *w);
-            }
-        }
-        for (node, words) in self.node_dram_write_words.iter().enumerate() {
-            if let Some(w) = words {
-                out.node_dram_write_words.insert(node, *w);
-            }
-        }
+        out.node_trips = trimmed(&self.node_trips);
+        out.node_dram_read_words = trimmed(&self.node_dram_read_words);
+        out.node_dram_write_words = trimmed(&self.node_dram_write_words);
         out
     }
+}
+
+/// Copy of a dense counter vector with trailing zeros removed — the
+/// canonical public form ([`ExecStats`] node counters compare by
+/// value across engines that size their vectors differently).
+fn trimmed(counts: &[u64]) -> Vec<u64> {
+    let end = counts
+        .iter()
+        .rposition(|&c| c != 0)
+        .map_or(0, |last| last + 1);
+    counts[..end].to_vec()
 }
 
 #[inline]
@@ -411,7 +562,14 @@ pub struct Machine {
     /// name memories while other fields are mutably borrowed.
     syms: SymbolTable,
     drams: Vec<Option<DramArray>>,
-    on_chip: Vec<Option<OnChip>>,
+    /// Per-slot on-chip allocation state; the storage behind it lives
+    /// in `words`/`bits`.
+    chip: Vec<ChipState>,
+    /// The flat word arena: SRAM contents, FIFO rings, and registers,
+    /// at the offsets recorded in `chip`.
+    words: Vec<f64>,
+    /// The flat bitset arena: packed bit vectors (64 bits per word).
+    bits: Vec<u64>,
     env: Vec<Option<f64>>,
     dense: DenseStats,
     stats: ExecStats,
@@ -421,6 +579,35 @@ pub struct Machine {
     vstack: Vec<f64>,
     scan_pool: Vec<ScanBuf>,
     scan_depth: usize,
+}
+
+/// A copy of a [`Machine`]'s execution state — DRAM images, the flat
+/// on-chip arenas, variable bindings, and statistics — taken with
+/// [`Machine::snapshot`] and reinstated with [`Machine::restore`].
+/// Because machine state is a handful of flat vectors, both directions
+/// are slice memcpys.
+///
+/// Snapshots are valid at statement boundaries: between [`Machine::run`]
+/// calls (multi-phase programs split across several `run`s checkpoint
+/// between phases). Transient in-flight state (loop frames, the value
+/// stack) is not captured — it is empty whenever `run` is not on the
+/// call stack. The snapshot carries the machine's program binding, so
+/// restoring also rewinds any re-linking done after the checkpoint.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    /// The program binding at snapshot time (an `Arc` clone, so this is
+    /// a pointer copy): restoring rewinds any re-linking that happened
+    /// after the checkpoint, keeping slot-indexed state and symbol
+    /// table in lockstep with the data vectors.
+    compiled: Arc<CompiledProgram>,
+    syms: SymbolTable,
+    drams: Vec<Option<DramArray>>,
+    chip: Vec<ChipState>,
+    words: Vec<f64>,
+    bits: Vec<u64>,
+    env: Vec<Option<f64>>,
+    dense: DenseStats,
+    stats: ExecStats,
 }
 
 impl Machine {
@@ -443,7 +630,9 @@ impl Machine {
             compiled,
             syms,
             drams: Vec::new(),
-            on_chip: Vec::new(),
+            chip: Vec::new(),
+            words: Vec::new(),
+            bits: Vec::new(),
             env: Vec::new(),
             dense: DenseStats::default(),
             stats: ExecStats::default(),
@@ -465,6 +654,37 @@ impl Machine {
         m
     }
 
+    /// Copies the machine's execution state (DRAM, the flat on-chip
+    /// arenas, variable bindings, statistics). See [`MachineSnapshot`]
+    /// for validity rules.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            compiled: Arc::clone(&self.compiled),
+            syms: self.syms.clone(),
+            drams: self.drams.clone(),
+            chip: self.chip.clone(),
+            words: self.words.clone(),
+            bits: self.bits.clone(),
+            env: self.env.clone(),
+            dense: self.dense.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Reinstates a state previously captured with [`Machine::snapshot`],
+    /// reusing this machine's buffers where possible.
+    pub fn restore(&mut self, snapshot: &MachineSnapshot) {
+        self.compiled = Arc::clone(&snapshot.compiled);
+        self.syms.clone_from(&snapshot.syms);
+        self.drams.clone_from(&snapshot.drams);
+        self.chip.clone_from(&snapshot.chip);
+        self.words.clone_from(&snapshot.words);
+        self.bits.clone_from(&snapshot.bits);
+        self.env.clone_from(&snapshot.env);
+        self.dense.clone_from(&snapshot.dense);
+        self.stats.clone_from(&snapshot.stats);
+    }
+
     /// The compiled program this machine is bound to.
     pub fn compiled(&self) -> &Arc<CompiledProgram> {
         &self.compiled
@@ -483,7 +703,14 @@ impl Machine {
     }
 
     /// Grows slot-indexed state to match the symbol table after a
-    /// resolution pass. Existing slots keep their contents.
+    /// resolution pass. Existing slots keep their contents: allocated
+    /// on-chip slots keep their current arena regions, and
+    /// still-unallocated slots whose reserved extent is smaller than
+    /// the newly linked layout's are re-homed into a fresh stretch at
+    /// the end of the arenas. Only the re-homed regions are appended —
+    /// slots that already satisfy the layout cost nothing, so
+    /// alternating `run` calls between two programs reaches a fixed
+    /// point instead of growing the arenas per relink.
     fn grow_state(&mut self) {
         let drams = self.syms.dram_count();
         let chips = self.syms.chip_count();
@@ -498,16 +725,61 @@ impl Machine {
             self.dense.dram_reads.resize(drams, None);
             self.dense.dram_writes.resize(drams, None);
         }
-        if self.on_chip.len() < chips {
-            self.on_chip.resize_with(chips, || None);
+        if self.chip.len() < chips {
+            self.chip.resize(chips, ChipState::UNMAPPED);
         }
+        let layout = &self.compiled.resolved().layout;
+        let mut woff = self.words.len();
+        let mut boff = self.bits.len();
+        for (slot, region) in layout.chips.iter().enumerate() {
+            let st = &mut self.chip[slot];
+            if st.tag != ChipTag::None {
+                continue;
+            }
+            if st.wcap < region.word_cap {
+                st.woff = woff;
+                st.wcap = region.word_cap;
+                woff += region.word_cap;
+            }
+            if st.bcap < region.bit_words {
+                st.boff = boff;
+                st.bcap = region.bit_words;
+                boff += region.bit_words;
+            }
+        }
+        self.words.resize(woff, 0.0);
+        self.bits.resize(boff, 0);
         if self.env.len() < vars {
             self.env.resize(vars, None);
         }
         if self.dense.node_trips.len() < nodes {
             self.dense.node_trips.resize(nodes, 0);
-            self.dense.node_dram_read_words.resize(nodes, None);
-            self.dense.node_dram_write_words.resize(nodes, None);
+            self.dense.node_dram_read_words.resize(nodes, 0);
+            self.dense.node_dram_write_words.resize(nodes, 0);
+        }
+    }
+
+    /// Ensures the slot's word region holds at least `need` words,
+    /// relocating it to the end of the word arena when it does not.
+    /// The region contents are NOT carried over — callers reset them.
+    fn reserve_words(&mut self, slot: Slot, need: usize) {
+        let st = &mut self.chip[slot as usize];
+        if st.wcap < need {
+            st.woff = self.words.len();
+            st.wcap = need;
+            self.words.resize(st.woff + need, 0.0);
+        }
+    }
+
+    /// Ensures the slot's bitset region holds at least `need` packed
+    /// words, relocating to the end of the bitset arena when it does
+    /// not. Contents are NOT carried over — callers reset them.
+    fn reserve_bits(&mut self, slot: Slot, need: usize) {
+        let st = &mut self.chip[slot as usize];
+        if st.bcap < need {
+            st.boff = self.bits.len();
+            st.bcap = need;
+            self.bits.resize(st.boff + need, 0);
         }
     }
 
@@ -669,31 +941,41 @@ impl Machine {
             .or_else(|| self.frames.last().map(|f| f.node))
     }
 
+    /// Reads a register slot.
+    #[inline(always)]
+    fn reg_value(&self, reg: Slot) -> Result<f64, RunError> {
+        let st = &self.chip[reg as usize];
+        if st.tag == ChipTag::Reg {
+            Ok(self.words[st.woff])
+        } else {
+            Err(self.unknown_chip(reg))
+        }
+    }
+
+    /// Dequeues one element, counting the dequeue before the slot check
+    /// exactly as the tree engines do.
+    #[inline(always)]
+    fn deq_value(&mut self, fifo: Slot) -> Result<f64, RunError> {
+        self.dense.fifo_deqs += 1;
+        let st = &mut self.chip[fifo as usize];
+        if st.tag != ChipTag::Fifo {
+            return Err(self.unknown_chip(fifo));
+        }
+        match fifo_pop(&self.words, st) {
+            Some(v) => Ok(v),
+            None => Err(RunError::FifoUnderflow(
+                self.syms.chip_name(fifo).to_string(),
+            )),
+        }
+    }
+
     fn eval(&mut self, p: &ResolvedProgram, id: ExprId) -> Result<f64, RunError> {
         match p.expr(id) {
             ResolvedExpr::Const(c) => Ok(c),
             ResolvedExpr::Var(v) => self.env[v as usize]
                 .ok_or_else(|| RunError::UnboundVar(self.syms.var_name(v).to_string())),
-            ResolvedExpr::RegRead(r) => match &self.on_chip[r as usize] {
-                Some(OnChip {
-                    mem: Mem::Reg(v), ..
-                }) => Ok(*v),
-                _ => Err(self.unknown_chip(r)),
-            },
-            ResolvedExpr::Deq(f) => {
-                self.dense.fifo_deqs += 1;
-                match &mut self.on_chip[f as usize] {
-                    Some(OnChip {
-                        mem: Mem::Fifo(q), ..
-                    }) => {
-                        let popped = q.pop_front();
-                        popped.ok_or_else(|| {
-                            RunError::FifoUnderflow(self.syms.chip_name(f).to_string())
-                        })
-                    }
-                    _ => Err(self.unknown_chip(f)),
-                }
-            }
+            ResolvedExpr::RegRead(r) => self.reg_value(r),
+            ResolvedExpr::Deq(f) => self.deq_value(f),
             ResolvedExpr::ReadMem {
                 chip,
                 dram,
@@ -735,7 +1017,8 @@ impl Machine {
 
     /// Shared `mem[index]` read used by both expression engines:
     /// on-chip first, then the SparseDRAM random-read fallback. `ix` is
-    /// the already-evaluated (f64) index.
+    /// the already-evaluated (f64) index. The on-chip fast path is a
+    /// bounds check plus one arena load.
     #[inline(always)]
     fn read_mem_value(
         &mut self,
@@ -745,45 +1028,43 @@ impl Machine {
         random: bool,
     ) -> Result<f64, RunError> {
         let ix = index_of(ix, || self.syms.chip_name(chip).to_string())?;
-        if let Some(oc) = &self.on_chip[chip as usize] {
-            let kind = oc.kind;
-            let v = match &oc.mem {
-                Mem::Words(w) => {
-                    let len = w.len();
-                    match w.get(ix) {
+        let st = &self.chip[chip as usize];
+        match st.tag {
+            ChipTag::Words => {
+                if ix >= st.len {
+                    return Err(RunError::OutOfBounds {
+                        mem: self.syms.chip_name(chip).to_string(),
+                        index: ix as i64,
+                        len: st.len,
+                    });
+                }
+                let v = self.words[st.woff + ix];
+                self.dense.sram_reads += 1;
+                if random && st.kind == MemKind::SparseSram {
+                    self.dense.shuffle_accesses += 1;
+                }
+                Ok(v)
+            }
+            ChipTag::None => {
+                if let Some(arr) = &self.drams[dram as usize] {
+                    let len = arr.data.len();
+                    let v = match arr.data.get(ix) {
                         Some(v) => *v,
                         None => {
                             return Err(RunError::OutOfBounds {
-                                mem: self.syms.chip_name(chip).to_string(),
+                                mem: self.syms.dram_name(dram).to_string(),
                                 index: ix as i64,
                                 len,
                             })
                         }
-                    }
+                    };
+                    self.dense.dram_random_reads += 1;
+                    Ok(v)
+                } else {
+                    Err(self.unknown_chip(chip))
                 }
-                _ => return Err(self.unknown_chip(chip)),
-            };
-            self.dense.sram_reads += 1;
-            if random && kind == MemKind::SparseSram {
-                self.dense.shuffle_accesses += 1;
             }
-            Ok(v)
-        } else if let Some(arr) = &self.drams[dram as usize] {
-            let len = arr.data.len();
-            let v = match arr.data.get(ix) {
-                Some(v) => *v,
-                None => {
-                    return Err(RunError::OutOfBounds {
-                        mem: self.syms.dram_name(dram).to_string(),
-                        index: ix as i64,
-                        len,
-                    })
-                }
-            };
-            self.dense.dram_random_reads += 1;
-            Ok(v)
-        } else {
-            Err(self.unknown_chip(chip))
+            _ => Err(self.unknown_chip(chip)),
         }
     }
 
@@ -796,54 +1077,75 @@ impl Machine {
         random: bool,
         accumulate: bool,
     ) -> Result<(), RunError> {
-        match &mut self.on_chip[mem as usize] {
-            Some(OnChip {
-                kind,
-                mem: Mem::Words(w),
-            }) => {
-                let kind = *kind;
-                let len = w.len();
-                let slot = match w.get_mut(ix) {
-                    Some(s) => s,
-                    None => {
-                        return Err(RunError::OutOfBounds {
-                            mem: self.syms.chip_name(mem).to_string(),
-                            index: ix as i64,
-                            len,
-                        })
-                    }
-                };
-                if accumulate {
-                    *slot += value;
-                } else {
-                    *slot = value;
-                }
-                self.dense.sram_writes += 1;
-                if (random || accumulate) && kind == MemKind::SparseSram {
-                    self.dense.shuffle_accesses += 1;
-                }
-                Ok(())
-            }
-            _ => Err(self.unknown_chip(mem)),
+        let st = self.chip[mem as usize];
+        if st.tag != ChipTag::Words {
+            return Err(self.unknown_chip(mem));
         }
+        if ix >= st.len {
+            return Err(RunError::OutOfBounds {
+                mem: self.syms.chip_name(mem).to_string(),
+                index: ix as i64,
+                len: st.len,
+            });
+        }
+        let slot = &mut self.words[st.woff + ix];
+        if accumulate {
+            *slot += value;
+        } else {
+            *slot = value;
+        }
+        self.dense.sram_writes += 1;
+        if (random || accumulate) && st.kind == MemKind::SparseSram {
+            self.dense.shuffle_accesses += 1;
+        }
+        Ok(())
     }
 
     // --- Statement executors shared by the tree walker and the
     // --- bytecode dispatch loop. Operands are already evaluated.
 
     fn do_alloc(&mut self, slot: Slot, kind: MemKind, size: usize) -> Result<(), RunError> {
-        let mem = match kind {
-            MemKind::Sram | MemKind::SparseSram => Mem::Words(vec![0.0; size]),
-            MemKind::Fifo => Mem::Fifo(VecDeque::new()),
-            MemKind::Reg => Mem::Reg(0.0),
-            MemKind::BitVector => Mem::Bits(vec![false; size]),
+        match kind {
+            MemKind::Sram | MemKind::SparseSram => {
+                self.reserve_words(slot, size);
+                let st = &mut self.chip[slot as usize];
+                st.tag = ChipTag::Words;
+                st.kind = kind;
+                st.len = size;
+                let off = st.woff;
+                self.words[off..off + size].fill(0.0);
+            }
+            MemKind::Fifo => {
+                self.reserve_words(slot, size.max(1));
+                let st = &mut self.chip[slot as usize];
+                st.tag = ChipTag::Fifo;
+                st.kind = kind;
+                fifo_clear(st);
+            }
+            MemKind::Reg => {
+                self.reserve_words(slot, 1);
+                let st = &mut self.chip[slot as usize];
+                st.tag = ChipTag::Reg;
+                st.kind = kind;
+                let off = st.woff;
+                self.words[off] = 0.0;
+            }
+            MemKind::BitVector => {
+                let nw = bit_words_for(size);
+                self.reserve_bits(slot, nw);
+                let st = &mut self.chip[slot as usize];
+                st.tag = ChipTag::Bits;
+                st.kind = kind;
+                st.len = size;
+                let off = st.boff;
+                self.bits[off..off + nw].fill(0);
+            }
             MemKind::Dram | MemKind::SparseDram => {
                 // DRAM is declared at program level, not allocated in
                 // Accel.
                 return Err(self.unknown_chip(slot));
             }
-        };
-        self.on_chip[slot as usize] = Some(OnChip { kind, mem });
+        }
         Ok(())
     }
 
@@ -864,27 +1166,35 @@ impl Machine {
         let n = e.checked_sub(s).expect("load start beyond load end");
         self.dense
             .note_dram_read(src, n as u64, self.current_node());
-        let src_arr = self.drams[src as usize].as_ref().expect("checked");
-        match &mut self.on_chip[dst as usize] {
-            Some(OnChip {
-                mem: Mem::Words(w), ..
-            }) => {
-                if n > w.len() {
+        match self.chip[dst as usize].tag {
+            ChipTag::Words => {
+                let st = self.chip[dst as usize];
+                if n > st.len {
                     return Err(RunError::OutOfBounds {
                         mem: self.syms.chip_name(dst).to_string(),
                         index: n as i64,
-                        len: w.len(),
+                        len: st.len,
                     });
                 }
-                w[..n].copy_from_slice(&src_arr.data[s..e]);
+                {
+                    let Machine { drams, words, .. } = self;
+                    let src_arr = &drams[src as usize].as_ref().expect("checked").data;
+                    words[st.woff..st.woff + n].copy_from_slice(&src_arr[s..e]);
+                }
                 self.dense.sram_writes += n as u64;
                 Ok(())
             }
-            Some(OnChip {
-                mem: Mem::Fifo(q), ..
-            }) => {
+            ChipTag::Fifo => {
                 self.dense.fifo_enqs += n as u64;
-                q.extend(src_arr.data[s..e].iter().copied());
+                let Machine {
+                    drams, words, chip, ..
+                } = self;
+                let st = &mut chip[dst as usize];
+                fifo_reserve(words, st, n);
+                let src_arr = &drams[src as usize].as_ref().expect("checked").data;
+                for &v in &src_arr[s..e] {
+                    fifo_push(words, st, v);
+                }
                 Ok(())
             }
             _ => Err(RunError::UnknownMemory(
@@ -894,46 +1204,35 @@ impl Machine {
     }
 
     fn do_store(&mut self, dst: Slot, off: usize, src: Slot, n: usize) -> Result<(), RunError> {
-        let w = match &self.on_chip[src as usize] {
-            Some(OnChip {
-                mem: Mem::Words(w), ..
-            }) => w,
-            _ => return Err(self.unknown_chip(src)),
-        };
-        if n > w.len() {
+        let st = self.chip[src as usize];
+        if st.tag != ChipTag::Words {
+            return Err(self.unknown_chip(src));
+        }
+        if n > st.len {
             return Err(RunError::OutOfBounds {
                 mem: self.syms.chip_name(src).to_string(),
                 index: n as i64,
-                len: w.len(),
+                len: st.len,
             });
         }
         self.dense.sram_reads += n as u64;
-        let arr = match &mut self.drams[dst as usize] {
-            Some(arr) => &mut arr.data,
-            None => {
-                return Err(RunError::UnknownMemory(
-                    self.syms.dram_name(dst).to_string(),
-                ))
+        {
+            let Machine {
+                drams, words, syms, ..
+            } = self;
+            let arr = match &mut drams[dst as usize] {
+                Some(arr) => &mut arr.data,
+                None => return Err(RunError::UnknownMemory(syms.dram_name(dst).to_string())),
+            };
+            if off + n > arr.len() {
+                return Err(RunError::OutOfBounds {
+                    mem: syms.dram_name(dst).to_string(),
+                    index: (off + n) as i64,
+                    len: arr.len(),
+                });
             }
-        };
-        if off + n > arr.len() {
-            return Err(RunError::OutOfBounds {
-                mem: self.syms.dram_name(dst).to_string(),
-                index: (off + n) as i64,
-                len: arr.len(),
-            });
+            arr[off..off + n].copy_from_slice(&words[st.woff..st.woff + n]);
         }
-        let w = match &self.on_chip[src as usize] {
-            Some(OnChip {
-                mem: Mem::Words(w), ..
-            }) => w,
-            _ => unreachable!("checked above"),
-        };
-        let arr = match &mut self.drams[dst as usize] {
-            Some(arr) => &mut arr.data,
-            None => unreachable!("checked above"),
-        };
-        arr[off..off + n].copy_from_slice(&w[..n]);
         self.dense
             .note_dram_write(dst, n as u64, self.current_node());
         Ok(())
@@ -946,69 +1245,53 @@ impl Machine {
         fifo: Slot,
         n: usize,
     ) -> Result<(), RunError> {
-        let q = match &mut self.on_chip[fifo as usize] {
-            Some(OnChip {
-                mem: Mem::Fifo(q), ..
-            }) => q,
-            _ => {
-                return Err(RunError::UnknownMemory(
-                    self.syms.chip_name(fifo).to_string(),
-                ))
-            }
-        };
-        if q.len() < n {
+        if self.chip[fifo as usize].tag != ChipTag::Fifo {
+            return Err(RunError::UnknownMemory(
+                self.syms.chip_name(fifo).to_string(),
+            ));
+        }
+        if self.chip[fifo as usize].len < n {
             // The reference engine pops one element at a time and fails
             // on the first missing one — the FIFO ends up drained and
             // the dequeues uncounted.
-            q.clear();
+            fifo_clear(&mut self.chip[fifo as usize]);
             return Err(RunError::FifoUnderflow(
                 self.syms.chip_name(fifo).to_string(),
             ));
         }
         self.dense.fifo_deqs += n as u64;
-        let arr = match &mut self.drams[dst as usize] {
-            Some(arr) => &mut arr.data,
-            None => {
-                let q = match &mut self.on_chip[fifo as usize] {
-                    Some(OnChip {
-                        mem: Mem::Fifo(q), ..
-                    }) => q,
-                    _ => unreachable!("checked above"),
-                };
-                q.drain(..n);
-                return Err(RunError::UnknownMemory(
-                    self.syms.dram_name(dst).to_string(),
-                ));
-            }
-        };
-        if off + n > arr.len() {
-            let len = arr.len();
-            let q = match &mut self.on_chip[fifo as usize] {
-                Some(OnChip {
-                    mem: Mem::Fifo(q), ..
-                }) => q,
-                _ => unreachable!("checked above"),
+        {
+            let Machine {
+                drams,
+                words,
+                chip,
+                syms,
+                ..
+            } = self;
+            let st = &mut chip[fifo as usize];
+            let arr = match &mut drams[dst as usize] {
+                Some(arr) => &mut arr.data,
+                None => {
+                    for _ in 0..n {
+                        fifo_pop(words, st);
+                    }
+                    return Err(RunError::UnknownMemory(syms.dram_name(dst).to_string()));
+                }
             };
-            q.drain(..n);
-            return Err(RunError::OutOfBounds {
-                mem: self.syms.dram_name(dst).to_string(),
-                index: (off + n) as i64,
-                len,
-            });
-        }
-        let (drams, on_chip) = (&mut self.drams, &mut self.on_chip);
-        let arr = match &mut drams[dst as usize] {
-            Some(arr) => &mut arr.data,
-            None => unreachable!("checked above"),
-        };
-        let q = match &mut on_chip[fifo as usize] {
-            Some(OnChip {
-                mem: Mem::Fifo(q), ..
-            }) => q,
-            _ => unreachable!("checked above"),
-        };
-        for (slot, v) in arr[off..off + n].iter_mut().zip(q.drain(..n)) {
-            *slot = v;
+            if off + n > arr.len() {
+                let len = arr.len();
+                for _ in 0..n {
+                    fifo_pop(words, st);
+                }
+                return Err(RunError::OutOfBounds {
+                    mem: syms.dram_name(dst).to_string(),
+                    index: (off + n) as i64,
+                    len,
+                });
+            }
+            for slot in &mut arr[off..off + n] {
+                *slot = fifo_pop(words, st).expect("length checked");
+            }
         }
         self.dense
             .note_dram_write(dst, n as u64, self.current_node());
@@ -1040,28 +1323,24 @@ impl Machine {
     }
 
     fn do_set_reg(&mut self, reg: Slot, v: f64) -> Result<(), RunError> {
-        match &mut self.on_chip[reg as usize] {
-            Some(OnChip {
-                mem: Mem::Reg(r), ..
-            }) => {
-                *r = v;
-                Ok(())
-            }
-            _ => Err(self.unknown_chip(reg)),
+        let st = self.chip[reg as usize];
+        if st.tag != ChipTag::Reg {
+            return Err(self.unknown_chip(reg));
         }
+        self.words[st.woff] = v;
+        Ok(())
     }
 
     fn do_enq(&mut self, fifo: Slot, v: f64) -> Result<(), RunError> {
-        match &mut self.on_chip[fifo as usize] {
-            Some(OnChip {
-                mem: Mem::Fifo(q), ..
-            }) => {
-                q.push_back(v);
-                self.dense.fifo_enqs += 1;
-                Ok(())
-            }
-            _ => Err(self.unknown_chip(fifo)),
+        if self.chip[fifo as usize].tag != ChipTag::Fifo {
+            return Err(self.unknown_chip(fifo));
         }
+        let Machine { words, chip, .. } = self;
+        let st = &mut chip[fifo as usize];
+        fifo_reserve(words, st, 1);
+        fifo_push(words, st, v);
+        self.dense.fifo_enqs += 1;
+        Ok(())
     }
 
     fn do_gen_bit_vector(
@@ -1076,34 +1355,40 @@ impl Machine {
         // scratch buffer.
         let mut coords = std::mem::take(&mut self.scratch);
         coords.clear();
-        match &mut self.on_chip[src as usize] {
-            Some(OnChip {
-                mem: Mem::Fifo(q), ..
-            }) => {
-                if q.len() < n {
+        match self.chip[src as usize].tag {
+            ChipTag::Fifo => {
+                if self.chip[src as usize].len < n {
                     // Reference semantics: pop until empty, fail.
-                    q.clear();
+                    fifo_clear(&mut self.chip[src as usize]);
                     self.scratch = coords;
                     return Err(RunError::FifoUnderflow(
                         self.syms.chip_name(src).to_string(),
                     ));
                 }
-                coords.extend(q.drain(..n).map(|v| v.round() as usize));
+                let Machine { words, chip, .. } = self;
+                let st = &mut chip[src as usize];
+                for _ in 0..n {
+                    let v = fifo_pop(words, st).expect("length checked");
+                    coords.push(v.round() as usize);
+                }
                 self.dense.fifo_deqs += n as u64;
             }
-            Some(OnChip {
-                mem: Mem::Words(w), ..
-            }) => {
-                if s + n > w.len() {
+            ChipTag::Words => {
+                let st = self.chip[src as usize];
+                if s + n > st.len {
                     self.scratch = coords;
                     return Err(RunError::OutOfBounds {
                         mem: self.syms.chip_name(src).to_string(),
                         index: (s + n) as i64,
-                        len: w.len(),
+                        len: st.len,
                     });
                 }
                 self.dense.sram_reads += n as u64;
-                coords.extend(w[s..s + n].iter().map(|&v| v.round() as usize));
+                coords.extend(
+                    self.words[st.woff + s..st.woff + s + n]
+                        .iter()
+                        .map(|&v| v.round() as usize),
+                );
             }
             _ => {
                 self.scratch = coords;
@@ -1112,38 +1397,40 @@ impl Machine {
                 ));
             }
         }
-        let result = match &mut self.on_chip[dst as usize] {
-            Some(OnChip {
-                mem: Mem::Bits(bits),
-                ..
-            }) => {
-                if bits.len() < d {
-                    bits.resize(d, false);
+        let result = if self.chip[dst as usize].tag == ChipTag::Bits {
+            // The logical bit length only grows (matching the old
+            // `Vec<bool>` resize); regeneration clears every word up
+            // to the new length before setting the coordinate bits.
+            let new_len = self.chip[dst as usize].len.max(d);
+            let nw = bit_words_for(new_len);
+            self.reserve_bits(dst, nw);
+            let st = &mut self.chip[dst as usize];
+            st.len = new_len;
+            let off = st.boff;
+            self.bits[off..off + nw].fill(0);
+            let mut failed = None;
+            for &c in &coords {
+                if c >= new_len {
+                    failed = Some(RunError::OutOfBounds {
+                        mem: self.syms.chip_name(dst).to_string(),
+                        index: c as i64,
+                        len: new_len,
+                    });
+                    break;
                 }
-                bits.iter_mut().for_each(|b| *b = false);
-                let mut failed = None;
-                for &c in &coords {
-                    if c >= bits.len() {
-                        failed = Some(RunError::OutOfBounds {
-                            mem: self.syms.chip_name(dst).to_string(),
-                            index: c as i64,
-                            len: bits.len(),
-                        });
-                        break;
-                    }
-                    bits[c] = true;
-                }
-                match failed {
-                    Some(e) => Err(e),
-                    None => {
-                        self.dense.bv_gen_bits += d as u64;
-                        Ok(())
-                    }
+                self.bits[off + (c >> 6)] |= 1u64 << (c & 63);
+            }
+            match failed {
+                Some(e) => Err(e),
+                None => {
+                    self.dense.bv_gen_bits += d as u64;
+                    Ok(())
                 }
             }
-            _ => Err(RunError::UnknownMemory(
+        } else {
+            Err(RunError::UnknownMemory(
                 self.syms.chip_name(dst).to_string(),
-            )),
+            ))
         };
         self.scratch = coords;
         result
@@ -1257,13 +1544,11 @@ impl Machine {
                 expr,
             } => {
                 self.node_stack.push(*id);
-                let mut acc = match &self.on_chip[*reg as usize] {
-                    Some(OnChip {
-                        mem: Mem::Reg(v), ..
-                    }) => *v,
-                    _ => {
+                let mut acc = match self.reg_value(*reg) {
+                    Ok(v) => v,
+                    Err(e) => {
                         self.node_stack.pop();
-                        return Err(self.unknown_chip(*reg));
+                        return Err(e);
                     }
                 };
                 let result = self.run_counter(p, counter, |m| {
@@ -1279,12 +1564,7 @@ impl Machine {
                 });
                 self.node_stack.pop();
                 result?;
-                if let Some(OnChip {
-                    mem: Mem::Reg(r), ..
-                }) = &mut self.on_chip[*reg as usize]
-                {
-                    *r = acc;
-                }
+                self.write_reduce_acc(Some(*reg), acc);
                 Ok(())
             }
         }
@@ -1324,14 +1604,14 @@ impl Machine {
                 idx_var,
             } => {
                 let depth = self.scan_depth;
-                let (dim, epoch) = self.scan_snapshot1(*bv)?;
+                let dim = self.scan_snapshot1(*bv)?;
                 self.scan_depth = depth + 1;
                 let (pos_var, idx_var) = (*pos_var as usize, *idx_var as usize);
                 let saved_pos = self.env[pos_var];
                 let saved_idx = self.env[idx_var];
                 let mut pos = 0u64;
                 for idx in 0..dim {
-                    if self.scan_pool[depth].a_set(idx, epoch) {
+                    if self.scan_pool[depth].a_set(idx) {
                         self.env[pos_var] = Some(pos as f64);
                         self.env[idx_var] = Some(idx as f64);
                         self.dense.scan_emits += 1;
@@ -1354,7 +1634,7 @@ impl Machine {
                 idx_var,
             } => {
                 let depth = self.scan_depth;
-                let (dim, epoch) = self.scan_snapshot2(*bv_a, *bv_b)?;
+                let dim = self.scan_snapshot2(*bv_a, *bv_b)?;
                 self.scan_depth = depth + 1;
                 let vars = [
                     *a_pos_var as usize,
@@ -1365,8 +1645,8 @@ impl Machine {
                 let saved = vars.map(|v| self.env[v]);
                 let (mut ap, mut bp, mut op_count) = (0u64, 0u64, 0u64);
                 for idx in 0..dim {
-                    let has_a = self.scan_pool[depth].a_set(idx, epoch);
-                    let has_b = self.scan_pool[depth].b_set(idx, epoch);
+                    let has_a = self.scan_pool[depth].a_set(idx);
+                    let has_b = self.scan_pool[depth].b_set(idx);
                     let combined = match op {
                         ScanOp::And => has_a && has_b,
                         ScanOp::Or => has_a || has_b,
@@ -1397,80 +1677,49 @@ impl Machine {
     }
 
     /// Snapshots one bit vector into the scan pool slot at the current
-    /// depth, returning `(dim, epoch)`. Counts the entry's `scan_bits`.
-    fn scan_snapshot1(&mut self, bv: Slot) -> Result<(usize, u32), RunError> {
+    /// depth (a slice memcpy of the packed words), returning the scan
+    /// dimension. Counts the entry's `scan_bits`.
+    fn scan_snapshot1(&mut self, bv: Slot) -> Result<usize, RunError> {
         let depth = self.scan_depth;
         if self.scan_pool.len() <= depth {
             self.scan_pool.resize_with(depth + 1, ScanBuf::default);
         }
-        if !matches!(
-            &self.on_chip[bv as usize],
-            Some(OnChip {
-                mem: Mem::Bits(_),
-                ..
-            })
-        ) {
+        let st = self.chip[bv as usize];
+        if st.tag != ChipTag::Bits {
             return Err(self.unknown_chip(bv));
         }
-        let Some(OnChip {
-            mem: Mem::Bits(bits),
-            ..
-        }) = &self.on_chip[bv as usize]
-        else {
-            unreachable!("checked above");
-        };
+        let nw = bit_words_for(st.len);
         let buf = &mut self.scan_pool[depth];
-        let epoch = buf.bump();
-        ScanBuf::stamp(&mut buf.a, bits, epoch);
-        self.dense.scan_bits += bits.len() as u64;
-        Ok((bits.len(), epoch))
+        buf.aw = ScanBuf::copy_into(&mut buf.a, &self.bits[st.boff..st.boff + nw]);
+        self.dense.scan_bits += st.len as u64;
+        Ok(st.len)
     }
 
     /// Snapshots both bit vectors of a `Scan2` into the scan pool slot
-    /// at the current depth, returning `(dim, epoch)` where `dim` is
-    /// the longer of the two. Counts the entry's `scan_bits`.
-    fn scan_snapshot2(&mut self, bv_a: Slot, bv_b: Slot) -> Result<(usize, u32), RunError> {
+    /// at the current depth, returning the scan dimension (the longer
+    /// of the two). Counts the entry's `scan_bits`.
+    fn scan_snapshot2(&mut self, bv_a: Slot, bv_b: Slot) -> Result<usize, RunError> {
         let depth = self.scan_depth;
         if self.scan_pool.len() <= depth {
             self.scan_pool.resize_with(depth + 1, ScanBuf::default);
         }
         // Error order matches the tree engines: `a` is examined first.
-        if !matches!(
-            &self.on_chip[bv_a as usize],
-            Some(OnChip {
-                mem: Mem::Bits(_),
-                ..
-            })
-        ) {
+        let sa = self.chip[bv_a as usize];
+        if sa.tag != ChipTag::Bits {
             return Err(self.unknown_chip(bv_a));
         }
-        if !matches!(
-            &self.on_chip[bv_b as usize],
-            Some(OnChip {
-                mem: Mem::Bits(_),
-                ..
-            })
-        ) {
+        let sb = self.chip[bv_b as usize];
+        if sb.tag != ChipTag::Bits {
             return Err(self.unknown_chip(bv_b));
         }
-        let (
-            Some(OnChip {
-                mem: Mem::Bits(a), ..
-            }),
-            Some(OnChip {
-                mem: Mem::Bits(b), ..
-            }),
-        ) = (&self.on_chip[bv_a as usize], &self.on_chip[bv_b as usize])
-        else {
-            unreachable!("checked above");
-        };
-        let dim = a.len().max(b.len());
+        let dim = sa.len.max(sb.len);
         let buf = &mut self.scan_pool[depth];
-        let epoch = buf.bump();
-        ScanBuf::stamp(&mut buf.a, a, epoch);
-        ScanBuf::stamp(&mut buf.b, b, epoch);
+        let naw = bit_words_for(sa.len);
+        let nbw = bit_words_for(sb.len);
+        buf.aw = ScanBuf::copy_into(&mut buf.a, &self.bits[sa.boff..sa.boff + naw]);
+        buf.bw = ScanBuf::copy_into(&mut buf.b, &self.bits[sb.boff..sb.boff + nbw]);
         self.dense.scan_bits += 2 * dim as u64;
-        Ok((dim, epoch))
+        Ok(dim)
     }
 }
 
@@ -1688,6 +1937,34 @@ impl Machine {
         // dispatch is hoisted out of the iteration entirely.
         if body_len == 1 && reduce.is_none() {
             let op = &ops[body as usize];
+            // The scatter superinstruction: a lone on-chip write whose
+            // operands are hot-shape gathers. The arena makes every
+            // referenced slot's region provably loop-invariant (the
+            // body cannot allocate, enqueue, or regenerate), so slot
+            // states hoist out of the loop and statistics batch in
+            // registers.
+            match *op {
+                Op::RmwAdd { mem, index, value } => {
+                    if let Some(r) = self.try_scatter_loop(
+                        prog, id, var, saved, v, hi, fstep, mem, index, value, true, true, end,
+                    ) {
+                        return r;
+                    }
+                }
+                Op::WriteMem {
+                    mem,
+                    index,
+                    value,
+                    random,
+                } => {
+                    if let Some(r) = self.try_scatter_loop(
+                        prog, id, var, saved, v, hi, fstep, mem, index, value, random, false, end,
+                    ) {
+                        return r;
+                    }
+                }
+                _ => {}
+            }
             if !matches!(op, Op::RangeSimple { .. }) {
                 if v < hi {
                     self.node_stack.push(id);
@@ -1778,6 +2055,197 @@ impl Machine {
         self.env[var] = saved;
         self.write_reduce_acc(reduce.map(|(reg, _)| reg), acc);
         Ok(end)
+    }
+
+    /// Resolves an operand into a hot-loop form whose referenced slot
+    /// states are loop-invariant, or `None` when the shape (or a slot's
+    /// current allocation) is not eligible.
+    fn hot_value(&self, prog: &CompiledProgram, o: Operand) -> Option<HotValue> {
+        match o {
+            Operand::Const(c) => Some(HotValue::Const(c)),
+            Operand::Var(v) => Some(HotValue::Var(v)),
+            Operand::Gather {
+                chip, random, var, ..
+            } => Some(HotValue::Gather(self.hot_gather(chip, random, var)?)),
+            Operand::Fused(i) => match prog.fused()[i as usize] {
+                FusedOp::BinGather { a, op, mem } => Some(HotValue::BinGather {
+                    a,
+                    op,
+                    g: self.hot_gather(mem.chip, mem.random, mem.var)?,
+                }),
+                _ => None,
+            },
+            Operand::Expr(_) => None,
+        }
+    }
+
+    /// A gather whose source slot is currently plain words: its region
+    /// and shuffle attribution hoist out of the loop.
+    fn hot_gather(&self, chip: Slot, random: bool, var: Slot) -> Option<HotGather> {
+        let st = &self.chip[chip as usize];
+        if st.tag != ChipTag::Words {
+            return None;
+        }
+        Some(HotGather {
+            chip,
+            var,
+            woff: st.woff,
+            len: st.len,
+            shuffle: random && st.kind == MemKind::SparseSram,
+        })
+    }
+
+    /// Evaluates a hot operand, batching statistics into `c`.
+    /// Evaluation order, statistics, and errors are identical to the
+    /// generic [`Machine::operand_value`] path.
+    #[inline(always)]
+    fn hot_eval(&mut self, hv: HotValue, c: &mut HotCounters) -> Result<f64, RunError> {
+        match hv {
+            HotValue::Const(k) => Ok(k),
+            HotValue::Var(v) => match self.env[v as usize] {
+                Some(x) => Ok(x),
+                None => Err(RunError::UnboundVar(self.syms.var_name(v).to_string())),
+            },
+            HotValue::Gather(g) => self.hot_gather_read(g, c),
+            HotValue::BinGather { a, op, g } => {
+                let x = match self.env[a as usize] {
+                    Some(x) => x,
+                    None => {
+                        return Err(RunError::UnboundVar(self.syms.var_name(a).to_string()));
+                    }
+                };
+                let r = self.hot_gather_read(g, c)?;
+                c.alu_ops += 1;
+                Ok(op.apply(x, r))
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn hot_gather_read(&mut self, g: HotGather, c: &mut HotCounters) -> Result<f64, RunError> {
+        let ixf = match self.env[g.var as usize] {
+            Some(x) => x,
+            None => {
+                return Err(RunError::UnboundVar(self.syms.var_name(g.var).to_string()));
+            }
+        };
+        let ix = index_of(ixf, || self.syms.chip_name(g.chip).to_string())?;
+        if ix >= g.len {
+            return Err(RunError::OutOfBounds {
+                mem: self.syms.chip_name(g.chip).to_string(),
+                index: ix as i64,
+                len: g.len,
+            });
+        }
+        c.sram_reads += 1;
+        if g.shuffle {
+            c.shuffles += 1;
+        }
+        Ok(self.words[g.woff + ix])
+    }
+
+    /// The scatter superinstruction executor: a whole `Range` loop whose
+    /// body is one on-chip write (`WriteMem`/`RmwAdd`) with hot-shape
+    /// operands — the Gustavson scatter-accumulate inner loop of SpMSpM.
+    /// Destination and gather slot states are hoisted (the body cannot
+    /// change any slot's allocation or region) and all statistics
+    /// accumulate in registers, flushed on every exit path so the
+    /// observable counts equal per-iteration bumping exactly.
+    ///
+    /// Returns `None` (having executed nothing) when an operand shape or
+    /// a slot's current allocation is not eligible.
+    #[allow(clippy::too_many_arguments)]
+    fn try_scatter_loop(
+        &mut self,
+        prog: &CompiledProgram,
+        id: usize,
+        var: usize,
+        saved: Option<f64>,
+        v0: f64,
+        hi: f64,
+        fstep: f64,
+        dst: Slot,
+        index: Operand,
+        value: Operand,
+        random: bool,
+        accumulate: bool,
+        end: usize,
+    ) -> Option<Result<usize, RunError>> {
+        let dst_st = self.chip[dst as usize];
+        if dst_st.tag != ChipTag::Words {
+            return None;
+        }
+        let hindex = self.hot_value(prog, index)?;
+        let hvalue = self.hot_value(prog, value)?;
+        let dst_shuffle = (random || accumulate) && dst_st.kind == MemKind::SparseSram;
+        let mut c = HotCounters::default();
+        let mut swrites = 0u64;
+        let mut trips = 0u64;
+        let mut result: Result<(), RunError> = Ok(());
+        let mut v = v0;
+        if v < hi {
+            self.node_stack.push(id);
+            'iters: while v < hi {
+                self.env[var] = Some(v);
+                trips += 1;
+                // Same order as the generic RmwAdd/WriteMem op: index
+                // operand, index conversion, value operand, then the
+                // bounds-checked write.
+                let ixf = match self.hot_eval(hindex, &mut c) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        result = Err(e);
+                        break 'iters;
+                    }
+                };
+                let ix = match index_of(ixf, || self.syms.chip_name(dst).to_string()) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        result = Err(e);
+                        break 'iters;
+                    }
+                };
+                let val = match self.hot_eval(hvalue, &mut c) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        result = Err(e);
+                        break 'iters;
+                    }
+                };
+                if ix >= dst_st.len {
+                    result = Err(RunError::OutOfBounds {
+                        mem: self.syms.chip_name(dst).to_string(),
+                        index: ix as i64,
+                        len: dst_st.len,
+                    });
+                    break 'iters;
+                }
+                let slot = &mut self.words[dst_st.woff + ix];
+                if accumulate {
+                    *slot += val;
+                } else {
+                    *slot = val;
+                }
+                swrites += 1;
+                if dst_shuffle {
+                    c.shuffles += 1;
+                }
+                v += fstep;
+            }
+            if result.is_ok() {
+                self.node_stack.pop();
+            }
+        }
+        self.dense.node_trips[id] += trips;
+        self.dense.sram_reads += c.sram_reads;
+        self.dense.sram_writes += swrites;
+        self.dense.shuffle_accesses += c.shuffles;
+        self.dense.alu_ops += c.alu_ops;
+        if let Err(e) = result {
+            return Some(Err(e));
+        }
+        self.env[var] = saved;
+        Some(Ok(end))
     }
 
     /// Fetches a statement operand: immediates inline, fused compound
@@ -1910,35 +2378,17 @@ impl Machine {
                         return Err(RunError::UnboundVar(self.syms.var_name(v).to_string()));
                     }
                 },
-                EOp::RegRead(r) => match &self.on_chip[r as usize] {
-                    Some(OnChip {
-                        mem: Mem::Reg(v), ..
-                    }) => {
-                        self.vstack.push(tos);
-                        tos = *v;
-                        pc += 1;
-                    }
-                    _ => return Err(self.unknown_chip(r)),
-                },
+                EOp::RegRead(r) => {
+                    let v = self.reg_value(r)?;
+                    self.vstack.push(tos);
+                    tos = v;
+                    pc += 1;
+                }
                 EOp::Deq(f) => {
-                    self.dense.fifo_deqs += 1;
-                    match &mut self.on_chip[f as usize] {
-                        Some(OnChip {
-                            mem: Mem::Fifo(q), ..
-                        }) => match q.pop_front() {
-                            Some(v) => {
-                                self.vstack.push(tos);
-                                tos = v;
-                                pc += 1;
-                            }
-                            None => {
-                                return Err(RunError::FifoUnderflow(
-                                    self.syms.chip_name(f).to_string(),
-                                ));
-                            }
-                        },
-                        _ => return Err(self.unknown_chip(f)),
-                    }
+                    let v = self.deq_value(f)?;
+                    self.vstack.push(tos);
+                    tos = v;
+                    pc += 1;
                 }
                 EOp::ReadMem { chip, dram, random } => {
                     tos = self.read_mem_value(chip, dram, tos, random)?;
@@ -2034,12 +2484,7 @@ impl Machine {
     fn read_reduce_acc(&self, reduce: Option<Slot>) -> Result<f64, RunError> {
         match reduce {
             None => Ok(0.0),
-            Some(reg) => match &self.on_chip[reg as usize] {
-                Some(OnChip {
-                    mem: Mem::Reg(v), ..
-                }) => Ok(*v),
-                _ => Err(self.unknown_chip(reg)),
-            },
+            Some(reg) => self.reg_value(reg),
         }
     }
 
@@ -2047,11 +2492,9 @@ impl Machine {
     /// that is no longer a register, as the tree walker does.
     fn write_reduce_acc(&mut self, reduce: Option<Slot>, acc: f64) {
         if let Some(reg) = reduce {
-            if let Some(OnChip {
-                mem: Mem::Reg(r), ..
-            }) = &mut self.on_chip[reg as usize]
-            {
-                *r = acc;
+            let st = self.chip[reg as usize];
+            if st.tag == ChipTag::Reg {
+                self.words[st.woff] = acc;
             }
         }
     }
@@ -2109,10 +2552,10 @@ impl Machine {
     ) -> Result<usize, RunError> {
         let acc = self.read_reduce_acc(reduce)?;
         let depth = self.scan_depth;
-        let (dim, epoch) = self.scan_snapshot1(bv)?;
+        let dim = self.scan_snapshot1(bv)?;
         let saved = [self.env[pos_var as usize], self.env[idx_var as usize]];
         let mut idx = 0usize;
-        while idx < dim && !self.scan_pool[depth].a_set(idx, epoch) {
+        while idx < dim && !self.scan_pool[depth].a_set(idx) {
             idx += 1;
         }
         if idx < dim {
@@ -2127,7 +2570,6 @@ impl Machine {
                 acc,
                 state: FrameState::Scan1 {
                     depth,
-                    epoch,
                     dim,
                     idx,
                     pos: 0,
@@ -2157,12 +2599,12 @@ impl Machine {
     ) -> Result<usize, RunError> {
         let acc = self.read_reduce_acc(reduce)?;
         let depth = self.scan_depth;
-        let (dim, epoch) = self.scan_snapshot2(bv_a, bv_b)?;
+        let dim = self.scan_snapshot2(bv_a, bv_b)?;
         let saved = vars.map(|v| self.env[v as usize]);
         let (mut idx, mut ap, mut bp) = (0usize, 0u64, 0u64);
         while idx < dim {
-            let has_a = self.scan_pool[depth].a_set(idx, epoch);
-            let has_b = self.scan_pool[depth].b_set(idx, epoch);
+            let has_a = self.scan_pool[depth].a_set(idx);
+            let has_b = self.scan_pool[depth].b_set(idx);
             let combined = match op {
                 ScanOp::And => has_a && has_b,
                 ScanOp::Or => has_a || has_b,
@@ -2181,7 +2623,6 @@ impl Machine {
                     acc,
                     state: FrameState::Scan2 {
                         depth,
-                        epoch,
                         dim,
                         idx,
                         ap,
@@ -2216,7 +2657,8 @@ impl Machine {
             dense,
             scan_pool,
             scan_depth,
-            on_chip,
+            chip,
+            words,
             ..
         } = self;
         let frame = frames.last_mut().expect("active frame");
@@ -2233,7 +2675,6 @@ impl Machine {
             }
             FrameState::Scan1 {
                 depth,
-                epoch,
                 dim,
                 idx,
                 pos,
@@ -2244,7 +2685,7 @@ impl Machine {
                 let buf = &scan_pool[*depth];
                 *pos += 1;
                 *idx += 1;
-                while *idx < *dim && !buf.a_set(*idx, *epoch) {
+                while *idx < *dim && !buf.a_set(*idx) {
                     *idx += 1;
                 }
                 if *idx < *dim {
@@ -2257,7 +2698,6 @@ impl Machine {
             }
             FrameState::Scan2 {
                 depth,
-                epoch,
                 dim,
                 idx,
                 ap,
@@ -2270,17 +2710,17 @@ impl Machine {
                 let buf = &scan_pool[*depth];
                 // The emitting index advances its positions after the
                 // body, exactly as the tree walkers do.
-                if buf.a_set(*idx, *epoch) {
+                if buf.a_set(*idx) {
                     *ap += 1;
                 }
-                if buf.b_set(*idx, *epoch) {
+                if buf.b_set(*idx) {
                     *bp += 1;
                 }
                 *emitted += 1;
                 *idx += 1;
                 while *idx < *dim {
-                    let has_a = buf.a_set(*idx, *epoch);
-                    let has_b = buf.b_set(*idx, *epoch);
+                    let has_a = buf.a_set(*idx);
+                    let has_b = buf.b_set(*idx);
                     let combined = match op {
                         ScanOp::And => has_a && has_b,
                         ScanOp::Or => has_a || has_b,
@@ -2330,11 +2770,9 @@ impl Machine {
             }
         }
         if let Some(reg) = frame.reduce {
-            if let Some(OnChip {
-                mem: Mem::Reg(r), ..
-            }) = &mut on_chip[reg as usize]
-            {
-                *r = frame.acc;
+            let st = chip[reg as usize];
+            if st.tag == ChipTag::Reg {
+                words[st.woff] = frame.acc;
             }
         }
         pc + 1
@@ -3082,5 +3520,438 @@ mod tests {
         });
         let stats = assert_engines_agree(&p, &[]);
         assert_eq!(stats.dram_reads.get("d"), Some(&0));
+    }
+
+    // --- FIFO ring-buffer representation -----------------------------
+
+    /// Interleaved enqueues and dequeues force the ring's read/write
+    /// positions to wrap around its region several times; ordering and
+    /// statistics must match the unbounded reference queue exactly.
+    #[test]
+    fn fifo_ring_wraparound_preserves_order() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 16);
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 4)));
+        let mut out_ix = 0.0;
+        // Three rounds of (enq 3, deq 2) leave one element behind per
+        // round; with capacity 4 the write position wraps every round.
+        for round in 0..3 {
+            for k in 0..3 {
+                p.accel.push(SpatialStmt::Enq {
+                    fifo: "f".into(),
+                    value: SExpr::Const((10 * round + k) as f64),
+                });
+            }
+            for _ in 0..2 {
+                p.accel.push(SpatialStmt::StoreScalar {
+                    dst: "out".into(),
+                    index: SExpr::Const(out_ix),
+                    value: SExpr::Deq("f".into()),
+                });
+                out_ix += 1.0;
+            }
+        }
+        // Drain the three leftovers.
+        p.accel.push(SpatialStmt::StreamStore {
+            dst: "out".into(),
+            offset: SExpr::Const(out_ix),
+            fifo: "f".into(),
+            len: SExpr::Const(3.0),
+        });
+        let stats = assert_engines_agree(&p, &[]);
+        assert_eq!(stats.fifo_enqs, 9);
+        assert_eq!(stats.fifo_deqs, 9);
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        assert_eq!(
+            &m.dram("out").unwrap()[..9],
+            &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0, 20.0, 21.0, 22.0],
+            "FIFO order across wraparounds"
+        );
+    }
+
+    /// Enqueuing past the declared capacity must not fail: the queue is
+    /// unbounded (like the reference `VecDeque`) and the ring grows by
+    /// relocating to a larger arena region, carrying its contents.
+    #[test]
+    fn fifo_enqueue_past_declared_capacity_grows() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 16);
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 2)));
+        // Wrap first so the relocation has to linearize a split ring.
+        p.accel.push(SpatialStmt::Enq {
+            fifo: "f".into(),
+            value: SExpr::Const(99.0),
+        });
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(15.0),
+            value: SExpr::Deq("f".into()),
+        });
+        for v in 0..9 {
+            p.accel.push(SpatialStmt::Enq {
+                fifo: "f".into(),
+                value: SExpr::Const(v as f64),
+            });
+        }
+        p.accel.push(SpatialStmt::StreamStore {
+            dst: "out".into(),
+            offset: SExpr::Const(0.0),
+            fifo: "f".into(),
+            len: SExpr::Const(9.0),
+        });
+        let stats = assert_engines_agree(&p, &[]);
+        assert_eq!(stats.fifo_enqs, 10);
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        let expect: Vec<f64> = (0..9).map(f64::from).collect();
+        assert_eq!(&m.dram("out").unwrap()[..9], &expect[..]);
+    }
+
+    /// Dequeue-from-empty after the ring has wrapped reports the same
+    /// `FifoUnderflow` (and drained state) as the reference engine.
+    #[test]
+    fn fifo_underflow_after_wraparound() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 8);
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 2)));
+        for round in 0..2 {
+            p.accel.push(SpatialStmt::Enq {
+                fifo: "f".into(),
+                value: SExpr::Const(round as f64),
+            });
+            p.accel.push(SpatialStmt::StoreScalar {
+                dst: "out".into(),
+                index: SExpr::Const(round as f64),
+                value: SExpr::Deq("f".into()),
+            });
+        }
+        // Queue is now empty; one more dequeue underflows.
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(7.0),
+            value: SExpr::Deq("f".into()),
+        });
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(&p), Err(RunError::FifoUnderflow("f".into())));
+        assert_engines_agree(&p, &[]);
+    }
+
+    /// Draining more than the queue holds underflows and leaves the
+    /// FIFO drained, exactly like the reference engine's pop-until-
+    /// empty failure.
+    #[test]
+    fn fifo_stream_store_underflow_drains() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 8);
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 4)));
+        p.accel.push(SpatialStmt::Enq {
+            fifo: "f".into(),
+            value: SExpr::Const(1.0),
+        });
+        p.accel.push(SpatialStmt::StreamStore {
+            dst: "out".into(),
+            offset: SExpr::Const(0.0),
+            fifo: "f".into(),
+            len: SExpr::Const(3.0),
+        });
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(&p), Err(RunError::FifoUnderflow("f".into())));
+        assert_engines_agree(&p, &[]);
+    }
+
+    // --- Bit-vector arena growth -------------------------------------
+
+    /// `GenBitVector` with a dimension larger than the declared
+    /// allocation grows the slot's bitset region; the following scan
+    /// sees the full dimension, matching the old `Vec<bool>` resize.
+    #[test]
+    fn bitvector_grows_past_declared_dimension() {
+        const DIM: usize = 200; // declared 8, grown to 200 (4 words)
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 8);
+        p.accel.push(SpatialStmt::Alloc(MemDecl::new(
+            "bv",
+            MemKind::BitVector,
+            8,
+        )));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("crd", MemKind::Fifo, 8)));
+        let coords = [1.0, 64.0, (DIM - 1) as f64];
+        for c in coords {
+            p.accel.push(SpatialStmt::Enq {
+                fifo: "crd".into(),
+                value: SExpr::Const(c),
+            });
+        }
+        p.accel.push(SpatialStmt::GenBitVector {
+            dst: "bv".into(),
+            src: "crd".into(),
+            src_start: SExpr::Const(0.0),
+            count: SExpr::Const(coords.len() as f64),
+            dim: SExpr::Const(DIM as f64),
+        });
+        p.accel.push(SpatialStmt::Foreach {
+            id: 0,
+            counter: Counter::Scan1 {
+                bv: "bv".into(),
+                pos_var: "p".into(),
+                idx_var: "i".into(),
+            },
+            par: 1,
+            body: vec![SpatialStmt::StoreScalar {
+                dst: "out".into(),
+                index: SExpr::var("p"),
+                value: SExpr::var("i"),
+            }],
+        });
+        p.assign_ids();
+        let stats = assert_engines_agree(&p, &[]);
+        assert_eq!(stats.scan_bits, DIM as u64, "scan sees the grown dim");
+        assert_eq!(stats.scan_emits, 3);
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        assert_eq!(&m.dram("out").unwrap()[..3], &coords[..]);
+    }
+
+    // --- Re-linking over the arena -----------------------------------
+
+    /// On-chip state written by one program survives re-linking to a
+    /// second program that reads it without re-allocating — matching
+    /// the reference engine's persistent name-keyed map.
+    #[test]
+    fn relink_preserves_on_chip_state() {
+        let mut p1 = SpatialProgram::new("a");
+        p1.add_dram("out", 4);
+        p1.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, 4)));
+        p1.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("r", MemKind::Reg, 1)));
+        p1.accel.push(SpatialStmt::WriteMem {
+            mem: "s".into(),
+            index: SExpr::Const(2.0),
+            value: SExpr::Const(7.0),
+            random: false,
+        });
+        p1.accel.push(SpatialStmt::SetReg {
+            reg: "r".into(),
+            value: SExpr::Const(3.5),
+        });
+        // p2 reads both without allocating; it also allocates a *larger*
+        // SRAM under a new name, forcing fresh arena regions.
+        let mut p2 = SpatialProgram::new("b");
+        p2.add_dram("out", 4);
+        p2.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("big", MemKind::Sram, 64)));
+        p2.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::read("s", SExpr::Const(2.0)),
+        });
+        p2.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(1.0),
+            value: SExpr::RegRead("r".into()),
+        });
+        let mut m = Machine::new(&p1);
+        let mut reference = ReferenceMachine::new(&p1);
+        m.run(&p1).unwrap();
+        reference.run(&p1).unwrap();
+        m.run(&p2).unwrap();
+        reference.run(&p2).unwrap();
+        assert_eq!(&m.dram("out").unwrap()[..2], &[7.0, 3.5]);
+        assert_eq!(m.dram("out").unwrap(), reference.dram("out").unwrap());
+        assert_eq!(m.stats(), reference.stats());
+    }
+
+    /// Re-linking to a program that re-allocates an existing slot with
+    /// a larger size than the original layout reserved grows the region
+    /// at the end of the arena.
+    #[test]
+    fn relink_grows_slot_beyond_original_layout() {
+        let mut p1 = SpatialProgram::new("a");
+        p1.add_dram("out", 4);
+        p1.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, 2)));
+        let mut p2 = SpatialProgram::new("b");
+        p2.add_dram("out", 4);
+        p2.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, 32)));
+        p2.accel.push(SpatialStmt::WriteMem {
+            mem: "s".into(),
+            index: SExpr::Const(31.0),
+            value: SExpr::Const(5.0),
+            random: false,
+        });
+        p2.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::read("s", SExpr::Const(31.0)),
+        });
+        let mut m = Machine::new(&p1);
+        m.run(&p1).unwrap();
+        m.run(&p2).unwrap();
+        assert_eq!(m.dram("out").unwrap()[0], 5.0);
+    }
+
+    /// Alternating runs between two programs must not grow the arenas
+    /// per relink: once every slot has a region satisfying both
+    /// layouts, re-linking appends nothing.
+    #[test]
+    fn relink_alternation_reaches_arena_fixed_point() {
+        let mut p1 = SpatialProgram::new("a");
+        p1.add_dram("out", 4);
+        p1.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("s1", MemKind::Sram, 16)));
+        p1.accel.push(SpatialStmt::Alloc(MemDecl::new(
+            "bv1",
+            MemKind::BitVector,
+            128,
+        )));
+        let mut p2 = SpatialProgram::new("b");
+        p2.add_dram("out", 4);
+        p2.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("s2", MemKind::Sram, 32)));
+        p2.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f2", MemKind::Fifo, 8)));
+        let mut m = Machine::new(&p1);
+        m.run(&p1).unwrap();
+        m.run(&p2).unwrap();
+        let words = m.words.len();
+        let bits = m.bits.len();
+        for _ in 0..4 {
+            m.run(&p1).unwrap();
+            m.run(&p2).unwrap();
+        }
+        assert_eq!(m.words.len(), words, "word arena grew across relinks");
+        assert_eq!(m.bits.len(), bits, "bitset arena grew across relinks");
+    }
+
+    // --- Snapshot / restore ------------------------------------------
+
+    /// Checkpoint regression: run a first phase, snapshot, finish, then
+    /// restore and finish again — the replay must produce byte-identical
+    /// DRAM images and identical statistics, proving the snapshot
+    /// captures all mid-execution state (on-chip arenas, FIFO ring
+    /// positions, bindings, and the dense counters).
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        // Phase 1: load, scatter into SparseSRAM, leave a FIFO with a
+        // wrapped ring, a bound variable, and a register mid-flight.
+        let mut p1 = SpatialProgram::new("phase1");
+        p1.add_dram("in", 8);
+        p1.add_dram("out", 16);
+        p1.accel.push(SpatialStmt::Alloc(MemDecl::new(
+            "s",
+            MemKind::SparseSram,
+            8,
+        )));
+        p1.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 2)));
+        p1.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("r", MemKind::Reg, 1)));
+        p1.accel.push(SpatialStmt::Load {
+            dst: "s".into(),
+            src: "in".into(),
+            start: SExpr::Const(0.0),
+            end: SExpr::Const(8.0),
+            par: 1,
+        });
+        for v in [4.0, 5.0, 6.0] {
+            p1.accel.push(SpatialStmt::Enq {
+                fifo: "f".into(),
+                value: SExpr::Const(v),
+            });
+        }
+        p1.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(15.0),
+            value: SExpr::Deq("f".into()),
+        });
+        p1.accel.push(SpatialStmt::SetReg {
+            reg: "r".into(),
+            value: SExpr::Const(2.5),
+        });
+        p1.accel.push(SpatialStmt::Bind {
+            var: "v".into(),
+            value: SExpr::Const(3.0),
+        });
+        // Phase 2: consume all of that state.
+        let mut p2 = SpatialProgram::new("phase2");
+        p2.add_dram("in", 8);
+        p2.add_dram("out", 16);
+        p2.accel.push(SpatialStmt::Foreach {
+            id: 0,
+            counter: Counter::range_to("i", SExpr::Const(4.0)),
+            par: 1,
+            body: vec![SpatialStmt::StoreScalar {
+                dst: "out".into(),
+                index: SExpr::var("i"),
+                value: SExpr::mul(
+                    SExpr::read("s", SExpr::var("i")),
+                    SExpr::RegRead("r".into()),
+                ),
+            }],
+        });
+        p2.accel.push(SpatialStmt::StreamStore {
+            dst: "out".into(),
+            offset: SExpr::Const(4.0),
+            fifo: "f".into(),
+            len: SExpr::Const(2.0),
+        });
+        p2.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(6.0),
+            value: SExpr::var("v"),
+        });
+        p2.assign_ids();
+
+        let mut m = Machine::new(&p1);
+        m.write_dram("in", &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .unwrap();
+        m.run(&p1).unwrap();
+        let checkpoint = m.snapshot();
+        let stats1 = m.run(&p2).unwrap();
+        let dram1: Vec<u64> = m.dram("out").unwrap().iter().map(|v| v.to_bits()).collect();
+        // Finish again from the checkpoint: byte-identical replay.
+        m.restore(&checkpoint);
+        let stats2 = m.run(&p2).unwrap();
+        let dram2: Vec<u64> = m.dram("out").unwrap().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(dram1, dram2, "replayed DRAM must be byte-identical");
+        assert_eq!(stats1, stats2, "replayed statistics must be identical");
+        // Sanity: phase 2 really consumed phase-1 state.
+        assert_eq!(
+            &m.dram("out").unwrap()[..7],
+            &[
+                2.5, 5.0, 7.5, 10.0, // s[i] * r
+                5.0, 6.0, // FIFO leftovers
+                3.0  // bound var
+            ]
+        );
+    }
+
+    /// The snapshot is a deep copy: mutations after `snapshot()` do not
+    /// leak into it, and `restore` rewinds DRAM too.
+    #[test]
+    fn snapshot_is_isolated_from_later_mutation() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("out", 2);
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::Const(1.0),
+        });
+        let mut m = Machine::new(&p);
+        let before = m.snapshot();
+        m.run(&p).unwrap();
+        assert_eq!(m.dram("out").unwrap()[0], 1.0);
+        assert_eq!(m.stats().dram_random_writes, 1);
+        m.restore(&before);
+        assert_eq!(m.dram("out").unwrap()[0], 0.0, "DRAM rewound");
+        assert_eq!(m.stats().dram_random_writes, 0, "stats rewound");
     }
 }

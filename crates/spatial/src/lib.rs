@@ -36,7 +36,7 @@ pub mod resolve;
 pub mod validate;
 
 pub use bytecode::{CompiledProgram, ProgramCache};
-pub use interp::{ExecStats, Machine, RunError};
+pub use interp::{ExecStats, Machine, MachineSnapshot, RunError};
 pub use ir::{BinSOp, Counter, MemDecl, MemKind, SExpr, ScanOp, SpatialProgram, SpatialStmt};
 pub use printer::print_program;
 pub use reference::ReferenceMachine;

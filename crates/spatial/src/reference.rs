@@ -165,14 +165,14 @@ impl ReferenceMachine {
     fn note_dram_read(&mut self, dram: &str, words: u64) {
         *self.stats.dram_reads.entry(dram.to_string()).or_default() += words;
         if let Some(n) = self.current_node() {
-            *self.stats.node_dram_read_words.entry(n).or_default() += words;
+            ExecStats::bump_node(&mut self.stats.node_dram_read_words, n, words);
         }
     }
 
     fn note_dram_write(&mut self, dram: &str, words: u64) {
         *self.stats.dram_writes.entry(dram.to_string()).or_default() += words;
         if let Some(n) = self.current_node() {
-            *self.stats.node_dram_write_words.entry(n).or_default() += words;
+            ExecStats::bump_node(&mut self.stats.node_dram_write_words, n, words);
         }
     }
 
@@ -574,7 +574,7 @@ impl ReferenceMachine {
             } => {
                 self.node_stack.push(*id);
                 let result = self.run_counter(counter, |m| {
-                    *m.stats.node_trips.entry(*id).or_default() += 1;
+                    ExecStats::bump_node(&mut m.stats.node_trips, *id, 1);
                     for s in body {
                         m.exec(s)?;
                     }
@@ -600,7 +600,7 @@ impl ReferenceMachine {
                     }
                 };
                 let result = self.run_counter(counter, |m| {
-                    *m.stats.node_trips.entry(*id).or_default() += 1;
+                    ExecStats::bump_node(&mut m.stats.node_trips, *id, 1);
                     for s in body {
                         m.exec(s)?;
                     }

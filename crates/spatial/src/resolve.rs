@@ -349,6 +349,111 @@ pub struct ResolvedDram {
     pub size: usize,
 }
 
+/// Static arena region of one on-chip slot: where the slot's storage
+/// lives inside the machine's flat word arena (`f64` words: SRAM,
+/// FIFO rings, registers) and flat bitset arena (`u64` words holding
+/// packed bit vectors).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChipRegion {
+    /// First word of the slot's region in the word arena.
+    pub word_off: usize,
+    /// Reserved words: the largest `Alloc` the program performs on the
+    /// slot (1 for registers, at least 1 for FIFO rings).
+    pub word_cap: usize,
+    /// First `u64` of the slot's region in the bitset arena.
+    pub bit_off: usize,
+    /// Reserved `u64` words, covering the largest bit-vector `Alloc`.
+    pub bit_words: usize,
+}
+
+/// The static on-chip memory layout of a program: one region per chip
+/// slot, packed into two flat arenas. The executing machine allocates
+/// both arenas once at bind time; `Alloc` statements then reduce to
+/// resetting a pre-assigned region — no per-slot heap allocation on
+/// the hot path. Slots the program never allocates get empty regions
+/// (the runtime reproduces the `UnknownMemory` error at touch time),
+/// and dynamic growth past a region's extent (FIFO overflow,
+/// `GenBitVector` beyond the declared dimension) relocates the slot to
+/// the end of the arena at runtime.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ArenaLayout {
+    /// Region per chip slot, indexed by slot id.
+    pub chips: Vec<ChipRegion>,
+    /// Total word-arena length in `f64` words.
+    pub words: usize,
+    /// Total bitset-arena length in `u64` words.
+    pub bit_words: usize,
+}
+
+/// Number of `u64` words needed to hold `bits` packed bits.
+#[inline]
+pub const fn bit_words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+impl ArenaLayout {
+    /// Computes the layout for all `Alloc` statements in `body`,
+    /// covering `chip_count` slots. Each slot's word/bit extents are
+    /// the maxima over every `Alloc` targeting it (one name may be
+    /// re-allocated with different sizes or even kinds).
+    fn compute(body: &[ResolvedStmt], chip_count: usize) -> ArenaLayout {
+        let mut word_need = vec![0usize; chip_count];
+        let mut bit_need = vec![0usize; chip_count];
+        fn scan(stmts: &[ResolvedStmt], word_need: &mut [usize], bit_need: &mut [usize]) {
+            for s in stmts {
+                match s {
+                    ResolvedStmt::Alloc { slot, kind, size } => {
+                        let slot = *slot as usize;
+                        match kind {
+                            MemKind::Sram | MemKind::SparseSram => {
+                                word_need[slot] = word_need[slot].max(*size);
+                            }
+                            // A FIFO ring needs at least one word so the
+                            // wrap arithmetic is well-defined; declared
+                            // capacity is only a reservation (the queue
+                            // itself is unbounded and grows by
+                            // relocation).
+                            MemKind::Fifo => {
+                                word_need[slot] = word_need[slot].max((*size).max(1));
+                            }
+                            MemKind::Reg => {
+                                word_need[slot] = word_need[slot].max(1);
+                            }
+                            MemKind::BitVector => {
+                                bit_need[slot] = bit_need[slot].max(bit_words_for(*size));
+                            }
+                            // Rejected at runtime; no on-chip storage.
+                            MemKind::Dram | MemKind::SparseDram => {}
+                        }
+                    }
+                    ResolvedStmt::Foreach { body, .. } | ResolvedStmt::Reduce { body, .. } => {
+                        scan(body, word_need, bit_need);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        scan(body, &mut word_need, &mut bit_need);
+        let mut layout = ArenaLayout {
+            chips: Vec::with_capacity(chip_count),
+            words: 0,
+            bit_words: 0,
+        };
+        for slot in 0..chip_count {
+            let region = ChipRegion {
+                word_off: layout.words,
+                word_cap: word_need[slot],
+                bit_off: layout.bit_words,
+                bit_words: bit_need[slot],
+            };
+            layout.words += region.word_cap;
+            layout.bit_words += region.bit_words;
+            layout.chips.push(region);
+        }
+        layout
+    }
+}
+
 /// A fully linked program: slot-resolved statements over a flat
 /// expression arena.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -362,6 +467,9 @@ pub struct ResolvedProgram {
     /// One past the largest `Foreach`/`Reduce` node id (sizes the dense
     /// per-node statistics vectors).
     pub node_limit: usize,
+    /// Static offsets/extents of every on-chip memory inside the
+    /// machine's flat arenas.
+    pub layout: ArenaLayout,
 }
 
 impl ResolvedProgram {
@@ -393,6 +501,7 @@ pub fn resolve(program: &SpatialProgram, syms: &mut SymbolTable) -> ResolvedProg
     };
     out.body = program.accel.iter().filter_map(|s| r.stmt(s)).collect();
     out.node_limit = r.node_limit;
+    out.layout = ArenaLayout::compute(&out.body, syms.chip_count());
     out
 }
 
@@ -779,6 +888,69 @@ mod tests {
         assert_eq!(r2.drams[0].slot, 1);
         assert_eq!(r2.drams[1].slot, 0);
         assert_eq!(syms.dram_count(), 2);
+    }
+
+    #[test]
+    fn arena_layout_assigns_disjoint_max_extents() {
+        let mut p = SpatialProgram::new("t");
+        // `s` is allocated twice with different sizes: the region must
+        // cover the larger one. `bv` takes bitset words, `f`/`r` words.
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, 4)));
+        p.accel.push(SpatialStmt::Foreach {
+            id: 0,
+            counter: Counter::range_to("i", SExpr::Const(2.0)),
+            par: 1,
+            body: vec![SpatialStmt::Alloc(MemDecl::new(
+                "s",
+                MemKind::SparseSram,
+                32,
+            ))],
+        });
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("f", MemKind::Fifo, 8)));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("r", MemKind::Reg, 1)));
+        p.accel.push(SpatialStmt::Alloc(MemDecl::new(
+            "bv",
+            MemKind::BitVector,
+            100,
+        )));
+        let mut syms = SymbolTable::default();
+        let r = resolve(&p, &mut syms);
+        let l = &r.layout;
+        assert_eq!(l.chips.len(), 4);
+        let s = l.chips[syms.chip("s") as usize];
+        let f = l.chips[syms.chip("f") as usize];
+        let reg = l.chips[syms.chip("r") as usize];
+        let bv = l.chips[syms.chip("bv") as usize];
+        assert_eq!(s.word_cap, 32, "max of the two allocs");
+        assert_eq!(f.word_cap, 8);
+        assert_eq!(reg.word_cap, 1);
+        assert_eq!(bv.bit_words, bit_words_for(100));
+        assert_eq!(l.words, 32 + 8 + 1);
+        assert_eq!(l.bit_words, 2);
+        // Regions are disjoint and packed.
+        assert_eq!(s.word_off, 0);
+        assert_eq!(f.word_off, 32);
+        assert_eq!(reg.word_off, 40);
+        assert_eq!(bv.bit_off, 0);
+    }
+
+    #[test]
+    fn unallocated_slots_get_empty_regions() {
+        let mut p = SpatialProgram::new("t");
+        // Referenced but never allocated: slot exists, region is empty.
+        p.accel.push(SpatialStmt::SetReg {
+            reg: "ghost".into(),
+            value: SExpr::Const(1.0),
+        });
+        let mut syms = SymbolTable::default();
+        let r = resolve(&p, &mut syms);
+        assert_eq!(r.layout.chips.len(), 1);
+        assert_eq!(r.layout.chips[0].word_cap, 0);
+        assert_eq!(r.layout.chips[0].bit_words, 0);
+        assert_eq!(r.layout.words, 0);
     }
 
     #[test]
