@@ -19,13 +19,16 @@
 //! artifact).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use stardust_bench::best_ns;
 use stardust_datasets::random_matrix;
 use stardust_spatial::ir::MemDecl;
 use stardust_spatial::{
-    Counter, Machine, MemKind, ReferenceMachine, SExpr, SpatialProgram, SpatialStmt,
+    CompiledProgram, Counter, DramImage, Machine, MemKind, ReferenceMachine, SExpr, SpatialProgram,
+    SpatialStmt,
 };
 use stardust_tensor::{Format, SparseTensor};
 
@@ -63,6 +66,46 @@ impl Workload {
                 Image::Usize(data) => m.write_dram_usize(name, data).expect("bind"),
             }
         }
+        m
+    }
+
+    /// The shared compiled artifact dataset sweeps re-bind against.
+    fn compiled(&self) -> Arc<CompiledProgram> {
+        Arc::new(CompiledProgram::compile(&self.program))
+    }
+
+    /// Bakes the workload's inputs into a shareable [`DramImage`] — the
+    /// once-per-dataset O(nnz) conversion.
+    fn image(&self, compiled: &Arc<CompiledProgram>) -> DramImage {
+        let mut b = DramImage::builder(Arc::clone(compiled));
+        for (name, image) in &self.images {
+            let slot = compiled.syms().dram_slot(name).expect("declared dram");
+            match image {
+                Image::F64(data) => b.write(slot, data).expect("bind"),
+                Image::Usize(data) => b.write_usize(slot, data).expect("bind"),
+            }
+        }
+        b.finish()
+    }
+
+    /// The `write_dram` bind path against a shared artifact: the
+    /// per-bind O(nnz) convert-and-copy baseline.
+    fn machine_write_bound(&self, compiled: &Arc<CompiledProgram>) -> Machine {
+        let mut m = Machine::from_compiled(Arc::clone(compiled));
+        for (name, image) in &self.images {
+            match image {
+                Image::F64(data) => m.write_dram(name, data).expect("bind"),
+                Image::Usize(data) => m.write_dram_usize(name, data).expect("bind"),
+            }
+        }
+        m
+    }
+
+    /// The image bind path: fresh machine + `Arc` clone + O(outputs)
+    /// zero-fill.
+    fn machine_image_bound(&self, compiled: &Arc<CompiledProgram>, image: &DramImage) -> Machine {
+        let mut m = Machine::from_compiled(Arc::clone(compiled));
+        m.bind_image(image).expect("bind image");
         m
     }
 }
@@ -321,6 +364,26 @@ fn bench_spmspm(c: &mut Criterion) {
     bench_engines(c, spmspm_workload);
 }
 
+/// Re-bind cost per dataset sweep iteration: the `write_dram` path
+/// (per-bind O(nnz) `usize → f64` conversion + copy) against the
+/// copy-on-write `DramImage` path (`Arc` clone + O(outputs) zero-fill).
+fn bench_bind(c: &mut Criterion) {
+    for nnz in sizes() {
+        let w = spmv_workload(nnz);
+        let compiled = w.compiled();
+        let image = w.image(&compiled);
+        let mut group = c.benchmark_group("bind");
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("image", nnz), |b| {
+            b.iter(|| w.machine_image_bound(&compiled, &image));
+        });
+        group.bench_function(BenchmarkId::new("write_dram", nnz), |b| {
+            b.iter(|| w.machine_write_bound(&compiled));
+        });
+        group.finish();
+    }
+}
+
 /// Best-of-N wall time for one engine run, re-cloned from a pre-bound
 /// prototype each rep so every run starts from identical state. The
 /// minimum is the standard robust statistic on a noisy machine.
@@ -401,9 +464,88 @@ fn speedup_summary(_c: &mut Criterion) {
         )
         .expect("write to string");
     }
+    // Bind-path split across every configured size: image binds must
+    // stay flat while write_dram binds grow with nnz. Recorded per
+    // measurement so the CI artifact carries the trajectory.
+    let mut bind_rows = String::new();
+    for make in [spmv_workload as fn(usize) -> Workload, spmspm_workload] {
+        for nnz in sizes() {
+            let w = make(nnz);
+            let compiled = w.compiled();
+            let t0 = Instant::now();
+            let image = w.image(&compiled);
+            let build_ns = t0.elapsed().as_secs_f64() * 1e9;
+            // Sanity: both bind paths produce byte-identical DRAM.
+            {
+                let a = w.machine_image_bound(&compiled, &image);
+                let b = w.machine_write_bound(&compiled);
+                for d in &w.program.drams {
+                    let ab: Vec<u64> = a
+                        .dram(&d.name)
+                        .unwrap()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    let bb: Vec<u64> = b
+                        .dram(&d.name)
+                        .unwrap()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    assert_eq!(ab, bb, "bind paths diverge on {}", d.name);
+                }
+            }
+            let bind_image_ns = best_ns(7, || {
+                std::hint::black_box(w.machine_image_bound(&compiled, &image));
+            });
+            let bind_write_ns = best_ns(7, || {
+                std::hint::black_box(w.machine_write_bound(&compiled));
+            });
+            // The serving loop: one long-lived machine re-bound per
+            // dataset iteration (reset + bind_image) — O(outputs), no
+            // arena reallocation, no input conversion or copy.
+            let mut server = w.machine_image_bound(&compiled, &image);
+            let rebind_ns = best_ns(7, || {
+                server.reset();
+                server.bind_image(&image).expect("rebind");
+            });
+            let run_ns = {
+                let proto = w.machine_image_bound(&compiled, &image);
+                time_best(&proto, |m| {
+                    m.run(&w.program).expect("runs");
+                }) * 1e9
+            };
+            println!(
+                "bind {} nnz={nnz}: build_image {:.0} ns, fresh bind_image {:.0} ns, \
+                 rebind reset+image {:.0} ns, bind_write_dram {:.0} ns ({:.1}x vs fresh, \
+                 {:.0}x vs rebind), run {:.0} ns",
+                w.name,
+                build_ns,
+                bind_image_ns,
+                rebind_ns,
+                bind_write_ns,
+                bind_write_ns / bind_image_ns,
+                bind_write_ns / rebind_ns,
+                run_ns,
+            );
+            if !bind_rows.is_empty() {
+                bind_rows.push(',');
+            }
+            write!(
+                bind_rows,
+                r#"
+    {{"kernel": "{}", "nnz": {nnz}, "build_image_ns": {build_ns:.0}, "bind_image_ns": {bind_image_ns:.0}, "rebind_image_ns": {rebind_ns:.0}, "bind_write_dram_ns": {bind_write_ns:.0}, "run_ns": {run_ns:.0}, "bind_speedup": {:.4}, "rebind_speedup": {:.4}}}"#,
+                w.name,
+                bind_write_ns / bind_image_ns,
+                bind_write_ns / rebind_ns,
+            )
+            .expect("write to string");
+        }
+    }
+
     if let Ok(path) = std::env::var("BENCH_SUMMARY_JSON") {
         let json = format!(
-            "{{\n  \"bench\": \"interp\",\n  \"quick\": {},\n  \"results\": [{rows}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"interp\",\n  \"quick\": {},\n  \"results\": [{rows}\n  ],\n  \"bind\": [{bind_rows}\n  ]\n}}\n",
             quick()
         );
         std::fs::write(&path, json).expect("write bench summary");
@@ -411,5 +553,11 @@ fn speedup_summary(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_spmv, bench_spmspm, speedup_summary);
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_spmspm,
+    bench_bind,
+    speedup_summary
+);
 criterion_main!(benches);

@@ -2,19 +2,87 @@
 //! measurement suite serially and at each requested thread count,
 //! asserts the parallel measurements are **bitwise identical** to the
 //! serial ones, and reports the wall-clock speedup per thread count.
+//! The suite is then re-run through the copy-on-write `DramImage` bind
+//! path and asserted bitwise identical to the `write_dram`-bound serial
+//! baseline — binding through shared images must change nothing but the
+//! binding cost.
 //!
 //! This is the CI leg proving that fanning the evaluation sweep across
 //! cores (per-thread machines bound to `Arc`-shared compiled programs)
-//! changes nothing but the wall clock. When `BENCH_SUMMARY_JSON` names
-//! a path, a machine-readable summary (including the thread counts and
-//! per-thread-count timings) is written there.
+//! and re-binding through shared DRAM images change nothing but the
+//! wall clock. When `BENCH_SUMMARY_JSON` names a path, a
+//! machine-readable summary (thread counts, per-thread-count timings,
+//! and a per-kernel `bind_ns`/`run_ns` split for both bind paths) is
+//! written there.
 //!
 //! Usage: `sweep [--scale N | --full] [--threads 1,2,4] [--kernels A,B]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use stardust_bench::{measure_kernel, measure_kernel_parallel, Measurement, Scale, KERNEL_NAMES};
+use stardust_bench::{
+    best_ns, image_cache, measure_kernel, measure_kernel_image, measure_kernel_parallel,
+    spatial_cache, InputSet, Measurement, Scale, KERNEL_NAMES,
+};
+use stardust_core::pipeline::TensorData;
+use stardust_kernels::Kernel;
+
+/// Times the two bind paths of a kernel's first stage on one dataset:
+/// the `write_dram` path (O(nnz) convert + copy per bind) against the
+/// `DramImage` path (one O(nnz) build, then O(outputs) re-binds), plus
+/// the run time for scale. Returns a JSON object row.
+fn bind_split_row(kernel: &Kernel, set: &InputSet) -> String {
+    let stages = kernel
+        .compile_cached(&set.inputs, spatial_cache())
+        .unwrap_or_else(|e| panic!("{} compile: {e}", kernel.name));
+    // The first stage is the one bound from the raw dataset.
+    let stage = &stages[0];
+    let nnz: usize = set
+        .inputs
+        .values()
+        .map(|d| match d {
+            TensorData::Sparse(t) => t.vals().len(),
+            TensorData::Scalar(_) => 1,
+        })
+        .sum();
+    let t0 = Instant::now();
+    let image = stage.build_image(&set.inputs).expect("build image");
+    let build_ns = t0.elapsed().as_secs_f64() * 1e9;
+    let bind_image_ns = best_ns(7, || {
+        stage.bind_image(&image).expect("bind image");
+    });
+    // The serving loop: one long-lived machine, reset + image re-bind
+    // per iteration — O(outputs).
+    let mut server = stage.bind_image(&image).expect("bind image");
+    let rebind_ns = best_ns(7, || {
+        server.reset();
+        server.bind_image(&image).expect("rebind image");
+    });
+    let bind_write_ns = best_ns(7, || {
+        stage.bind(&set.inputs).expect("bind");
+    });
+    let run_ns = best_ns(3, || {
+        let mut m = stage.bind_image(&image).expect("bind image");
+        m.run(stage.spatial()).expect("run");
+    });
+    println!(
+        "bind split {} on {}: nnz {nnz}, build_image {:.0} ns, fresh bind_image {:.0} ns, \
+         rebind reset+image {:.0} ns, bind_write_dram {:.0} ns ({:.1}x vs fresh), run {:.0} ns",
+        kernel.name,
+        set.dataset,
+        build_ns,
+        bind_image_ns,
+        rebind_ns,
+        bind_write_ns,
+        bind_write_ns / bind_image_ns,
+        run_ns,
+    );
+    format!(
+        r#"
+    {{"kernel": "{}", "dataset": "{}", "input_nnz": {nnz}, "build_image_ns": {build_ns:.0}, "bind_image_ns": {bind_image_ns:.0}, "rebind_image_ns": {rebind_ns:.0}, "bind_write_dram_ns": {bind_write_ns:.0}, "run_ns": {run_ns:.0}}}"#,
+        kernel.name, set.dataset,
+    )
+}
 
 fn list_arg(args: &[String], flag: &str) -> Option<Vec<String>> {
     let pos = args.iter().position(|a| a == flag)?;
@@ -96,6 +164,42 @@ fn main() {
         .expect("write to string");
     }
 
+    // Copy-on-write image binding must be invisible in the results:
+    // re-run the suite through the shared-DramImage bind path (twice,
+    // so the second pass exercises O(outputs) re-binds of cached
+    // images) and hard-gate on bitwise identity with the
+    // `write_dram`-bound serial baseline.
+    let mut image_secs = 0.0;
+    for round in 0..2 {
+        let t0 = Instant::now();
+        let image_bound: Vec<Vec<Measurement>> = kernels
+            .iter()
+            .map(|name| measure_kernel_image(name, &scale))
+            .collect();
+        image_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            serial, image_bound,
+            "image-bound sweep measurements diverge from write_dram-bound serial (round {round})"
+        );
+    }
+    println!(
+        "image-bound: {datasets} measurements in {image_secs:.3} s (cached re-bind pass), \
+         identical to serial, {} images cached",
+        image_cache().len()
+    );
+
+    // Per-kernel bind/run split: how much of a measurement is binding,
+    // on both bind paths (first dataset of each kernel).
+    let mut bind_rows = String::new();
+    for name in &kernels {
+        let sets = stardust_bench::instantiate(name, &scale);
+        let (kernel, set) = &sets[0];
+        if !bind_rows.is_empty() {
+            bind_rows.push(',');
+        }
+        bind_rows.push_str(&bind_split_row(kernel, set));
+    }
+
     if let Ok(path) = std::env::var("BENCH_SUMMARY_JSON") {
         let kernel_list = kernels
             .iter()
@@ -103,7 +207,8 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         let json = format!(
-            "{{\n  \"bench\": \"parallel-sweep\",\n  \"kernels\": [{kernel_list}],\n  \"datasets\": {datasets},\n  \"serial_seconds\": {serial_secs:.6e},\n  \"thread_counts\": {threads:?},\n  \"runs\": [{rows}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"parallel-sweep\",\n  \"kernels\": [{kernel_list}],\n  \"datasets\": {datasets},\n  \"serial_seconds\": {serial_secs:.6e},\n  \"thread_counts\": {threads:?},\n  \"runs\": [{rows}\n  ],\n  \"image_bound\": {{\"seconds\": {image_secs:.6e}, \"identical_to_serial\": true, \"images_cached\": {}}},\n  \"bind_split\": [{bind_rows}\n  ]\n}}\n",
+            image_cache().len(),
         );
         std::fs::write(&path, json).expect("write sweep summary");
         println!("sweep summary written to {path}");

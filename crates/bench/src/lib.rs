@@ -23,10 +23,11 @@ use std::sync::{Mutex, OnceLock};
 use stardust_baselines::{cpu_time, gpu_time, CpuModel, GpuModel, WorkProfile};
 use stardust_capstan::sim::{combine, SimModel};
 use stardust_capstan::{simulate, CapstanConfig, MemoryModel, SimReport};
-use stardust_core::pipeline::TensorData;
+use stardust_core::pipeline::{ImageCache, TensorData};
 use stardust_datasets as datasets;
 use stardust_kernels as kernels;
 use stardust_kernels::Kernel;
+use stardust_kernels::KernelResult;
 use stardust_spatial::ProgramCache;
 use stardust_tensor::{CooTensor, Format};
 
@@ -37,6 +38,27 @@ use stardust_tensor::{CooTensor, Format};
 pub fn spatial_cache() -> &'static ProgramCache {
     static CACHE: OnceLock<ProgramCache> = OnceLock::new();
     CACHE.get_or_init(ProgramCache::new)
+}
+
+/// The process-wide DRAM-image cache: repeated measurements of one
+/// (kernel, dataset) pair convert and copy the dataset's words exactly
+/// once, and every later bind is an `Arc` clone of the input segment
+/// plus an O(outputs) zero-fill.
+pub fn image_cache() -> &'static ImageCache {
+    static CACHE: OnceLock<ImageCache> = OnceLock::new();
+    CACHE.get_or_init(ImageCache::new)
+}
+
+/// A stable dataset identity for [`image_cache`] keys: an FNV-1a hash
+/// of the kernel and dataset names (the pair [`instantiate`] builds
+/// deterministic inputs for).
+pub fn dataset_id(kernel: &Kernel, set: &InputSet) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in kernel.name.bytes().chain([0]).chain(set.dataset.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 /// Harness configuration: dataset scale.
@@ -334,7 +356,26 @@ pub fn measure(kernel: &Kernel, set: &InputSet) -> Measurement {
     let result = kernel
         .run_cached(&set.inputs, spatial_cache())
         .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
+    measurement_from(kernel, set, &result)
+}
 
+/// [`measure`] with every stage bound through the process-wide
+/// [`image_cache`] instead of per-run `write_dram` copies. The
+/// simulated results are byte-identical to [`measure`] (CI's `sweep`
+/// binary asserts it); only the binding cost differs.
+pub fn measure_image(kernel: &Kernel, set: &InputSet) -> Measurement {
+    let result = kernel
+        .run_images(
+            &set.inputs,
+            spatial_cache(),
+            image_cache(),
+            dataset_id(kernel, set),
+        )
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
+    measurement_from(kernel, set, &result)
+}
+
+fn measurement_from(kernel: &Kernel, set: &InputSet, result: &KernelResult) -> Measurement {
     let sim_on = |memory: MemoryModel| -> SimReport {
         let cfg = CapstanConfig::with_memory(memory);
         let reports: Vec<SimReport> = result
@@ -489,6 +530,19 @@ pub fn measure_bandwidth_sweep_parallel(
     })
 }
 
+/// Best-of-N wall time of `f` in nanoseconds — the standard robust
+/// statistic for micro-measurements on a noisy machine, shared by the
+/// bind-split reporting in the `sweep` binary and the `interp` bench.
+pub fn best_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
 /// Geometric mean.
 pub fn gmean(xs: impl IntoIterator<Item = f64>) -> f64 {
     let (mut logsum, mut n) = (0.0f64, 0usize);
@@ -507,6 +561,17 @@ pub fn measure_kernel(name: &str, scale: &Scale) -> Vec<Measurement> {
     instantiate(name, scale)
         .iter()
         .map(|(k, set)| measure(k, set))
+        .collect()
+}
+
+/// [`measure_kernel`] through the image-bound execution path
+/// ([`measure_image`]): every (kernel, dataset) pair converts its
+/// inputs once into a cached [`stardust_spatial::DramImage`] and every
+/// run re-binds it in O(outputs).
+pub fn measure_kernel_image(name: &str, scale: &Scale) -> Vec<Measurement> {
+    instantiate(name, scale)
+        .iter()
+        .map(|(k, set)| measure_image(k, set))
         .collect()
 }
 
@@ -562,6 +627,17 @@ mod tests {
         }
         let empty: Vec<usize> = Vec::new();
         assert!(parallel_sweep(&empty, 4, |&i: &usize| i).is_empty());
+    }
+
+    #[test]
+    fn image_bound_sweep_is_bitwise_equal_to_direct() {
+        let scale = Scale::ci();
+        let direct = measure_kernel("SpMV", &scale);
+        // Twice: the second pass re-binds every cached image.
+        for round in 0..2 {
+            let image = measure_kernel_image("SpMV", &scale);
+            assert_eq!(direct, image, "image-bound sweep diverges (round {round})");
+        }
     }
 
     #[test]

@@ -38,6 +38,30 @@ fn assert_engines_agree(kernel: &Kernel, inputs: &HashMap<String, TensorData>) {
         let compiled = &stage.compiled;
         let program = compiled.spatial();
         let mut fast = compiled.bind(&available).expect("bind inputs");
+        // A fourth machine bound through the copy-on-write DramImage
+        // path: identical DRAM at bind time, identical DRAM and stats
+        // after running.
+        let image = compiled.build_image(&available).expect("build image");
+        let mut image_bound = compiled.bind_image(&image).expect("bind image");
+        for d in &program.drams {
+            let a: Vec<u64> = fast
+                .dram(&d.name)
+                .expect("bound dram")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let i: Vec<u64> = image_bound
+                .dram(&d.name)
+                .expect("image dram")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(
+                a, i,
+                "{} stage {s}: DRAM {} write_dram vs image bind",
+                kernel.name, d.name
+            );
+        }
         // The tree machine shares the same Arc'd compiled artifact.
         let mut tree = fast.clone();
         let mut reference = ReferenceMachine::new(program);
@@ -48,8 +72,33 @@ fn assert_engines_agree(kernel: &Kernel, inputs: &HashMap<String, TensorData>) {
         }
 
         let fast_stats = fast.run(program).expect("bytecode engine runs");
+        let image_stats = image_bound.run(program).expect("image-bound machine runs");
         let tree_stats = tree.run_tree(program).expect("resolved tree runs");
         let ref_stats = reference.run(program).expect("reference engine runs");
+        assert_eq!(
+            fast_stats, image_stats,
+            "{} stage {s}: ExecStats diverge write_dram vs image binding",
+            kernel.name
+        );
+        for d in &program.drams {
+            let a: Vec<u64> = fast
+                .dram(&d.name)
+                .expect("dram present")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let i: Vec<u64> = image_bound
+                .dram(&d.name)
+                .expect("dram present")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(
+                a, i,
+                "{} stage {s}: DRAM {} diverges write_dram vs image binding after run",
+                kernel.name, d.name
+            );
+        }
         assert_eq!(
             fast_stats, tree_stats,
             "{} stage {s}: ExecStats diverge bytecode vs resolved tree",

@@ -428,6 +428,11 @@ pub struct CompiledProgram {
     ops: Vec<Op>,
     eops: Vec<EOp>,
     fused: Vec<FusedOp>,
+    /// A pristine zeroed input segment sized per the DRAM layout.
+    /// Freshly constructed machines share it behind this `Arc`
+    /// (copy-on-write), so creating a machine never allocates or zeroes
+    /// the input segment.
+    zero_input: Arc<Vec<f64>>,
 }
 
 impl CompiledProgram {
@@ -455,6 +460,7 @@ impl CompiledProgram {
         let Lowering {
             ops, eops, fused, ..
         } = lowering;
+        let zero_input = Arc::new(vec![0.0; resolved.dram_layout.input_words]);
         CompiledProgram {
             source: program.clone(),
             syms,
@@ -462,6 +468,7 @@ impl CompiledProgram {
             ops,
             eops,
             fused,
+            zero_input,
         }
     }
 
@@ -493,6 +500,12 @@ impl CompiledProgram {
     /// The fused compound-operand table.
     pub fn fused(&self) -> &[FusedOp] {
         &self.fused
+    }
+
+    /// The shared pristine (all-zero) DRAM input segment machines are
+    /// born bound to.
+    pub fn zero_dram_input(&self) -> &Arc<Vec<f64>> {
+        &self.zero_input
     }
 }
 

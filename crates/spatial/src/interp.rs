@@ -66,6 +66,9 @@ pub enum RunError {
         /// The value.
         value: f64,
     },
+    /// A [`DramImage`] built for one compiled program was bound to a
+    /// machine running an incompatible one.
+    ImageMismatch,
 }
 
 impl fmt::Display for RunError {
@@ -80,11 +83,23 @@ impl fmt::Display for RunError {
             RunError::NegativeIndex { context, value } => {
                 write!(f, "negative index {value} in {context}")
             }
+            RunError::ImageMismatch => {
+                write!(
+                    f,
+                    "DRAM image does not match the machine's compiled program"
+                )
+            }
         }
     }
 }
 
 impl Error for RunError {}
+
+/// Bytes per simulated DRAM word. The paper's accelerator model (and
+/// its bandwidth math) moves 32-bit words — indices and values alike —
+/// so every word of traffic counts four bytes, even though the
+/// interpreter stores words as `f64` for convenience.
+pub const DRAM_WORD_BYTES: u64 = 4;
 
 /// Event counts collected during execution, the input to cycle modeling.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -140,12 +155,14 @@ impl ExecStats {
         self.dram_writes.values().sum()
     }
 
-    /// Total DRAM traffic in bytes (32-bit words, plus random accesses).
+    /// Total DRAM traffic in bytes ([`DRAM_WORD_BYTES`]-sized words,
+    /// plus random accesses).
     pub fn total_dram_bytes(&self) -> u64 {
-        4 * (self.total_dram_read_words()
-            + self.total_dram_write_words()
-            + self.dram_random_reads
-            + self.dram_random_writes)
+        DRAM_WORD_BYTES
+            * (self.total_dram_read_words()
+                + self.total_dram_write_words()
+                + self.dram_random_reads
+                + self.dram_random_writes)
     }
 
     /// Iterations of a given pattern node.
@@ -229,10 +246,192 @@ impl ChipState {
     };
 }
 
-#[derive(Debug, Clone)]
-struct DramArray {
+/// Per-slot DRAM state: where the slot's words live inside the
+/// machine's flat DRAM arena. The arena is two segments — the shared
+/// copy-on-write input segment (arrays the program never writes) and
+/// the machine-owned output segment — and a slot's segment residency is
+/// decided statically by the [`crate::resolve::DramLayout`].
+#[derive(Debug, Clone, Copy)]
+struct DramState {
+    /// Whether the slot is backed by storage at all (`false` reproduces
+    /// `UnknownMemory` at touch time).
+    mapped: bool,
+    /// `true` → input segment (shared, CoW); `false` → output segment.
+    input: bool,
     kind: MemKind,
-    data: Vec<f64>,
+    /// First word within the slot's segment.
+    off: usize,
+    /// Declared capacity in words.
+    len: usize,
+}
+
+impl DramState {
+    const UNMAPPED: DramState = DramState {
+        mapped: false,
+        input: false,
+        kind: MemKind::Dram,
+        off: 0,
+        len: 0,
+    };
+}
+
+/// The words of a DRAM slot, read-only. Free function (not a method) so
+/// callers can split-borrow the segments against other machine fields.
+#[inline(always)]
+fn dram_words<'a>(input: &'a [f64], out: &'a [f64], st: DramState) -> Option<&'a [f64]> {
+    if !st.mapped {
+        return None;
+    }
+    let seg = if st.input { input } else { out };
+    Some(&seg[st.off..st.off + st.len])
+}
+
+/// The words of a DRAM slot, writable. A write targeting the shared
+/// input segment privatizes it first (`Arc::make_mut`): one segment
+/// memcpy on the first such write, nothing afterwards — the
+/// copy-on-write half of [`DramImage`] sharing.
+#[inline(always)]
+fn dram_words_mut<'a>(
+    input: &'a mut Arc<Vec<f64>>,
+    out: &'a mut Vec<f64>,
+    st: DramState,
+) -> Option<&'a mut [f64]> {
+    if !st.mapped {
+        return None;
+    }
+    let seg: &mut Vec<f64> = if st.input { Arc::make_mut(input) } else { out };
+    Some(&mut seg[st.off..st.off + st.len])
+}
+
+/// An immutable, fully converted DRAM input image for one compiled
+/// program: every input (never-written) array's words laid out per the
+/// program's [`crate::resolve::DramLayout`], shared behind an `Arc`.
+///
+/// Build one per (program, dataset) pair with [`DramImage::builder`] —
+/// the `usize → f64` conversion of `pos`/`crd` arrays happens exactly
+/// once, here — then bind it to as many machines as needed with
+/// [`Machine::bind_image`]: each bind is an `Arc` clone of the input
+/// segment plus a zero-fill of the output segment, O(outputs) instead
+/// of O(nnz). Machines copy the shared segment only if something
+/// actually writes it (rare; most kernels write only their outputs).
+#[derive(Debug, Clone)]
+pub struct DramImage {
+    compiled: Arc<CompiledProgram>,
+    input: Arc<Vec<f64>>,
+    /// Initial contents bound into written (output-segment) arrays,
+    /// as (segment offset, words). Rare — an in-place-updated operand —
+    /// and re-applied per bind, so the cost stays O(outputs).
+    output_init: Vec<(usize, Vec<f64>)>,
+}
+
+impl DramImage {
+    /// Starts building an image for `compiled`.
+    pub fn builder(compiled: Arc<CompiledProgram>) -> DramImageBuilder {
+        let input = vec![0.0; compiled.resolved().dram_layout.input_words];
+        DramImageBuilder {
+            compiled,
+            input,
+            output_init: Vec::new(),
+        }
+    }
+
+    /// The shared input segment (pristine; machines never mutate it
+    /// through the copy-on-write path).
+    pub fn input_words(&self) -> &[f64] {
+        &self.input
+    }
+
+    /// Whether this image can bind to a machine running `compiled`:
+    /// the identical artifact, or one compiled from an equal program
+    /// (identical interning, hence identical layout).
+    fn matches(&self, compiled: &Arc<CompiledProgram>) -> bool {
+        Arc::ptr_eq(&self.compiled, compiled)
+            || (self.compiled.source() == compiled.source()
+                && self.compiled.resolved().dram_layout == compiled.resolved().dram_layout)
+    }
+}
+
+/// Writes input tensors into a [`DramImage`] under construction.
+/// Arrays are addressed by DRAM slot (see [`SymbolTable::dram_slot`]) —
+/// resolve names once at compile time, not per bind.
+#[derive(Debug, Clone)]
+pub struct DramImageBuilder {
+    compiled: Arc<CompiledProgram>,
+    input: Vec<f64>,
+    output_init: Vec<(usize, Vec<f64>)>,
+}
+
+impl DramImageBuilder {
+    fn region(&self, slot: Slot, len: usize) -> Result<DramState, RunError> {
+        let layout = &self.compiled.resolved().dram_layout;
+        let r = layout
+            .drams
+            .get(slot as usize)
+            .filter(|r| r.mapped)
+            .ok_or_else(|| {
+                RunError::UnknownMemory(self.compiled.syms().dram_name(slot).to_string())
+            })?;
+        if len > r.size {
+            return Err(RunError::OutOfBounds {
+                mem: self.compiled.syms().dram_name(slot).to_string(),
+                index: len as i64,
+                len: r.size,
+            });
+        }
+        Ok(DramState {
+            mapped: true,
+            input: !r.written,
+            kind: r.kind,
+            off: r.offset,
+            len: r.size,
+        })
+    }
+
+    /// Writes `data` to the head of the slot's array, exactly like
+    /// [`Machine::write_dram`].
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::UnknownMemory`] / [`RunError::OutOfBounds`] as
+    /// [`Machine::write_dram`] raises them.
+    pub fn write(&mut self, slot: Slot, data: &[f64]) -> Result<(), RunError> {
+        let st = self.region(slot, data.len())?;
+        if st.input {
+            self.input[st.off..st.off + data.len()].copy_from_slice(data);
+        } else {
+            self.output_init.push((st.off, data.to_vec()));
+        }
+        Ok(())
+    }
+
+    /// Writes an integer array (`pos`/`crd`), converting `usize → f64`
+    /// once — the only place a dataset's index arrays are converted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DramImageBuilder::write`].
+    pub fn write_usize(&mut self, slot: Slot, data: &[usize]) -> Result<(), RunError> {
+        let st = self.region(slot, data.len())?;
+        if st.input {
+            for (dst, &x) in self.input[st.off..].iter_mut().zip(data) {
+                *dst = x as f64;
+            }
+        } else {
+            self.output_init
+                .push((st.off, data.iter().map(|&x| x as f64).collect()));
+        }
+        Ok(())
+    }
+
+    /// Freezes the image. The input segment becomes immutable and
+    /// shareable.
+    pub fn finish(self) -> DramImage {
+        DramImage {
+            compiled: self.compiled,
+            input: Arc::new(self.input),
+            output_init: self.output_init,
+        }
+    }
 }
 
 /// A gather operand pre-resolved for the scatter superinstruction: the
@@ -439,6 +638,47 @@ struct DenseStats {
 }
 
 impl DenseStats {
+    /// Zeroes every counter while keeping the dense vectors' lengths
+    /// (and hence their slot/node indexing) intact.
+    fn clear(&mut self) {
+        let DenseStats {
+            dram_reads,
+            dram_writes,
+            node_trips,
+            node_dram_read_words,
+            node_dram_write_words,
+            dram_random_reads,
+            dram_random_writes,
+            alu_ops,
+            sram_reads,
+            sram_writes,
+            shuffle_accesses,
+            fifo_enqs,
+            fifo_deqs,
+            scan_bits,
+            scan_emits,
+            bv_gen_bits,
+            reduce_elems,
+        } = self;
+        dram_reads.fill(None);
+        dram_writes.fill(None);
+        node_trips.fill(0);
+        node_dram_read_words.fill(0);
+        node_dram_write_words.fill(0);
+        *dram_random_reads = 0;
+        *dram_random_writes = 0;
+        *alu_ops = 0;
+        *sram_reads = 0;
+        *sram_writes = 0;
+        *shuffle_accesses = 0;
+        *fifo_enqs = 0;
+        *fifo_deqs = 0;
+        *scan_bits = 0;
+        *scan_emits = 0;
+        *bv_gen_bits = 0;
+        *reduce_elems = 0;
+    }
+
     fn note_dram_read(&mut self, slot: Slot, words: u64, node: Option<usize>) {
         *self.dram_reads[slot as usize].get_or_insert(0) += words;
         if let Some(n) = node {
@@ -561,7 +801,21 @@ pub struct Machine {
     /// Kept as a field (not read through `compiled`) so error paths can
     /// name memories while other fields are mutably borrowed.
     syms: SymbolTable,
-    drams: Vec<Option<DramArray>>,
+    /// The compiled program whose [`crate::resolve::DramLayout`] the
+    /// machine's DRAM placement was built from — fixed at construction.
+    /// Re-linking ([`Machine::run`] with a different program) re-homes
+    /// on-chip slots but never remaps DRAM, so images must match this
+    /// artifact, not the possibly-relinked `compiled`.
+    dram_source: Arc<CompiledProgram>,
+    /// Per-slot DRAM placement; the storage behind it lives in
+    /// `dram_input`/`dram_out`.
+    dram_state: Vec<DramState>,
+    /// The read-only input segment of the DRAM arena, shared with the
+    /// compiled program's pristine zero image or a bound [`DramImage`].
+    /// Copy-on-write: privatized on the machine's first write into it.
+    dram_input: Arc<Vec<f64>>,
+    /// The machine-owned output segment of the DRAM arena.
+    dram_out: Vec<f64>,
     /// Per-slot on-chip allocation state; the storage behind it lives
     /// in `words`/`bits`.
     chip: Vec<ChipState>,
@@ -601,7 +855,13 @@ pub struct MachineSnapshot {
     /// table in lockstep with the data vectors.
     compiled: Arc<CompiledProgram>,
     syms: SymbolTable,
-    drams: Vec<Option<DramArray>>,
+    dram_source: Arc<CompiledProgram>,
+    dram_state: Vec<DramState>,
+    /// `Arc` clone of the machine's input segment at snapshot time — a
+    /// pointer copy, never a word copy; copy-on-write keeps it pristine
+    /// if the machine writes inputs after the checkpoint.
+    dram_input: Arc<Vec<f64>>,
+    dram_out: Vec<f64>,
     chip: Vec<ChipState>,
     words: Vec<f64>,
     bits: Vec<u64>,
@@ -626,10 +886,15 @@ impl Machine {
     /// compiled form is shared.
     pub fn from_compiled(compiled: Arc<CompiledProgram>) -> Self {
         let syms = compiled.syms().clone();
+        let dram_input = Arc::clone(compiled.zero_dram_input());
+        let dram_source = Arc::clone(&compiled);
         let mut m = Machine {
             compiled,
             syms,
-            drams: Vec::new(),
+            dram_source,
+            dram_state: Vec::new(),
+            dram_input,
+            dram_out: Vec::new(),
             chip: Vec::new(),
             words: Vec::new(),
             bits: Vec::new(),
@@ -645,13 +910,46 @@ impl Machine {
         };
         m.grow_state();
         let compiled = Arc::clone(&m.compiled);
-        for d in &compiled.resolved().drams {
-            m.drams[d.slot as usize] = Some(DramArray {
-                kind: d.kind,
-                data: vec![0.0; d.size],
-            });
+        let layout = &compiled.resolved().dram_layout;
+        for (slot, r) in layout.drams.iter().enumerate() {
+            if r.mapped {
+                m.dram_state[slot] = DramState {
+                    mapped: true,
+                    input: !r.written,
+                    kind: r.kind,
+                    off: r.offset,
+                    len: r.size,
+                };
+            }
         }
+        m.dram_out = vec![0.0; layout.output_words];
         m
+    }
+
+    /// Re-binds the machine's DRAM to a prebuilt [`DramImage`]: an
+    /// `Arc` clone of the shared input segment plus a zero-fill (and
+    /// rare init copies) of the output segment — O(outputs), no
+    /// per-element input conversion or copy. On-chip state, variable
+    /// bindings, and statistics are untouched; pair with a fresh
+    /// [`Machine::from_compiled`] for a clean run.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::ImageMismatch`] when the image was built for an
+    /// incompatible compiled program — including the program a machine
+    /// was merely *re-linked* to: DRAM placement is fixed at
+    /// construction, so only images for the construction-time program
+    /// can bind.
+    pub fn bind_image(&mut self, image: &DramImage) -> Result<(), RunError> {
+        if !image.matches(&self.dram_source) {
+            return Err(RunError::ImageMismatch);
+        }
+        self.dram_input = Arc::clone(&image.input);
+        self.dram_out.fill(0.0);
+        for (off, data) in &image.output_init {
+            self.dram_out[*off..*off + data.len()].copy_from_slice(data);
+        }
+        Ok(())
     }
 
     /// Copies the machine's execution state (DRAM, the flat on-chip
@@ -661,7 +959,10 @@ impl Machine {
         MachineSnapshot {
             compiled: Arc::clone(&self.compiled),
             syms: self.syms.clone(),
-            drams: self.drams.clone(),
+            dram_source: Arc::clone(&self.dram_source),
+            dram_state: self.dram_state.clone(),
+            dram_input: Arc::clone(&self.dram_input),
+            dram_out: self.dram_out.clone(),
             chip: self.chip.clone(),
             words: self.words.clone(),
             bits: self.bits.clone(),
@@ -676,7 +977,10 @@ impl Machine {
     pub fn restore(&mut self, snapshot: &MachineSnapshot) {
         self.compiled = Arc::clone(&snapshot.compiled);
         self.syms.clone_from(&snapshot.syms);
-        self.drams.clone_from(&snapshot.drams);
+        self.dram_source = Arc::clone(&snapshot.dram_source);
+        self.dram_state.clone_from(&snapshot.dram_state);
+        self.dram_input = Arc::clone(&snapshot.dram_input);
+        self.dram_out.clone_from(&snapshot.dram_out);
         self.chip.clone_from(&snapshot.chip);
         self.words.clone_from(&snapshot.words);
         self.bits.clone_from(&snapshot.bits);
@@ -688,6 +992,34 @@ impl Machine {
     /// The compiled program this machine is bound to.
     pub fn compiled(&self) -> &Arc<CompiledProgram> {
         &self.compiled
+    }
+
+    /// Clears execution state — on-chip allocations, variable bindings,
+    /// statistics, and the DRAM output segment — without reallocating
+    /// or zeroing the on-chip arenas: every on-chip slot returns to its
+    /// unallocated state (regions keep their homes; `Alloc` fills them
+    /// before any use), so a reused machine behaves exactly like a
+    /// fresh [`Machine::from_compiled`] at O(slots + outputs), not
+    /// O(arena).
+    ///
+    /// The DRAM *input* segment is left bound; follow with
+    /// [`Machine::bind_image`] (or `write_dram`) to (re)bind a dataset.
+    /// `reset` + `bind_image` is the O(outputs) re-bind loop for
+    /// serving repeated runs of one kernel.
+    pub fn reset(&mut self) {
+        self.dram_out.fill(0.0);
+        for st in &mut self.chip {
+            st.tag = ChipTag::None;
+            st.len = 0;
+            st.head = 0;
+        }
+        self.env.fill(None);
+        self.dense.clear();
+        self.stats = ExecStats::default();
+        self.node_stack.clear();
+        self.frames.clear();
+        self.vstack.clear();
+        self.scan_depth = 0;
     }
 
     /// Re-links and re-lowers when handed a program other than the one
@@ -720,8 +1052,8 @@ impl Machine {
             .resolved()
             .node_limit
             .max(self.dense.node_trips.len());
-        if self.drams.len() < drams {
-            self.drams.resize_with(drams, || None);
+        if self.dram_state.len() < drams {
+            self.dram_state.resize(drams, DramState::UNMAPPED);
             self.dense.dram_reads.resize(drams, None);
             self.dense.dram_writes.resize(drams, None);
         }
@@ -747,8 +1079,21 @@ impl Machine {
                 boff += region.bit_words;
             }
         }
-        self.words.resize(woff, 0.0);
-        self.bits.resize(boff, 0);
+        // From-empty growth (machine construction) goes through the
+        // zeroed allocator — one calloc of untouched pages — instead of
+        // `resize`'s element-wise fill; at large arena sizes this keeps
+        // fresh-machine creation (the re-bind path) off the O(arena)
+        // memset.
+        if self.words.is_empty() {
+            self.words = vec![0.0; woff];
+        } else {
+            self.words.resize(woff, 0.0);
+        }
+        if self.bits.is_empty() {
+            self.bits = vec![0; boff];
+        } else {
+            self.bits.resize(boff, 0);
+        }
         if self.env.len() < vars {
             self.env.resize(vars, None);
         }
@@ -794,8 +1139,29 @@ impl Machine {
     fn dram_slot_of(&self, name: &str) -> Result<Slot, RunError> {
         self.syms
             .dram_slot(name)
-            .filter(|&s| self.drams[s as usize].is_some())
+            .filter(|&s| self.dram_state[s as usize].mapped)
             .ok_or_else(|| RunError::UnknownMemory(name.to_string()))
+    }
+
+    /// The words of a mapped DRAM slot.
+    #[inline(always)]
+    fn dram_words_of(&self, slot: Slot) -> Option<&[f64]> {
+        dram_words(
+            &self.dram_input,
+            &self.dram_out,
+            self.dram_state[slot as usize],
+        )
+    }
+
+    /// The words of a mapped DRAM slot, writable (copy-on-write for
+    /// input-segment slots).
+    #[inline(always)]
+    fn dram_words_of_mut(&mut self, slot: Slot) -> Option<&mut [f64]> {
+        dram_words_mut(
+            &mut self.dram_input,
+            &mut self.dram_out,
+            self.dram_state[slot as usize],
+        )
     }
 
     /// Overwrites the head of a DRAM array with `data`.
@@ -806,14 +1172,25 @@ impl Machine {
     /// the array is missing or too small.
     pub fn write_dram(&mut self, name: &str, data: &[f64]) -> Result<(), RunError> {
         let slot = self.dram_slot_of(name)?;
-        let arr = &mut self.drams[slot as usize].as_mut().expect("checked").data;
-        if data.len() > arr.len() {
+        self.write_dram_slot(slot, data)
+    }
+
+    /// [`Machine::write_dram`] addressed by DRAM slot — the bind path
+    /// for callers that resolved names to slots at compile time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::write_dram`].
+    pub fn write_dram_slot(&mut self, slot: Slot, data: &[f64]) -> Result<(), RunError> {
+        let st = self.dram_state_of(slot)?;
+        if data.len() > st.len {
             return Err(RunError::OutOfBounds {
-                mem: name.to_string(),
+                mem: self.syms.dram_name(slot).to_string(),
                 index: data.len() as i64,
-                len: arr.len(),
+                len: st.len,
             });
         }
+        let arr = self.dram_words_of_mut(slot).expect("checked");
         arr[..data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -826,53 +1203,86 @@ impl Machine {
     /// Same as [`Machine::write_dram`].
     pub fn write_dram_usize(&mut self, name: &str, data: &[usize]) -> Result<(), RunError> {
         let slot = self.dram_slot_of(name)?;
-        let arr = &mut self.drams[slot as usize].as_mut().expect("checked").data;
-        if data.len() > arr.len() {
+        self.write_dram_slot_usize(slot, data)
+    }
+
+    /// [`Machine::write_dram_usize`] addressed by DRAM slot.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::write_dram`].
+    pub fn write_dram_slot_usize(&mut self, slot: Slot, data: &[usize]) -> Result<(), RunError> {
+        let st = self.dram_state_of(slot)?;
+        if data.len() > st.len {
             return Err(RunError::OutOfBounds {
-                mem: name.to_string(),
+                mem: self.syms.dram_name(slot).to_string(),
                 index: data.len() as i64,
-                len: arr.len(),
+                len: st.len,
             });
         }
+        let arr = self.dram_words_of_mut(slot).expect("checked");
         for (dst, &x) in arr.iter_mut().zip(data) {
             *dst = x as f64;
         }
         Ok(())
     }
 
+    fn dram_state_of(&self, slot: Slot) -> Result<DramState, RunError> {
+        match self.dram_state.get(slot as usize) {
+            Some(st) if st.mapped => Ok(*st),
+            Some(_) => Err(self.unknown_dram(slot)),
+            None => Err(RunError::UnknownMemory(format!("dram slot {slot}"))),
+        }
+    }
+
     /// Reads a DRAM array.
     pub fn dram(&self, name: &str) -> Option<&[f64]> {
         let slot = self.syms.dram_slot(name)?;
-        self.drams[slot as usize]
-            .as_ref()
-            .map(|a| a.data.as_slice())
+        self.dram_words_of(slot)
     }
 
     /// The declared kind of a DRAM array.
     pub fn dram_kind(&self, name: &str) -> Option<MemKind> {
         let slot = self.syms.dram_slot(name)?;
-        self.drams[slot as usize].as_ref().map(|a| a.kind)
+        let st = self.dram_state[slot as usize];
+        st.mapped.then_some(st.kind)
     }
 
     /// Reads a DRAM array as integers (rounding).
     pub fn dram_usize(&self, name: &str) -> Option<Vec<usize>> {
         let arr = self.dram(name)?;
         let mut out = Vec::with_capacity(arr.len());
-        self.read_dram_usize_into(name, arr.len(), &mut out)?;
+        self.read_dram_usize_into(name, arr.len(), &mut out).ok()?;
         Some(out)
     }
 
     /// Streams the first `len` words of a DRAM array into `out` as
-    /// integers (rounding), clearing `out` first. Returns `None` when the
-    /// array is missing or shorter than `len`; `out` is left empty then.
-    pub fn read_dram_usize_into(&self, name: &str, len: usize, out: &mut Vec<usize>) -> Option<()> {
+    /// integers (rounding), clearing `out` first.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::UnknownMemory`] when the array is missing,
+    /// [`RunError::OutOfBounds`] when it is shorter than `len`; `out` is
+    /// left empty in both cases.
+    pub fn read_dram_usize_into(
+        &self,
+        name: &str,
+        len: usize,
+        out: &mut Vec<usize>,
+    ) -> Result<(), RunError> {
         out.clear();
-        let arr = self.dram(name)?;
+        let arr = self
+            .dram(name)
+            .ok_or_else(|| RunError::UnknownMemory(name.to_string()))?;
         if arr.len() < len {
-            return None;
+            return Err(RunError::OutOfBounds {
+                mem: name.to_string(),
+                index: len as i64,
+                len: arr.len(),
+            });
         }
         out.extend(arr[..len].iter().map(|&x| x.round() as usize));
-        Some(())
+        Ok(())
     }
 
     /// The statistics gathered so far (updated when [`Machine::run`]
@@ -1046,9 +1456,9 @@ impl Machine {
                 Ok(v)
             }
             ChipTag::None => {
-                if let Some(arr) = &self.drams[dram as usize] {
-                    let len = arr.data.len();
-                    let v = match arr.data.get(ix) {
+                if let Some(arr) = self.dram_words_of(dram) {
+                    let len = arr.len();
+                    let v = match arr.get(ix) {
                         Some(v) => *v,
                         None => {
                             return Err(RunError::OutOfBounds {
@@ -1152,10 +1562,11 @@ impl Machine {
     fn do_load(&mut self, dst: Slot, src: Slot, s: f64, e: f64) -> Result<(), RunError> {
         let s = index_of(s, || "load start".to_string())?;
         let e = index_of(e, || "load end".to_string())?;
-        let alen = match &self.drams[src as usize] {
-            Some(arr) => arr.data.len(),
-            None => return Err(self.unknown_dram(src)),
-        };
+        let src_st = self.dram_state[src as usize];
+        if !src_st.mapped {
+            return Err(self.unknown_dram(src));
+        }
+        let alen = src_st.len;
         if e > alen {
             return Err(RunError::OutOfBounds {
                 mem: self.syms.dram_name(src).to_string(),
@@ -1177,8 +1588,13 @@ impl Machine {
                     });
                 }
                 {
-                    let Machine { drams, words, .. } = self;
-                    let src_arr = &drams[src as usize].as_ref().expect("checked").data;
+                    let Machine {
+                        dram_input,
+                        dram_out,
+                        words,
+                        ..
+                    } = self;
+                    let src_arr = dram_words(dram_input, dram_out, src_st).expect("checked");
                     words[st.woff..st.woff + n].copy_from_slice(&src_arr[s..e]);
                 }
                 self.dense.sram_writes += n as u64;
@@ -1187,11 +1603,15 @@ impl Machine {
             ChipTag::Fifo => {
                 self.dense.fifo_enqs += n as u64;
                 let Machine {
-                    drams, words, chip, ..
+                    dram_input,
+                    dram_out,
+                    words,
+                    chip,
+                    ..
                 } = self;
                 let st = &mut chip[dst as usize];
                 fifo_reserve(words, st, n);
-                let src_arr = &drams[src as usize].as_ref().expect("checked").data;
+                let src_arr = dram_words(dram_input, dram_out, src_st).expect("checked");
                 for &v in &src_arr[s..e] {
                     fifo_push(words, st, v);
                 }
@@ -1218,10 +1638,15 @@ impl Machine {
         self.dense.sram_reads += n as u64;
         {
             let Machine {
-                drams, words, syms, ..
+                dram_input,
+                dram_out,
+                dram_state,
+                words,
+                syms,
+                ..
             } = self;
-            let arr = match &mut drams[dst as usize] {
-                Some(arr) => &mut arr.data,
+            let arr = match dram_words_mut(dram_input, dram_out, dram_state[dst as usize]) {
+                Some(arr) => arr,
                 None => return Err(RunError::UnknownMemory(syms.dram_name(dst).to_string())),
             };
             if off + n > arr.len() {
@@ -1262,15 +1687,17 @@ impl Machine {
         self.dense.fifo_deqs += n as u64;
         {
             let Machine {
-                drams,
+                dram_input,
+                dram_out,
+                dram_state,
                 words,
                 chip,
                 syms,
                 ..
             } = self;
             let st = &mut chip[fifo as usize];
-            let arr = match &mut drams[dst as usize] {
-                Some(arr) => &mut arr.data,
+            let arr = match dram_words_mut(dram_input, dram_out, dram_state[dst as usize]) {
+                Some(arr) => arr,
                 None => {
                     for _ in 0..n {
                         fifo_pop(words, st);
@@ -1299,27 +1726,23 @@ impl Machine {
     }
 
     fn do_store_scalar(&mut self, dst: Slot, ix: usize, v: f64) -> Result<(), RunError> {
-        let arr = match &mut self.drams[dst as usize] {
-            Some(arr) => &mut arr.data,
-            None => {
-                return Err(RunError::UnknownMemory(
-                    self.syms.dram_name(dst).to_string(),
-                ))
-            }
-        };
-        let len = arr.len();
-        match arr.get_mut(ix) {
-            Some(slot) => {
-                *slot = v;
-                self.dense.dram_random_writes += 1;
-                Ok(())
-            }
-            None => Err(RunError::OutOfBounds {
+        let st = self.dram_state[dst as usize];
+        if !st.mapped {
+            return Err(RunError::UnknownMemory(
+                self.syms.dram_name(dst).to_string(),
+            ));
+        }
+        if ix >= st.len {
+            return Err(RunError::OutOfBounds {
                 mem: self.syms.dram_name(dst).to_string(),
                 index: ix as i64,
-                len,
-            }),
+                len: st.len,
+            });
         }
+        let arr = self.dram_words_of_mut(dst).expect("checked");
+        arr[ix] = v;
+        self.dense.dram_random_writes += 1;
+        Ok(())
     }
 
     fn do_set_reg(&mut self, reg: Slot, v: f64) -> Result<(), RunError> {
@@ -3499,7 +3922,15 @@ mod tests {
         let mut buf = Vec::new();
         m.read_dram_usize_into("pos", 2, &mut buf).unwrap();
         assert_eq!(buf, vec![0, 2]);
-        assert!(m.read_dram_usize_into("pos", 9, &mut buf).is_none());
+        assert_eq!(
+            m.read_dram_usize_into("pos", 9, &mut buf),
+            Err(RunError::OutOfBounds {
+                mem: "pos".into(),
+                index: 9,
+                len: 4,
+            })
+        );
+        assert!(buf.is_empty(), "failed read leaves the buffer empty");
         assert!(m.write_dram_usize("ghost", &[1]).is_err());
     }
 

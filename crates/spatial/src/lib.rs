@@ -36,9 +36,11 @@ pub mod resolve;
 pub mod validate;
 
 pub use bytecode::{CompiledProgram, ProgramCache};
-pub use interp::{ExecStats, Machine, MachineSnapshot, RunError};
+pub use interp::{
+    DramImage, DramImageBuilder, ExecStats, Machine, MachineSnapshot, RunError, DRAM_WORD_BYTES,
+};
 pub use ir::{BinSOp, Counter, MemDecl, MemKind, SExpr, ScanOp, SpatialProgram, SpatialStmt};
 pub use printer::print_program;
 pub use reference::ReferenceMachine;
-pub use resolve::{resolve, ResolvedProgram, SymbolTable};
+pub use resolve::{resolve, DramLayout, DramRegion, ResolvedProgram, Slot, SymbolTable};
 pub use validate::{validate, ValidationError};

@@ -454,6 +454,104 @@ impl ArenaLayout {
     }
 }
 
+/// Static placement of one DRAM slot inside the machine's flat DRAM
+/// arena. The arena is split into two segments: a read-only **input**
+/// prefix holding every declared array the program never writes
+/// (shareable across machines behind an `Arc`, copy-on-write), and an
+/// **output** suffix holding every array targeted by a `Store`,
+/// `StreamStore`, or `StoreScalar` (owned per machine, zero-filled at
+/// bind time). `offset` is relative to the start of the region's
+/// segment, not the whole arena.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramRegion {
+    /// Whether the program declares this slot (referenced-but-undeclared
+    /// slots stay unmapped and reproduce `UnknownMemory` at touch time).
+    pub mapped: bool,
+    /// Whether the program writes this slot (output-segment residency).
+    pub written: bool,
+    /// Declared memory kind (`Dram` or `SparseDram`).
+    pub kind: MemKind,
+    /// First word of the region within its segment.
+    pub offset: usize,
+    /// Declared capacity in words.
+    pub size: usize,
+}
+
+impl DramRegion {
+    /// The region of a referenced-but-undeclared DRAM slot.
+    pub const UNMAPPED: DramRegion = DramRegion {
+        mapped: false,
+        written: false,
+        kind: MemKind::Dram,
+        offset: 0,
+        size: 0,
+    };
+}
+
+/// The static DRAM layout of a program: one [`DramRegion`] per DRAM
+/// slot, packed into an input segment (read-only prefix) and an output
+/// segment (written suffix). Computed once at link time so binding a
+/// dataset never resolves a name or decides placement at runtime.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DramLayout {
+    /// Region per DRAM slot, indexed by slot id.
+    pub drams: Vec<DramRegion>,
+    /// Total words of the read-only input segment.
+    pub input_words: usize,
+    /// Total words of the written output segment.
+    pub output_words: usize,
+}
+
+impl DramLayout {
+    /// Computes the layout: declaration sizes/kinds (last declaration of
+    /// a name wins, matching machine construction), written-slot
+    /// classification from the statement tree, and packed per-segment
+    /// offsets in slot order.
+    fn compute(drams: &[ResolvedDram], body: &[ResolvedStmt], dram_count: usize) -> DramLayout {
+        let mut regions = vec![DramRegion::UNMAPPED; dram_count];
+        for d in drams {
+            let r = &mut regions[d.slot as usize];
+            r.mapped = true;
+            r.kind = d.kind;
+            r.size = d.size;
+        }
+        fn scan(stmts: &[ResolvedStmt], written: &mut [bool]) {
+            for s in stmts {
+                match s {
+                    ResolvedStmt::Store { dst, .. }
+                    | ResolvedStmt::StreamStore { dst, .. }
+                    | ResolvedStmt::StoreScalar { dst, .. } => written[*dst as usize] = true,
+                    ResolvedStmt::Foreach { body, .. } | ResolvedStmt::Reduce { body, .. } => {
+                        scan(body, written);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut written = vec![false; dram_count];
+        scan(body, &mut written);
+        let mut layout = DramLayout {
+            drams: Vec::new(),
+            input_words: 0,
+            output_words: 0,
+        };
+        for (slot, r) in regions.iter_mut().enumerate() {
+            r.written = written[slot];
+            if r.mapped {
+                if r.written {
+                    r.offset = layout.output_words;
+                    layout.output_words += r.size;
+                } else {
+                    r.offset = layout.input_words;
+                    layout.input_words += r.size;
+                }
+            }
+        }
+        layout.drams = regions;
+        layout
+    }
+}
+
 /// A fully linked program: slot-resolved statements over a flat
 /// expression arena.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -470,6 +568,9 @@ pub struct ResolvedProgram {
     /// Static offsets/extents of every on-chip memory inside the
     /// machine's flat arenas.
     pub layout: ArenaLayout,
+    /// Static placement of every DRAM array inside the machine's flat
+    /// DRAM arena (read-only input prefix, written output suffix).
+    pub dram_layout: DramLayout,
 }
 
 impl ResolvedProgram {
@@ -502,6 +603,7 @@ pub fn resolve(program: &SpatialProgram, syms: &mut SymbolTable) -> ResolvedProg
     out.body = program.accel.iter().filter_map(|s| r.stmt(s)).collect();
     out.node_limit = r.node_limit;
     out.layout = ArenaLayout::compute(&out.body, syms.chip_count());
+    out.dram_layout = DramLayout::compute(&out.drams, &out.body, syms.dram_count());
     out
 }
 
@@ -935,6 +1037,54 @@ mod tests {
         assert_eq!(f.word_off, 32);
         assert_eq!(reg.word_off, 40);
         assert_eq!(bv.bit_off, 0);
+    }
+
+    #[test]
+    fn dram_layout_splits_inputs_and_outputs() {
+        let mut p = SpatialProgram::new("t");
+        p.add_dram("a", 4); // read only → input segment
+        p.add_dram("o1", 8); // stored to → output segment
+        p.add_sparse_dram("b", 6); // read only → input segment
+        p.add_dram("o2", 2); // scalar-stored to → output segment
+        p.accel.push(SpatialStmt::Store {
+            dst: "o1".into(),
+            offset: SExpr::Const(0.0),
+            src: "s".into(),
+            len: SExpr::Const(1.0),
+            par: 1,
+        });
+        p.accel.push(SpatialStmt::Foreach {
+            id: 0,
+            counter: Counter::range_to("i", SExpr::Const(2.0)),
+            par: 1,
+            body: vec![SpatialStmt::StoreScalar {
+                dst: "o2".into(),
+                index: SExpr::var("i"),
+                value: SExpr::Const(1.0),
+            }],
+        });
+        // Written but never declared: stays unmapped.
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "ghost".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::Const(1.0),
+        });
+        let mut syms = SymbolTable::default();
+        let r = resolve(&p, &mut syms);
+        let l = &r.dram_layout;
+        assert_eq!(l.input_words, 4 + 6);
+        assert_eq!(l.output_words, 8 + 2);
+        let a = l.drams[syms.dram("a") as usize];
+        let b = l.drams[syms.dram("b") as usize];
+        let o1 = l.drams[syms.dram("o1") as usize];
+        let o2 = l.drams[syms.dram("o2") as usize];
+        let ghost = l.drams[syms.dram("ghost") as usize];
+        assert!(a.mapped && !a.written && a.offset == 0 && a.size == 4);
+        assert!(b.mapped && !b.written && b.offset == 4 && b.size == 6);
+        assert_eq!(b.kind, MemKind::SparseDram);
+        assert!(o1.mapped && o1.written && o1.offset == 0 && o1.size == 8);
+        assert!(o2.mapped && o2.written && o2.offset == 8 && o2.size == 2);
+        assert!(!ghost.mapped && ghost.written && ghost.size == 0);
     }
 
     #[test]
