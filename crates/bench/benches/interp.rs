@@ -27,8 +27,8 @@ use stardust_bench::best_ns;
 use stardust_datasets::random_matrix;
 use stardust_spatial::ir::MemDecl;
 use stardust_spatial::{
-    CompiledProgram, Counter, DramImage, Machine, MemKind, ReferenceMachine, SExpr, SpatialProgram,
-    SpatialStmt,
+    CompiledProgram, Counter, DramImage, Machine, MachinePool, MemKind, ReferenceMachine, SExpr,
+    SpatialProgram, SpatialStmt,
 };
 use stardust_tensor::{Format, SparseTensor};
 
@@ -366,7 +366,9 @@ fn bench_spmspm(c: &mut Criterion) {
 
 /// Re-bind cost per dataset sweep iteration: the `write_dram` path
 /// (per-bind O(nnz) `usize → f64` conversion + copy) against the
-/// copy-on-write `DramImage` path (`Arc` clone + O(outputs) zero-fill).
+/// copy-on-write `DramImage` path (`Arc` clone + O(outputs) zero-fill)
+/// against the pooled path (reset + re-bind on a recycled machine —
+/// no fresh arena allocation at all).
 fn bench_bind(c: &mut Criterion) {
     for nnz in sizes() {
         let w = spmv_workload(nnz);
@@ -376,6 +378,14 @@ fn bench_bind(c: &mut Criterion) {
         group.sample_size(10);
         group.bench_function(BenchmarkId::new("image", nnz), |b| {
             b.iter(|| w.machine_image_bound(&compiled, &image));
+        });
+        group.bench_function(BenchmarkId::new("pooled", nnz), |b| {
+            let pool = MachinePool::new();
+            drop(pool.checkout_bound(&compiled, &image).expect("warm pool"));
+            b.iter(|| {
+                let m = pool.checkout_bound(&compiled, &image).expect("checkout");
+                std::hint::black_box(&*m);
+            });
         });
         group.bench_function(BenchmarkId::new("write_dram", nnz), |b| {
             b.iter(|| w.machine_write_bound(&compiled));
@@ -501,6 +511,14 @@ fn speedup_summary(_c: &mut Criterion) {
             let bind_write_ns = best_ns(7, || {
                 std::hint::black_box(w.machine_write_bound(&compiled));
             });
+            // The pooled serving loop: checkout = reset + image re-bind
+            // on a recycled machine, check-in on guard drop.
+            let pool = MachinePool::new();
+            drop(pool.checkout_bound(&compiled, &image).expect("warm pool"));
+            let pooled_ns = best_ns(7, || {
+                let m = pool.checkout_bound(&compiled, &image).expect("checkout");
+                std::hint::black_box(&*m);
+            });
             // The serving loop: one long-lived machine re-bound per
             // dataset iteration (reset + bind_image) — O(outputs), no
             // arena reallocation, no input conversion or copy.
@@ -517,11 +535,13 @@ fn speedup_summary(_c: &mut Criterion) {
             };
             println!(
                 "bind {} nnz={nnz}: build_image {:.0} ns, fresh bind_image {:.0} ns, \
-                 rebind reset+image {:.0} ns, bind_write_dram {:.0} ns ({:.1}x vs fresh, \
-                 {:.0}x vs rebind), run {:.0} ns",
+                 pooled checkout {:.0} ns ({:.1}x vs fresh), rebind reset+image {:.0} ns, \
+                 bind_write_dram {:.0} ns ({:.1}x vs fresh, {:.0}x vs rebind), run {:.0} ns",
                 w.name,
                 build_ns,
                 bind_image_ns,
+                pooled_ns,
+                bind_image_ns / pooled_ns,
                 rebind_ns,
                 bind_write_ns,
                 bind_write_ns / bind_image_ns,
@@ -534,10 +554,11 @@ fn speedup_summary(_c: &mut Criterion) {
             write!(
                 bind_rows,
                 r#"
-    {{"kernel": "{}", "nnz": {nnz}, "build_image_ns": {build_ns:.0}, "bind_image_ns": {bind_image_ns:.0}, "rebind_image_ns": {rebind_ns:.0}, "bind_write_dram_ns": {bind_write_ns:.0}, "run_ns": {run_ns:.0}, "bind_speedup": {:.4}, "rebind_speedup": {:.4}}}"#,
+    {{"kernel": "{}", "nnz": {nnz}, "build_image_ns": {build_ns:.0}, "bind_image_ns": {bind_image_ns:.0}, "pooled_checkout_ns": {pooled_ns:.0}, "rebind_image_ns": {rebind_ns:.0}, "bind_write_dram_ns": {bind_write_ns:.0}, "run_ns": {run_ns:.0}, "bind_speedup": {:.4}, "rebind_speedup": {:.4}, "pooled_vs_fresh_speedup": {:.4}}}"#,
                 w.name,
                 bind_write_ns / bind_image_ns,
                 bind_write_ns / rebind_ns,
+                bind_image_ns / pooled_ns,
             )
             .expect("write to string");
         }

@@ -1,18 +1,20 @@
 //! Thread-parallel dataset-sweep executor: runs the kernel × dataset
-//! measurement suite serially and at each requested thread count,
-//! asserts the parallel measurements are **bitwise identical** to the
-//! serial ones, and reports the wall-clock speedup per thread count.
-//! The suite is then re-run through the copy-on-write `DramImage` bind
-//! path and asserted bitwise identical to the `write_dram`-bound serial
-//! baseline — binding through shared images must change nothing but the
-//! binding cost.
+//! measurement suite serially on fresh machines, then at each requested
+//! thread count on the **pooled** serving path (shared compiled
+//! programs, content-addressed shared DRAM images, machines recycled
+//! through the process-wide `MachinePool`), asserts the pooled
+//! measurements are **bitwise identical** to the serial fresh-machine
+//! ones, and reports the wall-clock speedup per thread count. The suite
+//! is then re-run through the copy-on-write `DramImage` bind path
+//! (fresh machines) and asserted bitwise identical too — every
+//! fixed-cost optimization must change nothing but the wall clock.
 //!
 //! This is the CI leg proving that fanning the evaluation sweep across
-//! cores (per-thread machines bound to `Arc`-shared compiled programs)
-//! and re-binding through shared DRAM images change nothing but the
-//! wall clock. When `BENCH_SUMMARY_JSON` names a path, a
-//! machine-readable summary (thread counts, per-thread-count timings,
-//! and a per-kernel `bind_ns`/`run_ns` split for both bind paths) is
+//! cores, re-binding through shared DRAM images, and reusing pooled
+//! machines change nothing but the wall clock. When
+//! `BENCH_SUMMARY_JSON` names a path, a machine-readable summary
+//! (thread counts, per-thread-count timings, pool counters, and a
+//! per-kernel bind/checkout split across all three bind paths) is
 //! written there.
 //!
 //! Usage: `sweep [--scale N | --full] [--threads 1,2,4] [--kernels A,B]`
@@ -21,16 +23,18 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use stardust_bench::{
-    best_ns, image_cache, measure_kernel, measure_kernel_image, measure_kernel_parallel,
-    spatial_cache, InputSet, Measurement, Scale, KERNEL_NAMES,
+    best_ns, image_cache, machine_pool, measure_kernel, measure_kernel_image,
+    measure_kernel_pooled, spatial_cache, InputSet, Measurement, Scale, KERNEL_NAMES,
 };
 use stardust_core::pipeline::TensorData;
 use stardust_kernels::Kernel;
 
-/// Times the two bind paths of a kernel's first stage on one dataset:
-/// the `write_dram` path (O(nnz) convert + copy per bind) against the
-/// `DramImage` path (one O(nnz) build, then O(outputs) re-binds), plus
-/// the run time for scale. Returns a JSON object row.
+/// Times the bind paths of a kernel's first stage on one dataset: the
+/// `write_dram` path (O(nnz) convert + copy per bind) against the
+/// `DramImage` path (one O(nnz) build, then O(outputs) re-binds on a
+/// fresh machine) against the pooled path (reset + re-bind on a
+/// recycled machine — no arena allocation at all), plus the run time
+/// for scale. Returns a JSON object row.
 fn bind_split_row(kernel: &Kernel, set: &InputSet) -> String {
     let stages = kernel
         .compile_cached(&set.inputs, spatial_cache())
@@ -51,8 +55,17 @@ fn bind_split_row(kernel: &Kernel, set: &InputSet) -> String {
     let bind_image_ns = best_ns(7, || {
         stage.bind_image(&image).expect("bind image");
     });
-    // The serving loop: one long-lived machine, reset + image re-bind
-    // per iteration — O(outputs).
+    // The pooled serving loop: checkout = reset + image re-bind on a
+    // recycled machine, check-in on drop. Warm one machine in first so
+    // the measurement times reuse, not first-sight construction.
+    let pool = machine_pool();
+    drop(stage.bind_image_pooled(&image, pool).expect("warm pool"));
+    let pooled_ns = best_ns(7, || {
+        let m = stage.bind_image_pooled(&image, pool).expect("pooled");
+        std::hint::black_box(&*m);
+    });
+    // The pre-pool serving loop: one long-lived machine, reset + image
+    // re-bind per iteration — O(outputs).
     let mut server = stage.bind_image(&image).expect("bind image");
     let rebind_ns = best_ns(7, || {
         server.reset();
@@ -67,11 +80,14 @@ fn bind_split_row(kernel: &Kernel, set: &InputSet) -> String {
     });
     println!(
         "bind split {} on {}: nnz {nnz}, build_image {:.0} ns, fresh bind_image {:.0} ns, \
-         rebind reset+image {:.0} ns, bind_write_dram {:.0} ns ({:.1}x vs fresh), run {:.0} ns",
+         pooled checkout {:.0} ns ({:.1}x vs fresh), rebind reset+image {:.0} ns, \
+         bind_write_dram {:.0} ns ({:.1}x vs fresh), run {:.0} ns",
         kernel.name,
         set.dataset,
         build_ns,
         bind_image_ns,
+        pooled_ns,
+        bind_image_ns / pooled_ns,
         rebind_ns,
         bind_write_ns,
         bind_write_ns / bind_image_ns,
@@ -79,8 +95,10 @@ fn bind_split_row(kernel: &Kernel, set: &InputSet) -> String {
     );
     format!(
         r#"
-    {{"kernel": "{}", "dataset": "{}", "input_nnz": {nnz}, "build_image_ns": {build_ns:.0}, "bind_image_ns": {bind_image_ns:.0}, "rebind_image_ns": {rebind_ns:.0}, "bind_write_dram_ns": {bind_write_ns:.0}, "run_ns": {run_ns:.0}}}"#,
-        kernel.name, set.dataset,
+    {{"kernel": "{}", "dataset": "{}", "input_nnz": {nnz}, "build_image_ns": {build_ns:.0}, "bind_image_ns": {bind_image_ns:.0}, "pooled_checkout_ns": {pooled_ns:.0}, "pooled_vs_fresh_speedup": {:.4}, "rebind_image_ns": {rebind_ns:.0}, "bind_write_dram_ns": {bind_write_ns:.0}, "run_ns": {run_ns:.0}}}"#,
+        kernel.name,
+        set.dataset,
+        bind_image_ns / pooled_ns,
     )
 }
 
@@ -116,18 +134,23 @@ fn main() {
     };
 
     println!(
-        "parallel sweep executor: kernels {:?}, thread counts {:?}",
+        "pooled parallel sweep executor: kernels {:?}, thread counts {:?}",
         kernels, threads
     );
 
-    // Warm the process-wide program cache before timing anything, so
-    // the serial baseline and the parallel runs pay identical (cached)
-    // compilation costs and speedup_vs_serial measures threading only.
+    // Warm the process-wide program cache, image cache, and machine
+    // pool before timing anything: the serial baseline and the pooled
+    // runs then pay identical (cached) compilation costs, and the
+    // pooled timings measure the steady-state serving loop — reset +
+    // image re-bind on recycled machines — not the one-time O(nnz)
+    // dataset conversions they amortize.
     for name in &kernels {
         measure_kernel(name, &scale);
+        measure_kernel_pooled(name, &scale, 1);
     }
 
-    // Serial baseline: the ground truth every parallel run must match.
+    // Serial fresh-machine baseline: the ground truth every pooled and
+    // image-bound run must match.
     let t0 = Instant::now();
     let serial: Vec<Vec<Measurement>> = kernels
         .iter()
@@ -135,34 +158,46 @@ fn main() {
         .collect();
     let serial_secs = t0.elapsed().as_secs_f64();
     let datasets: usize = serial.iter().map(Vec::len).sum();
-    println!("serial: {datasets} kernel×dataset measurements in {serial_secs:.3} s");
+    println!(
+        "serial (fresh machines): {datasets} kernel×dataset measurements in {serial_secs:.3} s"
+    );
 
     let mut rows = String::new();
     for &t in &threads {
         let t0 = Instant::now();
-        let parallel: Vec<Vec<Measurement>> = kernels
+        let pooled: Vec<Vec<Measurement>> = kernels
             .iter()
-            .map(|name| measure_kernel_parallel(name, &scale, t))
+            .map(|name| measure_kernel_pooled(name, &scale, t))
             .collect();
         let secs = t0.elapsed().as_secs_f64();
-        // Hard identity gate: a parallel sweep that measures anything
-        // different from the serial path is a bug, not a perf tradeoff.
+        // Hard identity gate: a pooled sweep that measures anything
+        // different from the serial fresh-machine path is a bug, not a
+        // perf tradeoff.
         assert_eq!(
-            serial, parallel,
-            "{t}-thread sweep measurements diverge from serial"
+            serial, pooled,
+            "{t}-thread pooled sweep measurements diverge from serial fresh-machine baseline"
         );
         let speedup = serial_secs / secs;
-        println!("threads={t}: {secs:.3} s ({speedup:.2}x vs serial), measurements identical");
+        println!(
+            "pooled threads={t}: {secs:.3} s ({speedup:.2}x vs serial), measurements identical"
+        );
         if !rows.is_empty() {
             rows.push(',');
         }
         write!(
             rows,
             r#"
-    {{"threads": {t}, "seconds": {secs:.6e}, "speedup_vs_serial": {speedup:.4}, "identical_to_serial": true}}"#
+    {{"threads": {t}, "seconds": {secs:.6e}, "speedup_vs_serial": {speedup:.4}, "pooled": true, "identical_to_serial": true}}"#
         )
         .expect("write to string");
     }
+    let pool_stats = machine_pool().stats();
+    println!(
+        "machine pool: {} created, {} reused, {} idle",
+        pool_stats.created,
+        pool_stats.reused,
+        machine_pool().idle()
+    );
 
     // Copy-on-write image binding must be invisible in the results:
     // re-run the suite through the shared-DramImage bind path (twice,
@@ -189,7 +224,7 @@ fn main() {
     );
 
     // Per-kernel bind/run split: how much of a measurement is binding,
-    // on both bind paths (first dataset of each kernel).
+    // on all three bind paths (first dataset of each kernel).
     let mut bind_rows = String::new();
     for name in &kernels {
         let sets = stardust_bench::instantiate(name, &scale);
@@ -207,7 +242,10 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         let json = format!(
-            "{{\n  \"bench\": \"parallel-sweep\",\n  \"kernels\": [{kernel_list}],\n  \"datasets\": {datasets},\n  \"serial_seconds\": {serial_secs:.6e},\n  \"thread_counts\": {threads:?},\n  \"runs\": [{rows}\n  ],\n  \"image_bound\": {{\"seconds\": {image_secs:.6e}, \"identical_to_serial\": true, \"images_cached\": {}}},\n  \"bind_split\": [{bind_rows}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"parallel-sweep\",\n  \"kernels\": [{kernel_list}],\n  \"datasets\": {datasets},\n  \"serial_seconds\": {serial_secs:.6e},\n  \"thread_counts\": {threads:?},\n  \"runs\": [{rows}\n  ],\n  \"pool\": {{\"machines_created\": {}, \"machines_reused\": {}, \"idle\": {}}},\n  \"image_bound\": {{\"seconds\": {image_secs:.6e}, \"identical_to_serial\": true, \"images_cached\": {}}},\n  \"bind_split\": [{bind_rows}\n  ]\n}}\n",
+            pool_stats.created,
+            pool_stats.reused,
+            machine_pool().idle(),
             image_cache().len(),
         );
         std::fs::write(&path, json).expect("write sweep summary");

@@ -28,7 +28,7 @@ use stardust_datasets as datasets;
 use stardust_kernels as kernels;
 use stardust_kernels::Kernel;
 use stardust_kernels::KernelResult;
-use stardust_spatial::ProgramCache;
+use stardust_spatial::{MachinePool, ProgramCache};
 use stardust_tensor::{CooTensor, Format};
 
 /// The process-wide compiled-Spatial-program cache: every harness entry
@@ -49,16 +49,14 @@ pub fn image_cache() -> &'static ImageCache {
     CACHE.get_or_init(ImageCache::new)
 }
 
-/// A stable dataset identity for [`image_cache`] keys: an FNV-1a hash
-/// of the kernel and dataset names (the pair [`instantiate`] builds
-/// deterministic inputs for).
-pub fn dataset_id(kernel: &Kernel, set: &InputSet) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in kernel.name.bytes().chain([0]).chain(set.dataset.bytes()) {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+/// The process-wide machine pool: sweep workers check recycled
+/// [`stardust_spatial::Machine`]s out per measurement (reset + image
+/// re-bind, no multi-MB arena allocation) instead of constructing
+/// fresh ones, so a full suite sweep builds O(threads × distinct
+/// programs) machines rather than O(measurements).
+pub fn machine_pool() -> &'static MachinePool {
+    static POOL: OnceLock<MachinePool> = OnceLock::new();
+    POOL.get_or_init(MachinePool::new)
 }
 
 /// Harness configuration: dataset scale.
@@ -360,17 +358,27 @@ pub fn measure(kernel: &Kernel, set: &InputSet) -> Measurement {
 }
 
 /// [`measure`] with every stage bound through the process-wide
-/// [`image_cache`] instead of per-run `write_dram` copies. The
-/// simulated results are byte-identical to [`measure`] (CI's `sweep`
-/// binary asserts it); only the binding cost differs.
+/// [`image_cache`] instead of per-run `write_dram` copies. Cache keys
+/// are content-addressed (hashes of the bound input words), so one
+/// (kernel, dataset) name pair at two scales gets two images — never
+/// the other scale's data. The simulated results are byte-identical to
+/// [`measure`] (CI's `sweep` binary asserts it); only the binding cost
+/// differs.
 pub fn measure_image(kernel: &Kernel, set: &InputSet) -> Measurement {
     let result = kernel
-        .run_images(
-            &set.inputs,
-            spatial_cache(),
-            image_cache(),
-            dataset_id(kernel, set),
-        )
+        .run_images(&set.inputs, spatial_cache(), image_cache())
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
+    measurement_from(kernel, set, &result)
+}
+
+/// [`measure_image`] on pooled machines: the full serving path —
+/// shared compiled program ([`spatial_cache`]), shared DRAM image
+/// ([`image_cache`]), recycled machine ([`machine_pool`]). Results are
+/// byte-identical to [`measure`]; only the fixed per-measurement cost
+/// differs.
+pub fn measure_pooled(kernel: &Kernel, set: &InputSet) -> Measurement {
+    let result = kernel
+        .run_pooled(&set.inputs, spatial_cache(), image_cache(), machine_pool())
         .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
     measurement_from(kernel, set, &result)
 }
@@ -435,13 +443,16 @@ pub fn measure_bandwidth_sweep(kernel: &Kernel, set: &InputSet, bandwidths: &[f6
 // --- Thread-parallel sweep executor ----------------------------------
 //
 // Kernel × dataset × memory-config sweeps are embarrassingly parallel:
-// each measurement binds a fresh `Machine` to an `Arc`-shared
-// `CompiledProgram` (through the process-wide [`spatial_cache`]) and
-// mutates only per-thread state, so work items can be fanned out across
-// OS threads with no coordination beyond a work-stealing index. The
-// executor is deterministic — results land in input order and each item
-// computes exactly what the serial path computes — so parallel sweeps
-// are asserted bitwise-equal to serial ones in CI.
+// each measurement checks a machine out of the `Arc`-shared
+// [`machine_pool`] (bound through the process-wide [`spatial_cache`]
+// and [`image_cache`]) and mutates only per-thread state, so work items
+// can be fanned out across OS threads with no coordination beyond a
+// work-stealing index — and no per-measurement machine allocation: the
+// pool's per-thread shards hand each worker back the machine it used
+// last iteration. The executor is deterministic — results land in input
+// order and each item computes exactly what the serial path computes —
+// so parallel pooled sweeps are asserted bitwise-equal to serial
+// fresh-machine ones in CI.
 
 /// Runs `f` over every item of `items` on up to `threads` OS threads
 /// (scoped; no detached work), returning results in input order.
@@ -488,21 +499,24 @@ where
         .collect()
 }
 
-/// [`measure_kernel`] fanned out across `threads` OS threads: every
-/// (kernel, dataset) pair of the suite is measured on its own machine
-/// bound to the shared compiled artifact. Results are bitwise-identical
-/// to the serial path and in the same order.
+/// [`measure_kernel`] fanned out across `threads` OS threads on the
+/// pooled serving path: every (kernel, dataset) pair of the suite runs
+/// on a pooled machine bound to the shared compiled artifact through
+/// the shared image cache. Results are bitwise-identical to the serial
+/// fresh-machine path and in the same order. (Alias of
+/// [`measure_kernel_pooled`]: since PR 5 the parallel executor *is*
+/// the pooled executor.)
 pub fn measure_kernel_parallel(name: &str, scale: &Scale, threads: usize) -> Vec<Measurement> {
-    let sets = instantiate(name, scale);
-    parallel_sweep(&sets, threads, |(k, set)| measure(k, set))
+    measure_kernel_pooled(name, scale, threads)
 }
 
 /// [`measure_bandwidth_sweep`] with the per-bandwidth re-timing fanned
 /// out across `threads` OS threads (the serial sweep is this function
 /// at `threads == 1`, where [`parallel_sweep`] degenerates to a plain
-/// map with no thread spawned). The kernel executes once, serially,
-/// through the shared program cache; only the bandwidth points are
-/// parallel. Results are bitwise-identical across thread counts.
+/// map with no thread spawned). The kernel executes once, serially, on
+/// the pooled serving path (shared program, shared image, recycled
+/// machine); only the bandwidth points are parallel. Results are
+/// bitwise-identical across thread counts.
 pub fn measure_bandwidth_sweep_parallel(
     kernel: &Kernel,
     set: &InputSet,
@@ -510,7 +524,7 @@ pub fn measure_bandwidth_sweep_parallel(
     threads: usize,
 ) -> Vec<f64> {
     let result = kernel
-        .run_cached(&set.inputs, spatial_cache())
+        .run_pooled(&set.inputs, spatial_cache(), image_cache(), machine_pool())
         .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, set.dataset));
     // Placement/node/burst analysis is bandwidth-independent: build one
     // model per stage and re-time it at each memory configuration.
@@ -533,9 +547,14 @@ pub fn measure_bandwidth_sweep_parallel(
 /// Best-of-N wall time of `f` in nanoseconds — the standard robust
 /// statistic for micro-measurements on a noisy machine, shared by the
 /// bind-split reporting in the `sweep` binary and the `interp` bench.
+///
+/// `reps` is clamped to at least one: zero reps used to return
+/// `f64::INFINITY`, which serializes as `inf`/`null` in the JSON
+/// summaries and poisons every downstream ratio. The result is always
+/// a finite measurement.
 pub fn best_ns(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..reps {
+    for _ in 0..reps.max(1) {
         let t0 = std::time::Instant::now();
         f();
         best = best.min(t0.elapsed().as_secs_f64() * 1e9);
@@ -573,6 +592,16 @@ pub fn measure_kernel_image(name: &str, scale: &Scale) -> Vec<Measurement> {
         .iter()
         .map(|(k, set)| measure_image(k, set))
         .collect()
+}
+
+/// [`measure_kernel`] through the pooled serving path
+/// ([`measure_pooled`]) fanned out across `threads` OS threads: shared
+/// compiled programs, shared content-addressed images, machines
+/// recycled through [`machine_pool`]. Bitwise-identical to
+/// [`measure_kernel`] (CI's `sweep` binary gates it at 1/2/4 threads).
+pub fn measure_kernel_pooled(name: &str, scale: &Scale, threads: usize) -> Vec<Measurement> {
+    let sets = instantiate(name, scale);
+    parallel_sweep(&sets, threads, |(k, set)| measure_pooled(k, set))
 }
 
 #[cfg(test)]
@@ -640,14 +669,109 @@ mod tests {
         }
     }
 
+    /// The fresh-machine path under `parallel_sweep` (the baseline the
+    /// sweep binary's identity gate is defined against) keeps its own
+    /// multi-thread coverage: `measure_kernel_parallel` is pooled now,
+    /// so this test fans out plain [`measure`] directly.
     #[test]
-    fn parallel_kernel_sweep_is_bitwise_equal_to_serial() {
+    fn parallel_fresh_machine_sweep_is_bitwise_equal_to_serial() {
         let scale = Scale::ci();
+        let sets = instantiate("SpMV", &scale);
         let serial = measure_kernel("SpMV", &scale);
         for threads in [2, 4] {
-            let parallel = measure_kernel_parallel("SpMV", &scale, threads);
+            let parallel = parallel_sweep(&sets, threads, |(k, set)| measure(k, set));
             assert_eq!(serial, parallel, "{threads}-thread sweep diverges");
         }
+    }
+
+    #[test]
+    fn pooled_kernel_sweep_is_bitwise_equal_to_serial() {
+        let scale = Scale::ci();
+        let serial = measure_kernel("Residual", &scale);
+        for threads in [1, 2, 4] {
+            let pooled = measure_kernel_pooled("Residual", &scale, threads);
+            assert_eq!(serial, pooled, "{threads}-thread pooled sweep diverges");
+        }
+        // The second single-thread pass must reuse pooled machines; the
+        // counters are process-wide, so only assert reuse happened.
+        let stats = machine_pool().stats();
+        assert!(stats.reused > 0, "pool never reused a machine: {stats:?}");
+    }
+
+    /// The scale-collision regression: one (kernel, dataset) name pair
+    /// at two different `Scale`s through the process-wide
+    /// [`image_cache`] must yield distinct, correct results. Under the
+    /// old name-keyed dataset ids both scales shared one cache key, so
+    /// the second scale silently executed on the first scale's data.
+    #[test]
+    fn image_cache_distinguishes_scales_of_one_dataset() {
+        let small = Scale::ci();
+        let large = Scale {
+            suite: small.suite / 2,
+            ..small
+        };
+        let direct_small = measure_kernel("MatTransMul", &small);
+        let direct_large = measure_kernel("MatTransMul", &large);
+        assert_ne!(
+            direct_small, direct_large,
+            "scales must measure differently for the regression to bite"
+        );
+        // Same names at both scales; content-addressed keys must keep
+        // the images — and hence the results — apart. Order matters:
+        // the second scale is the one a collision would poison.
+        let image_small = measure_kernel_image("MatTransMul", &small);
+        let image_large = measure_kernel_image("MatTransMul", &large);
+        assert_eq!(direct_small, image_small, "small scale diverges");
+        assert_eq!(
+            direct_large, image_large,
+            "large scale was served the small scale's cached images"
+        );
+    }
+
+    /// Same compiled program, same dataset *name*, different values:
+    /// the sharpest form of the collision (the program cache hands both
+    /// datasets the same `Arc`, so only the content hash separates
+    /// them).
+    #[test]
+    fn value_scaled_dataset_gets_its_own_image() {
+        let n = 48;
+        let kernel = kernels::spmv(n);
+        let a = datasets::random_matrix(n, n, 0.2, 5);
+        let mut doubled = CooTensor::new(vec![n, n]);
+        for (coords, v) in a.entries() {
+            doubled.push(coords, v * 2.0);
+        }
+        let x = vec_of(n, 7);
+        let mut in1 = HashMap::new();
+        in1.insert("A".to_string(), csr(&a));
+        in1.insert("x".to_string(), x.clone());
+        let mut in2 = HashMap::new();
+        in2.insert("A".to_string(), csr(&doubled));
+        in2.insert("x".to_string(), x);
+
+        // A local cache so the entry-count assertion is airtight.
+        let images = ImageCache::new();
+        let r1 = kernel.run_images(&in1, spatial_cache(), &images).unwrap();
+        let r2 = kernel.run_images(&in2, spatial_cache(), &images).unwrap();
+        assert_eq!(
+            images.len(),
+            2 * kernel.stages.len(),
+            "value-scaled dataset collided with the original"
+        );
+        let d1 = kernel.run_cached(&in1, spatial_cache()).unwrap();
+        let d2 = kernel.run_cached(&in2, spatial_cache()).unwrap();
+        let (r1, r2) = (r1.output.to_dense(), r2.output.to_dense());
+        assert!(r1.approx_eq(&d1.output.to_dense()).is_ok());
+        assert!(r2.approx_eq(&d2.output.to_dense()).is_ok());
+        assert!(r1.approx_eq(&r2).is_err(), "doubled values, same result");
+    }
+
+    #[test]
+    fn best_ns_zero_reps_is_finite() {
+        let mut calls = 0;
+        let t = best_ns(0, || calls += 1);
+        assert!(t.is_finite(), "zero reps leaked INFINITY into the stats");
+        assert_eq!(calls, 1, "the clamped measurement must run once");
     }
 
     #[test]

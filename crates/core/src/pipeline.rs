@@ -8,13 +8,15 @@
 //! path every correctness test and every simulated benchmark goes through.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use stardust_ir::cin::Stmt;
+use stardust_spatial::interp::mix64;
 use stardust_spatial::printer::spatial_loc;
 use stardust_spatial::{
-    print_program, validate, CompiledProgram, DramImage, ExecStats, Machine, ProgramCache,
-    RunError, Slot, SpatialProgram,
+    print_program, validate, CompiledProgram, DramImage, ExecStats, Machine, MachinePool,
+    PooledMachine, ProgramCache, RunError, Slot, SpatialProgram,
 };
 use stardust_tensor::{CooTensor, DenseTensor, Format, LevelFormat, LevelStorage, SparseTensor};
 
@@ -167,6 +169,61 @@ impl InputPlan {
             })
             .collect();
         InputPlan { inputs }
+    }
+
+    /// Content-addressed identity of `inputs` as this plan binds them:
+    /// a word-at-a-time mix (splitmix64 finalizer per 64-bit word) over
+    /// each planned tensor's name and content — the same dims,
+    /// `pos`/`crd` words, and value bits [`InputPlan::apply`] writes,
+    /// in the same plan order — so two input sets hash equal exactly
+    /// when they build identical [`DramImage`]s. This is what makes
+    /// [`ImageCache`] keys misuse-proof: no caller-supplied id to
+    /// collide.
+    ///
+    /// One read pass over the inputs, no allocation, a few ALU ops per
+    /// word — cheap against the O(nnz) convert-and-copy it gates, and
+    /// irrelevant once the image is cached and re-bound in O(outputs).
+    fn content_id(&self, inputs: &HashMap<String, TensorData>) -> Result<u64, CompileError> {
+        let mut h: u64 = 0x9e3779b97f4a7c15;
+        for p in &self.inputs {
+            let data = inputs
+                .get(&p.name)
+                .ok_or_else(|| CompileError::Memory(format!("missing input {}", p.name)))?;
+            for b in p.name.bytes() {
+                mix64(&mut h, u64::from(b));
+            }
+            match data {
+                TensorData::Scalar(v) => {
+                    mix64(&mut h, 1);
+                    mix64(&mut h, v.to_bits());
+                }
+                TensorData::Sparse(t) => {
+                    mix64(&mut h, 2);
+                    mix64(&mut h, t.dims().len() as u64);
+                    for &d in t.dims() {
+                        mix64(&mut h, d as u64);
+                    }
+                    for (l, f) in t.format().levels().iter().enumerate() {
+                        mix64(&mut h, u64::from(f.is_compressed()));
+                        if f.is_compressed() {
+                            mix64(&mut h, t.pos(l).len() as u64);
+                            for &x in t.pos(l) {
+                                mix64(&mut h, x as u64);
+                            }
+                            mix64(&mut h, t.crd(l).len() as u64);
+                            for &x in t.crd(l) {
+                                mix64(&mut h, x as u64);
+                            }
+                        }
+                    }
+                    mix64(&mut h, t.vals().len() as u64);
+                    for v in t.vals() {
+                        mix64(&mut h, v.to_bits());
+                    }
+                }
+            }
+        }
+        Ok(h)
     }
 
     /// Writes every planned input into `sink`.
@@ -338,6 +395,59 @@ impl CompiledKernel {
         Ok(KernelRun { output, stats })
     }
 
+    /// Content-addressed dataset identity: the hash of `inputs` exactly
+    /// as this kernel's [`InputPlan`] would bind them (see
+    /// [`ImageCache`], which derives its keys from this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Memory`] when a planned input is
+    /// missing.
+    pub fn input_content_id(
+        &self,
+        inputs: &HashMap<String, TensorData>,
+    ) -> Result<u64, CompileError> {
+        self.input_plan.content_id(inputs)
+    }
+
+    /// Checks a machine out of `pool` bound to `image`: the pooled
+    /// equivalent of [`CompiledKernel::bind_image`]. Checkout is
+    /// `reset` + `bind_image` on a recycled machine — O(slots +
+    /// outputs) with no arena allocation — and the guard returns the
+    /// machine to the pool on drop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledKernel::bind_image`].
+    pub fn bind_image_pooled<'p>(
+        &self,
+        image: &DramImage,
+        pool: &'p MachinePool,
+    ) -> Result<PooledMachine<'p>, CompileError> {
+        pool.checkout_bound(&self.spatial, image)
+            .map_err(|e| CompileError::Memory(e.to_string()))
+    }
+
+    /// [`CompiledKernel::execute_image`] on a pooled machine: identical
+    /// results (the pool-reuse property tests hold checkout to
+    /// fresh-machine byte identity), amortized machine construction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledKernel::execute_image`].
+    pub fn execute_image_pooled(
+        &self,
+        image: &DramImage,
+        pool: &MachinePool,
+    ) -> Result<KernelRun, CompileError> {
+        let mut machine = self.bind_image_pooled(image, pool)?;
+        let stats = machine
+            .run(self.spatial.source())
+            .map_err(|e| CompileError::Memory(format!("simulation error: {e}")))?;
+        let output = self.read_output(&machine)?;
+        Ok(KernelRun { output, stats })
+    }
+
     /// Runs the kernel on the given inputs through the Spatial interpreter
     /// and reads the result back from simulated DRAM.
     ///
@@ -412,17 +522,28 @@ impl CompiledKernel {
 }
 
 /// A cache of built [`DramImage`]s keyed by (compiled program identity,
-/// caller-supplied dataset id). Repeated executions of one kernel over
-/// one dataset — measurement iterations, sweep threads, multi-memory
+/// input content hash). Repeated executions of one kernel over one
+/// dataset — measurement iterations, sweep threads, multi-memory
 /// re-timings — share a single converted image and re-bind in
 /// O(outputs).
 ///
-/// The dataset id is the caller's contract: two calls with the same id
-/// (for the same compiled kernel) must describe the same inputs, or the
-/// second caller gets the first caller's data.
+/// Keys are **content-addressed**: the dataset component is
+/// [`CompiledKernel::input_content_id`], a hash of the input words the
+/// kernel's plan would bind, so two datasets share an image exactly
+/// when they would build identical images. The previous caller-supplied
+/// dataset id is gone — it hashed only *names*, so one (kernel,
+/// dataset) name pair at two scales collided and the second caller
+/// silently executed on the first caller's data.
+///
+/// Builds are raced-once: each key owns a build lock, so concurrent
+/// first-sight callers build exactly one image (the loser of the race
+/// waits and receives the winner's `Arc`) — [`ImageCache::builds`]
+/// counts actual builds for exactly this assertion.
 #[derive(Debug, Default)]
 pub struct ImageCache {
-    inner: Mutex<HashMap<(usize, u64), Arc<DramImage>>>,
+    #[allow(clippy::type_complexity)]
+    inner: Mutex<HashMap<(usize, u64), Arc<Mutex<Option<Arc<DramImage>>>>>>,
+    builds: AtomicUsize,
 }
 
 impl ImageCache {
@@ -431,50 +552,83 @@ impl ImageCache {
         Self::default()
     }
 
-    /// Returns the shared image of (kernel, dataset), building it on
-    /// first sight.
+    /// Returns the shared image of (kernel, inputs), building it on
+    /// first sight. The dataset identity is derived from the inputs'
+    /// content — there is no id for a caller to reuse across different
+    /// datasets. Every lookup (hits included) pays one O(nnz) read
+    /// pass to compute that identity: the deliberate price of
+    /// misuse-proof keys — a memoized id would be exactly the trusted
+    /// caller-supplied contract this cache removed. Callers on a hard
+    /// hot path can hold the returned `Arc` across iterations and skip
+    /// the lookup entirely.
     ///
     /// # Errors
     ///
-    /// Same as [`CompiledKernel::build_image`].
+    /// Same as [`CompiledKernel::build_image`], plus the missing-input
+    /// error of [`CompiledKernel::input_content_id`].
     ///
     /// # Panics
     ///
-    /// Panics if the cache lock was poisoned by a panicking thread.
+    /// Panics if a cache lock was poisoned by a panicking thread.
     pub fn get_or_build(
         &self,
         kernel: &CompiledKernel,
-        dataset: u64,
         inputs: &HashMap<String, TensorData>,
     ) -> Result<Arc<DramImage>, CompileError> {
         // The compiled artifact is kept alive by every cached image, so
         // its address is a stable identity for the cache's lifetime.
+        let dataset = kernel.input_plan.content_id(inputs)?;
         let key = (Arc::as_ptr(&kernel.spatial) as usize, dataset);
-        if let Some(hit) = self.inner.lock().expect("image cache lock").get(&key) {
-            return Ok(Arc::clone(hit));
-        }
-        let image = Arc::new(kernel.build_image(inputs)?);
-        Ok(Arc::clone(
+        let entry = Arc::clone(
             self.inner
                 .lock()
                 .expect("image cache lock")
                 .entry(key)
-                .or_insert(image),
-        ))
+                .or_default(),
+        );
+        // The cache-wide lock is released; only this key's build lock
+        // is held while converting, so distinct datasets build in
+        // parallel and same-key racers wait for one build.
+        let mut slot = entry.lock().expect("image build lock");
+        if let Some(hit) = slot.as_ref() {
+            return Ok(Arc::clone(hit));
+        }
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let image = Arc::new(kernel.build_image(inputs)?);
+        *slot = Some(Arc::clone(&image));
+        Ok(image)
     }
 
-    /// Number of cached images.
+    /// Number of cached (successfully built) images.
     ///
     /// # Panics
     ///
-    /// Panics if the cache lock was poisoned.
+    /// Panics if a cache lock was poisoned.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("image cache lock").len()
+        let entries: Vec<_> = self
+            .inner
+            .lock()
+            .expect("image cache lock")
+            .values()
+            .cloned()
+            .collect();
+        entries
+            .iter()
+            .filter(|e| e.lock().expect("image build lock").is_some())
+            .count()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total image builds the cache has started (including failed
+    /// ones). With the per-key build lock this equals the number of
+    /// distinct keys ever built — concurrent first-sight callers must
+    /// not inflate it.
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
     }
 }
 
@@ -671,11 +825,12 @@ mod tests {
 
         let direct = kernel.execute(&inputs).unwrap();
         let cache = ImageCache::new();
-        let image = cache.get_or_build(&kernel, 7, &inputs).unwrap();
+        let image = cache.get_or_build(&kernel, &inputs).unwrap();
         assert_eq!(cache.len(), 1);
-        // Repeated lookups share the same image.
-        let again = cache.get_or_build(&kernel, 7, &inputs).unwrap();
+        // Repeated lookups share the same image and build nothing new.
+        let again = cache.get_or_build(&kernel, &inputs).unwrap();
         assert!(Arc::ptr_eq(&image, &again));
+        assert_eq!(cache.builds(), 1);
 
         // Image-bound machines start from DRAM byte-identical to the
         // plan-bound machine.
@@ -706,6 +861,116 @@ mod tests {
             let want = direct.output.to_dense();
             assert!(got.approx_eq(&want).is_ok());
         }
+    }
+
+    fn spmv_inputs(seed: u64, scale: f64) -> HashMap<String, TensorData> {
+        let a = random_csr(8, 8, seed);
+        let mut scaled = CooTensor::new(vec![8, 8]);
+        for (coords, v) in a.entries() {
+            scaled.push(coords, v * scale);
+        }
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "A".to_string(),
+            TensorData::from_coo(&scaled, Format::csr()),
+        );
+        let mut x_coo = CooTensor::new(vec![8]);
+        for n in 0..8 {
+            x_coo.push(&[n], n as f64 * 0.5 + 1.0);
+        }
+        inputs.insert(
+            "x".to_string(),
+            TensorData::from_coo(&x_coo, Format::dense_vec()),
+        );
+        inputs
+    }
+
+    /// Two datasets with the same sparsity pattern (hence the same
+    /// compiled program) but different values must get distinct cache
+    /// entries and distinct, correct results. Under the old
+    /// caller-supplied dataset-id contract this was exactly the
+    /// collision case: same names, same id, second caller served the
+    /// first caller's image.
+    #[test]
+    fn content_addressed_cache_distinguishes_same_shaped_datasets() {
+        let (p, stmt) = spmv_kernel();
+        let in1 = spmv_inputs(42, 1.0);
+        let in2 = spmv_inputs(42, 2.0);
+        let kernel = Compiler::compile(&p, &stmt, Compiler::hints_from_inputs(&in1, &[])).unwrap();
+
+        assert_ne!(
+            kernel.input_content_id(&in1).unwrap(),
+            kernel.input_content_id(&in2).unwrap(),
+            "content ids collide across value-scaled datasets"
+        );
+
+        let cache = ImageCache::new();
+        let img1 = cache.get_or_build(&kernel, &in1).unwrap();
+        let img2 = cache.get_or_build(&kernel, &in2).unwrap();
+        assert_eq!(cache.len(), 2, "second dataset was served a stale image");
+        assert!(!Arc::ptr_eq(&img1, &img2));
+        assert_ne!(img1.content_hash(), img2.content_hash());
+
+        let r1 = kernel.execute_image(&img1).unwrap().output.to_dense();
+        let r2 = kernel.execute_image(&img2).unwrap().output.to_dense();
+        assert!(r1
+            .approx_eq(&kernel.execute(&in1).unwrap().output.to_dense())
+            .is_ok());
+        assert!(r2
+            .approx_eq(&kernel.execute(&in2).unwrap().output.to_dense())
+            .is_ok());
+        assert!(
+            r1.approx_eq(&r2).is_err(),
+            "scaled dataset produced identical results: cache collision"
+        );
+    }
+
+    /// Concurrent first-sight callers must build the image exactly
+    /// once: the per-key build lock makes the losers wait for the
+    /// winner's `Arc` instead of redundantly converting the dataset.
+    #[test]
+    fn concurrent_first_sight_builds_once() {
+        let (p, stmt) = spmv_kernel();
+        let inputs = spmv_inputs(42, 1.0);
+        let kernel =
+            Compiler::compile(&p, &stmt, Compiler::hints_from_inputs(&inputs, &[])).unwrap();
+        let cache = ImageCache::new();
+        let images: Vec<Arc<DramImage>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| cache.get_or_build(&kernel, &inputs).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.builds(), 1, "racing callers built more than once");
+        assert_eq!(cache.len(), 1);
+        for img in &images[1..] {
+            assert!(Arc::ptr_eq(&images[0], img));
+        }
+    }
+
+    /// Pooled execution is byte-identical to fresh-machine image
+    /// execution, and the pool actually reuses machines.
+    #[test]
+    fn pooled_execution_matches_fresh_execution() {
+        let (p, stmt) = spmv_kernel();
+        let in1 = spmv_inputs(42, 1.0);
+        let in2 = spmv_inputs(42, 2.0);
+        let kernel = Compiler::compile(&p, &stmt, Compiler::hints_from_inputs(&in1, &[])).unwrap();
+        let cache = ImageCache::new();
+        let pool = MachinePool::with_shards(1);
+        for inputs in [&in1, &in2, &in1] {
+            let image = cache.get_or_build(&kernel, inputs).unwrap();
+            let fresh = kernel.execute_image(&image).unwrap();
+            let pooled = kernel.execute_image_pooled(&image, &pool).unwrap();
+            assert_eq!(fresh.stats, pooled.stats, "stats diverge on pooled machine");
+            let f = fresh.output.to_dense();
+            let g = pooled.output.to_dense();
+            assert!(f.approx_eq(&g).is_ok());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.created, 1, "pool failed to reuse its machine");
+        assert_eq!(stats.reused, 2);
+        assert_eq!(pool.idle(), 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use stardust_core::lower::SizeHints;
 use stardust_core::pipeline::{CompiledKernel, Compiler, ImageCache, KernelOutput, TensorData};
 use stardust_core::CompileError;
-use stardust_spatial::{ExecStats, ProgramCache};
+use stardust_spatial::{ExecStats, MachinePool, ProgramCache};
 use stardust_tensor::SparseTensor;
 
 use crate::defs::Kernel;
@@ -145,12 +145,10 @@ impl Kernel {
     /// Like [`Kernel::run_cached`], but binds every stage through
     /// `images`: each stage's dataset is baked into an `Arc`-shared
     /// [`stardust_spatial::DramImage`] on first sight (keyed by the
-    /// stage's compiled program and `dataset`), and later runs re-bind
-    /// in O(outputs) with no per-element input conversion or copy.
-    /// Results are byte-identical to [`Kernel::run_cached`].
-    ///
-    /// `dataset` must identify the input set: reusing an id with
-    /// different `inputs` returns the cached (stale) image.
+    /// stage's compiled program and the content hash of its inputs),
+    /// and later runs re-bind in O(outputs) with no per-element input
+    /// conversion or copy. Results are byte-identical to
+    /// [`Kernel::run_cached`].
     ///
     /// # Errors
     ///
@@ -160,9 +158,30 @@ impl Kernel {
         inputs: &HashMap<String, TensorData>,
         cache: &ProgramCache,
         images: &ImageCache,
-        dataset: u64,
     ) -> Result<KernelResult, CompileError> {
-        self.run_with_impl(inputs, Some(cache), Some((images, dataset)))
+        self.run_with_impl(inputs, Some(cache), Some((images, None)))
+    }
+
+    /// [`Kernel::run_images`] on pooled machines: every stage checks a
+    /// recycled [`stardust_spatial::Machine`] out of `pool` (reset +
+    /// image re-bind, no arena allocation) instead of constructing a
+    /// fresh one. The full serving path for sweeps: compile once per
+    /// program ([`ProgramCache`]), convert once per dataset
+    /// ([`ImageCache`]), allocate once per (thread, program)
+    /// ([`stardust_spatial::MachinePool`]). Results are byte-identical
+    /// to [`Kernel::run_cached`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile or simulation error.
+    pub fn run_pooled(
+        &self,
+        inputs: &HashMap<String, TensorData>,
+        cache: &ProgramCache,
+        images: &ImageCache,
+        pool: &MachinePool,
+    ) -> Result<KernelResult, CompileError> {
+        self.run_with_impl(inputs, Some(cache), Some((images, Some(pool))))
     }
 
     fn run_with(
@@ -177,7 +196,7 @@ impl Kernel {
         &self,
         inputs: &HashMap<String, TensorData>,
         cache: Option<&ProgramCache>,
-        images: Option<(&ImageCache, u64)>,
+        images: Option<(&ImageCache, Option<&MachinePool>)>,
     ) -> Result<KernelResult, CompileError> {
         let mut available = inputs.clone();
         let mut stages = Vec::with_capacity(self.stages.len());
@@ -189,13 +208,16 @@ impl Kernel {
                 None => Compiler::compile(&stage.program, &stage.stmt, hints)?,
             };
             let run = match images {
-                Some((images, dataset)) => {
+                Some((images, pool)) => {
                     // Stage identity is carried by the compiled program
-                    // (distinct per stage), so one dataset id covers the
-                    // whole chain; intermediates are deterministic per
-                    // dataset, keeping their cached images valid.
-                    let image = images.get_or_build(&compiled, dataset, &available)?;
-                    compiled.execute_image(&image)?
+                    // (distinct per stage) plus the content hash of the
+                    // stage's inputs; intermediates are deterministic
+                    // per dataset, keeping their cached images valid.
+                    let image = images.get_or_build(&compiled, &available)?;
+                    match pool {
+                        Some(pool) => compiled.execute_image_pooled(&image, pool)?,
+                        None => compiled.execute_image(&image)?,
+                    }
                 }
                 None => compiled.execute(&available)?,
             };
@@ -302,12 +324,38 @@ mod tests {
         let direct = k.run_cached(&inputs, &cache).unwrap();
         // Two image runs: the second re-binds the cached image.
         for _ in 0..2 {
-            let via_image = k.run_images(&inputs, &cache, &images, 1).unwrap();
+            let via_image = k.run_images(&inputs, &cache, &images).unwrap();
             assert_eq!(direct.total_stats(), via_image.total_stats());
             let d = direct.output.to_dense();
             let i = via_image.output.to_dense();
             assert!(d.approx_eq(&i).is_ok());
         }
         assert_eq!(images.len(), k.stages.len());
+    }
+
+    #[test]
+    fn pooled_run_matches_direct_run() {
+        let k = defs::spmv(16);
+        let a = random_matrix(16, 16, 0.25, 1);
+        let x = random_vector(16, 2);
+        let mut inputs = HashMap::new();
+        inputs.insert("A".into(), TensorData::from_coo(&a, Format::csr()));
+        inputs.insert("x".into(), TensorData::from_coo(&x, Format::dense_vec()));
+        let cache = stardust_spatial::ProgramCache::new();
+        let images = ImageCache::new();
+        let pool = MachinePool::with_shards(1);
+        let direct = k.run_cached(&inputs, &cache).unwrap();
+        // Two pooled runs: the second reuses both the cached image and
+        // the pooled machine.
+        for _ in 0..2 {
+            let pooled = k.run_pooled(&inputs, &cache, &images, &pool).unwrap();
+            assert_eq!(direct.total_stats(), pooled.total_stats());
+            let d = direct.output.to_dense();
+            let p = pooled.output.to_dense();
+            assert!(d.approx_eq(&p).is_ok());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.created as usize, k.stages.len());
+        assert_eq!(stats.reused as usize, k.stages.len());
     }
 }

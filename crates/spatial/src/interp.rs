@@ -322,6 +322,24 @@ pub struct DramImage {
     /// as (segment offset, words). Rare — an in-place-updated operand —
     /// and re-applied per bind, so the cost stays O(outputs).
     output_init: Vec<(usize, Vec<f64>)>,
+    /// Word-mix hash of the built image (input-segment word bits plus
+    /// the output-init records), computed once at
+    /// [`DramImageBuilder::finish`]: a content-addressed identity for
+    /// the dataset as this program lays it out.
+    content_hash: u64,
+}
+
+/// Mixes one 64-bit word into a running content hash (splitmix64-style
+/// finalizer, a few ALU ops per word) — the shared content-hash
+/// primitive behind [`DramImage::content_hash`] and the pipeline's
+/// content-addressed image-cache keys, kept in one place so the two
+/// identities can never drift apart.
+#[inline]
+pub fn mix64(h: &mut u64, v: u64) {
+    let mut x = h.wrapping_add(0x9e3779b97f4a7c15).wrapping_add(v);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    *h = x ^ (x >> 31);
 }
 
 impl DramImage {
@@ -339,6 +357,17 @@ impl DramImage {
     /// through the copy-on-write path).
     pub fn input_words(&self) -> &[f64] {
         &self.input
+    }
+
+    /// Content-addressed identity of the built image: a word-mix hash
+    /// of every input-segment word's bits plus the output-init
+    /// records. Two images of one program hash equal iff they bind
+    /// machines to identical DRAM. This is an **audit handle**, not
+    /// the cache key — the pipeline's image cache derives its keys
+    /// from the raw inputs *before* building (so a lookup never pays a
+    /// build), and regression tests cross-check the two identities.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
     }
 
     /// Whether this image can bind to a machine running `compiled`:
@@ -424,12 +453,25 @@ impl DramImageBuilder {
     }
 
     /// Freezes the image. The input segment becomes immutable and
-    /// shareable.
+    /// shareable, and the content hash is computed — the only pass
+    /// over the built words.
     pub fn finish(self) -> DramImage {
+        let mut h: u64 = 0x9e3779b97f4a7c15;
+        for v in &self.input {
+            mix64(&mut h, v.to_bits());
+        }
+        for (off, data) in &self.output_init {
+            mix64(&mut h, *off as u64);
+            mix64(&mut h, data.len() as u64);
+            for v in data {
+                mix64(&mut h, v.to_bits());
+            }
+        }
         DramImage {
             compiled: self.compiled,
             input: Arc::new(self.input),
             output_init: self.output_init,
+            content_hash: h,
         }
     }
 }
@@ -1007,7 +1049,22 @@ impl Machine {
     /// `reset` + `bind_image` is the O(outputs) re-bind loop for
     /// serving repeated runs of one kernel.
     pub fn reset(&mut self) {
+        self.clear_outputs();
+        self.clear_exec_state();
+    }
+
+    /// The DRAM-output half of [`Machine::reset`]: zero-fills the
+    /// output segment. Crate-internal so the machine pool can skip it
+    /// when a [`Machine::bind_image`] (which refills the segment)
+    /// immediately follows.
+    pub(crate) fn clear_outputs(&mut self) {
         self.dram_out.fill(0.0);
+    }
+
+    /// The execution-state half of [`Machine::reset`]: on-chip
+    /// allocations, variable bindings, statistics, and in-flight loop
+    /// state — everything except the DRAM output segment.
+    pub(crate) fn clear_exec_state(&mut self) {
         for st in &mut self.chip {
             st.tag = ChipTag::None;
             st.len = 0;
@@ -1020,6 +1077,16 @@ impl Machine {
         self.frames.clear();
         self.vstack.clear();
         self.scan_depth = 0;
+    }
+
+    /// Rebinds the DRAM input segment to the pristine all-zero image
+    /// the machine was constructed with — an `Arc` pointer copy that
+    /// drops any bound [`DramImage`] (and any copy-on-write private
+    /// segment). [`Machine::reset`] + `unbind_inputs` is the
+    /// machine-pool checkout invariant: a recycled machine becomes
+    /// indistinguishable from a fresh [`Machine::from_compiled`].
+    pub fn unbind_inputs(&mut self) {
+        self.dram_input = Arc::clone(self.dram_source.zero_dram_input());
     }
 
     /// Re-links and re-lowers when handed a program other than the one

@@ -30,6 +30,7 @@
 pub mod bytecode;
 pub mod interp;
 pub mod ir;
+pub mod pool;
 pub mod printer;
 pub mod reference;
 pub mod resolve;
@@ -40,6 +41,7 @@ pub use interp::{
     DramImage, DramImageBuilder, ExecStats, Machine, MachineSnapshot, RunError, DRAM_WORD_BYTES,
 };
 pub use ir::{BinSOp, Counter, MemDecl, MemKind, SExpr, ScanOp, SpatialProgram, SpatialStmt};
+pub use pool::{MachinePool, PoolStats, PooledMachine};
 pub use printer::print_program;
 pub use reference::ReferenceMachine;
 pub use resolve::{resolve, DramLayout, DramRegion, ResolvedProgram, Slot, SymbolTable};

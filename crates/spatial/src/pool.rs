@@ -1,0 +1,291 @@
+//! A pool of reusable [`Machine`]s for serving loops and sweep
+//! executors.
+//!
+//! Fresh-machine construction is allocator-bound: [`Machine`] state is a
+//! handful of multi-MB flat arenas (DRAM output segment, on-chip word
+//! and bitset arenas), so a sweep that binds a fresh machine per
+//! measurement spends its fixed cost in `malloc`, not in binding. A
+//! [`MachinePool`] keeps finished machines keyed by their compiled
+//! program, scrubs them at check-in (execution state cleared, input
+//! segment unbound so no idle machine pins its last dataset's
+//! [`DramImage`] words), and hands them back out at O(outputs) or less
+//! — the checked-out machine is indistinguishable from a fresh
+//! [`Machine::from_compiled`], which `crates/spatial/tests/pool.rs`
+//! property-tests across engines.
+//!
+//! The pool is sharded: every OS thread is assigned a home shard (a
+//! process-wide dense thread index modulo the shard count), check-out
+//! and check-in touch the home shard's lock first, and other shards are
+//! only visited with non-blocking `try_lock` steals when the home shard
+//! has nothing to offer. With at least as many shards as worker threads
+//! (the [`MachinePool::new`] default) a steady-state sweep worker never
+//! contends on a lock: it reuses the machine it checked in on its
+//! previous iteration.
+//!
+//! Lifecycle:
+//!
+//! 1. **checkout** — [`MachinePool::checkout`] (or
+//!    [`MachinePool::checkout_bound`], which follows with
+//!    [`Machine::bind_image`]) pops an idle machine for the program, or
+//!    constructs one on demand; the pool grows to the concurrency
+//!    actually used, O(threads × distinct programs).
+//! 2. **use** — the returned [`PooledMachine`] guard derefs to
+//!    [`Machine`]; run it like any other machine.
+//! 3. **check-in** — dropping the guard scrubs the machine (execution
+//!    state cleared, inputs unbound; arenas kept) and parks it on the
+//!    dropping thread's home shard. Machines that were re-linked to a
+//!    different program while checked out are discarded instead: their
+//!    slot space no longer matches the pool key's layout invariants.
+
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::bytecode::CompiledProgram;
+use crate::interp::{DramImage, Machine, RunError};
+
+/// Idle machines kept per (shard, program) free list. A sweep at `t`
+/// threads parks at most `t` machines per program, so this only bounds
+/// pathological churn (e.g. thousands of guards dropped on one thread).
+const MAX_IDLE_PER_KEY: usize = 32;
+
+/// Process-wide dense thread index, assigned on a thread's first pool
+/// interaction. Indexing shards by thread (not by a hash of anything
+/// per-checkout) is what gives each sweep worker a private fast path.
+static THREAD_COUNTER: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static THREAD_INDEX: usize = THREAD_COUNTER.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Idle machines, keyed by compiled-program identity (`Arc` address;
+/// every pooled machine holds the `Arc`, keeping the address stable).
+type Shard = HashMap<usize, Vec<Machine>>;
+
+/// Cumulative pool counters (monotonic; never reset by [`MachinePool::clear`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Machines constructed because no idle one was available.
+    pub created: u64,
+    /// Checkouts served by resetting an idle machine.
+    pub reused: u64,
+}
+
+/// A grow-on-demand pool of reusable [`Machine`]s. See the module docs
+/// for the sharding and lifecycle story. Shareable across threads by
+/// reference (`std::thread::scope`) or behind an `Arc`/`OnceLock`.
+#[derive(Debug)]
+pub struct MachinePool {
+    shards: Vec<Mutex<Shard>>,
+    created: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl MachinePool {
+    /// A pool with one shard per available hardware thread — enough
+    /// that sweep workers get private shards at any sane thread count.
+    pub fn new() -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::with_shards(shards)
+    }
+
+    /// A pool with an explicit shard count (min 1). One shard is a
+    /// plain mutex-guarded pool — useful in tests that need
+    /// deterministic reuse.
+    pub fn with_shards(shards: usize) -> Self {
+        MachinePool {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::new()))
+                .collect(),
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// The calling thread's home shard.
+    fn home_shard(&self) -> usize {
+        THREAD_INDEX.with(|i| *i) % self.shards.len()
+    }
+
+    /// Pops an idle machine for `key`: home shard first (blocking lock
+    /// — uncontended in steady state), then non-blocking steals from
+    /// the siblings.
+    fn take(&self, key: usize) -> Option<Machine> {
+        let home = self.home_shard();
+        if let Ok(mut shard) = self.shards[home].lock() {
+            if let Some(m) = shard.get_mut(&key).and_then(Vec::pop) {
+                return Some(m);
+            }
+        }
+        for (i, slot) in self.shards.iter().enumerate() {
+            if i == home {
+                continue;
+            }
+            if let Ok(mut shard) = slot.try_lock() {
+                if let Some(m) = shard.get_mut(&key).and_then(Vec::pop) {
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Pops an idle (check-in-scrubbed) machine for `compiled` or
+    /// constructs a fresh one, wrapped in the check-in-on-drop guard.
+    /// Parked machines carry no dataset (inputs unbound) and no
+    /// execution state — only their DRAM output segment is stale,
+    /// which `clear_outputs` is `true` to zero (skip it only when a
+    /// `bind_image`, which refills the segment, immediately follows).
+    fn checkout_raw(
+        &self,
+        compiled: &Arc<CompiledProgram>,
+        clear_outputs: bool,
+    ) -> PooledMachine<'_> {
+        let key = Arc::as_ptr(compiled) as usize;
+        let machine = match self.take(key) {
+            Some(mut m) => {
+                if clear_outputs {
+                    m.clear_outputs();
+                }
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                m
+            }
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                Machine::from_compiled(Arc::clone(compiled))
+            }
+        };
+        PooledMachine {
+            pool: self,
+            key,
+            machine: Some(machine),
+        }
+    }
+
+    /// Checks out a machine for `compiled`, indistinguishable from a
+    /// fresh [`Machine::from_compiled`] (machines are scrubbed at
+    /// check-in; checkout only zero-fills the stale output segment).
+    /// The guard checks the machine back in on drop.
+    pub fn checkout(&self, compiled: &Arc<CompiledProgram>) -> PooledMachine<'_> {
+        self.checkout_raw(compiled, true)
+    }
+
+    /// [`MachinePool::checkout`] followed by [`Machine::bind_image`]:
+    /// the pooled serving-loop step — one image re-bind on a recycled
+    /// machine, O(outputs) with no allocation (the redundant
+    /// pre-bind output zero-fill is skipped: `bind_image` refills the
+    /// segment).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::ImageMismatch`] when the image was built for a
+    /// different compiled program (the machine still returns to the
+    /// pool).
+    pub fn checkout_bound(
+        &self,
+        compiled: &Arc<CompiledProgram>,
+        image: &DramImage,
+    ) -> Result<PooledMachine<'_>, RunError> {
+        let mut machine = self.checkout_raw(compiled, false);
+        machine.bind_image(image)?;
+        Ok(machine)
+    }
+
+    /// Returns a machine to the dropping thread's home shard, scrubbed
+    /// first: execution state cleared and the input segment unbound,
+    /// so an idle machine never pins its last dataset's multi-MB
+    /// `DramImage` segment in memory (and the next checkout pays at
+    /// most an output zero-fill). Machines re-linked away from their
+    /// checkout program are discarded instead (their DRAM placement
+    /// still follows the construction-time program, but their on-chip
+    /// slot space grew past the pool key's layout).
+    fn check_in(&self, key: usize, mut machine: Machine) {
+        if Arc::as_ptr(machine.compiled()) as usize != key {
+            return;
+        }
+        machine.clear_exec_state();
+        machine.unbind_inputs();
+        if let Ok(mut shard) = self.shards[self.home_shard()].lock() {
+            let idle = shard.entry(key).or_default();
+            if idle.len() < MAX_IDLE_PER_KEY {
+                idle.push(machine);
+            }
+        }
+    }
+
+    /// Cumulative created/reused counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            created: self.created.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Idle machines currently parked across all shards.
+    pub fn idle(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .map(|shard| shard.values().map(Vec::len).sum())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Drops every idle machine (checked-out guards are unaffected).
+    pub fn clear(&self) {
+        for slot in &self.shards {
+            if let Ok(mut shard) = slot.lock() {
+                shard.clear();
+            }
+        }
+    }
+}
+
+impl Default for MachinePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A checked-out [`Machine`]: derefs to the machine, returns it to the
+/// pool on drop. Use [`PooledMachine::detach`] to keep the machine and
+/// skip the check-in.
+#[derive(Debug)]
+pub struct PooledMachine<'p> {
+    pool: &'p MachinePool,
+    key: usize,
+    machine: Option<Machine>,
+}
+
+impl PooledMachine<'_> {
+    /// Takes the machine out of the guard; it will not return to the
+    /// pool.
+    pub fn detach(mut self) -> Machine {
+        self.machine.take().expect("machine present until drop")
+    }
+}
+
+impl Deref for PooledMachine<'_> {
+    type Target = Machine;
+    fn deref(&self) -> &Machine {
+        self.machine.as_ref().expect("machine present until drop")
+    }
+}
+
+impl DerefMut for PooledMachine<'_> {
+    fn deref_mut(&mut self) -> &mut Machine {
+        self.machine.as_mut().expect("machine present until drop")
+    }
+}
+
+impl Drop for PooledMachine<'_> {
+    fn drop(&mut self) {
+        if let Some(machine) = self.machine.take() {
+            self.pool.check_in(self.key, machine);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Machine-pool reuse correctness: a machine checked out of a
+//! [`MachinePool`] after an **arbitrary prior run** must be
+//! byte-identical — DRAM contents and `ExecStats` alike — to a fresh
+//! [`Machine::from_compiled`], on both machine engines (flat bytecode
+//! and the recursive resolved tree), and must agree with the
+//! string-keyed [`ReferenceMachine`] oracle. This is the invariant that
+//! lets the sweep executor serve every measurement from recycled
+//! machines and still gate bitwise identity against the fresh-machine
+//! baseline.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+use stardust_spatial::ir::MemDecl;
+use stardust_spatial::{
+    CompiledProgram, Counter, DramImage, Machine, MachinePool, MemKind, RunError, SExpr,
+    SpatialProgram, SpatialStmt,
+};
+
+const SIZE: usize = 16;
+
+/// A program that reads both input arrays and writes DRAM through all
+/// three store paths (bulk, stream, scalar), parameterized by seed so
+/// the property sweep covers different shapes — the same generator the
+/// `DramImage` aliasing tests use.
+fn writing_program(seed: u64) -> SpatialProgram {
+    let mut rng = TestRng::for_test(&format!("pool-{seed}"));
+    let mut p = SpatialProgram::new(format!("pool_{seed}"));
+    p.add_dram("in0", SIZE);
+    p.add_dram("in1", SIZE);
+    p.add_dram("out0", SIZE);
+    p.add_dram("out1", SIZE);
+    p.accel
+        .push(SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, SIZE)));
+    p.accel.push(SpatialStmt::Load {
+        dst: "s".into(),
+        src: "in0".into(),
+        start: SExpr::Const(0.0),
+        end: SExpr::Const(SIZE as f64),
+        par: 1,
+    });
+    let n = 1 + rng.below(SIZE as u64 - 1);
+    p.accel.push(SpatialStmt::Store {
+        dst: "out0".into(),
+        offset: SExpr::Const(0.0),
+        src: "s".into(),
+        len: SExpr::Const(n as f64),
+        par: 1,
+    });
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::range_to("i", SExpr::Const(rng.below(SIZE as u64) as f64)),
+        par: 1,
+        body: vec![SpatialStmt::StoreScalar {
+            dst: "out1".into(),
+            index: SExpr::var("i"),
+            value: SExpr::add(
+                SExpr::read_random("in1", SExpr::var("i")),
+                SExpr::Const(rng.below(8) as f64),
+            ),
+        }],
+    });
+    p.assign_ids();
+    p
+}
+
+fn inputs(seed: u64) -> Vec<(&'static str, Vec<f64>)> {
+    let mut rng = TestRng::for_test(&format!("pool-inputs-{seed}"));
+    ["in0", "in1"]
+        .into_iter()
+        .map(|name| {
+            let data: Vec<f64> = (0..SIZE).map(|_| rng.below(32) as f64 - 8.0).collect();
+            (name, data)
+        })
+        .collect()
+}
+
+fn build_image(compiled: &Arc<CompiledProgram>, writes: &[(&str, Vec<f64>)]) -> DramImage {
+    let mut b = DramImage::builder(Arc::clone(compiled));
+    for (name, data) in writes {
+        let slot = compiled.syms().dram_slot(name).expect("declared");
+        b.write(slot, data).expect("fits");
+    }
+    b.finish()
+}
+
+fn dram_bits(m: &Machine, name: &str) -> Vec<u64> {
+    m.dram(name).unwrap().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `m` with the engine selected by `engine` (0 = bytecode, 1 =
+/// resolved tree).
+fn run_engine(m: &mut Machine, p: &SpatialProgram, engine: usize) -> stardust_spatial::ExecStats {
+    match engine {
+        0 => m.run(p).expect("bytecode engine runs"),
+        _ => m.run_tree(p).expect("resolved tree runs"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The pool-reuse property: dirty a pooled machine with an
+    /// arbitrary prior run (arbitrary dataset, either machine engine),
+    /// check it out again for a different dataset, and require the
+    /// rerun to be byte-identical — every DRAM array and the full
+    /// `ExecStats` — to a fresh machine, on both machine engines, and
+    /// in agreement with the string-keyed reference oracle.
+    #[test]
+    fn pooled_checkout_matches_fresh_machine(
+        seed in 0u64..50_000,
+        prior_seed in 0u64..50_000,
+        prior_engine in 0usize..2,
+        engine in 0usize..2,
+    ) {
+        let p = writing_program(seed);
+        let compiled = Arc::new(CompiledProgram::compile(&p));
+        let prior_image = build_image(&compiled, &inputs(prior_seed));
+        let target_writes = inputs(seed.wrapping_add(1));
+        let target_image = build_image(&compiled, &target_writes);
+
+        // One shard: the checked-in machine is deterministically the
+        // one the next checkout receives.
+        let pool = MachinePool::with_shards(1);
+        {
+            let mut dirty = pool
+                .checkout_bound(&compiled, &prior_image)
+                .expect("prior checkout");
+            run_engine(&mut dirty, &p, prior_engine);
+        }
+        prop_assert_eq!(pool.stats().created, 1);
+
+        let mut pooled = pool
+            .checkout_bound(&compiled, &target_image)
+            .expect("target checkout");
+        prop_assert_eq!(pool.stats().reused, 1, "checkout did not reuse");
+        let pooled_stats = run_engine(&mut pooled, &p, engine);
+
+        let mut fresh = Machine::from_compiled(Arc::clone(&compiled));
+        fresh.bind_image(&target_image).expect("fresh bind");
+        let fresh_stats = run_engine(&mut fresh, &p, engine);
+
+        prop_assert_eq!(&pooled_stats, &fresh_stats, "stats diverge on reuse");
+        for d in &p.drams {
+            prop_assert_eq!(
+                dram_bits(&pooled, &d.name),
+                dram_bits(&fresh, &d.name),
+                "DRAM {} diverges between pooled and fresh machine",
+                &d.name
+            );
+        }
+
+        // Third engine: the string-keyed reference walker agrees too.
+        let mut reference = stardust_spatial::ReferenceMachine::new(&p);
+        for (name, data) in &target_writes {
+            reference.write_dram(name, data).expect("mirror dram");
+        }
+        let ref_stats = reference.run(&p).expect("reference engine runs");
+        prop_assert_eq!(&pooled_stats, &ref_stats, "stats diverge from reference");
+        for d in &p.drams {
+            let r: Vec<u64> = reference
+                .dram(&d.name)
+                .expect("dram present")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            prop_assert_eq!(
+                dram_bits(&pooled, &d.name),
+                r,
+                "DRAM {} diverges from reference",
+                &d.name
+            );
+        }
+    }
+}
+
+/// Sequential checkouts create once, then recycle.
+#[test]
+fn checkout_creates_then_reuses() {
+    let p = writing_program(1);
+    let compiled = Arc::new(CompiledProgram::compile(&p));
+    let pool = MachinePool::with_shards(1);
+    for _ in 0..3 {
+        let m = pool.checkout(&compiled);
+        drop(m);
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.created, 1);
+    assert_eq!(stats.reused, 2);
+    assert_eq!(pool.idle(), 1);
+    pool.clear();
+    assert_eq!(pool.idle(), 0);
+}
+
+/// Two compiled programs keep separate free lists even in one shard.
+#[test]
+fn distinct_programs_do_not_share_machines() {
+    let p1 = writing_program(2);
+    let p2 = writing_program(3);
+    let c1 = Arc::new(CompiledProgram::compile(&p1));
+    let c2 = Arc::new(CompiledProgram::compile(&p2));
+    let pool = MachinePool::with_shards(1);
+    drop(pool.checkout(&c1));
+    drop(pool.checkout(&c2));
+    assert_eq!(pool.stats().created, 2, "c2 must not receive c1's machine");
+    assert_eq!(pool.idle(), 2);
+    drop(pool.checkout(&c1));
+    drop(pool.checkout(&c2));
+    assert_eq!(pool.stats().reused, 2);
+}
+
+/// A machine re-linked to a different program while checked out is
+/// discarded on check-in: its slot space no longer matches the pool
+/// key's layout invariants.
+#[test]
+fn relinked_machines_are_not_pooled() {
+    let p1 = writing_program(4);
+    let p2 = writing_program(5);
+    let compiled = Arc::new(CompiledProgram::compile(&p1));
+    let pool = MachinePool::with_shards(1);
+    {
+        let mut m = pool.checkout(&compiled);
+        m.run(&p2).expect("relink run");
+    }
+    assert_eq!(pool.idle(), 0, "relinked machine leaked back into the pool");
+    drop(pool.checkout(&compiled));
+    let stats = pool.stats();
+    assert_eq!(stats.created, 2);
+    assert_eq!(stats.reused, 0);
+}
+
+/// `checkout_bound` rejects an image built for a different program and
+/// still returns the (clean) machine to the pool.
+#[test]
+fn checkout_bound_rejects_mismatched_image() {
+    let p1 = writing_program(6);
+    let p2 = writing_program(7);
+    let c1 = Arc::new(CompiledProgram::compile(&p1));
+    let c2 = Arc::new(CompiledProgram::compile(&p2));
+    let image = build_image(&c1, &inputs(6));
+    let pool = MachinePool::with_shards(1);
+    match pool.checkout_bound(&c2, &image) {
+        Err(RunError::ImageMismatch) => {}
+        other => panic!("expected ImageMismatch, got {other:?}"),
+    }
+    assert_eq!(pool.idle(), 1, "the clean machine must return to the pool");
+}
+
+/// A detached machine never returns to the pool.
+#[test]
+fn detached_machines_leave_the_pool() {
+    let p = writing_program(8);
+    let compiled = Arc::new(CompiledProgram::compile(&p));
+    let pool = MachinePool::with_shards(1);
+    let m = pool.checkout(&compiled).detach();
+    drop(m);
+    assert_eq!(pool.idle(), 0);
+}
+
+/// The pool is shared across scoped threads: concurrent workers check
+/// out, run, and check in without losing a measurement, and every
+/// checkout is accounted as created or reused.
+#[test]
+fn pool_serves_concurrent_workers() {
+    let p = writing_program(9);
+    let compiled = Arc::new(CompiledProgram::compile(&p));
+    let image = build_image(&compiled, &inputs(9));
+    let pool = MachinePool::new();
+
+    let mut expected = Machine::from_compiled(Arc::clone(&compiled));
+    expected.bind_image(&image).expect("bind");
+    expected.run(&p).expect("runs");
+    let want: Vec<Vec<u64>> = p
+        .drams
+        .iter()
+        .map(|d| dram_bits(&expected, &d.name))
+        .collect();
+
+    const THREADS: usize = 4;
+    const ITERS: usize = 8;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..ITERS {
+                    let mut m = pool.checkout_bound(&compiled, &image).expect("checkout");
+                    m.run(&p).expect("runs");
+                    for (d, bits) in p.drams.iter().zip(&want) {
+                        assert_eq!(
+                            &dram_bits(&m, &d.name),
+                            bits,
+                            "worker diverged on {}",
+                            d.name
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let stats = pool.stats();
+    assert_eq!(
+        stats.created + stats.reused,
+        (THREADS * ITERS) as u64,
+        "every checkout must be accounted"
+    );
+    assert!(
+        pool.idle() as u64 <= stats.created,
+        "more idle machines than were ever created"
+    );
+}
