@@ -20,15 +20,15 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use stardust_bench::best_ns;
 use stardust_datasets::random_matrix;
 use stardust_spatial::ir::MemDecl;
 use stardust_spatial::{
-    CompiledProgram, Counter, DramImage, Machine, MachinePool, MemKind, ReferenceMachine, SExpr,
-    SpatialProgram, SpatialStmt,
+    CompiledProgram, Counter, DramImage, Machine, MachinePool, MemKind, ReferenceMachine,
+    RunBudget, SExpr, SpatialProgram, SpatialStmt,
 };
 use stardust_tensor::{Format, SparseTensor};
 
@@ -420,9 +420,30 @@ fn speedup_summary(_c: &mut Criterion) {
         let bytecode = w.machine();
         let reference = w.reference();
         bytecode.clone().run(&w.program).expect("warmup");
-        let bc_t = time_best(&bytecode, |m| {
+        // Budgets-enabled leg: a generous (never-hit) fuel budget plus a
+        // wall-clock deadline arms the full accounting path — per-step
+        // fuel countdown and the masked back-edge interrupt check. The
+        // acceptance bar for the fault-isolation layer is ≤5% overhead
+        // vs the unbudgeted run at this size, so the two legs are timed
+        // *interleaved* (alternating reps, best of five each): run-to-run
+        // drift on a shared container swamps a few percent when the legs
+        // are measured in separate windows.
+        let budget = RunBudget::default()
+            .with_max_steps(u64::MAX / 2)
+            .with_deadline(Duration::from_secs(3600));
+        let (mut bc_t, mut bud_t) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..5 {
+            let mut m = bytecode.clone();
+            let t0 = Instant::now();
             m.run(&w.program).expect("bytecode runs");
-        });
+            bc_t = bc_t.min(t0.elapsed().as_secs_f64());
+            let mut m = bytecode.clone();
+            m.set_budget(budget.clone());
+            let t0 = Instant::now();
+            m.run(&w.program).expect("budgeted bytecode runs");
+            bud_t = bud_t.min(t0.elapsed().as_secs_f64());
+        }
+        let budget_overhead_pct = (bud_t / bc_t - 1.0) * 100.0;
         let tree_t = time_best(&bytecode, |m| {
             m.run_tree(&w.program).expect("resolved tree runs");
         });
@@ -431,13 +452,16 @@ fn speedup_summary(_c: &mut Criterion) {
         });
         println!(
             "{} nnz={nnz}: bytecode {:.1} ms, resolved-tree {:.1} ms, reference {:.1} ms, \
-             bytecode/tree {:.2}x, bytecode/reference {:.2}x",
+             bytecode/tree {:.2}x, bytecode/reference {:.2}x, \
+             budgeted bytecode {:.1} ms ({:+.1}% overhead)",
             w.name,
             bc_t * 1e3,
             tree_t * 1e3,
             ref_t * 1e3,
             tree_t / bc_t,
             ref_t / bc_t,
+            bud_t * 1e3,
+            budget_overhead_pct,
         );
         let elems = w.elements as f64;
         if !rows.is_empty() {
@@ -458,6 +482,7 @@ fn speedup_summary(_c: &mut Criterion) {
        "resolved_tree": {{"seconds": {tree_t:.6e}, "elems_per_sec": {:.6e}, "state": "arena"}},
        "reference": {{"seconds": {ref_t:.6e}, "elems_per_sec": {:.6e}, "state": "per_slot_heap"}}
      }},
+     "budgeted_bytecode": {{"seconds": {bud_t:.6e}, "overhead_pct": {budget_overhead_pct:.2}}},
      "speedup_bytecode_vs_tree": {:.4},
      "speedup_bytecode_vs_reference": {:.4},
      "speedup_arena_bytecode_vs_prearena_reference": {:.4},

@@ -192,11 +192,16 @@ fn main() {
         .expect("write to string");
     }
     let pool_stats = machine_pool().stats();
+    let recovery = stardust_kernels::recovery_stats();
     println!(
-        "machine pool: {} created, {} reused, {} idle",
+        "machine pool: {} created, {} reused, {} quarantined, {} idle; \
+         recovery: {} retried, {} aborted",
         pool_stats.created,
         pool_stats.reused,
-        machine_pool().idle()
+        pool_stats.quarantined,
+        machine_pool().idle(),
+        recovery.retried,
+        recovery.aborted,
     );
 
     // Copy-on-write image binding must be invisible in the results:
@@ -242,10 +247,13 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         let json = format!(
-            "{{\n  \"bench\": \"parallel-sweep\",\n  \"kernels\": [{kernel_list}],\n  \"datasets\": {datasets},\n  \"serial_seconds\": {serial_secs:.6e},\n  \"thread_counts\": {threads:?},\n  \"runs\": [{rows}\n  ],\n  \"pool\": {{\"machines_created\": {}, \"machines_reused\": {}, \"idle\": {}}},\n  \"image_bound\": {{\"seconds\": {image_secs:.6e}, \"identical_to_serial\": true, \"images_cached\": {}}},\n  \"bind_split\": [{bind_rows}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"parallel-sweep\",\n  \"kernels\": [{kernel_list}],\n  \"datasets\": {datasets},\n  \"serial_seconds\": {serial_secs:.6e},\n  \"thread_counts\": {threads:?},\n  \"runs\": [{rows}\n  ],\n  \"pool\": {{\"machines_created\": {}, \"machines_reused\": {}, \"machines_quarantined\": {}, \"idle\": {}}},\n  \"recovery\": {{\"retried\": {}, \"aborted\": {}}},\n  \"image_bound\": {{\"seconds\": {image_secs:.6e}, \"identical_to_serial\": true, \"images_cached\": {}}},\n  \"bind_split\": [{bind_rows}\n  ]\n}}\n",
             pool_stats.created,
             pool_stats.reused,
+            pool_stats.quarantined,
             machine_pool().idle(),
+            recovery.retried,
+            recovery.aborted,
             image_cache().len(),
         );
         std::fs::write(&path, json).expect("write sweep summary");

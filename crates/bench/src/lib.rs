@@ -17,6 +17,7 @@
 //! crossovers) is what these harnesses reproduce.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -462,9 +463,17 @@ pub fn measure_bandwidth_sweep(kernel: &Kernel, set: &InputSet, bandwidths: &[f6
 /// distributed dynamically via an atomic cursor so imbalanced items
 /// (e.g. datasets of very different nnz) do not idle whole threads.
 ///
+/// Panics in `f` are *contained per item*: a panicking measurement
+/// unwinds only its own item (poisoning the pooled machine it held, so
+/// the pool quarantines it on check-in), the worker thread survives to
+/// process the remaining items, and sibling workers are never torn
+/// down mid-measurement.
+///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
+/// Re-raises the first (lowest-index) contained panic after the whole
+/// sweep completes, so the failure is deterministic regardless of
+/// thread interleaving.
 pub fn parallel_sweep<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -476,7 +485,8 @@ where
         return items.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -484,17 +494,24 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
-                *slots[i].lock().expect("result slot") = Some(r);
+                // Contain the panic at the item boundary: the unwind
+                // drops the worker's pooled-machine guard (check-in
+                // quarantines the poisoned machine) and the thread
+                // moves on to the next item instead of collapsing the
+                // scope while siblings are mid-run.
+                let r = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
             });
         }
     });
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every item processed")
+            let r = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every item processed");
+            r.unwrap_or_else(|payload| resume_unwind(payload))
         })
         .collect()
 }
@@ -656,6 +673,34 @@ mod tests {
         }
         let empty: Vec<usize> = Vec::new();
         assert!(parallel_sweep(&empty, 4, |&i: &usize| i).is_empty());
+    }
+
+    /// One panicking item must not tear down sibling workers: every
+    /// other item still completes, and the panic is re-raised (with its
+    /// payload intact) only after the whole sweep has drained.
+    #[test]
+    fn parallel_sweep_contains_item_panics() {
+        let items: Vec<usize> = (0..16).collect();
+        let processed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_sweep(&items, 4, |&i| {
+                if i == 5 {
+                    panic!("injected sweep panic at item {i}");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        let payload = result.expect_err("the contained panic must re-raise");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("string panic payload");
+        assert!(msg.contains("item 5"), "wrong payload: {msg}");
+        assert_eq!(
+            processed.load(Ordering::Relaxed),
+            15,
+            "a panicking item starved its siblings"
+        );
     }
 
     #[test]

@@ -1,11 +1,44 @@
-//! Compiler error type.
+//! Compiler and execution error taxonomy.
+//!
+//! Every fallible path in the pipeline surfaces one of three families,
+//! all carried by [`CompileError`]:
+//!
+//! 1. **Compile-time** — the program itself is rejected before any
+//!    execution: [`CompileError::Ir`] (expression/index algebra),
+//!    [`CompileError::Schedule`] (a scheduling command did not apply),
+//!    [`CompileError::UndeclaredTensor`], [`CompileError::NoLoweringRule`]
+//!    (per §7.1 these would fall back to the host on a real deployment).
+//! 2. **Binding/memory** — [`CompileError::Memory`]: the memory
+//!    analysis could not place an array, an input dataset is missing or
+//!    mis-formatted, or a read-back output violates its format
+//!    invariants. These are diagnosable from the message alone and
+//!    carry no machine state.
+//! 3. **Execution** — a run started and did not finish cleanly.
+//!    [`CompileError::Execution`] wraps the interpreter's structured
+//!    [`RunError`] (out-of-bounds, FIFO underflow,
+//!    [`RunError::BudgetExceeded`] from a fuel/DRAM/deadline budget,
+//!    [`RunError::InjectedFault`] from the `spatial::faults` harness),
+//!    preserving the variant so callers can distinguish a deterministic
+//!    budget abort from a transient injected fault.
+//!    [`CompileError::ExecutionPanic`] is a panic *contained* at an
+//!    execution boundary (pooled execution, a sweep worker): the
+//!    machine involved is poisoned and quarantined by its pool, and the
+//!    payload message is preserved here instead of unwinding the
+//!    process.
+//!
+//! Retry guidance: `ExecutionPanic` and `Execution(InjectedFault)` are
+//! transient — the kernel-level `run_pooled` policy retries them once
+//! on a fresh machine. `Execution(BudgetExceeded)` is deterministic
+//! (the same run will exhaust the same budget) and is never retried.
 
 use std::error::Error;
 use std::fmt;
 
 use stardust_ir::IrError;
+use stardust_spatial::RunError;
 
-/// Errors produced by the Stardust compiler.
+/// Errors produced by the Stardust compiler and execution harness.
+/// See the module docs for the full taxonomy.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
     /// An error bubbled up from the IR layer.
@@ -19,6 +52,15 @@ pub enum CompileError {
     /// The lowering rewrite system had no rule for a pattern (which, per
     /// §7.1, would fall back to the host on a real deployment).
     NoLoweringRule(String),
+    /// A run aborted with a structured interpreter error — including
+    /// budget exhaustion ([`RunError::BudgetExceeded`]) and injected
+    /// faults ([`RunError::InjectedFault`]). The variant is preserved
+    /// so callers can make retry decisions.
+    Execution(RunError),
+    /// A panic contained at an execution boundary (pooled run, sweep
+    /// worker); the payload message survives, the process does not
+    /// unwind, and the machine involved is quarantined by its pool.
+    ExecutionPanic(String),
 }
 
 impl fmt::Display for CompileError {
@@ -29,6 +71,8 @@ impl fmt::Display for CompileError {
             CompileError::UndeclaredTensor(t) => write!(f, "undeclared tensor {t}"),
             CompileError::Memory(m) => write!(f, "memory analysis error: {m}"),
             CompileError::NoLoweringRule(m) => write!(f, "no lowering rule: {m}"),
+            CompileError::Execution(e) => write!(f, "simulation error: {e}"),
+            CompileError::ExecutionPanic(m) => write!(f, "execution panicked: {m}"),
         }
     }
 }
@@ -37,6 +81,7 @@ impl Error for CompileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CompileError::Ir(e) => Some(e),
+            CompileError::Execution(e) => Some(e),
             _ => None,
         }
     }
@@ -45,6 +90,26 @@ impl Error for CompileError {
 impl From<IrError> for CompileError {
     fn from(e: IrError) -> Self {
         CompileError::Ir(e)
+    }
+}
+
+impl From<RunError> for CompileError {
+    fn from(e: RunError) -> Self {
+        CompileError::Execution(e)
+    }
+}
+
+impl CompileError {
+    /// Whether a retry on a fresh machine could plausibly succeed:
+    /// `true` for contained panics and one-shot injected faults,
+    /// `false` for everything deterministic (budget exhaustion rides a
+    /// configured limit; compile/binding errors need a code change).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            CompileError::ExecutionPanic(_)
+                | CompileError::Execution(RunError::InjectedFault { .. })
+        )
     }
 }
 
@@ -63,6 +128,9 @@ mod tests {
         assert!(CompileError::NoLoweringRule("x".into())
             .to_string()
             .contains("rule"));
+        assert!(CompileError::ExecutionPanic("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 
     #[test]
@@ -70,5 +138,21 @@ mod tests {
         let e = CompileError::from(IrError::UnknownTensor("B".into()));
         assert!(e.source().is_some());
         assert!(e.to_string().contains('B'));
+    }
+
+    #[test]
+    fn execution_keeps_structured_source() {
+        let e = CompileError::from(RunError::BudgetExceeded {
+            resource: stardust_spatial::BudgetResource::Steps,
+            limit: 10,
+        });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("step budget"));
+        assert!(!e.is_transient());
+        assert!(CompileError::Execution(RunError::InjectedFault {
+            site: "step 3".into()
+        })
+        .is_transient());
+        assert!(CompileError::ExecutionPanic("x".into()).is_transient());
     }
 }

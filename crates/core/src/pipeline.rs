@@ -8,6 +8,7 @@
 //! path every correctness test and every simulated benchmark goes through.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -16,7 +17,7 @@ use stardust_spatial::interp::mix64;
 use stardust_spatial::printer::spatial_loc;
 use stardust_spatial::{
     print_program, validate, CompiledProgram, DramImage, ExecStats, Machine, MachinePool,
-    PooledMachine, ProgramCache, RunError, Slot, SpatialProgram,
+    PooledMachine, ProgramCache, RunBudget, RunError, Slot, SpatialProgram,
 };
 use stardust_tensor::{CooTensor, DenseTensor, Format, LevelFormat, LevelStorage, SparseTensor};
 
@@ -24,6 +25,18 @@ use crate::context::Program;
 use crate::error::CompileError;
 use crate::lower::{Lowerer, SizeHints};
 use crate::memory::MemoryPlan;
+
+/// Best-effort extraction of a contained panic's message (the payload
+/// of a `panic!` is `&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Concrete input data for one declared tensor.
 #[derive(Debug, Clone)]
@@ -387,10 +400,26 @@ impl CompiledKernel {
     /// Same as [`CompiledKernel::execute`], plus the image-mismatch
     /// error of [`CompiledKernel::bind_image`].
     pub fn execute_image(&self, image: &DramImage) -> Result<KernelRun, CompileError> {
+        self.execute_image_budgeted(image, &RunBudget::unlimited())
+    }
+
+    /// [`CompiledKernel::execute_image`] under a [`RunBudget`]: the run
+    /// aborts with [`CompileError::Execution`]`(`[`RunError::BudgetExceeded`]`)`
+    /// when it exhausts its fuel, DRAM-word, or wall-clock allowance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledKernel::execute_image`], plus budget aborts.
+    pub fn execute_image_budgeted(
+        &self,
+        image: &DramImage,
+        budget: &RunBudget,
+    ) -> Result<KernelRun, CompileError> {
         let mut machine = self.bind_image(image)?;
+        machine.set_budget(budget.clone());
         let stats = machine
             .run(self.spatial.source())
-            .map_err(|e| CompileError::Memory(format!("simulation error: {e}")))?;
+            .map_err(CompileError::Execution)?;
         let output = self.read_output(&machine)?;
         Ok(KernelRun { output, stats })
     }
@@ -440,10 +469,41 @@ impl CompiledKernel {
         image: &DramImage,
         pool: &MachinePool,
     ) -> Result<KernelRun, CompileError> {
+        self.execute_image_pooled_budgeted(image, pool, &RunBudget::unlimited())
+    }
+
+    /// [`CompiledKernel::execute_image_pooled`] under a [`RunBudget`],
+    /// with **panic containment**: a panic inside the interpreter run —
+    /// real or injected by the `spatial::faults` harness — is caught
+    /// here and surfaced as [`CompileError::ExecutionPanic`] instead of
+    /// unwinding the caller. The machine involved is poisoned either
+    /// way and the pool quarantines it at check-in, so the contained
+    /// state can never be recycled — which is what makes the
+    /// `AssertUnwindSafe` below sound: nothing the panic tore through
+    /// is ever observed again.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledKernel::execute_image_budgeted`], plus
+    /// [`CompileError::ExecutionPanic`] for contained panics.
+    pub fn execute_image_pooled_budgeted(
+        &self,
+        image: &DramImage,
+        pool: &MachinePool,
+        budget: &RunBudget,
+    ) -> Result<KernelRun, CompileError> {
         let mut machine = self.bind_image_pooled(image, pool)?;
-        let stats = machine
-            .run(self.spatial.source())
-            .map_err(|e| CompileError::Memory(format!("simulation error: {e}")))?;
+        machine.set_budget(budget.clone());
+        let run = catch_unwind(AssertUnwindSafe(|| machine.run(self.spatial.source())));
+        // The guard drops here on both paths; a poisoned machine (error
+        // or panic) is quarantined by the pool, not recycled.
+        let stats = match run {
+            Ok(result) => result.map_err(CompileError::Execution)?,
+            Err(payload) => {
+                drop(machine);
+                return Err(CompileError::ExecutionPanic(panic_message(&payload)));
+            }
+        };
         let output = self.read_output(&machine)?;
         Ok(KernelRun { output, stats })
     }
@@ -460,7 +520,7 @@ impl CompiledKernel {
         let mut machine = self.bind(inputs)?;
         let stats = machine
             .run(self.spatial.source())
-            .map_err(|e| CompileError::Memory(format!("simulation error: {e}")))?;
+            .map_err(CompileError::Execution)?;
         let output = self.read_output(&machine)?;
         Ok(KernelRun { output, stats })
     }
@@ -478,9 +538,10 @@ impl CompiledKernel {
             .decl(out)
             .ok_or_else(|| CompileError::UndeclaredTensor(out.to_string()))?;
         if decl.is_scalar() {
-            let v = machine
+            let v = *machine
                 .dram(&format!("{out}_dram"))
-                .ok_or_else(|| CompileError::Memory("missing scalar output".into()))?[0];
+                .and_then(|arr| arr.first())
+                .ok_or_else(|| CompileError::Memory("missing scalar output".into()))?;
             return Ok(KernelOutput::Scalar(v));
         }
         let mut levels = Vec::with_capacity(decl.format.rank());
@@ -501,7 +562,14 @@ impl CompiledKernel {
                             &mut pos,
                         )
                         .map_err(|e| CompileError::Memory(format!("pos array: {e}")))?;
-                    let nnz = pos[parents];
+                    let nnz = *pos.get(parents).ok_or_else(|| {
+                        CompileError::Memory(format!(
+                            "pos array for {out} level {} has {} entries, need {}",
+                            l + 1,
+                            pos.len(),
+                            parents + 1
+                        ))
+                    })?;
                     let mut crd = Vec::new();
                     machine
                         .read_dram_usize_into(&format!("{out}{}_crd_dram", l + 1), nnz, &mut crd)
@@ -514,7 +582,15 @@ impl CompiledKernel {
         let vals_all = machine
             .dram(&format!("{out}_vals_dram"))
             .ok_or_else(|| CompileError::Memory("missing vals array".into()))?;
-        let vals: Vec<f64> = vals_all[..parents].to_vec();
+        let vals: Vec<f64> = vals_all
+            .get(..parents)
+            .ok_or_else(|| {
+                CompileError::Memory(format!(
+                    "vals array for {out} has {} words, need {parents}",
+                    vals_all.len()
+                ))
+            })?
+            .to_vec();
         let tensor = SparseTensor::from_parts(decl.dims.clone(), decl.format.clone(), levels, vals)
             .map_err(|e| CompileError::Memory(format!("malformed output: {e}")))?;
         Ok(KernelOutput::Tensor(tensor))
@@ -567,9 +643,11 @@ impl ImageCache {
     /// Same as [`CompiledKernel::build_image`], plus the missing-input
     /// error of [`CompiledKernel::input_content_id`].
     ///
-    /// # Panics
-    ///
-    /// Panics if a cache lock was poisoned by a panicking thread.
+    /// Lock poisoning is survived: a thread that panicked mid-build
+    /// leaves its entry empty (`None` — the image is only published
+    /// after a successful build), so recovering the guard and
+    /// rebuilding is always sound and the cache stays usable after a
+    /// contained fault.
     pub fn get_or_build(
         &self,
         kernel: &CompiledKernel,
@@ -582,14 +660,14 @@ impl ImageCache {
         let entry = Arc::clone(
             self.inner
                 .lock()
-                .expect("image cache lock")
+                .unwrap_or_else(|e| e.into_inner())
                 .entry(key)
                 .or_default(),
         );
         // The cache-wide lock is released; only this key's build lock
         // is held while converting, so distinct datasets build in
         // parallel and same-key racers wait for one build.
-        let mut slot = entry.lock().expect("image build lock");
+        let mut slot = entry.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(hit) = slot.as_ref() {
             return Ok(Arc::clone(hit));
         }
@@ -600,21 +678,17 @@ impl ImageCache {
     }
 
     /// Number of cached (successfully built) images.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a cache lock was poisoned.
     pub fn len(&self) -> usize {
         let entries: Vec<_> = self
             .inner
             .lock()
-            .expect("image cache lock")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .cloned()
             .collect();
         entries
             .iter()
-            .filter(|e| e.lock().expect("image build lock").is_some())
+            .filter(|e| e.lock().unwrap_or_else(|p| p.into_inner()).is_some())
             .count()
     }
 

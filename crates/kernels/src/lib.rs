@@ -19,4 +19,4 @@ pub use defs::{
     innerprod, mattransmul, mttkrp, plus2, plus3, residual, sddmm, spmv, suite, ttm, ttv, Kernel,
     Stage,
 };
-pub use runner::{KernelResult, StageRun};
+pub use runner::{recovery_stats, KernelResult, RecoveryStats, StageRun};

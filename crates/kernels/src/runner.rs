@@ -1,14 +1,84 @@
 //! Compiling and executing kernels end-to-end (multi-stage aware).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use stardust_core::lower::SizeHints;
-use stardust_core::pipeline::{CompiledKernel, Compiler, ImageCache, KernelOutput, TensorData};
+use stardust_core::pipeline::{
+    CompiledKernel, Compiler, ImageCache, KernelOutput, KernelRun, TensorData,
+};
 use stardust_core::CompileError;
-use stardust_spatial::{ExecStats, MachinePool, ProgramCache};
+use stardust_spatial::{DramImage, ExecStats, MachinePool, ProgramCache, RunBudget};
 use stardust_tensor::SparseTensor;
 
 use crate::defs::Kernel;
+
+/// Process-wide counters for the pooled-execution recovery policy:
+/// `RETRIED` counts stage runs that failed transiently (contained
+/// panic, injected fault) and were retried once on a fresh machine;
+/// `ABORTED` counts stage runs that failed for good — a deterministic
+/// error, or a retry that failed again. Monotonic, like the pool's
+/// created/reused/quarantined counters; the sweep binary reports them
+/// in its summary.
+static RETRIED: AtomicU64 = AtomicU64::new(0);
+static ABORTED: AtomicU64 = AtomicU64::new(0);
+
+/// The capped backoff slept before the single retry — long enough to
+/// let a transiently-wedged resource settle, short enough to be
+/// invisible against a kernel run.
+const RETRY_BACKOFF: Duration = Duration::from_millis(5);
+
+/// Cumulative recovery counters (see [`recovery_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Transient stage failures retried once on a fresh machine.
+    pub retried: u64,
+    /// Stage runs that aborted for good (deterministic error, or the
+    /// retry failed too).
+    pub aborted: u64,
+}
+
+/// The process-wide [`RecoveryStats`] for every pooled kernel run so
+/// far.
+pub fn recovery_stats() -> RecoveryStats {
+    RecoveryStats {
+        retried: RETRIED.load(Ordering::Relaxed),
+        aborted: ABORTED.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs one stage on a pooled machine under the recovery policy:
+/// transient failures ([`CompileError::is_transient`] — a contained
+/// panic or a one-shot injected fault) are retried exactly once, after
+/// [`RETRY_BACKOFF`], on a *fresh* machine — the faulted one was
+/// poisoned and quarantined at check-in, so the retry checkout can
+/// only receive a clean or newly constructed machine. Deterministic
+/// failures (budget exhaustion, bind errors) abort immediately: the
+/// same run would fail the same way.
+fn run_stage_pooled(
+    compiled: &CompiledKernel,
+    image: &DramImage,
+    pool: &MachinePool,
+    budget: &RunBudget,
+) -> Result<KernelRun, CompileError> {
+    match compiled.execute_image_pooled_budgeted(image, pool, budget) {
+        Ok(run) => Ok(run),
+        Err(e) if e.is_transient() => {
+            RETRIED.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(RETRY_BACKOFF);
+            compiled
+                .execute_image_pooled_budgeted(image, pool, budget)
+                .inspect_err(|_| {
+                    ABORTED.fetch_add(1, Ordering::Relaxed);
+                })
+        }
+        Err(e) => {
+            ABORTED.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        }
+    }
+}
 
 /// One executed stage: its compiled form plus interpreter statistics.
 #[derive(Debug, Clone)]
@@ -181,7 +251,29 @@ impl Kernel {
         images: &ImageCache,
         pool: &MachinePool,
     ) -> Result<KernelResult, CompileError> {
-        self.run_with_impl(inputs, Some(cache), Some((images, Some(pool))))
+        self.run_pooled_budgeted(inputs, cache, images, pool, &RunBudget::unlimited())
+    }
+
+    /// [`Kernel::run_pooled`] with every stage run under `budget`: the
+    /// serving-layer entry point. Runaway stages abort with
+    /// [`CompileError::Execution`]`(`[`stardust_spatial::RunError::BudgetExceeded`]`)`
+    /// instead of hanging, contained panics surface as
+    /// [`CompileError::ExecutionPanic`], and transient failures are
+    /// retried once on a fresh machine (see [`recovery_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile or simulation error, after the retry
+    /// policy has been exhausted.
+    pub fn run_pooled_budgeted(
+        &self,
+        inputs: &HashMap<String, TensorData>,
+        cache: &ProgramCache,
+        images: &ImageCache,
+        pool: &MachinePool,
+        budget: &RunBudget,
+    ) -> Result<KernelResult, CompileError> {
+        self.run_with_impl(inputs, Some(cache), Some((images, Some((pool, budget)))))
     }
 
     fn run_with(
@@ -196,7 +288,7 @@ impl Kernel {
         &self,
         inputs: &HashMap<String, TensorData>,
         cache: Option<&ProgramCache>,
-        images: Option<(&ImageCache, Option<&MachinePool>)>,
+        images: Option<(&ImageCache, Option<(&MachinePool, &RunBudget)>)>,
     ) -> Result<KernelResult, CompileError> {
         let mut available = inputs.clone();
         let mut stages = Vec::with_capacity(self.stages.len());
@@ -215,7 +307,7 @@ impl Kernel {
                     // per dataset, keeping their cached images valid.
                     let image = images.get_or_build(&compiled, &available)?;
                     match pool {
-                        Some(pool) => compiled.execute_image_pooled(&image, pool)?,
+                        Some((pool, budget)) => run_stage_pooled(&compiled, &image, pool, budget)?,
                         None => compiled.execute_image(&image)?,
                     }
                 }
@@ -233,10 +325,9 @@ impl Kernel {
                 stats: run.stats,
             });
         }
-        Ok(KernelResult {
-            output: last_output.expect("at least one stage"),
-            stages,
-        })
+        let output = last_output
+            .ok_or_else(|| CompileError::Schedule("kernel has no stages to run".into()))?;
+        Ok(KernelResult { output, stages })
     }
 }
 
@@ -357,5 +448,91 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.created as usize, k.stages.len());
         assert_eq!(stats.reused as usize, k.stages.len());
+    }
+
+    /// The serving-layer recovery policy end to end: a one-shot
+    /// injected error or contained panic quarantines the faulted
+    /// machine and is retried once on a fresh one — producing output
+    /// identical to a never-faulted run — while a deterministic budget
+    /// abort is surfaced immediately with no retry.
+    #[test]
+    fn pooled_run_retries_transient_faults_and_matches_clean_run() {
+        use stardust_spatial::{faults, FaultPlan, RunError};
+
+        let k = defs::spmv(16);
+        let a = random_matrix(16, 16, 0.25, 1);
+        let x = random_vector(16, 2);
+        let mut inputs = HashMap::new();
+        inputs.insert("A".into(), TensorData::from_coo(&a, Format::csr()));
+        inputs.insert("x".into(), TensorData::from_coo(&x, Format::dense_vec()));
+        let cache = stardust_spatial::ProgramCache::new();
+        let images = ImageCache::new();
+        let pool = MachinePool::with_shards(1);
+
+        let clean = k.run_pooled(&inputs, &cache, &images, &pool).unwrap();
+        let before = recovery_stats();
+        let quarantined_before = pool.stats().quarantined;
+
+        // A one-shot injected error: first attempt faults (machine
+        // quarantined), the retry on a fresh machine succeeds, and the
+        // recovered output is identical to the clean run.
+        let plan = FaultPlan {
+            error_at_step: Some(2),
+            ..FaultPlan::default()
+        };
+        let recovered = faults::with_plan(plan, || {
+            k.run_pooled(&inputs, &cache, &images, &pool)
+                .expect("retry must recover the injected error")
+        });
+        assert_eq!(clean.total_stats(), recovered.total_stats());
+        assert!(clean
+            .output
+            .to_dense()
+            .approx_eq(&recovered.output.to_dense())
+            .is_ok());
+        let after = recovery_stats();
+        assert_eq!(after.retried, before.retried + 1, "no retry recorded");
+        assert_eq!(
+            after.aborted, before.aborted,
+            "recovered run counted as abort"
+        );
+        assert_eq!(
+            pool.stats().quarantined,
+            quarantined_before + 1,
+            "faulted machine not quarantined"
+        );
+
+        // A contained panic takes the same path.
+        let plan = FaultPlan {
+            panic_at_step: Some(2),
+            ..FaultPlan::default()
+        };
+        let recovered = faults::with_plan(plan, || {
+            k.run_pooled(&inputs, &cache, &images, &pool)
+                .expect("retry must recover the contained panic")
+        });
+        assert_eq!(clean.total_stats(), recovered.total_stats());
+        assert_eq!(recovery_stats().retried, before.retried + 2);
+
+        // Budget exhaustion is deterministic: surfaced as a structured
+        // error, counted as an abort, never retried.
+        let tiny = RunBudget::default().with_max_steps(1);
+        let err = k
+            .run_pooled_budgeted(&inputs, &cache, &images, &pool, &tiny)
+            .expect_err("a 1-step budget cannot cover SpMV");
+        assert!(
+            matches!(
+                err,
+                CompileError::Execution(RunError::BudgetExceeded { .. })
+            ),
+            "wrong abort error: {err:?}"
+        );
+        let final_stats = recovery_stats();
+        assert_eq!(
+            final_stats.retried,
+            before.retried + 2,
+            "deterministic budget abort must not be retried"
+        );
+        assert_eq!(final_stats.aborted, before.aborted + 1);
     }
 }

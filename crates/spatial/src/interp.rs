@@ -32,9 +32,12 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::bytecode::{CompiledProgram, EOp, FusedOp, GatherRef, Op, OpId, Operand};
+use crate::faults;
 use crate::ir::{BinSOp, MemKind, ScanOp, SpatialProgram};
 use crate::resolve::{
     bit_words_for, ExprId, ResolvedCounter, ResolvedExpr, ResolvedProgram, ResolvedStmt, Slot,
@@ -69,6 +72,226 @@ pub enum RunError {
     /// A [`DramImage`] built for one compiled program was bound to a
     /// machine running an incompatible one.
     ImageMismatch,
+    /// A [`RunBudget`] resource was exhausted mid-run. The machine's
+    /// state is abandoned partway through the program — callers must
+    /// treat it as poisoned (the [`crate::MachinePool`] quarantines it
+    /// automatically).
+    BudgetExceeded {
+        /// Which budgeted resource ran out.
+        resource: BudgetResource,
+        /// The configured limit (steps, words, or deadline millis;
+        /// `0` for cancellation, which has no numeric limit).
+        limit: u64,
+    },
+    /// A fault injected by the [`crate::faults`] harness fired. Only
+    /// produced when a [`crate::faults::FaultPlan`] is installed —
+    /// production runs never see this variant.
+    InjectedFault {
+        /// Where the injected fault fired (step count or alloc site).
+        site: String,
+    },
+}
+
+/// The resource that a [`RunError::BudgetExceeded`] ran out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// Interpreter steps (loop-body executions / "fuel").
+    Steps,
+    /// DRAM words touched (bulk + random reads and writes).
+    DramWords,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The run's [`CancelFlag`] was raised.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetResource::Steps => write!(f, "step budget"),
+            BudgetResource::DramWords => write!(f, "DRAM word budget"),
+            BudgetResource::Deadline => write!(f, "deadline"),
+            BudgetResource::Cancelled => write!(f, "cancellation"),
+        }
+    }
+}
+
+/// A shared cancellation flag: one cheap atomic, checked on loop
+/// back-edges (amortized — every [`INTERRUPT_MASK`]+1 steps on the hot
+/// paths), so an external controller can stop a runaway run without
+/// killing the thread. Clone freely; all clones observe one flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag: every machine running under a [`RunBudget`]
+    /// carrying this flag aborts with
+    /// [`RunError::BudgetExceeded`]`{resource: Cancelled, ..}` at its
+    /// next back-edge check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Resource limits for one run, turning runaway kernels into structured
+/// [`RunError::BudgetExceeded`] results instead of hangs. The default
+/// is unlimited on every axis, and an unlimited budget costs nothing
+/// measurable on the interpreter hot paths (fuel lives in a register,
+/// interrupt checks amortize over [`INTERRUPT_MASK`]+1 steps).
+///
+/// A "step" is one loop-body execution — exactly what
+/// [`ExecStats::node_trips`] counts, summed over nodes — so the
+/// completes-or-aborts predicate is identical across all three
+/// execution engines: a run finishes iff its total trip count fits the
+/// fuel. Budgets are armed at [`Machine::run`]/[`Machine::run_tree`]
+/// entry and persist on the machine until [`Machine::reset`] (pool
+/// check-in clears them, so recycled machines never inherit limits).
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Maximum loop-body executions ("fuel"); `None` = unlimited.
+    pub max_steps: Option<u64>,
+    /// Maximum DRAM words touched (bulk + random, reads + writes).
+    pub max_dram_words: Option<u64>,
+    /// Wall-clock deadline, measured from run entry.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation flag, checked on loop back-edges.
+    pub cancel: Option<CancelFlag>,
+}
+
+impl RunBudget {
+    /// An explicitly unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Builder: cap interpreter steps.
+    pub fn with_max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Builder: cap DRAM words touched.
+    pub fn with_max_dram_words(mut self, words: u64) -> Self {
+        self.max_dram_words = Some(words);
+        self
+    }
+
+    /// Builder: set a wall-clock deadline from run entry.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder: attach a cancellation flag.
+    pub fn with_cancel(mut self, cancel: CancelFlag) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Whether any axis is limited (used to skip arming entirely).
+    pub fn is_limited(&self) -> bool {
+        self.max_steps.is_some()
+            || self.max_dram_words.is_some()
+            || self.deadline.is_some()
+            || self.cancel.is_some()
+    }
+}
+
+/// Deadline/cancel checks amortize: they run when `fuel & INTERRUPT_MASK
+/// == 0`, i.e. every 4096 steps, keeping `Instant::now()` and the shared
+/// atomic off the per-iteration path.
+pub(crate) const INTERRUPT_MASK: u64 = 0xFFF;
+
+/// What hitting zero fuel means: the step budget, or a one-shot
+/// injected fault from the [`crate::faults`] harness min-folded into
+/// the same countdown (zero extra hot-path cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FuelCause {
+    Budget,
+    InjectedError,
+    InjectedPanic,
+}
+
+/// Builds the out-of-fuel outcome. `#[cold]` keeps the construction
+/// (and the injected-fault consumption) off the hot loops.
+#[cold]
+pub(crate) fn exhausted_fuel(cause: FuelCause, limit: u64) -> RunError {
+    match cause {
+        FuelCause::Budget => RunError::BudgetExceeded {
+            resource: BudgetResource::Steps,
+            limit,
+        },
+        FuelCause::InjectedError => {
+            faults::consume_error();
+            RunError::InjectedFault {
+                site: format!("step {limit}"),
+            }
+        }
+        FuelCause::InjectedPanic => {
+            faults::consume_panic();
+            panic!("injected fault: forced panic at step {limit}")
+        }
+    }
+}
+
+/// The amortized deadline/cancel check shared by every engine.
+#[cold]
+pub(crate) fn check_interrupts(
+    deadline_at: Option<Instant>,
+    deadline_ms: u64,
+    cancel: Option<&CancelFlag>,
+) -> Result<(), RunError> {
+    if let Some(c) = cancel {
+        if c.is_cancelled() {
+            return Err(RunError::BudgetExceeded {
+                resource: BudgetResource::Cancelled,
+                limit: 0,
+            });
+        }
+    }
+    if let Some(d) = deadline_at {
+        if Instant::now() >= d {
+            return Err(RunError::BudgetExceeded {
+                resource: BudgetResource::Deadline,
+                limit: deadline_ms,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// [`Machine::charge_step`] over already-destructured machine fields,
+/// for call sites (the frame advancer) that hold the machine split into
+/// disjoint borrows.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn charge_step_parts(
+    fuel: &mut u64,
+    cause: FuelCause,
+    limit: u64,
+    interrupts: bool,
+    deadline_at: Option<Instant>,
+    deadline_ms: u64,
+    cancel: Option<&CancelFlag>,
+) -> Result<(), RunError> {
+    if *fuel == 0 {
+        return Err(exhausted_fuel(cause, limit));
+    }
+    *fuel -= 1;
+    if interrupts && *fuel & INTERRUPT_MASK == 0 {
+        check_interrupts(deadline_at, deadline_ms, cancel)?;
+    }
+    Ok(())
 }
 
 impl fmt::Display for RunError {
@@ -88,6 +311,19 @@ impl fmt::Display for RunError {
                     f,
                     "DRAM image does not match the machine's compiled program"
                 )
+            }
+            RunError::BudgetExceeded { resource, limit } => match resource {
+                BudgetResource::Steps => write!(f, "run exceeded its step budget of {limit}"),
+                BudgetResource::DramWords => {
+                    write!(f, "run exceeded its DRAM budget of {limit} words")
+                }
+                BudgetResource::Deadline => {
+                    write!(f, "run exceeded its deadline of {limit} ms")
+                }
+                BudgetResource::Cancelled => write!(f, "run was cancelled"),
+            },
+            RunError::InjectedFault { site } => {
+                write!(f, "injected fault fired at {site}")
             }
         }
     }
@@ -875,6 +1111,31 @@ pub struct Machine {
     vstack: Vec<f64>,
     scan_pool: Vec<ScanBuf>,
     scan_depth: usize,
+    /// Configured resource limits ([`Machine::set_budget`]); armed into
+    /// the countdown fields below at each run entry. Cleared by
+    /// [`Machine::reset`] / pool check-in.
+    budget: RunBudget,
+    /// Armed step countdown (`u64::MAX` = unlimited). Hot loops mirror
+    /// this in a register and flush it on exit, like the trip counters.
+    fuel: u64,
+    /// What hitting zero fuel means (budget vs. min-folded injected
+    /// fault from the [`crate::faults`] harness).
+    fuel_cause: FuelCause,
+    /// The step count at which the armed fuel event fires (for error
+    /// messages).
+    step_limit: u64,
+    /// Armed DRAM-word countdown (`u64::MAX` = unlimited).
+    dram_fuel: u64,
+    /// Armed injected-allocation-failure countdown (`u64::MAX` = none).
+    alloc_fuel: u64,
+    /// Armed absolute deadline, from `budget.deadline` at run entry.
+    deadline_at: Option<Instant>,
+    /// Whether any amortized back-edge check (deadline/cancel) is armed.
+    interrupts: bool,
+    /// Set at run entry, cleared only when the run returns `Ok` — so a
+    /// structured error *or* a panic leaves it set, and the pool's
+    /// check-in quarantines the machine instead of recycling it.
+    poisoned: bool,
 }
 
 /// A copy of a [`Machine`]'s execution state — DRAM images, the flat
@@ -949,6 +1210,15 @@ impl Machine {
             vstack: Vec::new(),
             scan_pool: Vec::new(),
             scan_depth: 0,
+            budget: RunBudget::default(),
+            fuel: u64::MAX,
+            fuel_cause: FuelCause::Budget,
+            step_limit: u64::MAX,
+            dram_fuel: u64::MAX,
+            alloc_fuel: u64::MAX,
+            deadline_at: None,
+            interrupts: false,
+            poisoned: false,
         };
         m.grow_state();
         let compiled = Arc::clone(&m.compiled);
@@ -1077,6 +1347,15 @@ impl Machine {
         self.frames.clear();
         self.vstack.clear();
         self.scan_depth = 0;
+        self.budget = RunBudget::default();
+        self.fuel = u64::MAX;
+        self.fuel_cause = FuelCause::Budget;
+        self.step_limit = u64::MAX;
+        self.dram_fuel = u64::MAX;
+        self.alloc_fuel = u64::MAX;
+        self.deadline_at = None;
+        self.interrupts = false;
+        self.poisoned = false;
     }
 
     /// Rebinds the DRAM input segment to the pristine all-zero image
@@ -1087,6 +1366,104 @@ impl Machine {
     /// indistinguishable from a fresh [`Machine::from_compiled`].
     pub fn unbind_inputs(&mut self) {
         self.dram_input = Arc::clone(self.dram_source.zero_dram_input());
+    }
+
+    /// Sets the resource budget for subsequent runs. The budget is
+    /// armed at each [`Machine::run`]/[`Machine::run_tree`] entry and
+    /// survives across runs until [`Machine::reset`] (or pool
+    /// check-in) clears it back to unlimited.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+    }
+
+    /// The configured resource budget.
+    pub fn budget(&self) -> &RunBudget {
+        &self.budget
+    }
+
+    /// Whether the last run aborted — with a structured error or a
+    /// panic — leaving the machine's state partway through a program.
+    /// A poisoned machine must not be recycled; the
+    /// [`crate::MachinePool`] quarantines it at check-in.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Arms the countdown fields from the configured budget and any
+    /// installed [`crate::faults`] plan. One-shot injected step faults
+    /// are min-folded into the fuel countdown so the hot loops pay for
+    /// exactly one compare-and-decrement regardless of what is armed.
+    fn arm_budget(&mut self) {
+        let plan = faults::active();
+        let mut fuel = self.budget.max_steps.unwrap_or(u64::MAX);
+        let mut cause = FuelCause::Budget;
+        if let Some(p) = &plan {
+            if let Some(n) = p.max_steps {
+                fuel = fuel.min(n);
+            }
+            if let Some(n) = p.error_at_step {
+                if n <= fuel {
+                    fuel = n;
+                    cause = FuelCause::InjectedError;
+                }
+            }
+            if let Some(n) = p.panic_at_step {
+                if n <= fuel {
+                    fuel = n;
+                    cause = FuelCause::InjectedPanic;
+                }
+            }
+        }
+        self.fuel = fuel;
+        self.fuel_cause = cause;
+        self.step_limit = fuel;
+        self.dram_fuel = self.budget.max_dram_words.unwrap_or(u64::MAX);
+        self.alloc_fuel = plan.as_ref().and_then(|p| p.fail_alloc).unwrap_or(u64::MAX);
+        self.deadline_at = self.budget.deadline.map(|d| Instant::now() + d);
+        self.interrupts = self.deadline_at.is_some() || self.budget.cancel.is_some();
+    }
+
+    /// Charges one interpreter step ("fuel") and runs the amortized
+    /// deadline/cancel check. Called once per loop-body execution —
+    /// exactly the [`ExecStats::node_trips`] sites — so the
+    /// completes-or-aborts predicate is engine-identical.
+    #[inline(always)]
+    fn charge_step(&mut self) -> Result<(), RunError> {
+        if self.fuel == 0 {
+            return Err(exhausted_fuel(self.fuel_cause, self.step_limit));
+        }
+        self.fuel -= 1;
+        if self.interrupts && self.fuel & INTERRUPT_MASK == 0 {
+            check_interrupts(
+                self.deadline_at,
+                self.deadline_ms(),
+                self.budget.cancel.as_ref(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The configured deadline in milliseconds (for error messages).
+    fn deadline_ms(&self) -> u64 {
+        self.budget
+            .deadline
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Charges `words` against the DRAM-word budget.
+    #[inline(always)]
+    fn charge_dram(&mut self, words: u64) -> Result<(), RunError> {
+        match self.dram_fuel.checked_sub(words) {
+            Some(rest) => {
+                self.dram_fuel = rest;
+                Ok(())
+            }
+            None => Err(RunError::BudgetExceeded {
+                resource: BudgetResource::DramWords,
+                limit: self.budget.max_dram_words.unwrap_or(0),
+            }),
+        }
     }
 
     /// Re-links and re-lowers when handed a program other than the one
@@ -1373,9 +1750,12 @@ impl Machine {
     pub fn run(&mut self, program: &SpatialProgram) -> Result<ExecStats, RunError> {
         self.relink(program);
         let prog = Arc::clone(&self.compiled);
+        self.arm_budget();
+        self.poisoned = true;
         let result = self.run_ops(&prog);
         self.stats = self.dense.fold(&self.syms);
         result?;
+        self.poisoned = false;
         Ok(self.stats.clone())
     }
 
@@ -1394,6 +1774,8 @@ impl Machine {
         self.frames.clear();
         self.vstack.clear();
         self.scan_depth = 0;
+        self.arm_budget();
+        self.poisoned = true;
         let result = (|| {
             let resolved = prog.resolved();
             for stmt in &resolved.body {
@@ -1403,6 +1785,7 @@ impl Machine {
         })();
         self.stats = self.dense.fold(&self.syms);
         result?;
+        self.poisoned = false;
         Ok(self.stats.clone())
     }
 
@@ -1535,6 +1918,7 @@ impl Machine {
                             })
                         }
                     };
+                    self.charge_dram(1)?;
                     self.dense.dram_random_reads += 1;
                     Ok(v)
                 } else {
@@ -1582,6 +1966,14 @@ impl Machine {
     // --- bytecode dispatch loop. Operands are already evaluated.
 
     fn do_alloc(&mut self, slot: Slot, kind: MemKind, size: usize) -> Result<(), RunError> {
+        if self.alloc_fuel == 0 {
+            self.alloc_fuel = u64::MAX;
+            faults::consume_alloc();
+            return Err(RunError::InjectedFault {
+                site: format!("alloc {}", self.syms.chip_name(slot)),
+            });
+        }
+        self.alloc_fuel -= 1;
         match kind {
             MemKind::Sram | MemKind::SparseSram => {
                 self.reserve_words(slot, size);
@@ -1641,7 +2033,16 @@ impl Machine {
                 len: alen,
             });
         }
-        let n = e.checked_sub(s).expect("load start beyond load end");
+        let n = match e.checked_sub(s) {
+            Some(n) => n,
+            None => {
+                return Err(RunError::NegativeIndex {
+                    context: format!("load length (start {s} beyond end {e})"),
+                    value: e as f64 - s as f64,
+                })
+            }
+        };
+        self.charge_dram(n as u64)?;
         self.dense
             .note_dram_read(src, n as u64, self.current_node());
         match self.chip[dst as usize].tag {
@@ -1703,6 +2104,7 @@ impl Machine {
             });
         }
         self.dense.sram_reads += n as u64;
+        self.charge_dram(n as u64)?;
         {
             let Machine {
                 dram_input,
@@ -1752,6 +2154,7 @@ impl Machine {
             ));
         }
         self.dense.fifo_deqs += n as u64;
+        self.charge_dram(n as u64)?;
         {
             let Machine {
                 dram_input,
@@ -1806,6 +2209,7 @@ impl Machine {
                 len: st.len,
             });
         }
+        self.charge_dram(1)?;
         let arr = self.dram_words_of_mut(dst).expect("checked");
         arr[ix] = v;
         self.dense.dram_random_writes += 1;
@@ -2017,6 +2421,7 @@ impl Machine {
             ResolvedStmt::Foreach { id, counter, body } => {
                 self.node_stack.push(*id);
                 let result = self.run_counter(p, counter, |m| {
+                    m.charge_step()?;
                     m.dense.node_trips[*id] += 1;
                     for s in body {
                         m.exec(p, s)?;
@@ -2042,6 +2447,7 @@ impl Machine {
                     }
                 };
                 let result = self.run_counter(p, counter, |m| {
+                    m.charge_step()?;
                     m.dense.node_trips[*id] += 1;
                     for s in body {
                         m.exec(p, s)?;
@@ -2286,7 +2692,7 @@ impl Machine {
                     pc += 1;
                 }
                 Op::Next { body } => {
-                    pc = self.loop_next(*body, pc);
+                    pc = self.loop_next(*body, pc)?;
                 }
                 op => {
                     self.exec_simple_op(prog, op)?;
@@ -2458,7 +2864,27 @@ impl Machine {
             if !matches!(op, Op::RangeSimple { .. }) {
                 if v < hi {
                     self.node_stack.push(id);
+                    // Fuel mirrors in a register like the trip counter
+                    // and flushes on every exit path; the single-op
+                    // body cannot consume fuel itself (no nested loop).
+                    let mut fuel = self.fuel;
+                    let interrupts = self.interrupts;
                     while v < hi {
+                        if fuel == 0 {
+                            result = Err(exhausted_fuel(self.fuel_cause, self.step_limit));
+                            break;
+                        }
+                        fuel -= 1;
+                        if interrupts && fuel & INTERRUPT_MASK == 0 {
+                            if let Err(e) = check_interrupts(
+                                self.deadline_at,
+                                self.deadline_ms(),
+                                self.budget.cancel.as_ref(),
+                            ) {
+                                result = Err(e);
+                                break;
+                            }
+                        }
                         self.env[var] = Some(v);
                         trips += 1;
                         if let Err(e) = self.exec_simple_op(prog, op) {
@@ -2467,6 +2893,7 @@ impl Machine {
                         }
                         v += fstep;
                     }
+                    self.fuel = fuel;
                     if result.is_ok() {
                         self.node_stack.pop();
                     }
@@ -2479,7 +2906,14 @@ impl Machine {
         }
         if v < hi {
             self.node_stack.push(id);
+            // Field-based fuel here: the body can contain nested
+            // `RangeSimple` superinstructions that consume fuel
+            // themselves, so a register mirror would go stale.
             'iters: while v < hi {
+                if let Err(e) = self.charge_step() {
+                    result = Err(e);
+                    break 'iters;
+                }
                 self.env[var] = Some(v);
                 trips += 1;
                 let mut i = body as usize;
@@ -2675,7 +3109,27 @@ impl Machine {
         let mut v = v0;
         if v < hi {
             self.node_stack.push(id);
+            // Fuel mirrors in a register like every other counter here,
+            // flushed on all exit paths (the body is a single on-chip
+            // write — it cannot consume fuel itself).
+            let mut fuel = self.fuel;
+            let interrupts = self.interrupts;
             'iters: while v < hi {
+                if fuel == 0 {
+                    result = Err(exhausted_fuel(self.fuel_cause, self.step_limit));
+                    break 'iters;
+                }
+                fuel -= 1;
+                if interrupts && fuel & INTERRUPT_MASK == 0 {
+                    if let Err(e) = check_interrupts(
+                        self.deadline_at,
+                        self.deadline_ms(),
+                        self.budget.cancel.as_ref(),
+                    ) {
+                        result = Err(e);
+                        break 'iters;
+                    }
+                }
                 self.env[var] = Some(v);
                 trips += 1;
                 // Same order as the generic RmwAdd/WriteMem op: index
@@ -2722,6 +3176,7 @@ impl Machine {
                 }
                 v += fstep;
             }
+            self.fuel = fuel;
             if result.is_ok() {
                 self.node_stack.pop();
             }
@@ -3008,6 +3463,7 @@ impl Machine {
         debug_assert!(step > 0, "non-positive loop step");
         let saved = self.env[var as usize];
         if lo < hi {
+            self.charge_step()?;
             self.env[var as usize] = Some(lo);
             self.dense.node_trips[id] += 1;
             self.frames.push(Frame {
@@ -3049,6 +3505,7 @@ impl Machine {
             idx += 1;
         }
         if idx < dim {
+            self.charge_step()?;
             self.scan_depth = depth + 1;
             self.env[pos_var as usize] = Some(0.0);
             self.env[idx_var as usize] = Some(idx as f64);
@@ -3100,6 +3557,7 @@ impl Machine {
                 ScanOp::Or => has_a || has_b,
             };
             if combined {
+                self.charge_step()?;
                 self.scan_depth = depth + 1;
                 self.env[vars[0] as usize] = Some(if has_a { ap as f64 } else { -1.0 });
                 self.env[vars[1] as usize] = Some(if has_b { bp as f64 } else { -1.0 });
@@ -3138,9 +3596,11 @@ impl Machine {
     }
 
     /// Advances the innermost loop frame: returns the body pc for the
-    /// next iteration, or pops the frame (restoring loop variables and
-    /// writing back a reduction) and returns the fall-through pc.
-    fn loop_next(&mut self, body: OpId, pc: usize) -> usize {
+    /// next iteration (charging one fuel step per continuation), or
+    /// pops the frame (restoring loop variables and writing back a
+    /// reduction) and returns the fall-through pc.
+    fn loop_next(&mut self, body: OpId, pc: usize) -> Result<usize, RunError> {
+        let deadline_ms = self.deadline_ms();
         let Machine {
             frames,
             env,
@@ -3149,8 +3609,16 @@ impl Machine {
             scan_depth,
             chip,
             words,
+            fuel,
+            fuel_cause,
+            step_limit,
+            interrupts,
+            deadline_at,
+            budget,
             ..
         } = self;
+        let (cause, limit, intr, dl) = (*fuel_cause, *step_limit, *interrupts, *deadline_at);
+        let cancel = budget.cancel.as_ref();
         let frame = frames.last_mut().expect("active frame");
         match &mut frame.state {
             FrameState::Range {
@@ -3158,9 +3626,10 @@ impl Machine {
             } => {
                 *v += *step;
                 if *v < *hi {
+                    charge_step_parts(fuel, cause, limit, intr, dl, deadline_ms, cancel)?;
                     env[*var as usize] = Some(*v);
                     dense.node_trips[frame.node] += 1;
-                    return body as usize;
+                    return Ok(body as usize);
                 }
             }
             FrameState::Scan1 {
@@ -3179,11 +3648,12 @@ impl Machine {
                     *idx += 1;
                 }
                 if *idx < *dim {
+                    charge_step_parts(fuel, cause, limit, intr, dl, deadline_ms, cancel)?;
                     env[*pos_var as usize] = Some(*pos as f64);
                     env[*idx_var as usize] = Some(*idx as f64);
                     dense.scan_emits += 1;
                     dense.node_trips[frame.node] += 1;
-                    return body as usize;
+                    return Ok(body as usize);
                 }
             }
             FrameState::Scan2 {
@@ -3216,13 +3686,14 @@ impl Machine {
                         ScanOp::Or => has_a || has_b,
                     };
                     if combined {
+                        charge_step_parts(fuel, cause, limit, intr, dl, deadline_ms, cancel)?;
                         env[vars[0] as usize] = Some(if has_a { *ap as f64 } else { -1.0 });
                         env[vars[1] as usize] = Some(if has_b { *bp as f64 } else { -1.0 });
                         env[vars[2] as usize] = Some(*emitted as f64);
                         env[vars[3] as usize] = Some(*idx as f64);
                         dense.scan_emits += 1;
                         dense.node_trips[frame.node] += 1;
-                        return body as usize;
+                        return Ok(body as usize);
                     }
                     if has_a {
                         *ap += 1;
@@ -3265,7 +3736,7 @@ impl Machine {
                 words[st.woff] = frame.acc;
             }
         }
-        pc + 1
+        Ok(pc + 1)
     }
 }
 

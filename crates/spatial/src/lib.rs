@@ -28,6 +28,7 @@
 //! and benchmark baselines.
 
 pub mod bytecode;
+pub mod faults;
 pub mod interp;
 pub mod ir;
 pub mod pool;
@@ -37,8 +38,10 @@ pub mod resolve;
 pub mod validate;
 
 pub use bytecode::{CompiledProgram, ProgramCache};
+pub use faults::FaultPlan;
 pub use interp::{
-    DramImage, DramImageBuilder, ExecStats, Machine, MachineSnapshot, RunError, DRAM_WORD_BYTES,
+    BudgetResource, CancelFlag, DramImage, DramImageBuilder, ExecStats, Machine, MachineSnapshot,
+    RunBudget, RunError, DRAM_WORD_BYTES,
 };
 pub use ir::{BinSOp, Counter, MemDecl, MemKind, SExpr, ScanOp, SpatialProgram, SpatialStmt};
 pub use pool::{MachinePool, PoolStats, PooledMachine};

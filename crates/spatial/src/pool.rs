@@ -17,10 +17,24 @@
 //! process-wide dense thread index modulo the shard count), check-out
 //! and check-in touch the home shard's lock first, and other shards are
 //! only visited with non-blocking `try_lock` steals when the home shard
-//! has nothing to offer. With at least as many shards as worker threads
-//! (the [`MachinePool::new`] default) a steady-state sweep worker never
-//! contends on a lock: it reuses the machine it checked in on its
-//! previous iteration.
+//! has nothing to offer. A [`MachinePool::new`] pool sizes its shard
+//! vector from the threads actually observed touching it — growing in
+//! powers of two up to [`MAX_SHARDS`] — rather than from
+//! `available_parallelism`, so sweeps running more workers than cores
+//! still give every worker a private shard instead of colliding on the
+//! steal path. Growth preserves existing home assignments: a thread
+//! with dense index `i` homes at shard `i` whenever `i` is below the
+//! shard count, and power-of-two growth only ever raises that count.
+//! In steady state a sweep worker never contends on a lock: it reuses
+//! the machine it checked in on its previous iteration.
+//!
+//! **Fault isolation:** a machine whose last run aborted for any reason
+//! — a structured [`RunError`], a budget exhaustion, or a panic that
+//! unwound through the guard — is *poisoned*
+//! ([`Machine::poisoned`]) and is quarantined at check-in: dropped on
+//! the floor and tallied in [`PoolStats::quarantined`], never recycled.
+//! The next checkout simply constructs a fresh machine, so one fault
+//! can never leak partial execution state into a later measurement.
 //!
 //! Lifecycle:
 //!
@@ -40,7 +54,7 @@
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 use crate::bytecode::CompiledProgram;
 use crate::interp::{DramImage, Machine, RunError};
@@ -49,6 +63,10 @@ use crate::interp::{DramImage, Machine, RunError};
 /// threads parks at most `t` machines per program, so this only bounds
 /// pathological churn (e.g. thousands of guards dropped on one thread).
 const MAX_IDLE_PER_KEY: usize = 32;
+
+/// Hard ceiling on observed-thread shard growth: beyond this many live
+/// threads, workers share shards (modulo) rather than growing further.
+pub const MAX_SHARDS: usize = 256;
 
 /// Process-wide dense thread index, assigned on a thread's first pool
 /// interaction. Indexing shards by thread (not by a hash of anything
@@ -69,6 +87,9 @@ pub struct PoolStats {
     pub created: u64,
     /// Checkouts served by resetting an idle machine.
     pub reused: u64,
+    /// Machines discarded at check-in because their last run aborted
+    /// (error or panic) — see [`Machine::poisoned`].
+    pub quarantined: u64,
 }
 
 /// A grow-on-demand pool of reusable [`Machine`]s. See the module docs
@@ -76,50 +97,89 @@ pub struct PoolStats {
 /// reference (`std::thread::scope`) or behind an `Arc`/`OnceLock`.
 #[derive(Debug)]
 pub struct MachinePool {
-    shards: Vec<Mutex<Shard>>,
+    /// Shard vector behind a `RwLock` so [`MachinePool::new`] pools can
+    /// grow it to the observed thread count; steady-state traffic only
+    /// ever takes the (uncontended) read side.
+    shards: RwLock<Vec<Mutex<Shard>>>,
+    /// `true` for [`MachinePool::with_shards`] pools: the shard count
+    /// is pinned and never grows.
+    fixed: bool,
     created: AtomicU64,
     reused: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl MachinePool {
-    /// A pool with one shard per available hardware thread — enough
-    /// that sweep workers get private shards at any sane thread count.
+    /// A pool that sizes its shards from the threads actually observed
+    /// using it: each new worker thread grows the shard vector (in
+    /// powers of two, capped at [`MAX_SHARDS`]) until every live
+    /// worker has a private home shard — even when the sweep runs more
+    /// threads than `available_parallelism` reports cores.
     pub fn new() -> Self {
-        let shards = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        Self::with_shards(shards)
-    }
-
-    /// A pool with an explicit shard count (min 1). One shard is a
-    /// plain mutex-guarded pool — useful in tests that need
-    /// deterministic reuse.
-    pub fn with_shards(shards: usize) -> Self {
         MachinePool {
-            shards: (0..shards.max(1))
-                .map(|_| Mutex::new(Shard::new()))
-                .collect(),
+            shards: RwLock::new(vec![Mutex::new(Shard::new())]),
+            fixed: false,
             created: AtomicU64::new(0),
             reused: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
-    /// The calling thread's home shard.
-    fn home_shard(&self) -> usize {
-        THREAD_INDEX.with(|i| *i) % self.shards.len()
+    /// A pool with an explicit, fixed shard count (min 1). One shard is
+    /// a plain mutex-guarded pool — useful in tests that need
+    /// deterministic reuse.
+    pub fn with_shards(shards: usize) -> Self {
+        MachinePool {
+            shards: RwLock::new(
+                (0..shards.max(1))
+                    .map(|_| Mutex::new(Shard::new()))
+                    .collect(),
+            ),
+            fixed: true,
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+        }
+    }
+
+    /// Read access to the shard vector, first growing it (for
+    /// non-fixed pools) so the calling thread's dense index fits —
+    /// power-of-two growth, so threads already below the old count
+    /// keep their home shard (`i % len == i` stays true for them).
+    /// Lock poisoning is survived by recovering the guard: a panic
+    /// elsewhere never takes the pool down with it.
+    fn shards(&self) -> RwLockReadGuard<'_, Vec<Mutex<Shard>>> {
+        let idx = THREAD_INDEX.with(|i| *i);
+        if !self.fixed {
+            let want = (idx + 1).next_power_of_two().min(MAX_SHARDS);
+            let cur = self.shards.read().unwrap_or_else(|e| e.into_inner()).len();
+            if cur < want {
+                let mut shards = self.shards.write().unwrap_or_else(|e| e.into_inner());
+                while shards.len() < want {
+                    shards.push(Mutex::new(Shard::new()));
+                }
+            }
+        }
+        self.shards.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The calling thread's home shard under a given shard count.
+    fn home_shard(len: usize) -> usize {
+        THREAD_INDEX.with(|i| *i) % len
     }
 
     /// Pops an idle machine for `key`: home shard first (blocking lock
     /// — uncontended in steady state), then non-blocking steals from
     /// the siblings.
     fn take(&self, key: usize) -> Option<Machine> {
-        let home = self.home_shard();
-        if let Ok(mut shard) = self.shards[home].lock() {
+        let shards = self.shards();
+        let home = Self::home_shard(shards.len());
+        if let Ok(mut shard) = shards[home].lock() {
             if let Some(m) = shard.get_mut(&key).and_then(Vec::pop) {
                 return Some(m);
             }
         }
-        for (i, slot) in self.shards.iter().enumerate() {
+        for (i, slot) in shards.iter().enumerate() {
             if i == home {
                 continue;
             }
@@ -197,35 +257,52 @@ impl MachinePool {
     /// first: execution state cleared and the input segment unbound,
     /// so an idle machine never pins its last dataset's multi-MB
     /// `DramImage` segment in memory (and the next checkout pays at
-    /// most an output zero-fill). Machines re-linked away from their
-    /// checkout program are discarded instead (their DRAM placement
+    /// most an output zero-fill). Two classes of machine are discarded
+    /// instead of parked: **poisoned** machines, whose last run aborted
+    /// partway (quarantined and counted — recycling one would leak
+    /// partial execution state into a later run), and machines
+    /// re-linked away from their checkout program (their DRAM placement
     /// still follows the construction-time program, but their on-chip
     /// slot space grew past the pool key's layout).
     fn check_in(&self, key: usize, mut machine: Machine) {
+        if machine.poisoned() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if Arc::as_ptr(machine.compiled()) as usize != key {
             return;
         }
         machine.clear_exec_state();
         machine.unbind_inputs();
-        if let Ok(mut shard) = self.shards[self.home_shard()].lock() {
+        let shards = self.shards();
+        if let Ok(mut shard) = shards[Self::home_shard(shards.len())].lock() {
             let idle = shard.entry(key).or_default();
             if idle.len() < MAX_IDLE_PER_KEY {
                 idle.push(machine);
             }
-        }
+        };
     }
 
-    /// Cumulative created/reused counters.
+    /// Cumulative created/reused/quarantined counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             created: self.created.load(Ordering::Relaxed),
             reused: self.reused.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
+    }
+
+    /// The current shard count (grows with observed threads on
+    /// [`MachinePool::new`] pools).
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Idle machines currently parked across all shards.
     pub fn idle(&self) -> usize {
         self.shards
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|s| {
                 s.lock()
@@ -237,7 +314,7 @@ impl MachinePool {
 
     /// Drops every idle machine (checked-out guards are unaffected).
     pub fn clear(&self) {
-        for slot in &self.shards {
+        for slot in self.shards.read().unwrap_or_else(|e| e.into_inner()).iter() {
             if let Ok(mut shard) = slot.lock() {
                 shard.clear();
             }

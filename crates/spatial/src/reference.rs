@@ -13,8 +13,13 @@
 //! two engines against each other.
 
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
-use crate::interp::{ExecStats, RunError};
+use crate::faults;
+use crate::interp::{
+    check_interrupts, exhausted_fuel, BudgetResource, ExecStats, FuelCause, RunBudget, RunError,
+    INTERRUPT_MASK,
+};
 use crate::ir::{Counter, MemDecl, MemKind, SExpr, ScanOp, SpatialProgram, SpatialStmt};
 
 #[derive(Debug, Clone)]
@@ -69,6 +74,14 @@ pub struct ReferenceMachine {
     env: HashMap<String, f64>,
     stats: ExecStats,
     node_stack: Vec<usize>,
+    budget: RunBudget,
+    fuel: u64,
+    fuel_cause: FuelCause,
+    step_limit: u64,
+    dram_fuel: u64,
+    alloc_fuel: u64,
+    deadline_at: Option<Instant>,
+    interrupts: bool,
 }
 
 impl ReferenceMachine {
@@ -89,6 +102,92 @@ impl ReferenceMachine {
             env: HashMap::new(),
             stats: ExecStats::default(),
             node_stack: Vec::new(),
+            budget: RunBudget::default(),
+            fuel: u64::MAX,
+            fuel_cause: FuelCause::Budget,
+            step_limit: u64::MAX,
+            dram_fuel: u64::MAX,
+            alloc_fuel: u64::MAX,
+            deadline_at: None,
+            interrupts: false,
+        }
+    }
+
+    /// Sets the resource budget armed at the next [`ReferenceMachine::run`].
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+    }
+
+    /// The configured resource budget.
+    pub fn budget(&self) -> &RunBudget {
+        &self.budget
+    }
+
+    /// Arms the countdown fields from the configured budget and any
+    /// installed [`crate::faults`] plan — the same min-folding as
+    /// [`crate::Machine`], so the completes-or-aborts predicate is
+    /// engine-identical.
+    fn arm_budget(&mut self) {
+        let plan = faults::active();
+        let mut fuel = self.budget.max_steps.unwrap_or(u64::MAX);
+        let mut cause = FuelCause::Budget;
+        if let Some(p) = &plan {
+            if let Some(n) = p.max_steps {
+                fuel = fuel.min(n);
+            }
+            if let Some(n) = p.error_at_step {
+                if n <= fuel {
+                    fuel = n;
+                    cause = FuelCause::InjectedError;
+                }
+            }
+            if let Some(n) = p.panic_at_step {
+                if n <= fuel {
+                    fuel = n;
+                    cause = FuelCause::InjectedPanic;
+                }
+            }
+        }
+        self.fuel = fuel;
+        self.fuel_cause = cause;
+        self.step_limit = fuel;
+        self.dram_fuel = self.budget.max_dram_words.unwrap_or(u64::MAX);
+        self.alloc_fuel = plan.as_ref().and_then(|p| p.fail_alloc).unwrap_or(u64::MAX);
+        self.deadline_at = self.budget.deadline.map(|d| Instant::now() + d);
+        self.interrupts = self.deadline_at.is_some() || self.budget.cancel.is_some();
+    }
+
+    /// Charges one interpreter step — called once per loop-body
+    /// execution, exactly the `node_trips` bump sites.
+    fn charge_step(&mut self) -> Result<(), RunError> {
+        if self.fuel == 0 {
+            return Err(exhausted_fuel(self.fuel_cause, self.step_limit));
+        }
+        self.fuel -= 1;
+        if self.interrupts && self.fuel & INTERRUPT_MASK == 0 {
+            check_interrupts(
+                self.deadline_at,
+                self.budget
+                    .deadline
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0),
+                self.budget.cancel.as_ref(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Charges `words` against the DRAM-word budget.
+    fn charge_dram(&mut self, words: u64) -> Result<(), RunError> {
+        match self.dram_fuel.checked_sub(words) {
+            Some(rest) => {
+                self.dram_fuel = rest;
+                Ok(())
+            }
+            None => Err(RunError::BudgetExceeded {
+                resource: BudgetResource::DramWords,
+                limit: self.budget.max_dram_words.unwrap_or(0),
+            }),
         }
     }
 
@@ -152,6 +251,7 @@ impl ReferenceMachine {
     ///
     /// Returns the first [`RunError`] encountered.
     pub fn run(&mut self, program: &SpatialProgram) -> Result<ExecStats, RunError> {
+        self.arm_budget();
         for stmt in &program.accel {
             self.exec(stmt)?;
         }
@@ -162,18 +262,22 @@ impl ReferenceMachine {
         self.node_stack.last().copied()
     }
 
-    fn note_dram_read(&mut self, dram: &str, words: u64) {
+    fn note_dram_read(&mut self, dram: &str, words: u64) -> Result<(), RunError> {
+        self.charge_dram(words)?;
         *self.stats.dram_reads.entry(dram.to_string()).or_default() += words;
         if let Some(n) = self.current_node() {
             ExecStats::bump_node(&mut self.stats.node_dram_read_words, n, words);
         }
+        Ok(())
     }
 
-    fn note_dram_write(&mut self, dram: &str, words: u64) {
+    fn note_dram_write(&mut self, dram: &str, words: u64) -> Result<(), RunError> {
+        self.charge_dram(words)?;
         *self.stats.dram_writes.entry(dram.to_string()).or_default() += words;
         if let Some(n) = self.current_node() {
             ExecStats::bump_node(&mut self.stats.node_dram_write_words, n, words);
         }
+        Ok(())
     }
 
     fn index_of(&self, v: f64, context: &str) -> Result<usize, RunError> {
@@ -232,6 +336,7 @@ impl ReferenceMachine {
                         index: ix as i64,
                         len: arr.len(),
                     })?;
+                    self.charge_dram(1)?;
                     self.stats.dram_random_reads += 1;
                     Ok(v)
                 } else {
@@ -269,6 +374,14 @@ impl ReferenceMachine {
     }
 
     fn alloc(&mut self, decl: &MemDecl) -> Result<(), RunError> {
+        if self.alloc_fuel == 0 {
+            self.alloc_fuel = u64::MAX;
+            faults::consume_alloc();
+            return Err(RunError::InjectedFault {
+                site: format!("alloc {}", decl.name),
+            });
+        }
+        self.alloc_fuel -= 1;
         let mem = match decl.kind {
             MemKind::Sram | MemKind::SparseSram => Mem::Words(vec![0.0; decl.size]),
             MemKind::Fifo => Mem::Fifo(VecDeque::new()),
@@ -340,6 +453,12 @@ impl ReferenceMachine {
                 let e = self.eval(end)?;
                 let s = self.index_of(s, "load start")?;
                 let e = self.index_of(e, "load end")?;
+                if s > e {
+                    return Err(RunError::NegativeIndex {
+                        context: format!("load length (start {s} beyond end {e})"),
+                        value: e as f64 - s as f64,
+                    });
+                }
                 let arr = self
                     .drams
                     .get(src)
@@ -352,7 +471,7 @@ impl ReferenceMachine {
                     });
                 }
                 let data: Vec<f64> = arr[s..e].to_vec();
-                self.note_dram_read(src, (e - s) as u64);
+                self.note_dram_read(src, (e - s) as u64)?;
                 match self.on_chip.get_mut(dst) {
                     Some(Mem::Words(w)) => {
                         if data.len() > w.len() {
@@ -411,7 +530,7 @@ impl ReferenceMachine {
                     });
                 }
                 arr[off..off + n].copy_from_slice(&data);
-                self.note_dram_write(dst, n as u64);
+                self.note_dram_write(dst, n as u64)?;
                 Ok(())
             }
             SpatialStmt::StreamStore {
@@ -449,13 +568,14 @@ impl ReferenceMachine {
                     });
                 }
                 arr[off..off + n].copy_from_slice(&data);
-                self.note_dram_write(dst, n as u64);
+                self.note_dram_write(dst, n as u64)?;
                 Ok(())
             }
             SpatialStmt::StoreScalar { dst, index, value } => {
                 let ix = self.eval(index)?;
                 let ix = self.index_of(ix, "scalar store index")?;
                 let v = self.eval(value)?;
+                self.charge_dram(1)?;
                 let arr = self
                     .drams
                     .get_mut(dst)
@@ -574,6 +694,7 @@ impl ReferenceMachine {
             } => {
                 self.node_stack.push(*id);
                 let result = self.run_counter(counter, |m| {
+                    m.charge_step()?;
                     ExecStats::bump_node(&mut m.stats.node_trips, *id, 1);
                     for s in body {
                         m.exec(s)?;
@@ -600,6 +721,7 @@ impl ReferenceMachine {
                     }
                 };
                 let result = self.run_counter(counter, |m| {
+                    m.charge_step()?;
                     ExecStats::bump_node(&mut m.stats.node_trips, *id, 1);
                     for s in body {
                         m.exec(s)?;

@@ -8,6 +8,7 @@
 //! machines and still gate bitwise identity against the fresh-machine
 //! baseline.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use proptest::prelude::*;
@@ -15,8 +16,8 @@ use proptest::test_runner::TestRng;
 
 use stardust_spatial::ir::MemDecl;
 use stardust_spatial::{
-    CompiledProgram, Counter, DramImage, Machine, MachinePool, MemKind, RunError, SExpr,
-    SpatialProgram, SpatialStmt,
+    faults, CompiledProgram, Counter, DramImage, FaultPlan, Machine, MachinePool, MemKind,
+    RunBudget, RunError, SExpr, SpatialProgram, SpatialStmt,
 };
 
 const SIZE: usize = 16;
@@ -174,6 +175,134 @@ proptest! {
             );
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The abort-recovery property: interrupt a pooled run at a random
+    /// fuel count, return the machine to the pool, and require the next
+    /// checkout to behave byte-identically to a fresh machine. An
+    /// interrupted (budget-aborted) machine is poisoned, so the pool
+    /// must quarantine it — never recycle it — and the re-checkout gets
+    /// a newly built machine; a run the fuel happened to cover completes
+    /// normally and its machine is recycled as usual. Either way the
+    /// rerun's DRAM and stats must land exactly on the fresh baseline.
+    #[test]
+    fn interrupted_runs_are_quarantined_and_reruns_match_fresh(
+        seed in 0u64..50_000,
+        fuel in 1u64..24,
+        engine in 0usize..2,
+    ) {
+        let p = writing_program(seed);
+        let compiled = Arc::new(CompiledProgram::compile(&p));
+        let image = build_image(&compiled, &inputs(seed));
+
+        let mut fresh = Machine::from_compiled(Arc::clone(&compiled));
+        fresh.bind_image(&image).expect("fresh bind");
+        let fresh_stats = run_engine(&mut fresh, &p, engine);
+
+        let pool = MachinePool::with_shards(1);
+        let interrupted = {
+            let mut m = pool
+                .checkout_bound(&compiled, &image)
+                .expect("first checkout");
+            m.set_budget(RunBudget::default().with_max_steps(fuel));
+            // When the CI chaos sweep sets STARDUST_FAULTS, the
+            // interrupting run additionally faces that plan (installed
+            // fresh per case, dropped before the recovery checkout) —
+            // an injected fault must quarantine exactly like a budget
+            // abort does.
+            let env_plan = FaultPlan::from_env();
+            let run = {
+                let _guard = env_plan.map(FaultPlan::install);
+                match engine {
+                    0 => m.run(&p),
+                    _ => m.run_tree(&p),
+                }
+            };
+            match run {
+                Ok(stats) => {
+                    prop_assert_eq!(&stats, &fresh_stats, "budgeted complete run diverges");
+                    prop_assert!(!m.poisoned());
+                    false
+                }
+                Err(RunError::BudgetExceeded { .. }) | Err(RunError::InjectedFault { .. }) => {
+                    prop_assert!(m.poisoned(), "interrupted machine must be poisoned");
+                    true
+                }
+                Err(other) => {
+                    prop_assert!(false, "unexpected error {other:?}");
+                    unreachable!()
+                }
+            }
+        };
+        let stats = pool.stats();
+        if interrupted {
+            prop_assert_eq!(stats.quarantined, 1, "interrupted machine not quarantined");
+            prop_assert_eq!(pool.idle(), 0, "poisoned machine leaked into the pool");
+        } else {
+            prop_assert_eq!(stats.quarantined, 0);
+            prop_assert_eq!(pool.idle(), 1);
+        }
+
+        // The next checkout — a fresh build after quarantine, a recycled
+        // machine otherwise — must be byte-identical to a fresh machine.
+        let mut next = pool
+            .checkout_bound(&compiled, &image)
+            .expect("re-checkout");
+        let next_stats = run_engine(&mut next, &p, engine);
+        prop_assert_eq!(&next_stats, &fresh_stats, "post-interrupt stats diverge");
+        for d in &p.drams {
+            prop_assert_eq!(
+                dram_bits(&next, &d.name),
+                dram_bits(&fresh, &d.name),
+                "post-interrupt DRAM {} diverges from fresh",
+                &d.name
+            );
+        }
+        let stats = pool.stats();
+        if interrupted {
+            prop_assert_eq!(stats.created, 2, "quarantine must force a fresh build");
+        } else {
+            prop_assert_eq!(stats.reused, 1, "clean machine must be recycled");
+        }
+    }
+}
+
+/// A machine that panics mid-run (via the fault-injection harness) is
+/// poisoned by the unwind and quarantined on check-in; the next
+/// checkout builds a fresh machine that runs clean.
+#[test]
+fn panicked_machines_are_quarantined() {
+    let p = writing_program(11);
+    let compiled = Arc::new(CompiledProgram::compile(&p));
+    let image = build_image(&compiled, &inputs(11));
+    let pool = MachinePool::with_shards(1);
+
+    let plan = FaultPlan {
+        panic_at_step: Some(0),
+        ..FaultPlan::default()
+    };
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        faults::with_plan(plan, || {
+            let mut m = pool
+                .checkout_bound(&compiled, &image)
+                .expect("checkout before panic");
+            let _ = m.run(&p);
+        });
+    }));
+    assert!(unwound.is_err(), "the injected panic must unwind");
+
+    let stats = pool.stats();
+    assert_eq!(stats.quarantined, 1, "panicked machine not quarantined");
+    assert_eq!(pool.idle(), 0, "panicked machine leaked into the pool");
+
+    let mut m = pool
+        .checkout_bound(&compiled, &image)
+        .expect("post-panic checkout");
+    m.run(&p).expect("post-panic run is clean");
+    assert_eq!(pool.stats().created, 2, "recovery must use a fresh machine");
 }
 
 /// Sequential checkouts create once, then recycle.

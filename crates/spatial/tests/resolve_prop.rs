@@ -392,8 +392,23 @@ fn inputs(seed: u64) -> Vec<(&'static str, Vec<f64>)> {
         .collect()
 }
 
+/// Runs `f` under the `STARDUST_FAULTS` environment plan when one is
+/// set (the CI fault-injection job's knob), installing a *fresh* plan
+/// per call so one-shot faults fire identically for every engine. With
+/// the variable unset this is a plain call.
+fn with_env_faults<R>(f: impl FnOnce() -> R) -> R {
+    match stardust_spatial::FaultPlan::from_env() {
+        Some(plan) => stardust_spatial::faults::with_plan(plan, f),
+        None => f(),
+    }
+}
+
 /// Runs `p` on all three engines and asserts bitwise-identical DRAM
-/// images and identical statistics (or identical errors).
+/// images and identical statistics (or identical errors). Under an
+/// injected `STARDUST_FAULTS` plan the runs abort early — the engines
+/// must then agree on the error *and* on every byte of the partial
+/// DRAM state, since budget/fault charges land on the same loop
+/// back-edges in all three.
 fn assert_engines_agree(p: &SpatialProgram, writes: &[(&str, Vec<f64>)]) {
     let mut fast = Machine::new(p);
     let mut reference = ReferenceMachine::new(p);
@@ -402,9 +417,9 @@ fn assert_engines_agree(p: &SpatialProgram, writes: &[(&str, Vec<f64>)]) {
         reference.write_dram(name, data).unwrap();
     }
     let mut tree = fast.clone();
-    let fast_result = fast.run(p);
-    let tree_result = tree.run_tree(p);
-    let ref_result = reference.run(p);
+    let fast_result = with_env_faults(|| fast.run(p));
+    let tree_result = with_env_faults(|| tree.run_tree(p));
+    let ref_result = with_env_faults(|| reference.run(p));
     assert_eq!(fast_result, tree_result, "bytecode vs tree results diverge");
     assert_eq!(fast_result, ref_result, "run results diverge");
     for d in &p.drams {
