@@ -1,0 +1,156 @@
+//! CI summary-floor gate: validates a bench summary JSON against a
+//! floors file committed in-repo, so a perf regression (or a summary
+//! that silently lost its keys) fails the job instead of uploading a
+//! hollow artifact.
+//!
+//! The floors file is JSON with four optional sections, each keyed by
+//! a dotted path into the summary (`pool.machines_created`,
+//! `rounds[*].ops_per_sec` — `[*]` means *every* element and fails on
+//! an empty array, so a gate can never pass vacuously):
+//!
+//! ```json
+//! {
+//!   "require":      ["bench", "runs[*].threads"],
+//!   "require_true": ["runs[*].identical_to_serial"],
+//!   "min":          {"bind_split[*].pooled_vs_fresh_speedup": 1.2},
+//!   "max":          {"rounds[*].p99_ms": 60000}
+//! }
+//! ```
+//!
+//! - `require`: the path must resolve (any value).
+//! - `require_true`: every resolved value must be boolean `true`.
+//! - `min`/`max`: every resolved value must be a number on the right
+//!   side of the bound (inclusive).
+//!
+//! Every violation is reported (not just the first); any violation
+//! exits non-zero.
+//!
+//! Usage: `check_summary --summary <path> --floors <path>`
+
+use std::process::ExitCode;
+
+use stardust_bench::json::{self, Value};
+
+fn arg(args: &[String], flag: &str) -> String {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|pos| args.get(pos + 1))
+        .unwrap_or_else(|| panic!("missing required {flag} <path>"))
+        .clone()
+}
+
+fn load(path: &str, what: &str) -> Value {
+    let raw =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {what} {path}: {e}"));
+    json::parse(&raw).unwrap_or_else(|e| panic!("{what} {path} is not valid JSON: {e}"))
+}
+
+/// Paths listed in a `require`/`require_true` section.
+fn path_list<'a>(floors: &'a Value, section: &str) -> Vec<&'a str> {
+    match floors.get(section) {
+        None => Vec::new(),
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => s.as_str(),
+                other => panic!("floors {section:?} entries must be strings, got {other:?}"),
+            })
+            .collect(),
+        Some(other) => panic!("floors {section:?} must be an array, got {other:?}"),
+    }
+}
+
+/// (path, bound) pairs in a `min`/`max` section.
+fn bound_list<'a>(floors: &'a Value, section: &str) -> Vec<(&'a str, f64)> {
+    match floors.get(section) {
+        None => Vec::new(),
+        Some(Value::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| {
+                let n = v
+                    .as_num()
+                    .unwrap_or_else(|| panic!("floors {section:?}.{k} must be a number"));
+                (k.as_str(), n)
+            })
+            .collect(),
+        Some(other) => panic!("floors {section:?} must be an object, got {other:?}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let summary_path = arg(&args, "--summary");
+    let floors_path = arg(&args, "--floors");
+    let summary = load(&summary_path, "summary");
+    let floors = load(&floors_path, "floors");
+
+    let mut violations = Vec::new();
+    let mut checks = 0usize;
+
+    for path in path_list(&floors, "require") {
+        checks += 1;
+        if let Err(e) = summary.resolve(path) {
+            violations.push(format!("require {path}: {e}"));
+        }
+    }
+
+    for path in path_list(&floors, "require_true") {
+        checks += 1;
+        match summary.resolve(path) {
+            Err(e) => violations.push(format!("require_true {path}: {e}")),
+            Ok(values) => {
+                for (i, v) in values.iter().enumerate() {
+                    if v.as_bool() != Some(true) {
+                        violations.push(format!(
+                            "require_true {path}: value #{i} is {v:?}, not true"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    type Bound = fn(f64, f64) -> bool;
+    let bounds: [(&str, Bound); 2] = [("min", |v, b| v >= b), ("max", |v, b| v <= b)];
+    for (section, ok) in bounds {
+        for (path, bound) in bound_list(&floors, section) {
+            checks += 1;
+            match summary.resolve(path) {
+                Err(e) => violations.push(format!("{section} {path}: {e}")),
+                Ok(values) => {
+                    for (i, v) in values.iter().enumerate() {
+                        match v.as_num() {
+                            None => violations.push(format!(
+                                "{section} {path}: value #{i} is {v:?}, not a number"
+                            )),
+                            Some(n) if !ok(n, bound) => violations.push(format!(
+                                "{section} {path}: value #{i} = {n} violates bound {bound}"
+                            )),
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if checks == 0 {
+        eprintln!(
+            "check_summary: floors file {floors_path} declares no checks — refusing a vacuous pass"
+        );
+        return ExitCode::FAILURE;
+    }
+    if violations.is_empty() {
+        println!("check_summary: {summary_path} passes {checks} checks from {floors_path}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "check_summary: {summary_path} FAILS {}/{checks} checks from {floors_path}:",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

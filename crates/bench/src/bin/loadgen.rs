@@ -1,0 +1,262 @@
+//! Serving load generator: drives the `stardust-serve` front end with
+//! concurrent clients and gates CI on latency, throughput, and —
+//! hardest of all — **bitwise identity**: every response's output bits
+//! and interpreter stats must equal a serial fresh-machine
+//! `Kernel::run` of the same (program, dataset). Batching, machine
+//! pooling, image pinning, and admission control must be pure
+//! performance.
+//!
+//! Per requested client count the generator starts a fresh server
+//! (that many workers), registers the kernel × dataset cases, warms
+//! the working sets, then runs `--jobs` jobs per client from that many
+//! client threads, submitting with a bounded pipeline window and
+//! retrying typed `QueueFull` backpressure. Exact p50/p99 latencies
+//! are computed from the per-job measurements (no histogram
+//! approximation in the gate numbers).
+//!
+//! When `BENCH_SUMMARY_JSON` names a path, a machine-readable summary
+//! (`rounds[*]`: clients, ops/sec, p50/p99/max ms, backpressure and
+//! pool counters) is written there for the `check_summary` floor gate.
+//!
+//! Usage: `loadgen [--clients 1,2,4] [--jobs N] [--scale N | --full]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use stardust_bench::{instantiate, Scale};
+use stardust_core::pipeline::{KernelOutput, TensorData};
+use stardust_kernels::Kernel;
+use stardust_serve::{JobOutput, ServeConfig, Server, SubmitError};
+use stardust_spatial::{ExecStats, RunBudget};
+
+/// One kernel × dataset serving case with its serial ground truth.
+struct Case {
+    name: String,
+    kernel: Kernel,
+    inputs: std::collections::HashMap<String, TensorData>,
+    baseline_bits: Vec<u64>,
+    baseline_stats: ExecStats,
+}
+
+fn output_bits(output: &KernelOutput) -> Vec<u64> {
+    match output {
+        KernelOutput::Scalar(v) => vec![v.to_bits()],
+        KernelOutput::Tensor(t) => t.to_dense().data().iter().map(|v| v.to_bits()).collect(),
+    }
+}
+
+fn assert_identical(job: &JobOutput, case: &Case) {
+    assert_eq!(
+        job.stats, case.baseline_stats,
+        "{}: served stats diverge from serial fresh-machine baseline",
+        case.name
+    );
+    assert_eq!(
+        output_bits(&job.output),
+        case.baseline_bits,
+        "{}: served output bits diverge from serial baseline",
+        case.name
+    );
+}
+
+fn list_arg(args: &[String], flag: &str) -> Option<Vec<String>> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let raw = args.get(pos + 1)?;
+    Some(raw.split(',').map(|s| s.trim().to_string()).collect())
+}
+
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    assert!(!sorted_ns.is_empty(), "no latency samples");
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let clients: Vec<usize> = list_arg(&args, "--clients")
+        .map(|cs| {
+            cs.iter()
+                .map(|c| {
+                    c.parse()
+                        .unwrap_or_else(|_| panic!("invalid --clients value {c:?}"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    assert!(!clients.is_empty(), "--clients list is empty");
+    let jobs_per_client: usize = list_arg(&args, "--jobs")
+        .and_then(|j| j.first().cloned())
+        .map(|j| j.parse().unwrap_or_else(|_| panic!("invalid --jobs {j:?}")))
+        .unwrap_or(20);
+
+    // Two kernels (SpMV single-stage, Plus3 two-stage — the stage-plan
+    // pinning path) over two datasets each.
+    let mut cases: Vec<Case> = Vec::new();
+    for name in ["SpMV", "Plus3"] {
+        for (kernel, set) in instantiate(name, &scale).into_iter().take(2) {
+            let serial = kernel
+                .run(&set.inputs)
+                .unwrap_or_else(|e| panic!("{name} serial baseline: {e}"));
+            cases.push(Case {
+                name: format!("{name}/{}", set.dataset),
+                kernel,
+                inputs: set.inputs,
+                baseline_bits: output_bits(&serial.output),
+                baseline_stats: serial.total_stats(),
+            });
+        }
+    }
+    println!(
+        "serve load generator: {} cases, client counts {clients:?}, {jobs_per_client} jobs/client",
+        cases.len()
+    );
+
+    // Serving budget: generous fuel so real kernels never abort, but
+    // every run still goes through the budgeted (armed) path.
+    let budget = RunBudget::default().with_max_steps(1_000_000_000);
+
+    let mut rows = String::new();
+    for &c in &clients {
+        let server = Server::start(ServeConfig {
+            workers: c,
+            queue_depth: 64,
+            tenant_inflight: 32,
+            batch_max: 8,
+            budget: budget.clone(),
+        });
+        let handles: Vec<_> = cases
+            .iter()
+            .map(|case| {
+                (
+                    server.register_program(case.kernel.clone()),
+                    server.register_dataset(case.inputs.clone()),
+                )
+            })
+            .collect();
+
+        // Warm every working set (stage compilation + image pinning)
+        // so the measured window is the steady-state serving path.
+        for (i, &(program, dataset)) in handles.iter().enumerate() {
+            let job = server
+                .submit(u64::MAX, program, dataset)
+                .expect("warmup admitted")
+                .wait()
+                .expect("warmup completes");
+            assert_identical(&job, &cases[i]);
+        }
+
+        const WINDOW: usize = 8;
+        let total_jobs = c * jobs_per_client;
+        let t0 = Instant::now();
+        let per_client: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+            let threads: Vec<_> = (0..c)
+                .map(|tenant| {
+                    let server = &server;
+                    let handles = &handles;
+                    let cases = &cases;
+                    scope.spawn(move || {
+                        let mut latencies_ns = Vec::with_capacity(jobs_per_client);
+                        let mut backpressure_retries = 0u64;
+                        let mut pending = std::collections::VecDeque::new();
+                        for j in 0..jobs_per_client {
+                            let case = (tenant + j) % handles.len();
+                            let (program, dataset) = handles[case];
+                            let ticket = loop {
+                                match server.submit(tenant as u64, program, dataset) {
+                                    Ok(t) => break t,
+                                    Err(SubmitError::QueueFull { .. })
+                                    | Err(SubmitError::TenantAtCapacity { .. }) => {
+                                        backpressure_retries += 1;
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => panic!("client {tenant}: submit failed: {e}"),
+                                }
+                            };
+                            pending.push_back((case, ticket));
+                            if pending.len() >= WINDOW {
+                                let (case, ticket) = pending.pop_front().expect("window non-empty");
+                                let job = ticket.wait().expect("accepted job completes");
+                                assert_identical(&job, &cases[case]);
+                                latencies_ns.push(
+                                    u64::try_from(job.latency.as_nanos()).unwrap_or(u64::MAX),
+                                );
+                            }
+                        }
+                        for (case, ticket) in pending {
+                            let job = ticket.wait().expect("accepted job completes");
+                            assert_identical(&job, &cases[case]);
+                            latencies_ns
+                                .push(u64::try_from(job.latency.as_nanos()).unwrap_or(u64::MAX));
+                        }
+                        (latencies_ns, backpressure_retries)
+                    })
+                })
+                .collect();
+            threads
+                .into_iter()
+                .map(|t| t.join().expect("client thread"))
+                .collect()
+        });
+        let secs = t0.elapsed().as_secs_f64();
+
+        let mut latencies_ns: Vec<u64> = per_client.iter().flat_map(|(l, _)| l.clone()).collect();
+        let backpressure: u64 = per_client.iter().map(|(_, b)| b).sum();
+        latencies_ns.sort_unstable();
+        assert_eq!(latencies_ns.len(), total_jobs, "lost a job response");
+
+        #[allow(clippy::cast_precision_loss)]
+        let ops_per_sec = total_jobs as f64 / secs;
+        let p50_ms = percentile_ms(&latencies_ns, 0.50);
+        let p99_ms = percentile_ms(&latencies_ns, 0.99);
+        #[allow(clippy::cast_precision_loss)]
+        let max_ms = *latencies_ns.last().expect("non-empty") as f64 / 1e6;
+
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 0, "served jobs failed under load");
+        assert_eq!(stats.pool.checked_out, 0, "machines leaked past shutdown");
+        println!(
+            "clients={c}: {total_jobs} jobs in {secs:.3} s ({ops_per_sec:.1} ops/s), \
+             p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms, max {max_ms:.2} ms, \
+             {} batches (peak {}), {} machine reuses, {} backpressure retries, identical to serial",
+            stats.batches, stats.batch_peak, stats.pool.stats.reused, backpressure,
+        );
+
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        write!(
+            rows,
+            r#"
+    {{"clients": {c}, "jobs": {total_jobs}, "seconds": {secs:.6e}, "ops_per_sec": {ops_per_sec:.4}, "p50_ms": {p50_ms:.4}, "p99_ms": {p99_ms:.4}, "max_ms": {max_ms:.4}, "identical_to_serial": true, "batches": {}, "batch_peak": {}, "backpressure_retries": {backpressure}, "rejected_queue_full": {}, "rejected_tenant_cap": {}, "retried": {}, "pool_created": {}, "pool_reused": {}, "pool_quarantined": {}, "image_builds": {}}}"#,
+            stats.batches,
+            stats.batch_peak,
+            stats.rejected_queue_full,
+            stats.rejected_tenant_cap,
+            stats.retried,
+            stats.pool.stats.created,
+            stats.pool.stats.reused,
+            stats.pool.stats.quarantined,
+            stats.image_builds,
+        )
+        .expect("write to string");
+    }
+
+    if let Ok(path) = std::env::var("BENCH_SUMMARY_JSON") {
+        let case_list = cases
+            .iter()
+            .map(|c| format!("\"{}\"", c.name))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let json = format!(
+            "{{\n  \"bench\": \"serve-load\",\n  \"cases\": [{case_list}],\n  \"jobs_per_client\": {jobs_per_client},\n  \"client_counts\": {clients:?},\n  \"identical_to_serial\": true,\n  \"rounds\": [{rows}\n  ]\n}}\n"
+        );
+        std::fs::write(&path, json).expect("write serve summary");
+        println!("serve summary written to {path}");
+    }
+}

@@ -1,0 +1,465 @@
+//! A minimal JSON reader for CI summary validation.
+//!
+//! The bench binaries emit machine-readable summaries
+//! (`BENCH_SUMMARY_JSON`); the `check_summary` gate re-reads them and
+//! fails the job when required keys are missing or floored metrics
+//! regress. The build container has no registry access, so this is a
+//! small hand-rolled recursive-descent parser — strict enough to catch
+//! a malformed summary (trailing garbage, bad escapes, truncation are
+//! all errors), with a dotted-path query language on top:
+//!
+//! - `pool.machines_created` — object fields
+//! - `runs[0].seconds` — array index
+//! - `rounds[*].ops_per_sec` — **every** element; resolving `[*]`
+//!   against an empty array is an error, so a floor can never pass
+//!   vacuously on a summary with no measurements.
+
+use std::fmt;
+
+/// A parsed JSON value. Numbers are kept as `f64` — summary metrics
+/// are doubles and counters stay exact far past any counter we emit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order (duplicate keys keep the last).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The field `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Resolves a dotted path (`a.b[0].c`, `runs[*].seconds`) against
+    /// this value. `[*]` fans out over every element of an array and
+    /// **fails on an empty array** — a gate must never pass because
+    /// nothing was measured.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first segment that failed to resolve.
+    pub fn resolve(&self, path: &str) -> Result<Vec<&Value>, String> {
+        let mut current: Vec<&Value> = vec![self];
+        for seg in parse_path(path)? {
+            let mut next = Vec::new();
+            for v in current {
+                match &seg {
+                    Segment::Field(name) => match v.get(name) {
+                        Some(child) => next.push(child),
+                        None => return Err(format!("path {path:?}: no field {name:?}")),
+                    },
+                    Segment::Index(i) => match v {
+                        Value::Arr(items) => match items.get(*i) {
+                            Some(child) => next.push(child),
+                            None => {
+                                return Err(format!(
+                                    "path {path:?}: index {i} out of bounds (len {})",
+                                    items.len()
+                                ))
+                            }
+                        },
+                        _ => return Err(format!("path {path:?}: [{i}] on a non-array")),
+                    },
+                    Segment::All => match v {
+                        Value::Arr(items) if items.is_empty() => {
+                            return Err(format!(
+                                "path {path:?}: [*] over an empty array — nothing to check"
+                            ))
+                        }
+                        Value::Arr(items) => next.extend(items.iter()),
+                        _ => return Err(format!("path {path:?}: [*] on a non-array")),
+                    },
+                }
+            }
+            current = next;
+        }
+        Ok(current)
+    }
+}
+
+enum Segment {
+    Field(String),
+    Index(usize),
+    All,
+}
+
+fn parse_path(path: &str) -> Result<Vec<Segment>, String> {
+    let mut segs = Vec::new();
+    for part in path.split('.') {
+        let mut rest = part;
+        // Leading field name (may be empty only if the part is pure
+        // index syntax like `[0]`, which we reject for clarity).
+        let field_end = rest.find('[').unwrap_or(rest.len());
+        let field = &rest[..field_end];
+        if field.is_empty() {
+            return Err(format!("path {path:?}: empty field name in {part:?}"));
+        }
+        segs.push(Segment::Field(field.to_string()));
+        rest = &rest[field_end..];
+        while let Some(stripped) = rest.strip_prefix('[') {
+            let close = stripped
+                .find(']')
+                .ok_or_else(|| format!("path {path:?}: unclosed [ in {part:?}"))?;
+            let idx = &stripped[..close];
+            if idx == "*" {
+                segs.push(Segment::All);
+            } else {
+                let i: usize = idx
+                    .parse()
+                    .map_err(|_| format!("path {path:?}: bad index {idx:?}"))?;
+                segs.push(Segment::Index(i));
+            }
+            rest = &stripped[close + 1..];
+        }
+        if !rest.is_empty() {
+            return Err(format!("path {path:?}: trailing {rest:?} in {part:?}"));
+        }
+    }
+    Ok(segs)
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document. Trailing non-whitespace is an
+/// error: a truncated or concatenated summary must not half-parse.
+///
+/// # Errors
+///
+/// [`ParseError`] at the first offending byte.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {lit}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected , or } in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected , or ] in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Summaries never emit surrogate pairs;
+                            // reject them rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        other => return Err(self.err(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let start = self.pos;
+                    let len = match self.bytes[start] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_summary_shaped_documents() {
+        let doc = r#"{
+            "bench": "parallel-sweep",
+            "serial_seconds": 1.25e-2,
+            "runs": [
+                {"threads": 1, "identical_to_serial": true, "speedup_vs_serial": 0.9},
+                {"threads": 4, "identical_to_serial": true, "speedup_vs_serial": 2.5}
+            ],
+            "pool": {"machines_created": 3},
+            "empty": [],
+            "note": "p99 ≤ budget \"quoted\"\n"
+        }"#;
+        let v = parse(doc).expect("parses");
+        assert_eq!(
+            v.resolve("bench").unwrap()[0],
+            &Value::Str("parallel-sweep".into())
+        );
+        assert_eq!(
+            v.resolve("pool.machines_created").unwrap()[0].as_num(),
+            Some(3.0)
+        );
+        assert_eq!(
+            v.resolve("runs[1].speedup_vs_serial").unwrap()[0].as_num(),
+            Some(2.5)
+        );
+        let all: Vec<f64> = v
+            .resolve("runs[*].speedup_vs_serial")
+            .unwrap()
+            .iter()
+            .filter_map(|x| x.as_num())
+            .collect();
+        assert_eq!(all, vec![0.9, 2.5]);
+        assert_eq!(
+            v.resolve("note").unwrap()[0],
+            &Value::Str("p99 \u{2264} budget \"quoted\"\n".into())
+        );
+    }
+
+    #[test]
+    fn wildcards_refuse_vacuous_passes() {
+        let v = parse(r#"{"rounds": []}"#).unwrap();
+        let err = v.resolve("rounds[*].ops_per_sec").unwrap_err();
+        assert!(err.contains("empty array"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_and_bad_paths_are_errors() {
+        let v = parse(r#"{"a": {"b": [1, 2]}}"#).unwrap();
+        assert!(v.resolve("a.c").is_err());
+        assert!(v.resolve("a.b[5]").is_err());
+        assert!(v.resolve("a.b.c").is_err());
+        assert!(v.resolve("a.[0]").is_err());
+        assert!(v.resolve("a.b[x]").is_err());
+        assert_eq!(v.resolve("a.b[0]").unwrap()[0].as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for doc in [
+            "",
+            "{",
+            r#"{"a": }"#,
+            r#"{"a": 1,}"#,
+            r#"{"a": 1"#,
+            "[1, 2",
+            r#""unterminated"#,
+            "{} trailing",
+            "nul",
+            r#"{"a": 1e}"#,
+        ] {
+            assert!(parse(doc).is_err(), "accepted malformed doc {doc:?}");
+        }
+        // Numbers round-trip, including negatives and exponents.
+        assert_eq!(parse("-1.5e3").unwrap().as_num(), Some(-1500.0));
+        assert_eq!(parse("0").unwrap().as_num(), Some(0.0));
+    }
+}

@@ -16,6 +16,8 @@
 //! testbed — but the comparisons' shape (who wins, rough factors,
 //! crossovers) is what these harnesses reproduce.
 
+pub mod json;
+
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

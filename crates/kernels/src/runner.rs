@@ -114,7 +114,11 @@ impl KernelResult {
     }
 }
 
-fn merge_stats(into: &mut ExecStats, from: &ExecStats) {
+/// Accumulates `from` into `into`, field by field — the stage-stats
+/// merge behind [`KernelResult::total_stats`], public so executors
+/// that drive stages themselves (the serving layer) can aggregate
+/// identically.
+pub fn merge_stats(into: &mut ExecStats, from: &ExecStats) {
     for (k, v) in &from.dram_reads {
         *into.dram_reads.entry(k.clone()).or_default() += v;
     }
@@ -334,7 +338,13 @@ impl Kernel {
 /// Size hints for a stage: exact level sizes for available inputs, plus a
 /// sum-of-inputs bound for the stage's own output (unions can at most
 /// concatenate operand coordinates; intersections and mirrors are smaller).
-fn stage_hints(
+///
+/// Public because any executor that compiles stages itself must derive
+/// hints from the *actual* tensors available at that stage — including
+/// real intermediate outputs — to compile the same programs
+/// [`Kernel::run`] would; hints from placeholders produce different
+/// DRAM sizing and therefore different (non-comparable) stats.
+pub fn stage_hints(
     stage: &crate::defs::Stage,
     available: &HashMap<String, TensorData>,
 ) -> Result<SizeHints, CompileError> {

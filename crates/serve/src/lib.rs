@@ -1,0 +1,26 @@
+//! A kernel-serving front end over the pooled interpreter stack.
+//!
+//! The sweep harness (stardust-bench) drives the executor as a single
+//! trusted caller. This crate turns the same stack — compiled-program
+//! cache, content-addressed [`stardust_core::ImageCache`], sharded
+//! [`stardust_spatial::MachinePool`], fuel budgets, quarantine and
+//! retry — into a *multi-tenant service*: many concurrent clients
+//! submit (program, dataset) jobs, admission control sheds overload
+//! with typed backpressure instead of unbounded queues, and same-key
+//! requests batch onto warm machines.
+//!
+//! The serving invariant, inherited from the whole stack and enforced
+//! by the CI load gate: every accepted job's output and interpreter
+//! statistics are **bitwise identical** to a serial fresh-machine run
+//! of the same kernel on the same dataset — batching, pooling,
+//! pinning, and retries are pure performance, never semantics.
+//!
+//! See [`server`] for the job lifecycle and [`stats`] for telemetry.
+
+pub mod server;
+pub mod stats;
+
+pub use server::{
+    DatasetId, JobOutput, ProgramId, ServeConfig, ServeError, Server, SubmitError, Ticket,
+};
+pub use stats::{LatencyHistogram, LatencySnapshot, ServeStats};

@@ -1,0 +1,203 @@
+//! Serving telemetry: a lock-free log2-bucketed latency histogram and
+//! the [`ServeStats`] snapshot the server exposes.
+//!
+//! The histogram trades exactness for a wait-free record path: one
+//! atomic increment per completion, no allocation, no lock shared with
+//! the submit or execution paths. Quantiles are read from bucket upper
+//! bounds (a ≤2x overestimate at worst), which is the right shape for
+//! a latency *budget* gate: the reported p99 can only be pessimistic,
+//! so a passing gate is a true pass.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use stardust_spatial::PoolOccupancy;
+
+/// Number of log2 buckets: bucket `i` holds samples whose nanosecond
+/// value has bit-length `i` (range `[2^(i-1), 2^i)`), so 64 buckets
+/// cover every `u64` nanosecond count.
+const BUCKETS: usize = 64;
+
+/// A concurrent latency histogram with logarithmic buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completion latency. Wait-free: three relaxed
+    /// atomics and a `fetch_max`.
+    pub fn record(&self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let idx = (64 - ns.leading_zeros()) as usize;
+        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot: counts are read bucket by bucket,
+    /// so a concurrent recorder can skew a quantile by its one sample —
+    /// irrelevant at gate sample sizes.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let counts: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = counts.iter().sum();
+        let sum_ns = self.sum_ns.load(Ordering::Relaxed);
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        let q = |q: f64| quantile(&counts, count, q, max_ns);
+        LatencySnapshot {
+            count,
+            mean_ns: sum_ns.checked_div(count).unwrap_or(0),
+            p50_ns: q(0.50),
+            p90_ns: q(0.90),
+            p99_ns: q(0.99),
+            max_ns,
+        }
+    }
+}
+
+/// The value reported for quantile `q`: the upper bound of the bucket
+/// holding the rank-`ceil(q·count)` sample, clamped to the observed
+/// maximum. Never underestimates a sample in the bucket.
+fn quantile(counts: &[u64; BUCKETS], total: u64, q: f64, max_ns: u64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            // Bucket 0 holds only the value 0; the top bucket also
+            // absorbs clamped 64-bit-length samples, so its only
+            // sound upper bound is the observed maximum.
+            let upper = if i == 0 {
+                0
+            } else if i == BUCKETS - 1 {
+                u64::MAX
+            } else {
+                (1u64 << i) - 1
+            };
+            return upper.min(max_ns);
+        }
+    }
+    max_ns
+}
+
+/// Latency distribution over completed jobs, in nanoseconds.
+/// Quantiles come from log2 buckets (pessimistic by ≤2x, clamped to
+/// the true maximum); `mean_ns` and `max_ns` are exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Completed jobs recorded.
+    pub count: u64,
+    /// Exact arithmetic mean.
+    pub mean_ns: u64,
+    /// Median (bucket upper bound).
+    pub p50_ns: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90_ns: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+}
+
+/// A point-in-time snapshot of the serving layer, covering the whole
+/// submit → admit → batch → pooled-run → respond path plus the shared
+/// machinery underneath it (image cache, machine pool).
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs that failed (compile or execution error after the retry
+    /// policy was exhausted).
+    pub failed: u64,
+    /// Submissions rejected because the queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Submissions rejected because the tenant hit its in-flight cap.
+    pub rejected_tenant_cap: u64,
+    /// Transient stage failures retried once on a fresh machine.
+    pub retried: u64,
+    /// Batches executed (each batch shares one working-set resolution
+    /// and keeps hitting the same warm pool shard).
+    pub batches: u64,
+    /// Largest batch executed so far.
+    pub batch_peak: u64,
+    /// Jobs currently queued (admitted, not yet started).
+    pub queue_depth: usize,
+    /// Pinned (program, dataset) stage-plan working sets.
+    pub working_sets: usize,
+    /// O(nnz) image builds performed by the shared [`stardust_core::ImageCache`].
+    pub image_builds: usize,
+    /// Images currently cached.
+    pub images_cached: usize,
+    /// Machine-pool occupancy (live checkouts, idle machines, recycle
+    /// and quarantine counters).
+    pub pool: PoolOccupancy,
+    /// Completion latency distribution (queue wait + execution).
+    pub latency: LatencySnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_pessimistic_but_clamped() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot(), LatencySnapshot::default());
+
+        for ns in [100u64, 200, 300, 400, 100_000] {
+            h.record(Duration::from_nanos(ns));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.max_ns, 100_000);
+        assert_eq!(s.mean_ns, (100 + 200 + 300 + 400 + 100_000) / 5);
+        // p50 lands in the bucket holding 300 (bit length 9 → upper 511);
+        // it must bound the true median from above and never exceed max.
+        assert!(s.p50_ns >= 300 && s.p50_ns <= 511, "p50={}", s.p50_ns);
+        // p99 is the max sample's bucket, clamped to the exact max.
+        assert_eq!(s.p99_ns, 100_000);
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+    }
+
+    #[test]
+    fn zero_and_huge_samples_stay_in_range() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(0));
+        h.record(Duration::from_secs(u64::MAX / 1_000_000_000));
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50_ns, 0, "bucket 0 holds exactly the value 0");
+        assert_eq!(s.p99_ns, s.max_ns);
+    }
+}

@@ -1,0 +1,354 @@
+//! The serving contract, end to end:
+//!
+//! - **Identity** — every accepted job's output and stats are bitwise
+//!   identical to a serial fresh-machine `Kernel::run` of the same
+//!   (program, dataset), under concurrent multi-tenant load, batching,
+//!   and machine reuse. Multi-stage kernels (Plus3) are included
+//!   because their stage plans depend on real intermediates.
+//! - **Admission** — queue-full and tenant-cap overload reject with
+//!   typed errors, deterministically (inline mode: nothing consumes
+//!   the queue until `drain`), and rejections release no state they
+//!   did not take.
+//! - **Drain** — shutdown completes every accepted job and refuses
+//!   new ones; tickets never hang.
+//! - **Recovery** — an injected transient fault quarantines the
+//!   machine, retries once on a fresh one, and still returns the
+//!   bit-identical result.
+
+use std::collections::HashMap;
+
+use stardust_core::pipeline::{KernelOutput, TensorData};
+use stardust_datasets::{random_matrix, random_vector};
+use stardust_kernels::{defs, Kernel};
+use stardust_serve::{JobOutput, ServeConfig, Server, SubmitError};
+use stardust_tensor::Format;
+
+const N: usize = 16;
+
+fn spmv_inputs(seed: u64) -> HashMap<String, TensorData> {
+    let a = random_matrix(N, N, 0.25, seed);
+    let x = random_vector(N, seed + 1);
+    let mut inputs = HashMap::new();
+    inputs.insert("A".into(), TensorData::from_coo(&a, Format::csr()));
+    inputs.insert("x".into(), TensorData::from_coo(&x, Format::dense_vec()));
+    inputs
+}
+
+fn plus3_inputs(seed: u64) -> HashMap<String, TensorData> {
+    let mut inputs = HashMap::new();
+    for (i, name) in ["B", "C", "D"].iter().enumerate() {
+        let m = random_matrix(N, N, 0.2, seed + i as u64);
+        inputs.insert((*name).to_string(), TensorData::from_coo(&m, Format::csr()));
+    }
+    inputs
+}
+
+/// The exact bits of a kernel output: NaN-safe, sign-of-zero-exact.
+fn output_bits(output: &KernelOutput) -> Vec<u64> {
+    match output {
+        KernelOutput::Scalar(v) => vec![v.to_bits()],
+        KernelOutput::Tensor(t) => t.to_dense().data().iter().map(|v| v.to_bits()).collect(),
+    }
+}
+
+fn assert_matches_serial(job: &JobOutput, kernel: &Kernel, inputs: &HashMap<String, TensorData>) {
+    let serial = kernel.run(inputs).expect("serial baseline runs");
+    assert_eq!(
+        job.stats,
+        serial.total_stats(),
+        "served stats diverge from the serial fresh-machine baseline"
+    );
+    assert_eq!(
+        output_bits(&job.output),
+        output_bits(&serial.output),
+        "served output is not bitwise identical to the serial baseline"
+    );
+}
+
+/// Concurrent multi-tenant load over two programs (one multi-stage)
+/// and two datasets each: every response must be bitwise identical to
+/// the serial baseline, and the serving machinery must actually have
+/// batched, pinned, and pooled.
+#[test]
+fn accepted_jobs_complete_bitwise_identical_to_serial() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_depth: 256,
+        tenant_inflight: 64,
+        batch_max: 4,
+        ..ServeConfig::default()
+    });
+    let cases: Vec<(Kernel, HashMap<String, TensorData>)> = vec![
+        (defs::spmv(N), spmv_inputs(1)),
+        (defs::spmv(N), spmv_inputs(7)),
+        (defs::plus3(N), plus3_inputs(3)),
+        (defs::plus3(N), plus3_inputs(9)),
+    ];
+    let handles: Vec<_> = cases
+        .iter()
+        .map(|(k, d)| {
+            (
+                server.register_program(k.clone()),
+                server.register_dataset(d.clone()),
+            )
+        })
+        .collect();
+
+    const CLIENTS: usize = 4;
+    const JOBS_PER_CLIENT: usize = 6;
+    let outputs: Vec<(usize, JobOutput)> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|tenant| {
+                let server = &server;
+                let handles = &handles;
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    for j in 0..JOBS_PER_CLIENT {
+                        let case = (tenant + j) % handles.len();
+                        let (program, dataset) = handles[case];
+                        let ticket = server
+                            .submit(tenant as u64, program, dataset)
+                            .expect("admission under configured capacity");
+                        got.push((case, ticket.wait().expect("accepted job completes")));
+                    }
+                    got
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread"))
+            .collect()
+    });
+
+    assert_eq!(outputs.len(), CLIENTS * JOBS_PER_CLIENT);
+    for (case, job) in &outputs {
+        let (kernel, inputs) = &cases[*case];
+        assert_matches_serial(job, kernel, inputs);
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, (CLIENTS * JOBS_PER_CLIENT) as u64);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(
+        stats.working_sets,
+        cases.len(),
+        "stage plans must be pinned"
+    );
+    // Images are built once per (stage, dataset) and pinned; machines
+    // are recycled, never leaked.
+    assert_eq!(stats.image_builds, stats.images_cached);
+    assert_eq!(stats.pool.checked_out, 0);
+    assert!(stats.pool.stats.reused > 0, "pool never recycled a machine");
+    assert_eq!(stats.latency.count, stats.completed);
+}
+
+/// Inline mode: overload is rejected with `QueueFull` carrying the
+/// observed depth, accepted jobs are unaffected, and capacity returns
+/// after a drain.
+#[test]
+fn queue_full_backpressure_is_typed_and_recoverable() {
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        queue_depth: 2,
+        ..ServeConfig::default()
+    });
+    let program = server.register_program(defs::spmv(N));
+    let dataset = server.register_dataset(spmv_inputs(1));
+
+    let t1 = server.submit(1, program, dataset).expect("first fits");
+    let t2 = server.submit(2, program, dataset).expect("second fits");
+    assert_eq!(
+        server.submit(3, program, dataset).err(),
+        Some(SubmitError::QueueFull { depth: 2 })
+    );
+    assert_eq!(server.stats().rejected_queue_full, 1);
+
+    server.drain();
+    t1.wait().expect("accepted job survives overload");
+    t2.wait().expect("accepted job survives overload");
+    // Capacity is back.
+    let t3 = server
+        .submit(3, program, dataset)
+        .expect("queue drained, submission admitted");
+    server.drain();
+    t3.wait().expect("job completes after drain");
+}
+
+/// One tenant at its in-flight cap is rejected with a typed error
+/// while other tenants keep being admitted; completions release the
+/// tenant's slots.
+#[test]
+fn tenant_cap_rejects_without_starving_others() {
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        tenant_inflight: 1,
+        ..ServeConfig::default()
+    });
+    let program = server.register_program(defs::spmv(N));
+    let dataset = server.register_dataset(spmv_inputs(1));
+
+    let greedy = server.submit(7, program, dataset).expect("first job fits");
+    assert_eq!(
+        server.submit(7, program, dataset).err(),
+        Some(SubmitError::TenantAtCapacity {
+            tenant: 7,
+            in_flight: 1
+        })
+    );
+    // Another tenant is unaffected by tenant 7's cap.
+    let other = server
+        .submit(8, program, dataset)
+        .expect("other tenant admitted");
+    assert_eq!(server.stats().rejected_tenant_cap, 1);
+
+    server.drain();
+    greedy
+        .wait()
+        .expect("capped tenant's accepted job completes");
+    other.wait().expect("other tenant's job completes");
+    // Completion released the slot.
+    server
+        .submit(7, program, dataset)
+        .expect("tenant slot released on completion");
+}
+
+/// Unknown handles — ids minted by a *different* server — are typed
+/// rejections, not panics or wrong-registry lookups.
+#[test]
+fn foreign_ids_are_rejected() {
+    let minter = Server::start(ServeConfig {
+        workers: 0,
+        ..ServeConfig::default()
+    });
+    let foreign_program = minter.register_program(defs::spmv(N));
+    let foreign_dataset = minter.register_dataset(spmv_inputs(1));
+
+    let empty = Server::start(ServeConfig {
+        workers: 0,
+        ..ServeConfig::default()
+    });
+    assert_eq!(
+        empty.submit(1, foreign_program, foreign_dataset).err(),
+        Some(SubmitError::UnknownProgram(foreign_program))
+    );
+    let program = empty.register_program(defs::spmv(N));
+    assert_eq!(
+        empty.submit(1, program, foreign_dataset).err(),
+        Some(SubmitError::UnknownDataset(foreign_dataset))
+    );
+}
+
+/// Graceful drain: shutdown completes every accepted job (tickets
+/// resolve, bitwise correct), refuses new submissions, and reports
+/// the final counts.
+#[test]
+fn shutdown_drains_accepted_jobs_and_refuses_new_ones() {
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        ..ServeConfig::default()
+    });
+    let kernel = defs::spmv(N);
+    let inputs = spmv_inputs(5);
+    let program = server.register_program(kernel.clone());
+    let dataset = server.register_dataset(inputs.clone());
+
+    let tickets: Vec<_> = (0..3)
+        .map(|t| server.submit(t, program, dataset).expect("admitted"))
+        .collect();
+
+    server.begin_shutdown();
+    assert_eq!(
+        server.submit(9, program, dataset).err(),
+        Some(SubmitError::ShuttingDown)
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 3, "drain must complete accepted jobs");
+    assert_eq!(stats.queue_depth, 0);
+    for ticket in tickets {
+        let job = ticket.wait().expect("accepted job completed by drain");
+        assert_matches_serial(&job, &kernel, &inputs);
+    }
+}
+
+/// The recovery policy through the serving path: a one-shot injected
+/// fault poisons the machine (quarantined by the pool) and the job is
+/// retried once on a fresh machine, completing bit-identical to a
+/// clean run. Inline mode puts the execution on this thread, where
+/// the thread-local fault plan is visible.
+#[test]
+fn transient_fault_is_retried_on_fresh_machine() {
+    use stardust_spatial::{faults, FaultPlan};
+
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        ..ServeConfig::default()
+    });
+    let kernel = defs::spmv(N);
+    let inputs = spmv_inputs(2);
+    let program = server.register_program(kernel.clone());
+    let dataset = server.register_dataset(inputs.clone());
+
+    // Warm the working set cleanly so the fault hits the serving hot
+    // path, not plan construction.
+    let warm = server.submit(0, program, dataset).expect("admitted");
+    server.drain();
+    let clean = warm.wait().expect("clean run");
+    let before = server.stats();
+
+    let plan = FaultPlan {
+        error_at_step: Some(2),
+        ..FaultPlan::default()
+    };
+    let recovered = faults::with_plan(plan, || {
+        let ticket = server.submit(0, program, dataset).expect("admitted");
+        server.drain();
+        ticket
+            .wait()
+            .expect("retry must recover the injected fault")
+    });
+
+    assert_eq!(recovered.stats, clean.stats);
+    assert_eq!(output_bits(&recovered.output), output_bits(&clean.output));
+    let after = server.stats();
+    assert_eq!(after.retried, before.retried + 1, "no retry recorded");
+    assert_eq!(after.failed, 0);
+    assert_eq!(
+        after.pool.stats.quarantined,
+        before.pool.stats.quarantined + 1,
+        "faulted machine must be quarantined, not recycled"
+    );
+    assert_matches_serial(&recovered, &kernel, &inputs);
+}
+
+/// Same-key jobs queued together ride one batch (shared working-set
+/// resolution, warm machine reuse), and the batch size is visible to
+/// clients and telemetry.
+#[test]
+fn same_key_jobs_batch_together() {
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        batch_max: 8,
+        ..ServeConfig::default()
+    });
+    let program = server.register_program(defs::spmv(N));
+    let d1 = server.register_dataset(spmv_inputs(1));
+    let d2 = server.register_dataset(spmv_inputs(8));
+
+    // 3 jobs for d1 interleaved with 1 for d2: the d1 jobs batch.
+    let a = server.submit(0, program, d1).expect("admitted");
+    let b = server.submit(1, program, d2).expect("admitted");
+    let c = server.submit(2, program, d1).expect("admitted");
+    let d = server.submit(3, program, d1).expect("admitted");
+    server.drain();
+
+    assert_eq!(a.wait().expect("completes").batch_size, 3);
+    assert_eq!(b.wait().expect("completes").batch_size, 1);
+    assert_eq!(c.wait().expect("completes").batch_size, 3);
+    assert_eq!(d.wait().expect("completes").batch_size, 3);
+    let stats = server.stats();
+    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.batch_peak, 3);
+}

@@ -30,6 +30,48 @@
 //! chaos sweeps without recompiling.
 
 use std::cell::RefCell;
+use std::error::Error;
+use std::fmt;
+
+/// A malformed `STARDUST_FAULTS` specification. Unknown keys are
+/// **errors**, not ignored: a typo'd chaos plan (`eror_at=100`) that
+/// silently parsed to "no faults" would let a CI chaos sweep pass
+/// vacuously, proving nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultParseError {
+    /// A key that is not one of `panic_at`, `error_at`, `fail_alloc`,
+    /// `max_steps`.
+    UnknownKey(String),
+    /// A value that did not parse as a `u64`.
+    InvalidValue {
+        /// The key whose value was rejected.
+        key: String,
+        /// The rejected raw value.
+        value: String,
+    },
+    /// A pair with no `=` separator.
+    MissingSeparator(String),
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultParseError::UnknownKey(k) => write!(
+                f,
+                "STARDUST_FAULTS: unknown key {k:?} \
+                 (expected panic_at, error_at, fail_alloc, or max_steps)"
+            ),
+            FaultParseError::InvalidValue { key, value } => {
+                write!(f, "STARDUST_FAULTS: value {value:?} for {key} is not a u64")
+            }
+            FaultParseError::MissingSeparator(pair) => {
+                write!(f, "STARDUST_FAULTS: {pair:?} has no key=value separator")
+            }
+        }
+    }
+}
+
+impl Error for FaultParseError {}
 
 /// A deterministic set of faults to inject into subsequent runs on the
 /// installing thread. All fields default to `None` (no fault).
@@ -62,10 +104,31 @@ impl FaultPlan {
     /// Parses a plan from the `STARDUST_FAULTS` environment variable:
     /// comma-separated `key=value` pairs with keys `panic_at`,
     /// `error_at`, `fail_alloc`, and `max_steps` (e.g.
-    /// `STARDUST_FAULTS=error_at=100,fail_alloc=2`). Returns `None`
-    /// when the variable is unset, empty, or unparseable.
-    pub fn from_env() -> Option<FaultPlan> {
-        let raw = std::env::var("STARDUST_FAULTS").ok()?;
+    /// `STARDUST_FAULTS=error_at=100,fail_alloc=2`).
+    ///
+    /// Returns `Ok(None)` when the variable is unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultParseError`] on any malformed pair — **including unknown
+    /// keys**. Callers (the CI chaos suites) must surface this loudly:
+    /// treating a typo'd plan as "no faults" would let a chaos sweep
+    /// pass as a no-op.
+    pub fn from_env() -> Result<Option<FaultPlan>, FaultParseError> {
+        match std::env::var("STARDUST_FAULTS") {
+            Ok(raw) => Self::parse(&raw),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Parses the `STARDUST_FAULTS` pair syntax from a string (the
+    /// testable core of [`FaultPlan::from_env`]). `Ok(None)` for an
+    /// empty/whitespace/comma-only string.
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultPlan::from_env`].
+    pub fn parse(raw: &str) -> Result<Option<FaultPlan>, FaultParseError> {
         let mut plan = FaultPlan::default();
         let mut any = false;
         for pair in raw.split(',') {
@@ -73,18 +136,24 @@ impl FaultPlan {
             if pair.is_empty() {
                 continue;
             }
-            let (key, value) = pair.split_once('=')?;
-            let value: u64 = value.trim().parse().ok()?;
-            match key.trim() {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| FaultParseError::MissingSeparator(pair.to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            let value: u64 = value.parse().map_err(|_| FaultParseError::InvalidValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            })?;
+            match key {
                 "panic_at" => plan.panic_at_step = Some(value),
                 "error_at" => plan.error_at_step = Some(value),
                 "fail_alloc" => plan.fail_alloc = Some(value),
                 "max_steps" => plan.max_steps = Some(value),
-                _ => return None,
+                other => return Err(FaultParseError::UnknownKey(other.to_string())),
             }
             any = true;
         }
-        any.then_some(plan)
+        Ok(any.then_some(plan))
     }
 }
 
@@ -201,13 +270,48 @@ mod tests {
         // test binary env mutation is still racy in general, so keep
         // the variable name unique to this test.
         std::env::set_var("STARDUST_FAULTS", "error_at=5, max_steps=100");
-        let plan = FaultPlan::from_env().expect("parses");
+        let plan = FaultPlan::from_env()
+            .expect("valid plan")
+            .expect("plan present");
         assert_eq!(plan.error_at_step, Some(5));
         assert_eq!(plan.max_steps, Some(100));
         assert_eq!(plan.panic_at_step, None);
-        std::env::set_var("STARDUST_FAULTS", "bogus=1");
-        assert_eq!(FaultPlan::from_env(), None);
         std::env::remove_var("STARDUST_FAULTS");
-        assert_eq!(FaultPlan::from_env(), None);
+        assert_eq!(FaultPlan::from_env(), Ok(None));
+    }
+
+    /// A typo'd chaos plan must be a hard error, never a silent no-op:
+    /// unknown keys, bad values, and missing separators all surface as
+    /// typed [`FaultParseError`]s.
+    #[test]
+    fn malformed_plans_are_typed_errors_not_no_ops() {
+        // The regression: an unknown key used to return `None`, which
+        // callers could not distinguish from "no plan requested".
+        assert_eq!(
+            FaultPlan::parse("eror_at=100"),
+            Err(FaultParseError::UnknownKey("eror_at".to_string()))
+        );
+        // A typo in *one* pair of an otherwise-valid plan still fails.
+        assert_eq!(
+            FaultPlan::parse("error_at=100,fail_aloc=2"),
+            Err(FaultParseError::UnknownKey("fail_aloc".to_string()))
+        );
+        assert_eq!(
+            FaultPlan::parse("error_at=ten"),
+            Err(FaultParseError::InvalidValue {
+                key: "error_at".to_string(),
+                value: "ten".to_string(),
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("error_at"),
+            Err(FaultParseError::MissingSeparator("error_at".to_string()))
+        );
+        // Empty and separator-only strings are "no plan", not errors.
+        assert_eq!(FaultPlan::parse(""), Ok(None));
+        assert_eq!(FaultPlan::parse(" , ,"), Ok(None));
+        // The errors render actionable messages.
+        let msg = FaultPlan::parse("eror_at=1").unwrap_err().to_string();
+        assert!(msg.contains("eror_at") && msg.contains("expected"), "{msg}");
     }
 }

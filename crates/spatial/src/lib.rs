@@ -38,13 +38,13 @@ pub mod resolve;
 pub mod validate;
 
 pub use bytecode::{CompiledProgram, ProgramCache};
-pub use faults::FaultPlan;
+pub use faults::{FaultParseError, FaultPlan};
 pub use interp::{
     BudgetResource, CancelFlag, DramImage, DramImageBuilder, ExecStats, Machine, MachineSnapshot,
     RunBudget, RunError, DRAM_WORD_BYTES,
 };
 pub use ir::{BinSOp, Counter, MemDecl, MemKind, SExpr, ScanOp, SpatialProgram, SpatialStmt};
-pub use pool::{MachinePool, PoolStats, PooledMachine};
+pub use pool::{MachinePool, PoolOccupancy, PoolStats, PooledMachine};
 pub use printer::print_program;
 pub use reference::ReferenceMachine;
 pub use resolve::{resolve, DramLayout, DramRegion, ResolvedProgram, Slot, SymbolTable};

@@ -92,6 +92,28 @@ pub struct PoolStats {
     pub quarantined: u64,
 }
 
+/// An instantaneous occupancy snapshot of a [`MachinePool`]: how many
+/// machines are live in guards right now, how many sit idle on shards,
+/// and the cumulative [`PoolStats`] alongside. This is the pool-side
+/// half of a serving layer's metrics — `checked_out / (checked_out +
+/// idle)` is the pool utilization a load test watches.
+///
+/// The fields are read from independent atomics/locks, so a snapshot
+/// taken under concurrent traffic is approximate (each field is exact
+/// at *some* instant, but not all at the same one) — fine for metrics,
+/// not a synchronization primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolOccupancy {
+    /// Machines currently held by live [`PooledMachine`] guards.
+    pub checked_out: u64,
+    /// Idle machines parked across all shards.
+    pub idle: usize,
+    /// Current shard count.
+    pub shards: usize,
+    /// Cumulative created/reused/quarantined counters.
+    pub stats: PoolStats,
+}
+
 /// A grow-on-demand pool of reusable [`Machine`]s. See the module docs
 /// for the sharding and lifecycle story. Shareable across threads by
 /// reference (`std::thread::scope`) or behind an `Arc`/`OnceLock`.
@@ -107,6 +129,10 @@ pub struct MachinePool {
     created: AtomicU64,
     reused: AtomicU64,
     quarantined: AtomicU64,
+    /// Machines currently out in live [`PooledMachine`] guards
+    /// (decremented on check-in *and* on [`PooledMachine::detach`] —
+    /// a detached machine has left the pool's custody either way).
+    checked_out: AtomicU64,
 }
 
 impl MachinePool {
@@ -122,6 +148,7 @@ impl MachinePool {
             created: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            checked_out: AtomicU64::new(0),
         }
     }
 
@@ -139,6 +166,7 @@ impl MachinePool {
             created: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            checked_out: AtomicU64::new(0),
         }
     }
 
@@ -217,6 +245,7 @@ impl MachinePool {
                 Machine::from_compiled(Arc::clone(compiled))
             }
         };
+        self.checked_out.fetch_add(1, Ordering::Relaxed);
         PooledMachine {
             pool: self,
             key,
@@ -292,6 +321,19 @@ impl MachinePool {
         }
     }
 
+    /// An instantaneous [`PoolOccupancy`] snapshot: live guards, idle
+    /// machines, shard count, and the cumulative counters. The serving
+    /// layer publishes this in its stats; the load-test CI job records
+    /// it in `serve-summary.json`.
+    pub fn occupancy(&self) -> PoolOccupancy {
+        PoolOccupancy {
+            checked_out: self.checked_out.load(Ordering::Relaxed),
+            idle: self.idle(),
+            shards: self.shard_count(),
+            stats: self.stats(),
+        }
+    }
+
     /// The current shard count (grows with observed threads on
     /// [`MachinePool::new`] pools).
     pub fn shard_count(&self) -> usize {
@@ -340,9 +382,11 @@ pub struct PooledMachine<'p> {
 
 impl PooledMachine<'_> {
     /// Takes the machine out of the guard; it will not return to the
-    /// pool.
+    /// pool (and no longer counts as checked out).
     pub fn detach(mut self) -> Machine {
-        self.machine.take().expect("machine present until drop")
+        let machine = self.machine.take().expect("machine present until drop");
+        self.pool.checked_out.fetch_sub(1, Ordering::Relaxed);
+        machine
     }
 }
 
@@ -362,6 +406,7 @@ impl DerefMut for PooledMachine<'_> {
 impl Drop for PooledMachine<'_> {
     fn drop(&mut self) {
         if let Some(machine) = self.machine.take() {
+            self.pool.checked_out.fetch_sub(1, Ordering::Relaxed);
             self.pool.check_in(self.key, machine);
         }
     }

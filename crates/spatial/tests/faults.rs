@@ -328,10 +328,12 @@ fn fault_plan_step_clamp_is_persistent() {
 fn env_keyed_fault_plan_recovers() {
     let p = small_program(12);
     let want = baseline(&p);
-    let plan = FaultPlan::from_env().unwrap_or(FaultPlan {
-        error_at_step: Some(5),
-        ..FaultPlan::default()
-    });
+    let plan = FaultPlan::from_env()
+        .expect("STARDUST_FAULTS is malformed")
+        .unwrap_or(FaultPlan {
+            error_at_step: Some(5),
+            ..FaultPlan::default()
+        });
     let persistent_clamp = plan.max_steps;
     let _guard = plan.install();
 

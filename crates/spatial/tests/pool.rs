@@ -213,7 +213,7 @@ proptest! {
             // fresh per case, dropped before the recovery checkout) —
             // an injected fault must quarantine exactly like a budget
             // abort does.
-            let env_plan = FaultPlan::from_env();
+            let env_plan = FaultPlan::from_env().expect("STARDUST_FAULTS is malformed");
             let run = {
                 let _guard = env_plan.map(FaultPlan::install);
                 match engine {
@@ -437,4 +437,43 @@ fn pool_serves_concurrent_workers() {
         pool.idle() as u64 <= stats.created,
         "more idle machines than were ever created"
     );
+}
+
+/// `occupancy()` tracks live checkouts: `checked_out` rises while a
+/// guard is alive, falls on check-in (machine parked as idle) and on
+/// `detach` (machine leaves the pool without parking). The serving
+/// layer reads this snapshot to report pool pressure, so the counter
+/// must never drift.
+#[test]
+fn occupancy_tracks_checkouts_and_detach() {
+    let p = writing_program(10);
+    let compiled = Arc::new(CompiledProgram::compile(&p));
+    let image = build_image(&compiled, &inputs(10));
+    let pool = MachinePool::with_shards(1);
+
+    let start = pool.occupancy();
+    assert_eq!(start.checked_out, 0);
+    assert_eq!(start.idle, 0);
+    assert_eq!(start.shards, 1);
+
+    {
+        let _a = pool.checkout_bound(&compiled, &image).expect("checkout a");
+        let _b = pool.checkout(&compiled);
+        let live = pool.occupancy();
+        assert_eq!(live.checked_out, 2, "two guards are alive");
+        assert_eq!(live.idle, 0);
+        assert_eq!(live.stats.created, 2);
+    }
+    let parked = pool.occupancy();
+    assert_eq!(parked.checked_out, 0, "check-in must decrement");
+    assert_eq!(parked.idle, 2, "both machines parked as idle");
+
+    // Detach decrements the live count without parking the machine.
+    let m = pool.checkout(&compiled).detach();
+    let after_detach = pool.occupancy();
+    assert_eq!(after_detach.checked_out, 0, "detach must decrement");
+    assert_eq!(after_detach.idle, 1, "detached machine never parks");
+    drop(m);
+    assert_eq!(pool.occupancy().idle, 1);
+    assert_eq!(pool.occupancy().stats.reused, 1);
 }

@@ -397,7 +397,10 @@ fn inputs(seed: u64) -> Vec<(&'static str, Vec<f64>)> {
 /// per call so one-shot faults fire identically for every engine. With
 /// the variable unset this is a plain call.
 fn with_env_faults<R>(f: impl FnOnce() -> R) -> R {
-    match stardust_spatial::FaultPlan::from_env() {
+    // A malformed plan (typo'd key, bad value) must fail the suite
+    // loudly — treating it as "no faults" would run the chaos sweep as
+    // a vacuous no-op.
+    match stardust_spatial::FaultPlan::from_env().expect("STARDUST_FAULTS is malformed") {
         Some(plan) => stardust_spatial::faults::with_plan(plan, f),
         None => f(),
     }

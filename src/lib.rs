@@ -29,5 +29,6 @@ pub use stardust_core as core;
 pub use stardust_datasets as datasets;
 pub use stardust_ir as ir;
 pub use stardust_kernels as kernels;
+pub use stardust_serve as serve;
 pub use stardust_spatial as spatial;
 pub use stardust_tensor as tensor;
