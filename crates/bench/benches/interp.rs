@@ -2,13 +2,16 @@
 //! engines — flat bytecode (`Machine::run`), the recursive resolved
 //! tree (`Machine::run_tree`), and the string-keyed reference walker.
 //!
-//! Measures elements/second (nonzeros of the stationary operand) on two
-//! interpreter-bound kernels at nnz ∈ {10⁴, 10⁵, 10⁶}:
+//! Measures elements/second (nonzeros of the stationary operand) on
+//! three interpreter-bound kernels at nnz ∈ {10⁴, 10⁵, 10⁶}:
 //!
 //! - **SpMV**: CSR matrix–vector product with the vector gathered from
-//!   SparseSRAM (per-row `Reduce` with data-dependent reads), and
+//!   SparseSRAM (per-row `Reduce` with data-dependent reads),
 //! - **SpMSpM**: CSR×CSR Gustavson product accumulating each output row
-//!   into a SparseSRAM scatter buffer via `RmwAdd`.
+//!   into a SparseSRAM scatter buffer via `RmwAdd`, and
+//! - **scan_union**: per-row bit-vector generation plus a `Scan2(Or)`
+//!   reduction (the Plus2 union shape) — gates the bytecode engine's
+//!   scan superinstructions against the framed tree walkers.
 //!
 //! Every benchmark clones a pre-bound machine per sample (`iter_batched`
 //! setup, excluded from timing) so all engines execute from identical
@@ -28,7 +31,7 @@ use stardust_datasets::random_matrix;
 use stardust_spatial::ir::MemDecl;
 use stardust_spatial::{
     CompiledProgram, Counter, DramImage, Machine, MachinePool, MemKind, ReferenceMachine,
-    RunBudget, SExpr, SpatialProgram, SpatialStmt,
+    RunBudget, SExpr, ScanOp, SpatialProgram, SpatialStmt,
 };
 use stardust_tensor::{Format, SparseTensor};
 
@@ -308,6 +311,120 @@ fn spmspm_workload(nnz_target: usize) -> Workload {
     }
 }
 
+/// Capstan-style declarative-sparse union (the Plus2 inner-loop shape):
+/// per row, both operands' coordinate segments generate packed bit
+/// vectors, and a `Scan2(Or)` reduction co-iterates them. The hot loop
+/// is the scan itself — this entry gates the scan-superinstruction
+/// fast path ([`Op::Scan1Simple`]/[`Op::Scan2Simple`] in the bytecode
+/// engine) against the framed tree walkers.
+fn scan_union_workload(nnz_target: usize) -> Workload {
+    // Dense-ish rows over a narrow column dimension keep the scanned
+    // bit vectors short (8 words) while emits stay proportional to nnz.
+    const COLS: usize = 512;
+    let per_row = 64;
+    let n = (nnz_target / per_row).max(8);
+    let density = per_row as f64 / COLS as f64;
+    let a = SparseTensor::from_coo(&random_matrix(n, COLS, density, 0x5CA1), Format::csr());
+    let b = SparseTensor::from_coo(&random_matrix(n, COLS, density, 0x5CB2), Format::csr());
+    let a_nnz = a.crd(1).len().max(1);
+    let b_nnz = b.crd(1).len().max(1);
+
+    let mut p = SpatialProgram::new("scan_union_interp");
+    p.add_dram("apos_d", n + 1);
+    p.add_dram("acrd_d", a_nnz);
+    p.add_dram("bpos_d", n + 1);
+    p.add_dram("bcrd_d", b_nnz);
+    p.add_dram("y_d", n);
+    for (mem, size, src) in [
+        ("apos_s", n + 1, "apos_d"),
+        ("acrd_s", a_nnz, "acrd_d"),
+        ("bpos_s", n + 1, "bpos_d"),
+        ("bcrd_s", b_nnz, "bcrd_d"),
+    ] {
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new(mem, MemKind::Sram, size)));
+        p.accel.push(SpatialStmt::Load {
+            dst: mem.into(),
+            src: src.into(),
+            start: SExpr::Const(0.0),
+            end: SExpr::Const(size as f64),
+            par: 16,
+        });
+    }
+    let seg = |pos: &str| {
+        (
+            SExpr::read(pos, SExpr::var("i")),
+            SExpr::sub(
+                SExpr::read(pos, SExpr::add(SExpr::var("i"), SExpr::Const(1.0))),
+                SExpr::read(pos, SExpr::var("i")),
+            ),
+        )
+    };
+    let (a_start, a_count) = seg("apos_s");
+    let (b_start, b_count) = seg("bpos_s");
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::range_to("i", SExpr::Const(n as f64)),
+        par: 1,
+        body: vec![
+            SpatialStmt::Alloc(MemDecl::new("bvA", MemKind::BitVector, COLS)),
+            SpatialStmt::Alloc(MemDecl::new("bvB", MemKind::BitVector, COLS)),
+            SpatialStmt::GenBitVector {
+                dst: "bvA".into(),
+                src: "acrd_s".into(),
+                src_start: a_start,
+                count: a_count,
+                dim: SExpr::Const(COLS as f64),
+            },
+            SpatialStmt::GenBitVector {
+                dst: "bvB".into(),
+                src: "bcrd_s".into(),
+                src_start: b_start,
+                count: b_count,
+                dim: SExpr::Const(COLS as f64),
+            },
+            SpatialStmt::Alloc(MemDecl::new("acc", MemKind::Reg, 1)),
+            SpatialStmt::Reduce {
+                id: 0,
+                reg: "acc".into(),
+                counter: Counter::Scan2 {
+                    op: ScanOp::Or,
+                    bv_a: "bvA".into(),
+                    bv_b: "bvB".into(),
+                    a_pos_var: "pA".into(),
+                    b_pos_var: "pB".into(),
+                    out_pos_var: "pO".into(),
+                    idx_var: "j".into(),
+                },
+                par: 16,
+                body: vec![],
+                expr: SExpr::add(
+                    SExpr::var("j"),
+                    SExpr::add(SExpr::var("pA"), SExpr::var("pB")),
+                ),
+            },
+            SpatialStmt::StoreScalar {
+                dst: "y_d".into(),
+                index: SExpr::var("i"),
+                value: SExpr::RegRead("acc".into()),
+            },
+        ],
+    });
+    p.assign_ids();
+
+    Workload {
+        name: "scan_union",
+        program: p,
+        images: vec![
+            ("apos_d".into(), Image::Usize(a.pos(1).to_vec())),
+            ("acrd_d".into(), Image::Usize(a.crd(1).to_vec())),
+            ("bpos_d".into(), Image::Usize(b.pos(1).to_vec())),
+            ("bcrd_d".into(), Image::Usize(b.crd(1).to_vec())),
+        ],
+        elements: (a_nnz + b_nnz) as u64,
+    }
+}
+
 fn quick() -> bool {
     std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
         || std::env::args().any(|a| a == "--quick")
@@ -364,6 +481,10 @@ fn bench_spmspm(c: &mut Criterion) {
     bench_engines(c, spmspm_workload);
 }
 
+fn bench_scan_union(c: &mut Criterion) {
+    bench_engines(c, scan_union_workload);
+}
+
 /// Re-bind cost per dataset sweep iteration: the `write_dram` path
 /// (per-bind O(nnz) `usize → f64` conversion + copy) against the
 /// copy-on-write `DramImage` path (`Arc` clone + O(outputs) zero-fill)
@@ -415,7 +536,11 @@ fn time_best<M: Clone>(proto: &M, mut run: impl FnMut(&mut M)) -> f64 {
 fn speedup_summary(_c: &mut Criterion) {
     let nnz = *sizes().last().expect("nonempty");
     let mut rows = String::new();
-    for make in [spmv_workload as fn(usize) -> Workload, spmspm_workload] {
+    for make in [
+        spmv_workload as fn(usize) -> Workload,
+        spmspm_workload,
+        scan_union_workload,
+    ] {
         let w = make(nnz);
         let bytecode = w.machine();
         let reference = w.reference();
@@ -603,6 +728,7 @@ criterion_group!(
     benches,
     bench_spmv,
     bench_spmspm,
+    bench_scan_union,
     bench_bind,
     speedup_summary
 );

@@ -129,6 +129,7 @@ fn main() {
             tenant_inflight: 32,
             batch_max: 8,
             budget: budget.clone(),
+            shards: 1,
         });
         let handles: Vec<_> = cases
             .iter()

@@ -31,7 +31,7 @@ use stardust_datasets as datasets;
 use stardust_kernels as kernels;
 use stardust_kernels::Kernel;
 use stardust_kernels::KernelResult;
-use stardust_spatial::{MachinePool, ProgramCache};
+use stardust_spatial::{MachinePool, ProgramCache, RunBudget};
 use stardust_tensor::{CooTensor, Format};
 
 /// The process-wide compiled-Spatial-program cache: every harness entry
@@ -386,6 +386,26 @@ pub fn measure_pooled(kernel: &Kernel, set: &InputSet) -> Measurement {
     measurement_from(kernel, set, &result)
 }
 
+/// [`measure_pooled`] with intra-kernel parallelism: every stage whose
+/// outer loop proves shardable runs as `shards` contiguous slices on
+/// pooled machines sharing one image; `NotShardable` stages fall back
+/// to the serial pooled path. Results are byte-identical to
+/// [`measure`] (CI's `sweep` binary gates it at 1/2/4 shards).
+pub fn measure_sharded(kernel: &Kernel, set: &InputSet, shards: usize) -> Measurement {
+    let result = kernel
+        .run_sharded(
+            &set.inputs,
+            spatial_cache(),
+            image_cache(),
+            machine_pool(),
+            &RunBudget::default(),
+            shards,
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{} on {} ({shards} shards): {e}", kernel.name, set.dataset));
+    measurement_from(kernel, set, &result)
+}
+
 fn measurement_from(kernel: &Kernel, set: &InputSet, result: &KernelResult) -> Measurement {
     let sim_on = |memory: MemoryModel| -> SimReport {
         let cfg = CapstanConfig::with_memory(memory);
@@ -621,6 +641,111 @@ pub fn measure_kernel_image(name: &str, scale: &Scale) -> Vec<Measurement> {
 pub fn measure_kernel_pooled(name: &str, scale: &Scale, threads: usize) -> Vec<Measurement> {
     let sets = instantiate(name, scale);
     parallel_sweep(&sets, threads, |(k, set)| measure_pooled(k, set))
+}
+
+/// [`measure_kernel`] through the intra-kernel sharded executor
+/// ([`measure_sharded`]): one dataset at a time, each shardable stage
+/// split across `shards` pooled machines. Bitwise-identical to
+/// [`measure_kernel`] (CI's `sweep` binary gates it).
+pub fn measure_kernel_sharded(name: &str, scale: &Scale, shards: usize) -> Vec<Measurement> {
+    instantiate(name, scale)
+        .iter()
+        .map(|(k, set)| measure_sharded(k, set, shards))
+        .collect()
+}
+
+/// One shard count's timing from [`shard_speedup_probe`].
+#[derive(Debug, Clone)]
+pub struct ShardTiming {
+    /// Requested shard count.
+    pub shards: usize,
+    /// Best-of-reps critical path: `max(slowest shard, zero-trip
+    /// baseline) + merge`, from contention-free per-shard times
+    /// (`capacity = 1` runs shards round-robin on one machine, so each
+    /// shard is timed without the others competing for this host's
+    /// cores — the latency a one-machine-per-shard deployment would
+    /// see).
+    pub critical_path_seconds: f64,
+    /// Best-of-reps wall time of a free-capacity sharded run on this
+    /// host (threads contend for the host's real cores, so on small
+    /// hosts this can exceed serial — report it, don't floor it).
+    pub wall_seconds: f64,
+}
+
+/// Measures intra-kernel shard speedup on an interpreter-bound SpMV
+/// (`nnz_target` nonzeros, ~50 per row): serial best-of-reps against
+/// sharded runs at each of `shard_counts`, asserting every sharded
+/// run's stats are bitwise identical to serial before timing counts.
+/// Returns `(nnz, serial_seconds, timings)`.
+///
+/// # Panics
+///
+/// Panics when the kernel fails to compile/bind/run, or when a sharded
+/// run diverges from serial — both are bugs, and this probe is a CI
+/// gate.
+pub fn shard_speedup_probe(
+    nnz_target: usize,
+    shard_counts: &[usize],
+) -> (usize, f64, Vec<ShardTiming>) {
+    let n = (nnz_target / 50).max(8);
+    let density = nnz_target as f64 / (n * n) as f64;
+    let matrix = datasets::random_matrix(n, n, density, 0xA11CE);
+    let nnz = matrix.nnz();
+    let mut inputs = HashMap::new();
+    inputs.insert("A".to_string(), csr(&matrix));
+    inputs.insert("x".to_string(), vec_of(n, 7));
+    let kernel = kernels::spmv(n);
+    let stages = kernel
+        .compile_cached(&inputs, spatial_cache())
+        .expect("spmv compiles");
+    let stage = &stages[0];
+    let image = stage.build_image(&inputs).expect("build image");
+    let pool = machine_pool();
+    let budget = RunBudget::default();
+
+    let mut serial_best = f64::INFINITY;
+    let mut serial_stats = None;
+    for _ in 0..3 {
+        let mut m = stage.bind_image(&image).expect("bind image");
+        let t = std::time::Instant::now();
+        let stats = m.run(stage.spatial()).expect("serial run");
+        serial_best = serial_best.min(t.elapsed().as_secs_f64());
+        serial_stats = Some(stats);
+    }
+    let serial_stats = serial_stats.expect("at least one serial rep");
+
+    let timings = shard_counts
+        .iter()
+        .map(|&shards| {
+            let sh = stage.shard(shards).expect("spmv outer loop is shardable");
+            let mut critical = f64::INFINITY;
+            let mut wall = f64::INFINITY;
+            for _ in 0..3 {
+                let run = sh
+                    .run_pooled(&image, pool, &budget, Some(1))
+                    .expect("sharded run");
+                assert_eq!(
+                    run.stats, serial_stats,
+                    "sharded SpMV stats diverge from serial at {shards} shards"
+                );
+                let slowest = run.shard_seconds.iter().cloned().fold(0.0, f64::max);
+                critical = critical.min(slowest.max(run.baseline_seconds) + run.merge_seconds);
+
+                let t = std::time::Instant::now();
+                let free = sh
+                    .run_pooled(&image, pool, &budget, None)
+                    .expect("sharded run");
+                wall = wall.min(t.elapsed().as_secs_f64());
+                assert_eq!(free.stats, serial_stats);
+            }
+            ShardTiming {
+                shards,
+                critical_path_seconds: critical,
+                wall_seconds: wall,
+            }
+        })
+        .collect();
+    (nnz, serial_best, timings)
 }
 
 #[cfg(test)]

@@ -16,8 +16,9 @@ use stardust_ir::cin::Stmt;
 use stardust_spatial::interp::mix64;
 use stardust_spatial::printer::spatial_loc;
 use stardust_spatial::{
-    print_program, validate, CompiledProgram, DramImage, ExecStats, Machine, MachinePool,
-    PooledMachine, ProgramCache, RunBudget, RunError, Slot, SpatialProgram,
+    print_program, validate, CompiledProgram, CompiledShards, DramImage, ExecStats, Machine,
+    MachinePool, NotShardable, PooledMachine, ProgramCache, RunBudget, RunError, ShardError,
+    ShardPlan, Slot, SpatialProgram,
 };
 use stardust_tensor::{CooTensor, DenseTensor, Format, LevelFormat, LevelStorage, SparseTensor};
 
@@ -506,6 +507,56 @@ impl CompiledKernel {
         };
         let output = self.read_output(&machine)?;
         Ok(KernelRun { output, stats })
+    }
+
+    /// Partitions this kernel's outer loop into `n` contiguous-slice
+    /// sub-programs for [`CompiledKernel::execute_image_sharded_budgeted`],
+    /// or explains why the program cannot be sharded (callers fall
+    /// back to serial execution). The shards share this kernel's
+    /// symbol table, so any [`DramImage`] built for it binds directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`NotShardable`] reason.
+    pub fn shard(&self, n: usize) -> Result<CompiledShards, NotShardable> {
+        Ok(ShardPlan::analyze(&self.spatial)?.compile(n))
+    }
+
+    /// [`CompiledKernel::execute_image_pooled_budgeted`] across `shards`
+    /// machines: runs the partitioned outer loop on pooled machines
+    /// sharing `image`'s input segment and merges outputs and stats
+    /// bitwise identically to the serial run. `capacity` bounds total
+    /// pool checkouts (a smaller grant degrades to round-robin, never
+    /// blocks); the budget is armed per shard. Returns the run plus
+    /// the number of machines actually granted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledKernel::execute_image_pooled_budgeted`]; the
+    /// propagated error is the lowest-indexed failing shard's, which
+    /// matches what serial execution would have raised first.
+    pub fn execute_image_sharded_budgeted(
+        &self,
+        shards: &CompiledShards,
+        image: &DramImage,
+        pool: &MachinePool,
+        budget: &RunBudget,
+        capacity: Option<u64>,
+    ) -> Result<(KernelRun, usize), CompileError> {
+        let run = shards
+            .run_pooled(image, pool, budget, capacity)
+            .map_err(|e| match e {
+                ShardError::Run(err) => CompileError::Execution(err),
+                ShardError::Panic(msg) => CompileError::ExecutionPanic(msg),
+            })?;
+        let output = self.read_output(&run.machine)?;
+        Ok((
+            KernelRun {
+                output,
+                stats: run.stats,
+            },
+            run.workers,
+        ))
     }
 
     /// Runs the kernel on the given inputs through the Spatial interpreter

@@ -48,7 +48,19 @@ pub fn recovery_stats() -> RecoveryStats {
     }
 }
 
-/// Runs one stage on a pooled machine under the recovery policy:
+/// How pooled stages execute: the pool and budget, plus the opt-in
+/// intra-kernel parallelism knobs (`shards > 1` splits each shardable
+/// stage's outer loop across pooled machines; `capacity` bounds total
+/// checkouts as in `MachinePool::try_checkout_n`).
+#[derive(Clone, Copy)]
+struct PoolExec<'a> {
+    pool: &'a MachinePool,
+    budget: &'a RunBudget,
+    shards: usize,
+    capacity: Option<u64>,
+}
+
+/// Runs one stage on pooled machines under the recovery policy:
 /// transient failures ([`CompileError::is_transient`] — a contained
 /// panic or a one-shot injected fault) are retried exactly once, after
 /// [`RETRY_BACKOFF`], on a *fresh* machine — the faulted one was
@@ -56,12 +68,35 @@ pub fn recovery_stats() -> RecoveryStats {
 /// only receive a clean or newly constructed machine. Deterministic
 /// failures (budget exhaustion, bind errors) abort immediately: the
 /// same run would fail the same way.
+///
+/// With `shards > 1`, a stage whose outer loop proves shardable runs
+/// through the sharded executor (bitwise-identical results, its own
+/// internal per-shard retry); everything else — `NotShardable`
+/// stages, single-trip loops — falls back to the serial pooled path
+/// below.
 fn run_stage_pooled(
     compiled: &CompiledKernel,
     image: &DramImage,
-    pool: &MachinePool,
-    budget: &RunBudget,
+    exec: PoolExec<'_>,
 ) -> Result<KernelRun, CompileError> {
+    let PoolExec {
+        pool,
+        budget,
+        shards,
+        capacity,
+    } = exec;
+    if shards > 1 {
+        if let Ok(sh) = compiled.shard(shards) {
+            if sh.shard_count() > 1 {
+                return compiled
+                    .execute_image_sharded_budgeted(&sh, image, pool, budget, capacity)
+                    .map(|(run, _workers)| run)
+                    .inspect_err(|_| {
+                        ABORTED.fetch_add(1, Ordering::Relaxed);
+                    });
+            }
+        }
+    }
     match compiled.execute_image_pooled_budgeted(image, pool, budget) {
         Ok(run) => Ok(run),
         Err(e) if e.is_transient() => {
@@ -277,7 +312,60 @@ impl Kernel {
         pool: &MachinePool,
         budget: &RunBudget,
     ) -> Result<KernelResult, CompileError> {
-        self.run_with_impl(inputs, Some(cache), Some((images, Some((pool, budget)))))
+        self.run_with_impl(
+            inputs,
+            Some(cache),
+            Some((
+                images,
+                Some(PoolExec {
+                    pool,
+                    budget,
+                    shards: 1,
+                    capacity: None,
+                }),
+            )),
+        )
+    }
+
+    /// [`Kernel::run_pooled_budgeted`] with intra-kernel parallelism:
+    /// every stage whose outer loop proves shardable is split into
+    /// `shards` contiguous slices run concurrently on pooled machines
+    /// sharing one image (results bitwise identical to serial — the
+    /// shard property suite and the sweep binary's hard gate hold it
+    /// there); stages that are [`stardust_spatial::NotShardable`] run
+    /// on the serial pooled path. `capacity` bounds total machine
+    /// checkouts — when the pool is busier than that, a stage degrades
+    /// to fewer workers (round-robin) instead of blocking. `shards <=
+    /// 1` is exactly [`Kernel::run_pooled_budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile or simulation error, after the retry
+    /// policy has been exhausted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sharded(
+        &self,
+        inputs: &HashMap<String, TensorData>,
+        cache: &ProgramCache,
+        images: &ImageCache,
+        pool: &MachinePool,
+        budget: &RunBudget,
+        shards: usize,
+        capacity: Option<u64>,
+    ) -> Result<KernelResult, CompileError> {
+        self.run_with_impl(
+            inputs,
+            Some(cache),
+            Some((
+                images,
+                Some(PoolExec {
+                    pool,
+                    budget,
+                    shards,
+                    capacity,
+                }),
+            )),
+        )
     }
 
     fn run_with(
@@ -292,7 +380,7 @@ impl Kernel {
         &self,
         inputs: &HashMap<String, TensorData>,
         cache: Option<&ProgramCache>,
-        images: Option<(&ImageCache, Option<(&MachinePool, &RunBudget)>)>,
+        images: Option<(&ImageCache, Option<PoolExec<'_>>)>,
     ) -> Result<KernelResult, CompileError> {
         let mut available = inputs.clone();
         let mut stages = Vec::with_capacity(self.stages.len());
@@ -311,7 +399,7 @@ impl Kernel {
                     // per dataset, keeping their cached images valid.
                     let image = images.get_or_build(&compiled, &available)?;
                     match pool {
-                        Some((pool, budget)) => run_stage_pooled(&compiled, &image, pool, budget)?,
+                        Some(exec) => run_stage_pooled(&compiled, &image, exec)?,
                         None => compiled.execute_image(&image)?,
                     }
                 }

@@ -42,7 +42,9 @@ use stardust_core::pipeline::{
 };
 use stardust_core::CompileError;
 use stardust_kernels::{merge_stats, stage_hints, Kernel};
-use stardust_spatial::{DramImage, ExecStats, MachinePool, ProgramCache, RunBudget};
+use stardust_spatial::{
+    CompiledShards, DramImage, ExecStats, MachinePool, ProgramCache, RunBudget,
+};
 
 use crate::stats::{LatencyHistogram, ServeStats};
 
@@ -66,6 +68,15 @@ pub struct ServeConfig {
     pub batch_max: usize,
     /// Budget applied to every stage run.
     pub budget: RunBudget,
+    /// Intra-kernel parallelism: stages whose outer loop proves
+    /// shardable run as up to this many contiguous slices on pooled
+    /// machines (merged bitwise identically to serial); `NotShardable`
+    /// stages — and everything at the default `1` — run the serial
+    /// pooled path. Sharded stages cap their machine checkouts at
+    /// [`ServeConfig::tenant_inflight`], so one tenant's wide job
+    /// degrades to fewer round-robin workers instead of draining the
+    /// pool for everyone.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +87,7 @@ impl Default for ServeConfig {
             tenant_inflight: 16,
             batch_max: 8,
             budget: RunBudget::unlimited(),
+            shards: 1,
         }
     }
 }
@@ -208,6 +220,10 @@ struct Job {
 struct StagePlan {
     compiled: CompiledKernel,
     image: Arc<DramImage>,
+    /// Pinned shard partition when [`ServeConfig::shards`] > 1 and the
+    /// stage's outer loop proved shardable — analyzed once at plan
+    /// build, not per run. `None` runs the serial pooled path.
+    shards: Option<CompiledShards>,
 }
 
 /// Queue state guarded by one mutex: the job queue, per-tenant
@@ -420,12 +436,27 @@ impl Inner {
             if i + 1 < kernel.stages.len() {
                 // Materialize the real intermediate for the next
                 // stage's hints and image (deterministic per dataset).
-                let run = self.run_stage(&compiled, &image)?;
+                let run = self.run_stage(&compiled, &image, None)?;
                 if let KernelOutput::Tensor(t) = run.output {
                     available.insert(stage.program.output().to_string(), TensorData::Sparse(t));
                 }
             }
-            plans.push(StagePlan { compiled, image });
+            // Pin the shard partition with the plan: the analysis runs
+            // once per (program, dataset), never on the hot path. A
+            // one-slice partition is serial with extra steps — skip it.
+            let shards = if self.cfg.shards > 1 {
+                compiled
+                    .shard(self.cfg.shards)
+                    .ok()
+                    .filter(|sh| sh.shard_count() > 1)
+            } else {
+                None
+            };
+            plans.push(StagePlan {
+                compiled,
+                image,
+                shards,
+            });
         }
         Ok(plans)
     }
@@ -437,7 +468,7 @@ impl Inner {
         let mut total = ExecStats::default();
         let mut output = None;
         for plan in plans {
-            let run = self.run_stage(&plan.compiled, &plan.image)?;
+            let run = self.run_stage(&plan.compiled, &plan.image, plan.shards.as_ref())?;
             merge_stats(&mut total, &run.stats);
             output = Some(run.output);
         }
@@ -446,21 +477,37 @@ impl Inner {
         Ok((output, total))
     }
 
-    /// One budgeted pooled stage run under the recovery policy:
-    /// transient failures (contained panic, one-shot injected fault)
-    /// leave the faulted machine quarantined by the pool and retry
-    /// exactly once on a fresh checkout; deterministic failures abort
-    /// immediately.
+    /// One budgeted stage run under the recovery policy: transient
+    /// failures (contained panic, one-shot injected fault) leave the
+    /// faulted machine quarantined by the pool and retry exactly once
+    /// on a fresh checkout; deterministic failures abort immediately.
+    /// With a pinned shard partition the stage runs through the
+    /// intra-kernel sharded executor (bitwise identical to serial,
+    /// checkouts capped at the tenant in-flight limit); otherwise the
+    /// serial pooled path.
     fn run_stage(
         &self,
         compiled: &CompiledKernel,
         image: &DramImage,
+        shards: Option<&CompiledShards>,
     ) -> Result<stardust_core::pipeline::KernelRun, CompileError> {
-        match compiled.execute_image_pooled_budgeted(image, &self.pool, &self.cfg.budget) {
+        let once = || match shards {
+            Some(sh) => compiled
+                .execute_image_sharded_budgeted(
+                    sh,
+                    image,
+                    &self.pool,
+                    &self.cfg.budget,
+                    Some(self.cfg.tenant_inflight as u64),
+                )
+                .map(|(run, _workers)| run),
+            None => compiled.execute_image_pooled_budgeted(image, &self.pool, &self.cfg.budget),
+        };
+        match once() {
             Ok(run) => Ok(run),
             Err(e) if e.is_transient() => {
                 self.retried.fetch_add(1, Ordering::Relaxed);
-                compiled.execute_image_pooled_budgeted(image, &self.pool, &self.cfg.budget)
+                once()
             }
             Err(e) => Err(e),
         }

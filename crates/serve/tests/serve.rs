@@ -144,6 +144,42 @@ fn accepted_jobs_complete_bitwise_identical_to_serial() {
     assert_eq!(stats.latency.count, stats.completed);
 }
 
+/// The intra-kernel parallelism knob: with `shards > 1`, stages whose
+/// outer loops prove shardable run split across pooled machines, and
+/// every response must still be bitwise identical to the serial
+/// baseline — `NotShardable` stages fall back to the serial pooled
+/// path silently.
+#[test]
+fn sharded_serving_is_bitwise_identical_to_serial() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        shards: 4,
+        ..ServeConfig::default()
+    });
+    let cases: Vec<(Kernel, HashMap<String, TensorData>)> = vec![
+        (defs::spmv(N), spmv_inputs(11)),
+        (defs::plus3(N), plus3_inputs(13)),
+    ];
+    for (tenant, (kernel, inputs)) in cases.iter().enumerate() {
+        let program = server.register_program(kernel.clone());
+        let dataset = server.register_dataset(inputs.clone());
+        for _ in 0..3 {
+            let ticket = server
+                .submit(tenant as u64, program, dataset)
+                .expect("admission under configured capacity");
+            let job = ticket.wait().expect("accepted job completes");
+            assert_matches_serial(&job, kernel, inputs);
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(
+        stats.pool.checked_out, 0,
+        "sharded machines must be returned"
+    );
+}
+
 /// Inline mode: overload is rejected with `QueueFull` carrying the
 /// observed depth, accepted jobs are unaffected, and capacity returns
 /// after a drain.

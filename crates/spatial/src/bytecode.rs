@@ -43,10 +43,13 @@ use crate::resolve::{
 /// Index of an [`Op`] in a compiled program (a program-counter value).
 pub type OpId = u32;
 
-/// Maximum nested-loop rank allowed inside one [`Op::RangeSimple`]
-/// superinstruction. Caps the executor's recursion at a constant depth;
-/// deeper nests fall back to the frame-stack protocol.
-pub const MAX_SIMPLE_RANK: u32 = 1;
+/// Maximum nested-loop rank allowed inside one superinstruction
+/// ([`Op::RangeSimple`], [`Op::Scan1Simple`], [`Op::Scan2Simple`]).
+/// Caps the executor's recursion at a constant depth; deeper nests
+/// fall back to the frame-stack protocol. Rank 2 keeps the dominant
+/// sparse shapes — a dense row loop over a per-row scan or reduction —
+/// entirely inside one superinstruction.
+pub const MAX_SIMPLE_RANK: u32 = 2;
 
 /// Index into the flat expression-op array where an expression program
 /// starts; evaluation runs to the matching [`EOp::End`].
@@ -341,6 +344,50 @@ pub enum Op {
         max: Operand,
         /// Step (positive).
         step: i64,
+        /// First body op (always this op's pc + 1).
+        body: OpId,
+        /// Number of body ops; execution resumes past them.
+        body_len: u32,
+        /// `(accumulator register, reduced expression)` when the loop
+        /// is a `Reduce`.
+        reduce: Option<(Slot, Operand)>,
+    },
+    /// A single bit-vector `Scan` loop whose body is straight-line
+    /// (or nests only further superinstructions): the vector is
+    /// snapshotted once and its set bits iterate natively — no frame,
+    /// no per-emit `Next` dispatch. This is the inner-loop shape of
+    /// Capstan-style declarative-sparse kernels.
+    Scan1Simple {
+        /// Pattern node id (trip statistics).
+        id: usize,
+        /// Scanned bit vector (chip slot).
+        bv: Slot,
+        /// Position variable slot.
+        pos_var: Slot,
+        /// Dense-index variable slot.
+        idx_var: Slot,
+        /// First body op (always this op's pc + 1).
+        body: OpId,
+        /// Number of body ops; execution resumes past them.
+        body_len: u32,
+        /// `(accumulator register, reduced expression)` when the loop
+        /// is a `Reduce`.
+        reduce: Option<(Slot, Operand)>,
+    },
+    /// A two-input co-iteration `Scan` loop in superinstruction form
+    /// (see [`Op::Scan1Simple`]): the dominant shape of sparse-sparse
+    /// union and intersection kernels.
+    Scan2Simple {
+        /// Pattern node id (trip statistics).
+        id: usize,
+        /// Combination operator.
+        op: ScanOp,
+        /// First bit vector (chip slot).
+        bv_a: Slot,
+        /// Second bit vector (chip slot).
+        bv_b: Slot,
+        /// `[a_pos, b_pos, out_pos, idx]` variable slots.
+        vars: [Slot; 4],
         /// First body op (always this op's pc + 1).
         body: OpId,
         /// Number of body ops; execution resumes past them.
@@ -937,23 +984,23 @@ impl Lowering<'_> {
         }
     }
 
-    /// Nested-loop rank of a body under [`Op::RangeSimple`] lowering:
+    /// Nested-loop rank of a body under superinstruction lowering:
     /// `Some(0)` for pure straight-line code, `Some(n)` when every
-    /// nested loop is itself a `RangeSimple`-eligible `Range` loop of
-    /// rank `< n`, `None` when a scan counter or too-deep nesting
-    /// forces the framed form. The rank bounds the executor's constant
-    /// recursion depth, so it is capped at [`MAX_SIMPLE_RANK`].
+    /// nested loop is itself superinstruction-eligible with rank
+    /// `< n`, `None` when too-deep nesting forces the framed form.
+    /// Every counter kind lowers to a superinstruction
+    /// ([`Op::RangeSimple`], [`Op::Scan1Simple`], [`Op::Scan2Simple`]),
+    /// so only depth disqualifies. The rank bounds the executor's
+    /// constant recursion depth, so it is capped at
+    /// [`MAX_SIMPLE_RANK`].
     fn simple_rank(body: &[ResolvedStmt]) -> Option<u32> {
         let mut rank = 0u32;
         for s in body {
-            let (counter, inner) = match s {
-                ResolvedStmt::Foreach { counter, body, .. } => (counter, body),
-                ResolvedStmt::Reduce { counter, body, .. } => (counter, body),
+            let inner = match s {
+                ResolvedStmt::Foreach { body, .. } => body,
+                ResolvedStmt::Reduce { body, .. } => body,
                 _ => continue,
             };
-            if !matches!(counter, ResolvedCounter::Range { .. }) {
-                return None;
-            }
             let r = Self::simple_rank(inner)?;
             if r >= MAX_SIMPLE_RANK {
                 return None;
@@ -971,8 +1018,9 @@ impl Lowering<'_> {
 
     /// Emits `Enter* body... [ReduceTail] Next` and patches the enter
     /// op's exit target to the op after `Next` — or a single
-    /// [`Op::RangeSimple`] superinstruction when the counter is a
-    /// `Range` and the body is straight-line.
+    /// superinstruction ([`Op::RangeSimple`], [`Op::Scan1Simple`],
+    /// [`Op::Scan2Simple`]) when the body is straight-line (or nests
+    /// only further superinstructions within [`MAX_SIMPLE_RANK`]).
     fn lower_loop(
         &mut self,
         id: usize,
@@ -980,35 +1028,75 @@ impl Lowering<'_> {
         body: &[ResolvedStmt],
         reduce: Option<(Slot, ExprId)>,
     ) {
-        if let ResolvedCounter::Range {
-            var,
-            min,
-            max,
-            step,
-        } = counter
-        {
-            if Self::body_is_simple(body) {
-                let min = self.operand(*min);
-                let max = self.operand(*max);
-                let enter_at = self.ops.len();
-                self.ops.push(Op::Halt); // placeholder, patched below
-                for s in body {
-                    self.stmt(s);
-                }
-                let body_len = (self.ops.len() - enter_at - 1) as u32;
-                let reduce = reduce.map(|(reg, expr)| (reg, self.operand(expr)));
-                self.ops[enter_at] = Op::RangeSimple {
-                    id,
-                    var: *var,
+        if Self::body_is_simple(body) {
+            // Bound operands intern before the body's (placeholder is
+            // pushed first so `body` starts at `enter_at + 1`), the
+            // reduce operand after — matching the framed emission
+            // order below.
+            let header = match counter {
+                ResolvedCounter::Range {
+                    var,
                     min,
                     max,
-                    step: *step,
-                    body: (enter_at + 1) as OpId,
+                    step,
+                } => Some((*var, self.operand(*min), self.operand(*max), *step)),
+                ResolvedCounter::Scan1 { .. } | ResolvedCounter::Scan2 { .. } => None,
+            };
+            let enter_at = self.ops.len();
+            self.ops.push(Op::Halt); // placeholder, patched below
+            for s in body {
+                self.stmt(s);
+            }
+            let body_len = (self.ops.len() - enter_at - 1) as u32;
+            let reduce = reduce.map(|(reg, expr)| (reg, self.operand(expr)));
+            let body = (enter_at + 1) as OpId;
+            self.ops[enter_at] = match counter {
+                ResolvedCounter::Range { .. } => {
+                    let (var, min, max, step) = header.expect("range header");
+                    Op::RangeSimple {
+                        id,
+                        var,
+                        min,
+                        max,
+                        step,
+                        body,
+                        body_len,
+                        reduce,
+                    }
+                }
+                ResolvedCounter::Scan1 {
+                    bv,
+                    pos_var,
+                    idx_var,
+                } => Op::Scan1Simple {
+                    id,
+                    bv: *bv,
+                    pos_var: *pos_var,
+                    idx_var: *idx_var,
+                    body,
                     body_len,
                     reduce,
-                };
-                return;
-            }
+                },
+                ResolvedCounter::Scan2 {
+                    op,
+                    bv_a,
+                    bv_b,
+                    a_pos_var,
+                    b_pos_var,
+                    out_pos_var,
+                    idx_var,
+                } => Op::Scan2Simple {
+                    id,
+                    op: *op,
+                    bv_a: *bv_a,
+                    bv_b: *bv_b,
+                    vars: [*a_pos_var, *b_pos_var, *out_pos_var, *idx_var],
+                    body,
+                    body_len,
+                    reduce,
+                },
+            };
+            return;
         }
         let reduce_reg = reduce.map(|(reg, _)| reg);
         let enter_at = self.ops.len();
@@ -1185,9 +1273,9 @@ mod tests {
     fn nested_loops_lower_to_enter_body_next_with_patched_exit() {
         let mut p = SpatialProgram::new("t");
         p.add_dram("out", 4);
-        // Three levels: the outer body's nested rank (2) exceeds
+        // Four levels: the outer body's nested rank (3) exceeds
         // MAX_SIMPLE_RANK, so the outer loop takes the framed
-        // enter/next form while the middle and inner loops collapse
+        // enter/next form while the three inner loops collapse
         // into nested superinstructions.
         p.accel.push(range_loop(
             0,
@@ -1201,29 +1289,35 @@ mod tests {
                     2,
                     "k",
                     2.0,
-                    vec![SpatialStmt::StoreScalar {
-                        dst: "out".into(),
-                        index: SExpr::var("k"),
-                        value: SExpr::add(SExpr::var("i"), SExpr::var("j")),
-                    }],
+                    vec![range_loop(
+                        3,
+                        "l",
+                        2.0,
+                        vec![SpatialStmt::StoreScalar {
+                            dst: "out".into(),
+                            index: SExpr::var("l"),
+                            value: SExpr::add(SExpr::var("i"), SExpr::var("j")),
+                        }],
+                    )],
                 )],
             )],
         ));
         p.assign_ids();
         let c = CompiledProgram::compile(&p);
-        // EnterRange, RangeSimple, RangeSimple, StoreScalar, Next, Halt.
-        assert_eq!(c.ops().len(), 6);
+        // EnterRange, RangeSimple ×3, StoreScalar, Next, Halt.
+        assert_eq!(c.ops().len(), 7);
         let Op::EnterRange { exit, .. } = c.ops()[0] else {
             panic!("expected EnterRange, got {:?}", c.ops()[0]);
         };
-        assert_eq!(exit, 5, "exit lands on Halt");
+        assert_eq!(exit, 6, "exit lands on Halt");
         assert!(matches!(c.ops()[1], Op::RangeSimple { .. }));
         assert!(matches!(c.ops()[2], Op::RangeSimple { .. }));
-        let Op::Next { body } = c.ops()[4] else {
+        assert!(matches!(c.ops()[3], Op::RangeSimple { .. }));
+        let Op::Next { body } = c.ops()[5] else {
             panic!("expected Next");
         };
         assert_eq!(body, 1, "Next jumps to the first body op");
-        assert!(matches!(c.ops()[5], Op::Halt));
+        assert!(matches!(c.ops()[6], Op::Halt));
         assert_three_engines_agree(&p, &[]).unwrap();
     }
 

@@ -607,11 +607,25 @@ impl DramImage {
     }
 
     /// Whether this image can bind to a machine running `compiled`:
-    /// the identical artifact, or one compiled from an equal program
-    /// (identical interning, hence identical layout).
+    /// the identical artifact, or an equal program compiled
+    /// separately.
     fn matches(&self, compiled: &Arc<CompiledProgram>) -> bool {
         Arc::ptr_eq(&self.compiled, compiled)
             || (self.compiled.source() == compiled.source()
+                && self.compiled.resolved().dram_layout == compiled.resolved().dram_layout)
+    }
+
+    /// Whether this image's *DRAM story* matches `compiled` even if
+    /// the program bodies differ: equal DRAM declarations interned in
+    /// declaration order give identical slot numbering, and an equal
+    /// computed [`crate::resolve::DramLayout`] places every slot's
+    /// words at the same segment offsets, so the image's words mean
+    /// the same thing to both programs. Shard sub-programs rewrite
+    /// loop bounds (and rename) but keep the DRAM story intact, and
+    /// bind the parent's image through exactly this clause.
+    pub(crate) fn layout_matches(&self, compiled: &Arc<CompiledProgram>) -> bool {
+        self.matches(compiled)
+            || (self.compiled.source().drams == compiled.source().drams
                 && self.compiled.resolved().dram_layout == compiled.resolved().dram_layout)
     }
 }
@@ -1136,6 +1150,12 @@ pub struct Machine {
     /// structured error *or* a panic leaves it set, and the pool's
     /// check-in quarantines the machine instead of recycling it.
     poisoned: bool,
+    /// Armed only for sharded runs (see [`crate::shard`]): a bitset
+    /// over the output-segment words recording exactly which words the
+    /// program stored, so the merge can replay a shard's writes in
+    /// shard order. `None` (the default) costs one untaken branch per
+    /// DRAM store.
+    write_log: Option<Vec<u64>>,
 }
 
 /// A copy of a [`Machine`]'s execution state — DRAM images, the flat
@@ -1219,6 +1239,7 @@ impl Machine {
             deadline_at: None,
             interrupts: false,
             poisoned: false,
+            write_log: None,
         };
         m.grow_state();
         let compiled = Arc::clone(&m.compiled);
@@ -1256,12 +1277,28 @@ impl Machine {
         if !image.matches(&self.dram_source) {
             return Err(RunError::ImageMismatch);
         }
+        self.bind_image_segments(image);
+        Ok(())
+    }
+
+    /// Shard-only image bind (see [`crate::shard`]): accepts any
+    /// program whose DRAM story equals the image's
+    /// ([`DramImage::layout_matches`]), bodies aside, so shard
+    /// sub-programs share the parent's input segment.
+    pub(crate) fn shard_bind_image(&mut self, image: &DramImage) -> Result<(), RunError> {
+        if !image.layout_matches(&self.dram_source) {
+            return Err(RunError::ImageMismatch);
+        }
+        self.bind_image_segments(image);
+        Ok(())
+    }
+
+    fn bind_image_segments(&mut self, image: &DramImage) {
         self.dram_input = Arc::clone(&image.input);
         self.dram_out.fill(0.0);
         for (off, data) in &image.output_init {
             self.dram_out[*off..*off + data.len()].copy_from_slice(data);
         }
-        Ok(())
     }
 
     /// Copies the machine's execution state (DRAM, the flat on-chip
@@ -1356,6 +1393,7 @@ impl Machine {
         self.deadline_at = None;
         self.interrupts = false;
         self.poisoned = false;
+        self.write_log = None;
     }
 
     /// Rebinds the DRAM input segment to the pristine all-zero image
@@ -1387,6 +1425,69 @@ impl Machine {
     /// [`crate::MachinePool`] quarantines it at check-in.
     pub fn poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// Arms the sharded-run write log (see [`crate::shard`]): from here
+    /// until [`Machine::shard_take_write_log`], every successful DRAM
+    /// store records the output-segment words it touched in a bitset.
+    pub(crate) fn shard_arm_write_log(&mut self) {
+        self.write_log = Some(vec![0u64; bit_words_for(self.dram_out.len())]);
+    }
+
+    /// Takes the write log (disarming logging). Empty if never armed.
+    pub(crate) fn shard_take_write_log(&mut self) -> Vec<u64> {
+        self.write_log.take().unwrap_or_default()
+    }
+
+    /// The machine-owned DRAM output segment — the sharded merge reads
+    /// each shard's segment through this.
+    pub(crate) fn shard_output_words(&self) -> &[f64] {
+        &self.dram_out
+    }
+
+    /// Applies a shard's logged writes into this machine: `values`
+    /// holds the written words in ascending output-segment index order
+    /// (one per bit set in `mask`, the shard's write log). Replaying
+    /// shards in shard order makes the merged segment word-identical to
+    /// the serial run: every runtime DRAM store is a pure overwrite, so
+    /// last-write-wins in iteration order *is* the serial result.
+    pub(crate) fn shard_apply_output(&mut self, values: &[f64], mask: &[u64]) {
+        let mut vi = 0usize;
+        for (w, &m) in mask.iter().enumerate() {
+            let mut rem = m;
+            let base = w * 64;
+            while rem != 0 {
+                let ix = base + rem.trailing_zeros() as usize;
+                debug_assert!(ix < self.dram_out.len() && vi < values.len());
+                self.dram_out[ix] = values[vi];
+                vi += 1;
+                rem &= rem - 1;
+            }
+        }
+        debug_assert_eq!(vi, values.len());
+    }
+
+    /// Overwrites the folded statistics with the sharded-merge result,
+    /// so downstream readers ([`Machine::stats`]) see the merged run.
+    pub(crate) fn shard_set_stats(&mut self, stats: ExecStats) {
+        self.stats = stats;
+    }
+
+    /// Records `n` words written at `off` within DRAM slot `dst` into
+    /// the armed write log. Only output-segment words are logged (the
+    /// layout places every program-written slot there; input-segment
+    /// writes only happen through host `write_dram`, outside a run).
+    #[inline(always)]
+    fn log_dram_write(&mut self, dst: Slot, off: usize, n: usize) {
+        if let Some(log) = &mut self.write_log {
+            let st = self.dram_state[dst as usize];
+            if st.input {
+                return;
+            }
+            for ix in st.off + off..st.off + off + n {
+                log[ix / 64] |= 1u64 << (ix % 64);
+            }
+        }
     }
 
     /// Arms the countdown fields from the configured budget and any
@@ -2127,6 +2228,7 @@ impl Machine {
             }
             arr[off..off + n].copy_from_slice(&words[st.woff..st.woff + n]);
         }
+        self.log_dram_write(dst, off, n);
         self.dense
             .note_dram_write(dst, n as u64, self.current_node());
         Ok(())
@@ -2190,6 +2292,7 @@ impl Machine {
                 *slot = fifo_pop(words, st).expect("length checked");
             }
         }
+        self.log_dram_write(dst, off, n);
         self.dense
             .note_dram_write(dst, n as u64, self.current_node());
         Ok(())
@@ -2212,6 +2315,7 @@ impl Machine {
         self.charge_dram(1)?;
         let arr = self.dram_words_of_mut(dst).expect("checked");
         arr[ix] = v;
+        self.log_dram_write(dst, ix, 1);
         self.dense.dram_random_writes += 1;
         Ok(())
     }
@@ -2651,6 +2755,33 @@ impl Machine {
                         prog, *id, *var, *min, *max, *step, *body, *body_len, *reduce,
                     )?;
                 }
+                Op::Scan1Simple {
+                    id,
+                    bv,
+                    pos_var,
+                    idx_var,
+                    body,
+                    body_len,
+                    reduce,
+                } => {
+                    pc = self.run_scan1_simple(
+                        prog, *id, *bv, *pos_var, *idx_var, *body, *body_len, *reduce,
+                    )?;
+                }
+                Op::Scan2Simple {
+                    id,
+                    op,
+                    bv_a,
+                    bv_b,
+                    vars,
+                    body,
+                    body_len,
+                    reduce,
+                } => {
+                    pc = self.run_scan2_simple(
+                        prog, *id, *op, *bv_a, *bv_b, *vars, *body, *body_len, *reduce,
+                    )?;
+                }
                 Op::EnterRange {
                     id,
                     var,
@@ -2861,7 +2992,10 @@ impl Machine {
                 }
                 _ => {}
             }
-            if !matches!(op, Op::RangeSimple { .. }) {
+            if !matches!(
+                op,
+                Op::RangeSimple { .. } | Op::Scan1Simple { .. } | Op::Scan2Simple { .. }
+            ) {
                 if v < hi {
                     self.node_stack.push(id);
                     // Fuel mirrors in a register like the trip counter
@@ -2916,41 +3050,9 @@ impl Machine {
                 }
                 self.env[var] = Some(v);
                 trips += 1;
-                let mut i = body as usize;
-                while i < end {
-                    match &ops[i] {
-                        // A nested superinstruction runs its own loop
-                        // (constant recursion depth, capped by
-                        // `MAX_SIMPLE_RANK`) and its body span is
-                        // skipped here.
-                        Op::RangeSimple {
-                            id,
-                            var,
-                            min,
-                            max,
-                            step,
-                            body,
-                            body_len,
-                            reduce,
-                        } => {
-                            match self.run_range_simple(
-                                prog, *id, *var, *min, *max, *step, *body, *body_len, *reduce,
-                            ) {
-                                Ok(next) => i = next,
-                                Err(e) => {
-                                    result = Err(e);
-                                    break 'iters;
-                                }
-                            }
-                        }
-                        op => match self.exec_simple_op(prog, op) {
-                            Ok(()) => i += 1,
-                            Err(e) => {
-                                result = Err(e);
-                                break 'iters;
-                            }
-                        },
-                    }
+                if let Err(e) = self.run_simple_body(prog, body, end) {
+                    result = Err(e);
+                    break 'iters;
                 }
                 if let Some((_, expr)) = reduce {
                     match self.operand_value(prog, expr) {
@@ -2977,6 +3079,265 @@ impl Machine {
         }
         result?;
         self.env[var] = saved;
+        self.write_reduce_acc(reduce.map(|(reg, _)| reg), acc);
+        Ok(end)
+    }
+
+    /// Steps one iteration's worth of superinstruction body ops:
+    /// straight-line ops dispatch directly, nested superinstructions
+    /// run their own loops (constant recursion depth, capped by
+    /// [`crate::bytecode::MAX_SIMPLE_RANK`]) and their body spans are
+    /// skipped here.
+    fn run_simple_body(
+        &mut self,
+        prog: &CompiledProgram,
+        body: OpId,
+        end: usize,
+    ) -> Result<(), RunError> {
+        let ops = prog.ops();
+        let mut i = body as usize;
+        while i < end {
+            match &ops[i] {
+                Op::RangeSimple {
+                    id,
+                    var,
+                    min,
+                    max,
+                    step,
+                    body,
+                    body_len,
+                    reduce,
+                } => {
+                    i = self.run_range_simple(
+                        prog, *id, *var, *min, *max, *step, *body, *body_len, *reduce,
+                    )?;
+                }
+                Op::Scan1Simple {
+                    id,
+                    bv,
+                    pos_var,
+                    idx_var,
+                    body,
+                    body_len,
+                    reduce,
+                } => {
+                    i = self.run_scan1_simple(
+                        prog, *id, *bv, *pos_var, *idx_var, *body, *body_len, *reduce,
+                    )?;
+                }
+                Op::Scan2Simple {
+                    id,
+                    op,
+                    bv_a,
+                    bv_b,
+                    vars,
+                    body,
+                    body_len,
+                    reduce,
+                } => {
+                    i = self.run_scan2_simple(
+                        prog, *id, *op, *bv_a, *bv_b, *vars, *body, *body_len, *reduce,
+                    )?;
+                }
+                op => {
+                    self.exec_simple_op(prog, op)?;
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a straight-line-body single bit-vector `Scan` loop
+    /// natively: the vector is snapshotted once, then its set bits
+    /// iterate without a frame or per-emit `Next` dispatch.
+    /// Statistics, environment effects, and error order match the
+    /// framed [`Op::EnterScan1`]/[`Op::Next`] protocol exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scan1_simple(
+        &mut self,
+        prog: &CompiledProgram,
+        id: usize,
+        bv: Slot,
+        pos_var: Slot,
+        idx_var: Slot,
+        body: OpId,
+        body_len: u32,
+        reduce: Option<(Slot, Operand)>,
+    ) -> Result<usize, RunError> {
+        let mut acc = self.read_reduce_acc(reduce.map(|(reg, _)| reg))?;
+        let depth = self.scan_depth;
+        let dim = self.scan_snapshot1(bv)?;
+        let pos_var = pos_var as usize;
+        let idx_var = idx_var as usize;
+        let saved = [self.env[pos_var], self.env[idx_var]];
+        let end = (body + body_len) as usize;
+        // Emit/fold counts accumulate in registers and flush to the
+        // dense counters on every exit path — including errors — so
+        // the observable statistics are identical to per-emit bumping.
+        // Fuel stays field-based: the body can nest superinstructions
+        // that consume fuel themselves.
+        let mut trips = 0u64;
+        let mut folds = 0u64;
+        let mut result: Result<(), RunError> = Ok(());
+        let mut entered = false;
+        let mut pos = 0u64;
+        let mut idx = 0usize;
+        'emits: while idx < dim {
+            if !self.scan_pool[depth].a_set(idx) {
+                idx += 1;
+                continue;
+            }
+            if let Err(e) = self.charge_step() {
+                result = Err(e);
+                break 'emits;
+            }
+            if !entered {
+                entered = true;
+                self.node_stack.push(id);
+                self.scan_depth = depth + 1;
+            }
+            self.env[pos_var] = Some(pos as f64);
+            self.env[idx_var] = Some(idx as f64);
+            trips += 1;
+            if let Err(e) = self.run_simple_body(prog, body, end) {
+                result = Err(e);
+                break 'emits;
+            }
+            if let Some((_, expr)) = reduce {
+                match self.operand_value(prog, expr) {
+                    Ok(x) => {
+                        folds += 1; // reduce_elems and the tree-add
+                        acc += x;
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break 'emits;
+                    }
+                }
+            }
+            pos += 1;
+            idx += 1;
+        }
+        if entered && result.is_ok() {
+            self.node_stack.pop();
+            self.scan_depth = depth;
+        }
+        self.dense.scan_emits += trips;
+        self.dense.node_trips[id] += trips;
+        if folds > 0 {
+            self.dense.reduce_elems += folds;
+            self.dense.alu_ops += folds;
+        }
+        result?;
+        self.env[pos_var] = saved[0];
+        self.env[idx_var] = saved[1];
+        self.write_reduce_acc(reduce.map(|(reg, _)| reg), acc);
+        Ok(end)
+    }
+
+    /// Runs a straight-line-body two-input co-iteration `Scan` loop
+    /// natively (see [`Machine::run_scan1_simple`]): both vectors are
+    /// snapshotted once, the combined bits emit, and the per-side
+    /// position counters advance exactly as the framed
+    /// [`Op::EnterScan2`]/[`Op::Next`] protocol does — the emitting
+    /// index advances its positions after the body.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scan2_simple(
+        &mut self,
+        prog: &CompiledProgram,
+        id: usize,
+        op: ScanOp,
+        bv_a: Slot,
+        bv_b: Slot,
+        vars: [Slot; 4],
+        body: OpId,
+        body_len: u32,
+        reduce: Option<(Slot, Operand)>,
+    ) -> Result<usize, RunError> {
+        let mut acc = self.read_reduce_acc(reduce.map(|(reg, _)| reg))?;
+        let depth = self.scan_depth;
+        let dim = self.scan_snapshot2(bv_a, bv_b)?;
+        let vars = vars.map(|v| v as usize);
+        let saved = vars.map(|v| self.env[v]);
+        let end = (body + body_len) as usize;
+        let mut trips = 0u64;
+        let mut folds = 0u64;
+        let mut result: Result<(), RunError> = Ok(());
+        let mut entered = false;
+        let (mut idx, mut ap, mut bp, mut emitted) = (0usize, 0u64, 0u64, 0u64);
+        'emits: while idx < dim {
+            let has_a = self.scan_pool[depth].a_set(idx);
+            let has_b = self.scan_pool[depth].b_set(idx);
+            let combined = match op {
+                ScanOp::And => has_a && has_b,
+                ScanOp::Or => has_a || has_b,
+            };
+            if !combined {
+                if has_a {
+                    ap += 1;
+                }
+                if has_b {
+                    bp += 1;
+                }
+                idx += 1;
+                continue;
+            }
+            if let Err(e) = self.charge_step() {
+                result = Err(e);
+                break 'emits;
+            }
+            if !entered {
+                entered = true;
+                self.node_stack.push(id);
+                self.scan_depth = depth + 1;
+            }
+            self.env[vars[0]] = Some(if has_a { ap as f64 } else { -1.0 });
+            self.env[vars[1]] = Some(if has_b { bp as f64 } else { -1.0 });
+            self.env[vars[2]] = Some(emitted as f64);
+            self.env[vars[3]] = Some(idx as f64);
+            trips += 1;
+            if let Err(e) = self.run_simple_body(prog, body, end) {
+                result = Err(e);
+                break 'emits;
+            }
+            if let Some((_, expr)) = reduce {
+                match self.operand_value(prog, expr) {
+                    Ok(x) => {
+                        folds += 1; // reduce_elems and the tree-add
+                        acc += x;
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break 'emits;
+                    }
+                }
+            }
+            // The emitting index advances its positions after the
+            // body, exactly as the framed protocol does.
+            if has_a {
+                ap += 1;
+            }
+            if has_b {
+                bp += 1;
+            }
+            emitted += 1;
+            idx += 1;
+        }
+        if entered && result.is_ok() {
+            self.node_stack.pop();
+            self.scan_depth = depth;
+        }
+        self.dense.scan_emits += trips;
+        self.dense.node_trips[id] += trips;
+        if folds > 0 {
+            self.dense.reduce_elems += folds;
+            self.dense.alu_ops += folds;
+        }
+        result?;
+        for (v, old) in vars.iter().zip(saved) {
+            self.env[*v] = old;
+        }
         self.write_reduce_acc(reduce.map(|(reg, _)| reg), acc);
         Ok(end)
     }

@@ -35,6 +35,7 @@ pub mod pool;
 pub mod printer;
 pub mod reference;
 pub mod resolve;
+pub mod shard;
 pub mod validate;
 
 pub use bytecode::{CompiledProgram, ProgramCache};
@@ -48,4 +49,5 @@ pub use pool::{MachinePool, PoolOccupancy, PoolStats, PooledMachine};
 pub use printer::print_program;
 pub use reference::ReferenceMachine;
 pub use resolve::{resolve, DramLayout, DramRegion, ResolvedProgram, Slot, SymbolTable};
+pub use shard::{CompiledShards, NotShardable, ShardError, ShardPlan, ShardedRun};
 pub use validate::{validate, ValidationError};

@@ -231,6 +231,19 @@ impl MachinePool {
         compiled: &Arc<CompiledProgram>,
         clear_outputs: bool,
     ) -> PooledMachine<'_> {
+        self.checked_out.fetch_add(1, Ordering::Relaxed);
+        self.checkout_reserved(compiled, clear_outputs)
+    }
+
+    /// The take-or-construct half of [`MachinePool::checkout_raw`], for
+    /// a checkout slot already counted into `checked_out` by
+    /// [`MachinePool::reserve_slots`] — the guard's drop decrements
+    /// either way, so reservation and release stay balanced.
+    fn checkout_reserved(
+        &self,
+        compiled: &Arc<CompiledProgram>,
+        clear_outputs: bool,
+    ) -> PooledMachine<'_> {
         let key = Arc::as_ptr(compiled) as usize;
         let machine = match self.take(key) {
             Some(mut m) => {
@@ -245,12 +258,78 @@ impl MachinePool {
                 Machine::from_compiled(Arc::clone(compiled))
             }
         };
-        self.checked_out.fetch_add(1, Ordering::Relaxed);
         PooledMachine {
             pool: self,
             key,
             machine: Some(machine),
         }
+    }
+
+    /// Reserves up to `want` checkout slots against an optional cap on
+    /// concurrently checked-out machines, **never blocking and never
+    /// granting zero**: when the cap leaves no headroom the caller
+    /// still gets one slot, because the degraded-but-live option
+    /// (running a sharded kernel serially) always beats parking the
+    /// request until machines free up — a sharded run that *waited*
+    /// for N slots under a per-tenant in-flight cap could starve
+    /// forever against its own tenant's traffic. One CAS loop on the
+    /// live-guard counter; `None` capacity grants everything.
+    fn reserve_slots(&self, want: usize, capacity: Option<u64>) -> usize {
+        debug_assert!(want >= 1, "reserve_slots wants at least one slot");
+        let Some(cap) = capacity else {
+            self.checked_out.fetch_add(want as u64, Ordering::Relaxed);
+            return want;
+        };
+        loop {
+            let cur = self.checked_out.load(Ordering::Relaxed);
+            let grant = (want as u64).min(cap.saturating_sub(cur).max(1));
+            if self
+                .checked_out
+                .compare_exchange(cur, cur + grant, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return grant as usize;
+            }
+        }
+    }
+
+    /// Checks out up to `n` machines for one program without ever
+    /// blocking: the grant is clamped to the headroom `capacity`
+    /// leaves over machines already checked out, **but never below
+    /// one** — a caller holding fewer shards than it asked for falls
+    /// back to fewer-way (down to serial) execution instead of waiting
+    /// for slots that its own in-flight work may be occupying.
+    pub fn try_checkout_n(
+        &self,
+        compiled: &Arc<CompiledProgram>,
+        n: usize,
+        capacity: Option<u64>,
+    ) -> Vec<PooledMachine<'_>> {
+        let granted = self.reserve_slots(n.max(1), capacity);
+        (0..granted)
+            .map(|_| self.checkout_reserved(compiled, true))
+            .collect()
+    }
+
+    /// [`MachinePool::try_checkout_n`] over *distinct* programs — one
+    /// machine per program, granted left-to-right (shard sub-programs
+    /// are distinct compiled artifacts, so the sharded executor cannot
+    /// use the single-key form). `clear_outputs` as on checkout: pass
+    /// `false` only when a `bind_image` immediately follows.
+    pub(crate) fn try_checkout_each(
+        &self,
+        programs: &[Arc<CompiledProgram>],
+        capacity: Option<u64>,
+        clear_outputs: bool,
+    ) -> Vec<PooledMachine<'_>> {
+        if programs.is_empty() {
+            return Vec::new();
+        }
+        let granted = self.reserve_slots(programs.len(), capacity);
+        programs[..granted]
+            .iter()
+            .map(|p| self.checkout_reserved(p, clear_outputs))
+            .collect()
     }
 
     /// Checks out a machine for `compiled`, indistinguishable from a
@@ -409,5 +488,68 @@ impl Drop for PooledMachine<'_> {
             self.pool.checked_out.fetch_sub(1, Ordering::Relaxed);
             self.pool.check_in(self.key, machine);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{SExpr, SpatialProgram, SpatialStmt};
+
+    fn program(name: &str) -> Arc<CompiledProgram> {
+        let mut p = SpatialProgram::new(name);
+        p.add_dram("out", 4);
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::Const(1.0),
+        });
+        p.assign_ids();
+        Arc::new(CompiledProgram::compile(&p))
+    }
+
+    /// `try_checkout_n` clamps to capacity headroom, degrades to one
+    /// slot rather than zero (the no-deadlock guarantee), and releases
+    /// every reserved slot when the guards drop.
+    #[test]
+    fn try_checkout_n_clamps_to_headroom_but_never_zero() {
+        let pool = MachinePool::with_shards(1);
+        let prog = program("cap");
+
+        let all = pool.try_checkout_n(&prog, 4, None);
+        assert_eq!(all.len(), 4, "no capacity cap grants the full ask");
+        assert_eq!(pool.occupancy().checked_out, 4);
+        drop(all);
+        assert_eq!(pool.occupancy().checked_out, 0);
+
+        let held = pool.try_checkout_n(&prog, 4, Some(6));
+        assert_eq!(held.len(), 4);
+        let partial = pool.try_checkout_n(&prog, 4, Some(6));
+        assert_eq!(partial.len(), 2, "grant clamps to remaining headroom");
+        assert_eq!(pool.occupancy().checked_out, 6);
+
+        let fallback = pool.try_checkout_n(&prog, 4, Some(6));
+        assert_eq!(
+            fallback.len(),
+            1,
+            "zero headroom still grants one slot instead of blocking"
+        );
+        drop((held, partial, fallback));
+        assert_eq!(pool.occupancy().checked_out, 0);
+    }
+
+    /// The multi-program form hands out one machine per program in
+    /// order, truncated (never blocked) by the capacity cap.
+    #[test]
+    fn try_checkout_each_grants_prefix_under_capacity() {
+        let pool = MachinePool::with_shards(1);
+        let progs = [program("a"), program("b"), program("c")];
+        let got = pool.try_checkout_each(&progs, Some(2), true);
+        assert_eq!(got.len(), 2);
+        assert!(Arc::ptr_eq(got[0].compiled(), &progs[0]));
+        assert!(Arc::ptr_eq(got[1].compiled(), &progs[1]));
+        drop(got);
+        assert_eq!(pool.occupancy().checked_out, 0);
+        assert!(pool.try_checkout_each(&[], Some(2), true).is_empty());
     }
 }
