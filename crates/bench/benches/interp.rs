@@ -194,12 +194,16 @@ fn spmv_workload(nnz_target: usize) -> Workload {
 }
 
 /// CSR×CSR Gustavson SpMSpM: for each B(i,k), scatter-accumulate
-/// `B(i,k) * C(k,j)` into a SparseSRAM row buffer. C is kept very sparse
-/// (~4 nonzeros per row) so total work stays proportional to B's nnz.
+/// `B(i,k) * C(k,j)` into a SparseSRAM row buffer. C is kept sparse
+/// (~32 nonzeros per row, still ≪ n columns) so total work stays
+/// proportional to B's nnz while the inner scatter runs are long enough
+/// to behave like real accumulation loops — and, under the vector tier,
+/// to form full 8-wide chunks rather than degenerating to the scalar
+/// tail on every row.
 fn spmspm_workload(nnz_target: usize) -> Workload {
     let n = (nnz_target / 50).max(8);
     let b = csr(n, nnz_target, 0xB0B);
-    let c = csr(n, 4 * n, 0xC0C);
+    let c = csr(n, 32 * n, 0xC0C);
     let b_nnz = b.crd(1).len().max(1);
     let c_nnz = c.crd(1).len().max(1);
 
@@ -308,6 +312,103 @@ fn spmspm_workload(nnz_target: usize) -> Workload {
             ("cvals_d".into(), Image::F64(c.vals().to_vec())),
         ],
         elements: b.crd(1).len() as u64,
+    }
+}
+
+/// Scatter-focused entry: per row, accumulate `scale(i) * vals(j)` into
+/// a shared SparseSRAM accumulator at gathered coordinates — the SpMSpM
+/// inner loop isolated at one nesting level, so the hot loop is *only*
+/// the `RmwAdd` scatter superinstruction (and, under the vector tier,
+/// the `VecClass::Scatter` chunked path). The accumulator is allocated
+/// *once*, outside the row loop: a per-row buffer would be re-zeroed
+/// O(n) per O(nnz/n) scatters and the zeroing, not the scatter, would
+/// dominate at scale.
+fn scatter_workload(nnz_target: usize) -> Workload {
+    let n = (nnz_target / 50).max(8);
+    let a = csr(n, nnz_target, 0x5CA7);
+    let nnz = a.crd(1).len().max(1);
+    let scale: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.125 + 1.0).collect();
+
+    let mut p = SpatialProgram::new("scatter_interp");
+    p.add_dram("pos_d", n + 1);
+    p.add_dram("crd_d", nnz);
+    p.add_dram("vals_d", nnz);
+    p.add_dram("scale_d", n);
+    p.add_dram("out_d", 64 * 16);
+    for (mem, kind, size, src) in [
+        ("pos_s", MemKind::Sram, n + 1, "pos_d"),
+        ("crd_s", MemKind::Sram, nnz, "crd_d"),
+        ("vals_s", MemKind::Sram, nnz, "vals_d"),
+        ("scale_s", MemKind::Sram, n, "scale_d"),
+    ] {
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new(mem, kind, size)));
+        p.accel.push(SpatialStmt::Load {
+            dst: mem.into(),
+            src: src.into(),
+            start: SExpr::Const(0.0),
+            end: SExpr::Const(size as f64),
+            par: 16,
+        });
+    }
+    p.accel.push(SpatialStmt::Alloc(MemDecl::new(
+        "accrow",
+        MemKind::SparseSram,
+        n,
+    )));
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::range_to("i", SExpr::Const(n as f64)),
+        par: 1,
+        body: vec![
+            SpatialStmt::Bind {
+                var: "vb".into(),
+                value: SExpr::read("scale_s", SExpr::var("i")),
+            },
+            SpatialStmt::Foreach {
+                id: 0,
+                counter: Counter::Range {
+                    var: "j".into(),
+                    min: SExpr::read("pos_s", SExpr::var("i")),
+                    max: SExpr::read("pos_s", SExpr::add(SExpr::var("i"), SExpr::Const(1.0))),
+                    step: 1,
+                },
+                par: 16,
+                body: vec![SpatialStmt::RmwAdd {
+                    mem: "accrow".into(),
+                    index: SExpr::read("crd_s", SExpr::var("j")),
+                    value: SExpr::mul(SExpr::var("vb"), SExpr::read("vals_s", SExpr::var("j"))),
+                }],
+            },
+            // Spill a 16-word window so results are observable.
+            SpatialStmt::Store {
+                dst: "out_d".into(),
+                offset: SExpr::mul(
+                    SExpr::bin(
+                        stardust_spatial::BinSOp::Mod,
+                        SExpr::var("i"),
+                        SExpr::Const(64.0),
+                    ),
+                    SExpr::Const(16.0),
+                ),
+                src: "accrow".into(),
+                len: SExpr::Const(16.0),
+                par: 16,
+            },
+        ],
+    });
+    p.assign_ids();
+
+    Workload {
+        name: "scatter",
+        program: p,
+        images: vec![
+            ("pos_d".into(), Image::Usize(a.pos(1).to_vec())),
+            ("crd_d".into(), Image::Usize(a.crd(1).to_vec())),
+            ("vals_d".into(), Image::F64(a.vals().to_vec())),
+            ("scale_d".into(), Image::F64(scale)),
+        ],
+        elements: nnz as u64,
     }
 }
 
@@ -431,6 +532,15 @@ fn quick() -> bool {
 }
 
 fn sizes() -> Vec<usize> {
+    // BENCH_NNZ=10000,100000 overrides the size sweep — the summary
+    // reports at the *largest* configured size, so this is how a local
+    // run collects the per-size rows for a measured table.
+    if let Ok(list) = std::env::var("BENCH_NNZ") {
+        return list
+            .split(',')
+            .map(|t| t.trim().parse().expect("BENCH_NNZ entries must be usize"))
+            .collect();
+    }
     if quick() {
         vec![10_000]
     } else {
@@ -485,6 +595,10 @@ fn bench_scan_union(c: &mut Criterion) {
     bench_engines(c, scan_union_workload);
 }
 
+fn bench_scatter(c: &mut Criterion) {
+    bench_engines(c, scatter_workload);
+}
+
 /// Re-bind cost per dataset sweep iteration: the `write_dram` path
 /// (per-bind O(nnz) `usize → f64` conversion + copy) against the
 /// copy-on-write `DramImage` path (`Arc` clone + O(outputs) zero-fill)
@@ -536,10 +650,12 @@ fn time_best<M: Clone>(proto: &M, mut run: impl FnMut(&mut M)) -> f64 {
 fn speedup_summary(_c: &mut Criterion) {
     let nnz = *sizes().last().expect("nonempty");
     let mut rows = String::new();
+    let mut vector_rows = String::new();
     for make in [
         spmv_workload as fn(usize) -> Workload,
         spmspm_workload,
         scan_union_workload,
+        scatter_workload,
     ] {
         let w = make(nnz);
         let bytecode = w.machine();
@@ -549,26 +665,35 @@ fn speedup_summary(_c: &mut Criterion) {
         // wall-clock deadline arms the full accounting path — per-step
         // fuel countdown and the masked back-edge interrupt check. The
         // acceptance bar for the fault-isolation layer is ≤5% overhead
-        // vs the unbudgeted run at this size, so the two legs are timed
-        // *interleaved* (alternating reps, best of five each): run-to-run
-        // drift on a shared container swamps a few percent when the legs
-        // are measured in separate windows.
+        // vs the unbudgeted run at this size. The vector-vs-scalar split
+        // gates the data-parallel tier the same way. All bytecode legs
+        // are timed *interleaved* (alternating reps, best of five each):
+        // run-to-run drift on a shared container swamps a few percent
+        // when the legs are measured in separate windows.
         let budget = RunBudget::default()
             .with_max_steps(u64::MAX / 2)
             .with_deadline(Duration::from_secs(3600));
-        let (mut bc_t, mut bud_t) = (f64::INFINITY, f64::INFINITY);
+        let (mut bc_t, mut sc_t, mut bud_t) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         for _ in 0..5 {
             let mut m = bytecode.clone();
+            m.set_vector_mode(true);
             let t0 = Instant::now();
             m.run(&w.program).expect("bytecode runs");
             bc_t = bc_t.min(t0.elapsed().as_secs_f64());
             let mut m = bytecode.clone();
+            m.set_vector_mode(false);
+            let t0 = Instant::now();
+            m.run(&w.program).expect("scalar bytecode runs");
+            sc_t = sc_t.min(t0.elapsed().as_secs_f64());
+            let mut m = bytecode.clone();
+            m.set_vector_mode(true);
             m.set_budget(budget.clone());
             let t0 = Instant::now();
             m.run(&w.program).expect("budgeted bytecode runs");
             bud_t = bud_t.min(t0.elapsed().as_secs_f64());
         }
         let budget_overhead_pct = (bud_t / bc_t - 1.0) * 100.0;
+        let vec_speedup = sc_t / bc_t;
         let tree_t = time_best(&bytecode, |m| {
             m.run_tree(&w.program).expect("resolved tree runs");
         });
@@ -576,11 +701,14 @@ fn speedup_summary(_c: &mut Criterion) {
             m.run(&w.program).expect("reference runs");
         });
         println!(
-            "{} nnz={nnz}: bytecode {:.1} ms, resolved-tree {:.1} ms, reference {:.1} ms, \
+            "{} nnz={nnz}: bytecode {:.1} ms (scalar {:.1} ms, vector/scalar {:.2}x), \
+             resolved-tree {:.1} ms, reference {:.1} ms, \
              bytecode/tree {:.2}x, bytecode/reference {:.2}x, \
              budgeted bytecode {:.1} ms ({:+.1}% overhead)",
             w.name,
             bc_t * 1e3,
+            sc_t * 1e3,
+            vec_speedup,
             tree_t * 1e3,
             ref_t * 1e3,
             tree_t / bc_t,
@@ -591,23 +719,30 @@ fn speedup_summary(_c: &mut Criterion) {
         let elems = w.elements as f64;
         if !rows.is_empty() {
             rows.push(',');
+            vector_rows.push_str(", ");
         }
+        write!(vector_rows, r#""{}_speedup": {vec_speedup:.4}"#, w.name).expect("write to string");
         // "state" labels the on-chip memory representation each engine
         // runs on: the bytecode and resolved-tree engines share the
         // flat-arena machine state, while the string-keyed reference
         // walker keeps the pre-arena per-slot heap containers — so the
         // bytecode/reference and tree/reference ratios track the
-        // arena-vs-pre-arena perf trajectory across PRs.
+        // arena-vs-pre-arena perf trajectory across PRs. The "bytecode"
+        // leg runs with the vector tier on (the default); the
+        // "bytecode_scalar" leg is the same engine with the tier forced
+        // off, so vector_vs_scalar_speedup isolates the chunked paths.
         write!(
             rows,
             r#"
     {{"kernel": "{}", "nnz": {nnz}, "elements": {},
      "engines": {{
        "bytecode": {{"seconds": {bc_t:.6e}, "elems_per_sec": {:.6e}, "state": "arena"}},
+       "bytecode_scalar": {{"seconds": {sc_t:.6e}, "elems_per_sec": {:.6e}, "state": "arena"}},
        "resolved_tree": {{"seconds": {tree_t:.6e}, "elems_per_sec": {:.6e}, "state": "arena"}},
        "reference": {{"seconds": {ref_t:.6e}, "elems_per_sec": {:.6e}, "state": "per_slot_heap"}}
      }},
      "budgeted_bytecode": {{"seconds": {bud_t:.6e}, "overhead_pct": {budget_overhead_pct:.2}}},
+     "vector_vs_scalar_speedup": {vec_speedup:.4},
      "speedup_bytecode_vs_tree": {:.4},
      "speedup_bytecode_vs_reference": {:.4},
      "speedup_arena_bytecode_vs_prearena_reference": {:.4},
@@ -615,6 +750,7 @@ fn speedup_summary(_c: &mut Criterion) {
             w.name,
             w.elements,
             elems / bc_t,
+            elems / sc_t,
             elems / tree_t,
             elems / ref_t,
             tree_t / bc_t,
@@ -715,9 +851,15 @@ fn speedup_summary(_c: &mut Criterion) {
     }
 
     if let Ok(path) = std::env::var("BENCH_SUMMARY_JSON") {
+        // The top-level "vector" section repeats the per-kernel
+        // vector-vs-scalar speedups at the largest configured size under
+        // stable dotted paths (`vector.spmv_speedup`, ...) so the floors
+        // file can gate the data-parallel tier without `[*]` wildcards.
         let json = format!(
-            "{{\n  \"bench\": \"interp\",\n  \"quick\": {},\n  \"results\": [{rows}\n  ],\n  \"bind\": [{bind_rows}\n  ]\n}}\n",
-            quick()
+            "{{\n  \"bench\": \"interp\",\n  \"quick\": {},\n  \"vector\": {{\"impl\": \"{}\", \"lanes\": {}, {vector_rows}}},\n  \"results\": [{rows}\n  ],\n  \"bind\": [{bind_rows}\n  ]\n}}\n",
+            quick(),
+            stardust_spatial::vector::IMPL,
+            stardust_spatial::vector::LANES,
         );
         std::fs::write(&path, json).expect("write bench summary");
         println!("bench summary written to {path}");
@@ -729,6 +871,7 @@ criterion_group!(
     bench_spmv,
     bench_spmspm,
     bench_scan_union,
+    bench_scatter,
     bench_bind,
     speedup_summary
 );

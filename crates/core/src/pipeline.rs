@@ -522,6 +522,21 @@ impl CompiledKernel {
         Ok(ShardPlan::analyze(&self.spatial)?.compile(n))
     }
 
+    /// [`CompiledKernel::shard`] with the shard count chosen
+    /// automatically ([`stardust_spatial::auto_shard_count`]) from the
+    /// proven outer-loop trip count and `pool`'s current occupancy.
+    /// Returns `None` when the program is not shardable *or* the
+    /// policy sizes the run serial (tiny trip counts, a one-machine
+    /// pool) — callers fall back to the serial pooled path either way.
+    pub fn shard_auto(&self, pool: &MachinePool) -> Option<CompiledShards> {
+        let plan = ShardPlan::analyze(&self.spatial).ok()?;
+        let n = stardust_spatial::auto_shard_count(plan.trips(), &pool.occupancy());
+        if n <= 1 {
+            return None;
+        }
+        Some(plan.compile(n))
+    }
+
     /// [`CompiledKernel::execute_image_pooled_budgeted`] across `shards`
     /// machines: runs the partitioned outer loop on pooled machines
     /// sharing `image`'s input segment and merges outputs and stats

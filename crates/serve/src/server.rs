@@ -72,8 +72,12 @@ pub struct ServeConfig {
     /// shardable run as up to this many contiguous slices on pooled
     /// machines (merged bitwise identically to serial); `NotShardable`
     /// stages — and everything at the default `1` — run the serial
-    /// pooled path. Sharded stages cap their machine checkouts at
-    /// [`ServeConfig::tenant_inflight`], so one tenant's wide job
+    /// pooled path. `0` means **auto**: the count is chosen per stage
+    /// from the proven outer-loop trip count and the pool's occupancy
+    /// at plan time ([`stardust_spatial::auto_shard_count`]), so tiny
+    /// loops stay serial and wide ones split up to the machines
+    /// actually available. Sharded stages cap their machine checkouts
+    /// at [`ServeConfig::tenant_inflight`], so one tenant's wide job
     /// degrades to fewer round-robin workers instead of draining the
     /// pool for everyone.
     pub shards: usize,
@@ -444,7 +448,9 @@ impl Inner {
             // Pin the shard partition with the plan: the analysis runs
             // once per (program, dataset), never on the hot path. A
             // one-slice partition is serial with extra steps — skip it.
-            let shards = if self.cfg.shards > 1 {
+            let shards = if self.cfg.shards == 0 {
+                compiled.shard_auto(&self.pool)
+            } else if self.cfg.shards > 1 {
                 compiled
                     .shard(self.cfg.shards)
                     .ok()

@@ -180,6 +180,39 @@ fn sharded_serving_is_bitwise_identical_to_serial() {
     );
 }
 
+/// `shards: 0` (auto): the partition is sized per stage from the
+/// proven trip count and pool occupancy. Responses stay bitwise
+/// identical to serial whether the policy splits or (for these small
+/// test kernels, whose loops sit under the minimum trips-per-shard)
+/// keeps every stage serial.
+#[test]
+fn auto_sharded_serving_is_bitwise_identical_to_serial() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        shards: 0,
+        ..ServeConfig::default()
+    });
+    let cases: Vec<(Kernel, HashMap<String, TensorData>)> = vec![
+        (defs::spmv(N), spmv_inputs(17)),
+        (defs::plus3(N), plus3_inputs(19)),
+    ];
+    for (tenant, (kernel, inputs)) in cases.iter().enumerate() {
+        let program = server.register_program(kernel.clone());
+        let dataset = server.register_dataset(inputs.clone());
+        for _ in 0..3 {
+            let ticket = server
+                .submit(tenant as u64, program, dataset)
+                .expect("admission under configured capacity");
+            let job = ticket.wait().expect("accepted job completes");
+            assert_matches_serial(&job, kernel, inputs);
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.pool.checked_out, 0);
+}
+
 /// Inline mode: overload is rejected with `QueueFull` carrying the
 /// observed depth, accepted jobs are unaffected, and capacity returns
 /// after a drain.

@@ -480,6 +480,114 @@ pub struct CompiledProgram {
     /// (copy-on-write), so creating a machine never allocates or zeroes
     /// the input segment.
     zero_input: Arc<Vec<f64>>,
+    /// Per-op vector-eligibility classification (parallel to `ops`),
+    /// computed by [`classify_vec`] after lowering. The interpreter's
+    /// vector tier consults this flag before attempting a chunked run,
+    /// so ineligible loops never pay for runtime shape analysis.
+    vec: Vec<VecClass>,
+}
+
+/// Vector-eligibility classification of one lowered op: whether the
+/// peephole recognized a shape the data-parallel tier
+/// ([`crate::vector`]) can chunk. The flag is a *shape* property of the
+/// bytecode; the interpreter still validates the runtime half of the
+/// contract (slot allocations, integral unit-step bounds, stream
+/// aliasing) on each loop entry and falls back to the scalar loop when
+/// it does not hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecClass {
+    /// Not a vectorizable shape.
+    None,
+    /// An empty-body unit-step [`Op::RangeSimple`] reducing a
+    /// unit-stride gather shape: a plain gather, the
+    /// scale-by-gathered-value [`FusedOp::BinGather`], or the SpMV
+    /// dot-product [`FusedOp::BinGatherInd`] — all indexed by the loop
+    /// variable itself.
+    GatherReduce,
+    /// A unit-step [`Op::RangeSimple`] whose single body op is an
+    /// on-chip scatter write ([`Op::WriteMem`]/[`Op::RmwAdd`]) with a
+    /// dense (loop-variable) or unit-stride-gathered index and a
+    /// chunkable value operand — the Gustavson scatter-accumulate
+    /// inner loop of SpMSpM, or a dense fill/accumulate run.
+    Scatter,
+}
+
+/// Whether a reduce operand is a unit-stride gather shape over loop
+/// variable `var` (see [`VecClass::GatherReduce`]).
+fn reduce_vectorizable(expr: Operand, var: Slot, fused: &[FusedOp]) -> bool {
+    match expr {
+        Operand::Gather { var: v, .. } => v == var,
+        Operand::Fused(i) => match fused[i as usize] {
+            // `a` must be loop-invariant: the splat is read once per
+            // chunk, so the loop variable itself is not eligible.
+            FusedOp::BinGather { a, mem, .. } => mem.var == var && a != var,
+            FusedOp::BinGatherInd { lhs, inner, .. } => lhs.var == var && inner.var == var,
+            FusedOp::GatherOffset { .. } => false,
+        },
+        _ => false,
+    }
+}
+
+/// Whether a scatter body's index/value operands are chunkable over
+/// loop variable `var` (see [`VecClass::Scatter`]).
+fn scatter_vectorizable(index: Operand, value: Operand, var: Slot, fused: &[FusedOp]) -> bool {
+    let index_ok = match index {
+        // Dense run: `dst[v] = ...`.
+        Operand::Var(v) => v == var,
+        // Scattered run: `dst[crd[v]] = ...`.
+        Operand::Gather { var: v, .. } => v == var,
+        _ => false,
+    };
+    let value_ok = match value {
+        Operand::Const(_) | Operand::Var(_) => true,
+        Operand::Gather { var: v, .. } => v == var,
+        Operand::Fused(i) => match fused[i as usize] {
+            FusedOp::BinGather { a, mem, .. } => mem.var == var && a != var,
+            _ => false,
+        },
+        _ => false,
+    };
+    index_ok && value_ok
+}
+
+/// The vector-eligibility pass: one classification per lowered op.
+/// Runs after lowering (the superinstruction shapes it recognizes are
+/// produced by the peephole) and stores its verdicts in a side table
+/// parallel to `ops`.
+fn classify_vec(ops: &[Op], fused: &[FusedOp]) -> Vec<VecClass> {
+    ops.iter()
+        .map(|op| match *op {
+            Op::RangeSimple {
+                var,
+                step: 1,
+                body,
+                body_len,
+                reduce,
+                ..
+            } => {
+                if body_len == 0 {
+                    match reduce {
+                        Some((_, expr)) if reduce_vectorizable(expr, var, fused) => {
+                            VecClass::GatherReduce
+                        }
+                        _ => VecClass::None,
+                    }
+                } else if body_len == 1 && reduce.is_none() {
+                    match ops[body as usize] {
+                        Op::RmwAdd { index, value, .. } | Op::WriteMem { index, value, .. }
+                            if scatter_vectorizable(index, value, var, fused) =>
+                        {
+                            VecClass::Scatter
+                        }
+                        _ => VecClass::None,
+                    }
+                } else {
+                    VecClass::None
+                }
+            }
+            _ => VecClass::None,
+        })
+        .collect()
 }
 
 impl CompiledProgram {
@@ -508,6 +616,7 @@ impl CompiledProgram {
             ops, eops, fused, ..
         } = lowering;
         let zero_input = Arc::new(vec![0.0; resolved.dram_layout.input_words]);
+        let vec = classify_vec(&ops, &fused);
         CompiledProgram {
             source: program.clone(),
             syms,
@@ -516,6 +625,7 @@ impl CompiledProgram {
             eops,
             fused,
             zero_input,
+            vec,
         }
     }
 
@@ -547,6 +657,13 @@ impl CompiledProgram {
     /// The fused compound-operand table.
     pub fn fused(&self) -> &[FusedOp] {
         &self.fused
+    }
+
+    /// The vector-eligibility classification of the op at `pc` (see
+    /// [`VecClass`]).
+    #[inline(always)]
+    pub fn vec_class(&self, pc: usize) -> VecClass {
+        self.vec[pc]
     }
 
     /// The shared pristine (all-zero) DRAM input segment machines are
@@ -1267,6 +1384,112 @@ mod tests {
         assert_eq!((body, body_len), (1, 1));
         assert!(reduce.is_none());
         assert!(matches!(c.ops()[2], Op::Halt));
+    }
+
+    fn range_simple_pc(c: &CompiledProgram) -> usize {
+        c.ops()
+            .iter()
+            .position(|o| matches!(o, Op::RangeSimple { .. }))
+            .expect("program lowers a RangeSimple superinstruction")
+    }
+
+    #[test]
+    fn vec_classifier_tags_spmv_shaped_reduce() {
+        // The CSR SpMV inner loop: empty body, `vals[j] * x[crd[j]]`
+        // reduce operand (the BinGatherInd fused shape).
+        let mut p = SpatialProgram::new("t");
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("vals_s", MemKind::Sram, 8)));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("crd_s", MemKind::Sram, 8)));
+        p.accel.push(SpatialStmt::Alloc(MemDecl::new(
+            "x_s",
+            MemKind::SparseSram,
+            8,
+        )));
+        p.accel.push(SpatialStmt::Reduce {
+            id: 0,
+            reg: "acc".into(),
+            counter: Counter::range_to("j", SExpr::Const(8.0)),
+            par: 1,
+            body: vec![],
+            expr: SExpr::mul(
+                SExpr::read("vals_s", SExpr::var("j")),
+                SExpr::read_random("x_s", SExpr::read("crd_s", SExpr::var("j"))),
+            ),
+        });
+        p.assign_ids();
+        let c = CompiledProgram::compile(&p);
+        assert_eq!(c.vec_class(range_simple_pc(&c)), VecClass::GatherReduce);
+    }
+
+    #[test]
+    fn vec_classifier_tags_scatter_loop() {
+        // The SpMSpM accumulation loop: one-statement RmwAdd body with
+        // a gathered index and a splat-times-gather value.
+        let mut p = SpatialProgram::new("t");
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("acc_s", MemKind::Sram, 16)));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("crd_s", MemKind::Sram, 8)));
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("vals_s", MemKind::Sram, 8)));
+        p.accel.push(SpatialStmt::Bind {
+            var: "vb".into(),
+            value: SExpr::Const(2.5),
+        });
+        p.accel.push(range_loop(
+            0,
+            "j",
+            8.0,
+            vec![SpatialStmt::RmwAdd {
+                mem: "acc_s".into(),
+                index: SExpr::read("crd_s", SExpr::var("j")),
+                value: SExpr::mul(SExpr::var("vb"), SExpr::read("vals_s", SExpr::var("j"))),
+            }],
+        ));
+        p.assign_ids();
+        let c = CompiledProgram::compile(&p);
+        assert_eq!(c.vec_class(range_simple_pc(&c)), VecClass::Scatter);
+    }
+
+    #[test]
+    fn vec_classifier_rejects_non_unit_stride_shapes() {
+        // A reduce operand that is an expression program (not a gather
+        // in the loop variable) stays scalar.
+        let mut p = SpatialProgram::new("t");
+        p.accel.push(SpatialStmt::Reduce {
+            id: 0,
+            reg: "acc".into(),
+            counter: Counter::range_to("j", SExpr::Const(8.0)),
+            par: 1,
+            body: vec![],
+            expr: SExpr::add(SExpr::var("j"), SExpr::Const(1.0)),
+        });
+        p.assign_ids();
+        let c = CompiledProgram::compile(&p);
+        assert_eq!(c.vec_class(range_simple_pc(&c)), VecClass::None);
+
+        // A scatter whose value multiplies by the loop variable itself
+        // (`j * vals[j]`): the splat side must be loop-invariant.
+        let mut p2 = SpatialProgram::new("t");
+        p2.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("acc_s", MemKind::Sram, 16)));
+        p2.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("vals_s", MemKind::Sram, 8)));
+        p2.accel.push(range_loop(
+            0,
+            "j",
+            8.0,
+            vec![SpatialStmt::RmwAdd {
+                mem: "acc_s".into(),
+                index: SExpr::var("j"),
+                value: SExpr::mul(SExpr::var("j"), SExpr::read("vals_s", SExpr::var("j"))),
+            }],
+        ));
+        p2.assign_ids();
+        let c2 = CompiledProgram::compile(&p2);
+        assert_eq!(c2.vec_class(range_simple_pc(&c2)), VecClass::None);
     }
 
     #[test]

@@ -36,13 +36,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::bytecode::{CompiledProgram, EOp, FusedOp, GatherRef, Op, OpId, Operand};
+use crate::bytecode::{CompiledProgram, EOp, FusedOp, GatherRef, Op, OpId, Operand, VecClass};
 use crate::faults;
 use crate::ir::{BinSOp, MemKind, ScanOp, SpatialProgram};
 use crate::resolve::{
     bit_words_for, ExprId, ResolvedCounter, ResolvedExpr, ResolvedProgram, ResolvedStmt, Slot,
     SymbolTable,
 };
+use crate::vector;
 
 /// Errors raised while executing a Spatial program.
 #[derive(Debug, Clone, PartialEq)]
@@ -855,6 +856,81 @@ impl ScanBuf {
     fn b_set(&self, idx: usize) -> bool {
         Self::bit(&self.b, self.bw, idx)
     }
+
+    /// One packed word of the `a` snapshot (all-zero past its extent).
+    #[inline(always)]
+    fn word_a(&self, w: usize) -> u64 {
+        if w < self.aw {
+            self.a[w]
+        } else {
+            0
+        }
+    }
+
+    /// One packed word of the `b` snapshot (all-zero past its extent).
+    #[inline(always)]
+    fn word_b(&self, w: usize) -> u64 {
+        if w < self.bw {
+            self.b[w]
+        } else {
+            0
+        }
+    }
+
+    /// Fast-forward for the vector tier's chunked scan: the next set
+    /// bit of `a` at or after `from`, skipping zero words whole and
+    /// locating set bits with `trailing_zeros` instead of a per-bit
+    /// probe. Purely a lookup — non-set positions have no observable
+    /// effect in a `Scan1` loop, so the emit sequence is identical to
+    /// the linear probe.
+    fn next_a_set(&self, from: usize, dim: usize) -> Option<usize> {
+        let mut idx = from;
+        while idx < dim {
+            let w = idx >> 6;
+            let rem = dim - (w << 6);
+            let hi_mask = if rem >= 64 { !0u64 } else { (1u64 << rem) - 1 };
+            let word = self.word_a(w) & hi_mask & (!0u64 << (idx & 63));
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            idx = (w + 1) << 6;
+        }
+        None
+    }
+
+    /// Fast-forward for the chunked two-input scan: returns the index
+    /// of the next *combined* bit at or after `from` (or `dim` when
+    /// none remains) plus the number of `a` and `b` bits passed over in
+    /// `[from, next)` — the position-counter advances the linear probe
+    /// would have made one bit at a time, batched with `count_ones`
+    /// per word.
+    fn scan2_skip(&self, op: ScanOp, from: usize, dim: usize) -> (usize, u64, u64) {
+        let (mut askip, mut bskip) = (0u64, 0u64);
+        let mut idx = from;
+        while idx < dim {
+            let w = idx >> 6;
+            let rem = dim - (w << 6);
+            let hi_mask = if rem >= 64 { !0u64 } else { (1u64 << rem) - 1 };
+            let live = hi_mask & (!0u64 << (idx & 63));
+            let aw = self.word_a(w) & live;
+            let bw = self.word_b(w) & live;
+            let comb = match op {
+                ScanOp::And => aw & bw,
+                ScanOp::Or => aw | bw,
+            };
+            if comb != 0 {
+                let b = comb.trailing_zeros();
+                let below = (1u64 << b) - 1;
+                askip += (aw & below).count_ones() as u64;
+                bskip += (bw & below).count_ones() as u64;
+                return ((w << 6) + b as usize, askip, bskip);
+            }
+            askip += aw.count_ones() as u64;
+            bskip += bw.count_ones() as u64;
+            idx = (w + 1) << 6;
+        }
+        (dim, askip, bskip)
+    }
 }
 
 /// Iteration state of one active loop in the bytecode engine.
@@ -1156,6 +1232,12 @@ pub struct Machine {
     /// shard order. `None` (the default) costs one untaken branch per
     /// DRAM store.
     write_log: Option<Vec<u64>>,
+    /// Whether the data-parallel tier (see [`crate::vector`]) is
+    /// active. On by default (`STARDUST_VECTOR=0` disables);
+    /// runtime-togglable via [`Machine::set_vector_mode`] so one
+    /// process measures scalar vs vector on identical state. Results,
+    /// statistics, and abort points are bit-identical either way.
+    vector_enabled: bool,
 }
 
 /// A copy of a [`Machine`]'s execution state — DRAM images, the flat
@@ -1240,6 +1322,7 @@ impl Machine {
             interrupts: false,
             poisoned: false,
             write_log: None,
+            vector_enabled: vector::env_default(),
         };
         m.grow_state();
         let compiled = Arc::clone(&m.compiled);
@@ -1417,6 +1500,20 @@ impl Machine {
     /// The configured resource budget.
     pub fn budget(&self) -> &RunBudget {
         &self.budget
+    }
+
+    /// Whether the data-parallel (vector) tier is active (see
+    /// [`crate::vector`]).
+    pub fn vector_mode(&self) -> bool {
+        self.vector_enabled
+    }
+
+    /// Enables or disables the vector tier at runtime. Execution
+    /// results, `ExecStats`, and budget-abort points are bit-identical
+    /// in both modes — the toggle exists so benchmarks and differential
+    /// suites can measure scalar vs vector in one process.
+    pub fn set_vector_mode(&mut self, on: bool) {
+        self.vector_enabled = on;
     }
 
     /// Whether the last run aborted — with a structured error or a
@@ -2953,12 +3050,33 @@ impl Machine {
         let end = (body + body_len) as usize;
         let fstep = step as f64;
         let mut v = lo;
+        // The lowering pass tags each RangeSimple with its
+        // vector-eligibility class; the op sits immediately before its
+        // body, so its own pc is `body - 1`.
+        let vclass = if self.vector_enabled {
+            prog.vec_class(body as usize - 1)
+        } else {
+            VecClass::None
+        };
         // Trip/fold counts accumulate in registers and flush to the
         // dense counters on every exit path — including errors — so the
         // observable statistics are identical to per-iteration bumping.
         let mut trips = 0u64;
         let mut folds = 0u64;
         let mut result: Result<(), RunError> = Ok(());
+        // Empty-body reductions over a unit-stride gather shape (the
+        // SpMV dot product) go through the vector tier when tagged
+        // eligible; ineligible runtime state falls through to the
+        // generic loop below.
+        if vclass == VecClass::GatherReduce {
+            if let Some((reg, expr)) = reduce {
+                if let Some(r) =
+                    self.try_vector_reduce(prog, id, var, saved, lo, hi, reg, expr, acc, end)
+                {
+                    return r;
+                }
+            }
+        }
         // Single-statement bodies (the scatter-accumulate shape) get a
         // dedicated loop: the body op is loop-invariant, so its
         // dispatch is hoisted out of the iteration entirely.
@@ -2970,10 +3088,12 @@ impl Machine {
             // body cannot allocate, enqueue, or regenerate), so slot
             // states hoist out of the loop and statistics batch in
             // registers.
+            let vector = vclass == VecClass::Scatter;
             match *op {
                 Op::RmwAdd { mem, index, value } => {
                     if let Some(r) = self.try_scatter_loop(
-                        prog, id, var, saved, v, hi, fstep, mem, index, value, true, true, end,
+                        prog, id, var, saved, v, hi, fstep, mem, index, value, true, true, vector,
+                        end,
                     ) {
                         return r;
                     }
@@ -2985,7 +3105,8 @@ impl Machine {
                     random,
                 } => {
                     if let Some(r) = self.try_scatter_loop(
-                        prog, id, var, saved, v, hi, fstep, mem, index, value, random, false, end,
+                        prog, id, var, saved, v, hi, fstep, mem, index, value, random, false,
+                        vector, end,
                     ) {
                         return r;
                     }
@@ -3176,18 +3297,33 @@ impl Machine {
         // dense counters on every exit path — including errors — so
         // the observable statistics are identical to per-emit bumping.
         // Fuel stays field-based: the body can nest superinstructions
-        // that consume fuel themselves.
+        // that consume fuel themselves. `emits` counts emit positions
+        // *reached* (bumped before the step charge, like the tree and
+        // reference walkers); `trips` counts charged steps.
+        let mut emits = 0u64;
         let mut trips = 0u64;
         let mut folds = 0u64;
         let mut result: Result<(), RunError> = Ok(());
         let mut entered = false;
         let mut pos = 0u64;
         let mut idx = 0usize;
+        // Vector tier: non-emitting bits consume no fuel and no
+        // statistics, so jumping whole zero words at a time (one
+        // trailing_zeros per 64 positions) is observably identical to
+        // probing them one by one.
+        let fast = self.vector_enabled;
         'emits: while idx < dim {
+            if fast {
+                match self.scan_pool[depth].next_a_set(idx, dim) {
+                    Some(i) => idx = i,
+                    None => break 'emits,
+                }
+            }
             if !self.scan_pool[depth].a_set(idx) {
                 idx += 1;
                 continue;
             }
+            emits += 1;
             if let Err(e) = self.charge_step() {
                 result = Err(e);
                 break 'emits;
@@ -3223,7 +3359,7 @@ impl Machine {
             self.node_stack.pop();
             self.scan_depth = depth;
         }
-        self.dense.scan_emits += trips;
+        self.dense.scan_emits += emits;
         self.dense.node_trips[id] += trips;
         if folds > 0 {
             self.dense.reduce_elems += folds;
@@ -3261,12 +3397,30 @@ impl Machine {
         let vars = vars.map(|v| v as usize);
         let saved = vars.map(|v| self.env[v]);
         let end = (body + body_len) as usize;
+        // `emits` counts emit positions *reached* (bumped before the
+        // step charge, like the tree and reference walkers); `trips`
+        // counts charged steps.
+        let mut emits = 0u64;
         let mut trips = 0u64;
         let mut folds = 0u64;
         let mut result: Result<(), RunError> = Ok(());
         let mut entered = false;
         let (mut idx, mut ap, mut bp, mut emitted) = (0usize, 0u64, 0u64, 0u64);
+        // Vector tier: skipped (non-combined) positions consume no fuel
+        // and no statistics — only the side position counters advance —
+        // so batching whole words with popcounts is observably
+        // identical to probing one position at a time.
+        let fast = self.vector_enabled;
         'emits: while idx < dim {
+            if fast {
+                let (next, askip, bskip) = self.scan_pool[depth].scan2_skip(op, idx, dim);
+                ap += askip;
+                bp += bskip;
+                idx = next;
+                if idx >= dim {
+                    break 'emits;
+                }
+            }
             let has_a = self.scan_pool[depth].a_set(idx);
             let has_b = self.scan_pool[depth].b_set(idx);
             let combined = match op {
@@ -3283,6 +3437,7 @@ impl Machine {
                 idx += 1;
                 continue;
             }
+            emits += 1;
             if let Err(e) = self.charge_step() {
                 result = Err(e);
                 break 'emits;
@@ -3328,7 +3483,7 @@ impl Machine {
             self.node_stack.pop();
             self.scan_depth = depth;
         }
-        self.dense.scan_emits += trips;
+        self.dense.scan_emits += emits;
         self.dense.node_trips[id] += trips;
         if folds > 0 {
             self.dense.reduce_elems += folds;
@@ -3454,6 +3609,7 @@ impl Machine {
         value: Operand,
         random: bool,
         accumulate: bool,
+        vector: bool,
         end: usize,
     ) -> Option<Result<usize, RunError>> {
         let dst_st = self.chip[dst as usize];
@@ -3463,6 +3619,27 @@ impl Machine {
         let hindex = self.hot_value(prog, index)?;
         let hvalue = self.hot_value(prog, value)?;
         let dst_shuffle = (random || accumulate) && dst_st.kind == MemKind::SparseSram;
+        // Chunked (vector-tier) run when the lowering tagged the shape
+        // eligible and the runtime half of the contract holds; falls
+        // through to the scalar loop otherwise.
+        if vector {
+            if let Some(r) = self.try_vector_scatter(
+                id,
+                var,
+                saved,
+                v0,
+                hi,
+                dst,
+                dst_st,
+                hindex,
+                hvalue,
+                dst_shuffle,
+                accumulate,
+                end,
+            ) {
+                return Some(r);
+            }
+        }
         let mut c = HotCounters::default();
         let mut swrites = 0u64;
         let mut trips = 0u64;
@@ -3551,6 +3728,495 @@ impl Machine {
             return Some(Err(e));
         }
         self.env[var] = saved;
+        Some(Ok(end))
+    }
+
+    /// The chunked (vector-tier) scatter executor: runs the scatter
+    /// superinstruction's unit-stride iterations [`vector::LANES`] at a
+    /// time. Index/value streams load as whole lanes from the flat
+    /// arena (bounds hoisted to one comparison per chunk), values
+    /// compute per lane, and the writes commit serially in lane order —
+    /// so repeated indices accumulate exactly as the scalar loop does
+    /// and every f64 result is bit-identical.
+    ///
+    /// Identity contract with the scalar loop:
+    /// - a chunk never crosses a fuel-exhaustion or interrupt-check
+    ///   boundary ([`vector::burst`]); the boundary iteration runs
+    ///   through the scalar step below at the identical fuel value;
+    /// - a chunk with a faulting lane (negative index, out-of-bounds
+    ///   destination) commits nothing and is re-run scalar from its
+    ///   first iteration, so the error, the partial writes before it,
+    ///   and the statistics match the scalar loop exactly;
+    /// - trailing iterations short of a full chunk run scalar.
+    ///
+    /// Returns `None` (having executed nothing) when the runtime half
+    /// of the eligibility contract fails — non-integral bounds, operand
+    /// shapes that are not unit-stride in the loop variable, or a
+    /// source stream aliasing the destination region (lanes preload
+    /// before the writes commit, so aliasing would reorder reads).
+    #[allow(clippy::too_many_arguments)]
+    fn try_vector_scatter(
+        &mut self,
+        id: usize,
+        var: usize,
+        saved: Option<f64>,
+        v0: f64,
+        hi: f64,
+        dst: Slot,
+        dst_st: ChipState,
+        hindex: HotValue,
+        hvalue: HotValue,
+        dst_shuffle: bool,
+        accumulate: bool,
+        end: usize,
+    ) -> Option<Result<usize, RunError>> {
+        const L: usize = vector::LANES;
+        let (base, total) = vector::unit_trips(v0, hi)?;
+        if total == 0 {
+            return None; // zero-trip: the scalar loop exits instantly
+        }
+        enum IxPlan {
+            /// Dense run: the loop variable itself indexes `dst`.
+            Iota,
+            /// Scattered run: a unit-stride gather produces indices.
+            Stream(HotGather),
+        }
+        let ix_plan = match hindex {
+            HotValue::Var(a) if a as usize == var => IxPlan::Iota,
+            HotValue::Gather(g) if g.var as usize == var && g.chip != dst => IxPlan::Stream(g),
+            _ => return None,
+        };
+        enum ValPlan {
+            /// Loop-invariant value (constant or pre-read variable).
+            Splat(f64),
+            /// The loop variable itself.
+            Iota,
+            /// A unit-stride gathered stream.
+            Stream(HotGather),
+            /// `x op stream[v]` with loop-invariant `x`.
+            SplatBin { x: f64, op: BinSOp, g: HotGather },
+        }
+        let val_plan = match hvalue {
+            HotValue::Const(k) => ValPlan::Splat(k),
+            HotValue::Var(a) if a as usize == var => ValPlan::Iota,
+            // An unbound splat variable bails to the scalar loop so the
+            // UnboundVar error surfaces with scalar semantics.
+            HotValue::Var(a) => ValPlan::Splat(self.env[a as usize]?),
+            HotValue::Gather(g) if g.var as usize == var && g.chip != dst => ValPlan::Stream(g),
+            HotValue::BinGather { a, op, g }
+                if g.var as usize == var && a as usize != var && g.chip != dst =>
+            {
+                ValPlan::SplatBin {
+                    x: self.env[a as usize]?,
+                    op,
+                    g,
+                }
+            }
+            _ => return None,
+        };
+        // Per-iteration statistic increments are compile-time constants
+        // of the plan; chunks charge them in one multiply.
+        let (ix_reads, ix_shuf) = match &ix_plan {
+            IxPlan::Iota => (0u64, 0u64),
+            IxPlan::Stream(g) => (1, g.shuffle as u64),
+        };
+        let (val_reads, val_shuf, val_alu) = match &val_plan {
+            ValPlan::Splat(_) | ValPlan::Iota => (0u64, 0u64, 0u64),
+            ValPlan::Stream(g) => (1, g.shuffle as u64, 0),
+            ValPlan::SplatBin { g, .. } => (1, g.shuffle as u64, 1),
+        };
+        let (reads_per, shuf_per) = (
+            ix_reads + val_reads,
+            ix_shuf + val_shuf + dst_shuffle as u64,
+        );
+        // Unit-stride streams stay in bounds for exactly
+        // `len - base` iterations; beyond that the scalar step owns the
+        // (error) semantics.
+        let mut stream_cap = total;
+        if let IxPlan::Stream(g) = &ix_plan {
+            stream_cap = stream_cap.min(g.len.saturating_sub(base) as u64);
+        }
+        match &val_plan {
+            ValPlan::Stream(g) | ValPlan::SplatBin { g, .. } => {
+                stream_cap = stream_cap.min(g.len.saturating_sub(base) as u64);
+            }
+            _ => {}
+        }
+        let mut done = 0u64;
+        let mut fuel = self.fuel;
+        let interrupts = self.interrupts;
+        let mut trips = 0u64;
+        let mut swrites = 0u64;
+        let mut c = HotCounters::default();
+        let mut result: Result<(), RunError> = Ok(());
+        let mut vec_on = true;
+        self.node_stack.push(id);
+        'outer: while done < total {
+            if vec_on {
+                let mut safe = vector::burst(stream_cap.saturating_sub(done), fuel, interrupts);
+                'chunks: while safe >= L as u64 {
+                    let at = base + done as usize;
+                    let mut idx = [0usize; L];
+                    match &ix_plan {
+                        IxPlan::Iota => {
+                            for (k, ix) in idx.iter_mut().enumerate() {
+                                *ix = at + k;
+                            }
+                        }
+                        IxPlan::Stream(g) => {
+                            let mut lanes = [0.0f64; L];
+                            lanes.copy_from_slice(&self.words[g.woff + at..g.woff + at + L]);
+                            if !vector::to_indices(&lanes, &mut idx) {
+                                // Negative lane: the chunk re-runs
+                                // scalar so NegativeIndex surfaces at
+                                // the exact iteration and state.
+                                vec_on = false;
+                                break 'chunks;
+                            }
+                        }
+                    }
+                    let mut max_ix = 0usize;
+                    for &ix in &idx {
+                        max_ix = max_ix.max(ix);
+                    }
+                    if max_ix >= dst_st.len {
+                        // Out-of-bounds lane: scalar re-run commits the
+                        // preceding lanes and raises the exact error.
+                        vec_on = false;
+                        break 'chunks;
+                    }
+                    let mut vals = [0.0f64; L];
+                    match &val_plan {
+                        ValPlan::Splat(x) => vals = [*x; L],
+                        ValPlan::Iota => {
+                            for (k, x) in vals.iter_mut().enumerate() {
+                                *x = (at + k) as f64;
+                            }
+                        }
+                        ValPlan::Stream(g) => {
+                            vals.copy_from_slice(&self.words[g.woff + at..g.woff + at + L]);
+                        }
+                        ValPlan::SplatBin { x, op, g } => {
+                            let mut lanes = [0.0f64; L];
+                            lanes.copy_from_slice(&self.words[g.woff + at..g.woff + at + L]);
+                            vector::bin_splat(*op, *x, &lanes, &mut vals);
+                        }
+                    }
+                    // Serial in-lane-order commit: repeated indices
+                    // within a chunk accumulate exactly as the scalar
+                    // loop does.
+                    let dwords = &mut self.words[dst_st.woff..dst_st.woff + dst_st.len];
+                    if accumulate {
+                        for k in 0..L {
+                            dwords[idx[k]] += vals[k];
+                        }
+                    } else {
+                        for k in 0..L {
+                            dwords[idx[k]] = vals[k];
+                        }
+                    }
+                    done += L as u64;
+                    fuel -= L as u64;
+                    safe -= L as u64;
+                    trips += L as u64;
+                    swrites += L as u64;
+                    c.sram_reads += reads_per * L as u64;
+                    c.shuffles += shuf_per * L as u64;
+                    c.alu_ops += val_alu * L as u64;
+                }
+                if done >= total {
+                    break 'outer;
+                }
+            }
+            // Scalar step: the remainder tail, a fuel/interrupt
+            // boundary, or the re-run of a faulting chunk — the body is
+            // the scalar loop's, verbatim.
+            if fuel == 0 {
+                result = Err(exhausted_fuel(self.fuel_cause, self.step_limit));
+                break 'outer;
+            }
+            fuel -= 1;
+            if interrupts && fuel & INTERRUPT_MASK == 0 {
+                if let Err(e) = check_interrupts(
+                    self.deadline_at,
+                    self.deadline_ms(),
+                    self.budget.cancel.as_ref(),
+                ) {
+                    result = Err(e);
+                    break 'outer;
+                }
+            }
+            self.env[var] = Some(v0 + done as f64);
+            trips += 1;
+            let ixf = match self.hot_eval(hindex, &mut c) {
+                Ok(x) => x,
+                Err(e) => {
+                    result = Err(e);
+                    break 'outer;
+                }
+            };
+            let ix = match index_of(ixf, || self.syms.chip_name(dst).to_string()) {
+                Ok(x) => x,
+                Err(e) => {
+                    result = Err(e);
+                    break 'outer;
+                }
+            };
+            let val = match self.hot_eval(hvalue, &mut c) {
+                Ok(x) => x,
+                Err(e) => {
+                    result = Err(e);
+                    break 'outer;
+                }
+            };
+            if ix >= dst_st.len {
+                result = Err(RunError::OutOfBounds {
+                    mem: self.syms.chip_name(dst).to_string(),
+                    index: ix as i64,
+                    len: dst_st.len,
+                });
+                break 'outer;
+            }
+            let slot = &mut self.words[dst_st.woff + ix];
+            if accumulate {
+                *slot += val;
+            } else {
+                *slot = val;
+            }
+            swrites += 1;
+            if dst_shuffle {
+                c.shuffles += 1;
+            }
+            done += 1;
+        }
+        self.fuel = fuel;
+        if result.is_ok() {
+            self.node_stack.pop();
+        }
+        self.dense.node_trips[id] += trips;
+        self.dense.sram_reads += c.sram_reads;
+        self.dense.sram_writes += swrites;
+        self.dense.shuffle_accesses += c.shuffles;
+        self.dense.alu_ops += c.alu_ops;
+        if let Err(e) = result {
+            return Some(Err(e));
+        }
+        self.env[var] = saved;
+        Some(Ok(end))
+    }
+
+    /// The chunked (vector-tier) gather-reduce executor: an empty-body
+    /// `RangeSimple` whose reduce operand is a unit-stride gather shape
+    /// — a plain stream sum, `x op stream[v]`, or the SpMV dot product
+    /// `vals[v] op x[crd[v]]`. Streams load as whole lanes (bounds
+    /// hoisted per chunk), the data-dependent outer gather converts and
+    /// bounds-checks its indices per lane, the binary op applies per
+    /// lane (bit-exact — lanes are independent), and the *fold into the
+    /// accumulator stays serial in lane order*, so the f64 sum is
+    /// bit-identical to the scalar loop.
+    ///
+    /// Fuel/interrupt boundaries, faulting chunks, and remainder tails
+    /// follow the same identity contract as
+    /// [`Machine::try_vector_scatter`]; the scalar step evaluates the
+    /// operand through the generic [`Machine::operand_value`] path.
+    /// Returns `None` when runtime state is ineligible (non-integral
+    /// bounds, a referenced slot not currently plain words, an unbound
+    /// splat variable), leaving the generic loop to run.
+    #[allow(clippy::too_many_arguments)]
+    fn try_vector_reduce(
+        &mut self,
+        prog: &CompiledProgram,
+        id: usize,
+        var: usize,
+        saved: Option<f64>,
+        lo: f64,
+        hi: f64,
+        reg: Slot,
+        expr: Operand,
+        acc0: f64,
+        end: usize,
+    ) -> Option<Result<usize, RunError>> {
+        const L: usize = vector::LANES;
+        let (base, total) = vector::unit_trips(lo, hi)?;
+        if total == 0 {
+            return None; // zero-trip: the generic loop exits instantly
+        }
+        enum RedPlan {
+            /// Σ stream[v].
+            Stream(HotGather),
+            /// Σ (x op stream[v]) with loop-invariant `x`.
+            SplatBin { x: f64, op: BinSOp, g: HotGather },
+            /// Σ (lhs[v] op outer[inner[v]]) — the SpMV dot product.
+            IndBin {
+                l: HotGather,
+                op: BinSOp,
+                i: HotGather,
+                o: HotGather,
+            },
+        }
+        let plan = match expr {
+            Operand::Gather {
+                chip,
+                random,
+                var: gv,
+                ..
+            } => RedPlan::Stream(self.hot_gather(chip, random, gv)?),
+            Operand::Fused(fi) => match prog.fused()[fi as usize] {
+                FusedOp::BinGather { a, op, mem } => RedPlan::SplatBin {
+                    x: self.env[a as usize]?,
+                    op,
+                    g: self.hot_gather(mem.chip, mem.random, mem.var)?,
+                },
+                FusedOp::BinGatherInd {
+                    lhs,
+                    op,
+                    inner,
+                    outer,
+                } => RedPlan::IndBin {
+                    l: self.hot_gather(lhs.chip, lhs.random, lhs.var)?,
+                    op,
+                    i: self.hot_gather(inner.chip, inner.random, inner.var)?,
+                    o: self.hot_gather(outer.chip, outer.random, outer.var)?,
+                },
+                _ => return None,
+            },
+            _ => return None,
+        };
+        let (reads_per, shuf_per, alu_per) = match &plan {
+            RedPlan::Stream(g) => (1u64, g.shuffle as u64, 0u64),
+            RedPlan::SplatBin { g, .. } => (1, g.shuffle as u64, 1),
+            RedPlan::IndBin { l, i, o, .. } => {
+                (3, l.shuffle as u64 + i.shuffle as u64 + o.shuffle as u64, 1)
+            }
+        };
+        let mut stream_cap = total;
+        match &plan {
+            RedPlan::Stream(g) | RedPlan::SplatBin { g, .. } => {
+                stream_cap = stream_cap.min(g.len.saturating_sub(base) as u64);
+            }
+            RedPlan::IndBin { l, i, .. } => {
+                stream_cap = stream_cap
+                    .min(l.len.saturating_sub(base) as u64)
+                    .min(i.len.saturating_sub(base) as u64);
+            }
+        }
+        let mut acc = acc0;
+        let mut done = 0u64;
+        let mut fuel = self.fuel;
+        let interrupts = self.interrupts;
+        let mut trips = 0u64;
+        let mut folds = 0u64;
+        let mut c = HotCounters::default();
+        let mut result: Result<(), RunError> = Ok(());
+        let mut vec_on = true;
+        self.node_stack.push(id);
+        'outer: while done < total {
+            if vec_on {
+                let mut safe = vector::burst(stream_cap.saturating_sub(done), fuel, interrupts);
+                'chunks: while safe >= L as u64 {
+                    let at = base + done as usize;
+                    let mut m = [0.0f64; L];
+                    match &plan {
+                        RedPlan::Stream(g) => {
+                            m.copy_from_slice(&self.words[g.woff + at..g.woff + at + L]);
+                        }
+                        RedPlan::SplatBin { x, op, g } => {
+                            let mut lanes = [0.0f64; L];
+                            lanes.copy_from_slice(&self.words[g.woff + at..g.woff + at + L]);
+                            vector::bin_splat(*op, *x, &lanes, &mut m);
+                        }
+                        RedPlan::IndBin { l, op, i, o } => {
+                            let mut lv = [0.0f64; L];
+                            lv.copy_from_slice(&self.words[l.woff + at..l.woff + at + L]);
+                            let mut iv = [0.0f64; L];
+                            iv.copy_from_slice(&self.words[i.woff + at..i.woff + at + L]);
+                            let mut idx = [0usize; L];
+                            if !vector::to_indices(&iv, &mut idx) {
+                                vec_on = false; // scalar re-run raises NegativeIndex
+                                break 'chunks;
+                            }
+                            let mut max_ix = 0usize;
+                            for &ix in &idx {
+                                max_ix = max_ix.max(ix);
+                            }
+                            if max_ix >= o.len {
+                                vec_on = false; // scalar re-run raises OutOfBounds
+                                break 'chunks;
+                            }
+                            let mut rv = [0.0f64; L];
+                            for k in 0..L {
+                                rv[k] = self.words[o.woff + idx[k]];
+                            }
+                            vector::bin_lanes(*op, &lv, &rv, &mut m);
+                        }
+                    }
+                    // The reduction itself stays serial in lane order:
+                    // bit-identical f64 summation.
+                    for &x in &m {
+                        acc += x;
+                    }
+                    done += L as u64;
+                    fuel -= L as u64;
+                    safe -= L as u64;
+                    trips += L as u64;
+                    folds += L as u64;
+                    c.sram_reads += reads_per * L as u64;
+                    c.shuffles += shuf_per * L as u64;
+                    c.alu_ops += alu_per * L as u64;
+                }
+                if done >= total {
+                    break 'outer;
+                }
+            }
+            // Scalar step (tail / boundary / faulting-chunk re-run):
+            // per-iteration fuel semantics plus the generic operand
+            // path, exactly as the generic reduce loop.
+            if fuel == 0 {
+                result = Err(exhausted_fuel(self.fuel_cause, self.step_limit));
+                break 'outer;
+            }
+            fuel -= 1;
+            if interrupts && fuel & INTERRUPT_MASK == 0 {
+                if let Err(e) = check_interrupts(
+                    self.deadline_at,
+                    self.deadline_ms(),
+                    self.budget.cancel.as_ref(),
+                ) {
+                    result = Err(e);
+                    break 'outer;
+                }
+            }
+            self.env[var] = Some(lo + done as f64);
+            trips += 1;
+            match self.operand_value(prog, expr) {
+                Ok(x) => {
+                    folds += 1;
+                    acc += x;
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break 'outer;
+                }
+            }
+            done += 1;
+        }
+        self.fuel = fuel;
+        if result.is_ok() {
+            self.node_stack.pop();
+        }
+        self.dense.node_trips[id] += trips;
+        self.dense.sram_reads += c.sram_reads;
+        self.dense.shuffle_accesses += c.shuffles;
+        self.dense.alu_ops += c.alu_ops;
+        if folds > 0 {
+            self.dense.reduce_elems += folds;
+            self.dense.alu_ops += folds;
+        }
+        if let Err(e) = result {
+            return Some(Err(e));
+        }
+        self.env[var] = saved;
+        self.write_reduce_acc(Some(reg), acc);
         Some(Ok(end))
     }
 
@@ -3866,11 +4532,15 @@ impl Machine {
             idx += 1;
         }
         if idx < dim {
+            // `scan_emits` counts the emit position being *reached* —
+            // even when the step charge then aborts — while
+            // `node_trips` counts charged steps, matching the tree and
+            // reference walkers exactly.
+            self.dense.scan_emits += 1;
             self.charge_step()?;
             self.scan_depth = depth + 1;
             self.env[pos_var as usize] = Some(0.0);
             self.env[idx_var as usize] = Some(idx as f64);
-            self.dense.scan_emits += 1;
             self.dense.node_trips[id] += 1;
             self.frames.push(Frame {
                 node: id,
@@ -3918,13 +4588,15 @@ impl Machine {
                 ScanOp::Or => has_a || has_b,
             };
             if combined {
+                // Emit reached before the charge; trip after (see
+                // [`Machine::enter_scan1`]).
+                self.dense.scan_emits += 1;
                 self.charge_step()?;
                 self.scan_depth = depth + 1;
                 self.env[vars[0] as usize] = Some(if has_a { ap as f64 } else { -1.0 });
                 self.env[vars[1] as usize] = Some(if has_b { bp as f64 } else { -1.0 });
                 self.env[vars[2] as usize] = Some(0.0);
                 self.env[vars[3] as usize] = Some(idx as f64);
-                self.dense.scan_emits += 1;
                 self.dense.node_trips[id] += 1;
                 self.frames.push(Frame {
                     node: id,
@@ -4009,10 +4681,12 @@ impl Machine {
                     *idx += 1;
                 }
                 if *idx < *dim {
+                    // Emit reached before the charge; trip after (see
+                    // [`Machine::enter_scan1`]).
+                    dense.scan_emits += 1;
                     charge_step_parts(fuel, cause, limit, intr, dl, deadline_ms, cancel)?;
                     env[*pos_var as usize] = Some(*pos as f64);
                     env[*idx_var as usize] = Some(*idx as f64);
-                    dense.scan_emits += 1;
                     dense.node_trips[frame.node] += 1;
                     return Ok(body as usize);
                 }
@@ -4047,12 +4721,14 @@ impl Machine {
                         ScanOp::Or => has_a || has_b,
                     };
                     if combined {
+                        // Emit reached before the charge; trip after
+                        // (see [`Machine::enter_scan1`]).
+                        dense.scan_emits += 1;
                         charge_step_parts(fuel, cause, limit, intr, dl, deadline_ms, cancel)?;
                         env[vars[0] as usize] = Some(if has_a { *ap as f64 } else { -1.0 });
                         env[vars[1] as usize] = Some(if has_b { *bp as f64 } else { -1.0 });
                         env[vars[2] as usize] = Some(*emitted as f64);
                         env[vars[3] as usize] = Some(*idx as f64);
-                        dense.scan_emits += 1;
                         dense.node_trips[frame.node] += 1;
                         return Ok(body as usize);
                     }

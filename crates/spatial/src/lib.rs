@@ -37,8 +37,9 @@ pub mod reference;
 pub mod resolve;
 pub mod shard;
 pub mod validate;
+pub mod vector;
 
-pub use bytecode::{CompiledProgram, ProgramCache};
+pub use bytecode::{CompiledProgram, ProgramCache, VecClass};
 pub use faults::{FaultParseError, FaultPlan};
 pub use interp::{
     BudgetResource, CancelFlag, DramImage, DramImageBuilder, ExecStats, Machine, MachineSnapshot,
@@ -49,5 +50,8 @@ pub use pool::{MachinePool, PoolOccupancy, PoolStats, PooledMachine};
 pub use printer::print_program;
 pub use reference::ReferenceMachine;
 pub use resolve::{resolve, DramLayout, DramRegion, ResolvedProgram, Slot, SymbolTable};
-pub use shard::{CompiledShards, NotShardable, ShardError, ShardPlan, ShardedRun};
+pub use shard::{
+    auto_shard_count, CompiledShards, NotShardable, ShardError, ShardPlan, ShardedRun,
+    MIN_TRIPS_PER_SHARD,
+};
 pub use validate::{validate, ValidationError};

@@ -71,7 +71,7 @@ use crate::bytecode::CompiledProgram;
 use crate::faults::{self, FaultPlan};
 use crate::interp::{DramImage, ExecStats, Machine, RunBudget, RunError};
 use crate::ir::{Counter, SExpr, SpatialProgram, SpatialStmt};
-use crate::pool::{MachinePool, PooledMachine};
+use crate::pool::{MachinePool, PoolOccupancy, PooledMachine};
 
 /// Loop bounds above this magnitude lose the exact-f64-integer
 /// guarantee the bound-patching math relies on (2⁵⁰ leaves headroom
@@ -363,6 +363,33 @@ impl ShardPlan {
         }
         CompiledProgram::compile_with(&src, self.parent.syms().clone())
     }
+}
+
+/// Minimum outer-loop trips one shard must own before the split pays
+/// for its pooled checkout, prefix re-run, and write-log merge. Below
+/// `2 ×` this, [`auto_shard_count`] keeps the run serial.
+pub const MIN_TRIPS_PER_SHARD: u64 = 256;
+
+/// Picks a shard count from a proven trip count and the pool's current
+/// occupancy — the sizing policy behind "auto" sharding (a serving
+/// layer's `shards == 0`):
+///
+/// - at most one shard per [`MIN_TRIPS_PER_SHARD`] trips, so tiny
+///   loops stay serial rather than paying `n` prefix re-runs to split
+///   a few iterations;
+/// - at most the pool's current machine count (idle machines, or the
+///   shard-vector width for a pool that has not grown yet) — splitting
+///   wider than the pool forces round-robin with no added parallelism;
+/// - at most the host's available parallelism.
+///
+/// Returns `1` (serial) whenever any cap says splitting is not worth
+/// it. Pure policy: callers decide whether a `1` means "skip the
+/// sharded executor entirely".
+pub fn auto_shard_count(trips: u64, occ: &PoolOccupancy) -> usize {
+    let slots = occ.idle.max(occ.shards).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let by_trips = usize::try_from(trips / MIN_TRIPS_PER_SHARD).unwrap_or(usize::MAX);
+    by_trips.min(slots).min(cores).max(1)
 }
 
 /// Integral constant bound with exact-f64 headroom, or the typed

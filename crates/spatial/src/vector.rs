@@ -1,0 +1,340 @@
+//! The data-parallel (vector) execution tier of the bytecode engine.
+//!
+//! The scalar superinstruction loops in [`crate::interp`] spend their
+//! time on per-element arena loads/stores — exactly the streamed
+//! pos/crd/vals traffic the Sparse Abstract Machine models as wide
+//! dataflow streams. This module holds the lane-level kernels those
+//! loops call to process unit-stride runs in [`LANES`]-wide chunks:
+//! bounds checks hoist to one comparison per chunk, index conversion
+//! and arithmetic happen per lane, and every *reduction* stays in
+//! serial lane order so f64 results are bit-identical to the scalar
+//! engine.
+//!
+//! Two implementations sit behind one API:
+//!
+//! - the default build uses portable lane loops over fixed-size arrays,
+//!   shaped so the autovectorizer can take them (no early exits, no
+//!   cross-lane dependencies);
+//! - with the `simd` cargo feature on `x86_64`, the multiply/add lane
+//!   kernels go through `core::arch` SSE2 intrinsics (baseline on
+//!   x86_64, so no runtime feature detection is needed). CI builds and
+//!   tests both ways; [`IMPL`] names the active backend.
+//!
+//! Fuel, interrupt, and statistics *semantics* are owned by the
+//! interpreter; the only scheduling helper here is [`burst`], which
+//! bounds how many iterations may run without an abort or interrupt
+//! check so budget aborts land on the same step boundary as the scalar
+//! engine.
+
+use crate::interp::INTERRUPT_MASK;
+
+/// Chunk width of the vector tier, in f64 lanes. One chunk is a cache
+/// line (64 bytes) of the flat word arena.
+pub const LANES: usize = 8;
+
+/// Name of the lane-kernel backend compiled into this build, published
+/// in bench summaries so scalar-vs-vector measurements are attributable.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub const IMPL: &str = "sse2-intrinsics";
+/// Name of the lane-kernel backend compiled into this build.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+pub const IMPL: &str = "portable";
+
+/// Largest f64 loop bound the vector tier treats as exactly
+/// representable for integer trip-count arithmetic (2^32 — far above
+/// any arena extent, far below the 2^53 limit where `f64` stops
+/// counting integers).
+const MAX_EXACT_BOUND: f64 = 4_294_967_296.0;
+
+/// Whether the vector tier starts enabled. On by default; setting the
+/// `STARDUST_VECTOR` environment variable to `0` disables it (the
+/// differential suites use this to pin a scalar baseline without code
+/// changes).
+pub(crate) fn env_default() -> bool {
+    !matches!(std::env::var("STARDUST_VECTOR"), Ok(v) if v == "0")
+}
+
+/// Converts an integral unit-step loop window `[lo, hi)` into
+/// `(base, trips)`: the starting index as a `usize` and the exact trip
+/// count. Returns `None` when `lo` is negative or non-integral, or the
+/// bounds are too large for exact f64 integer arithmetic — the scalar
+/// loop then owns the (error or fallback) semantics.
+pub(crate) fn unit_trips(lo: f64, hi: f64) -> Option<(usize, u64)> {
+    // `contains` (not `hi > bound`) so a NaN bound also bails. A
+    // negative `hi` falls out of range too — the window is empty and
+    // the scalar loop handles it identically.
+    let exact = 0.0..=MAX_EXACT_BOUND;
+    if !exact.contains(&lo) || !(exact.contains(&hi) || hi <= lo) {
+        return None;
+    }
+    let base = lo as usize;
+    if base as f64 != lo {
+        return None;
+    }
+    if hi <= lo {
+        return Some((base, 0));
+    }
+    // Counting `v = lo, lo+1, ...` while `v < hi`: the count is
+    // `ceil(hi) - lo` (for integral `hi` exactly `hi - lo`).
+    Some((base, (hi.ceil() - lo) as u64))
+}
+
+/// How many consecutive iterations may run with *no* per-iteration
+/// abort or interrupt check, starting from the current `fuel` value.
+/// The scalar loops check fuel exhaustion at every iteration top and
+/// run the amortized deadline/cancel check on each iteration whose
+/// post-decrement fuel hits the [`INTERRUPT_MASK`] boundary; a vector
+/// chunk must stop *before* the first such iteration so that check
+/// fires at the identical fuel value, executed by the scalar step that
+/// follows the burst.
+pub(crate) fn burst(trips_left: u64, fuel: u64, interrupts: bool) -> u64 {
+    let mut n = trips_left.min(fuel);
+    if interrupts {
+        // The first checking iteration is the i-th (1-based) with
+        // `fuel - i ≡ 0 (mod INTERRUPT_MASK + 1)`.
+        let r = fuel & INTERRUPT_MASK;
+        let first_check = if r == 0 { INTERRUPT_MASK + 1 } else { r };
+        n = n.min(first_check - 1);
+    }
+    n
+}
+
+/// Per-lane index conversion with [`crate::interp`] `index_of`
+/// semantics, minus the error: writes each lane's converted index and
+/// returns `false` if any lane is negative (the caller re-runs the
+/// chunk scalar so the `NegativeIndex` error surfaces at the exact
+/// iteration, with the exact partial state).
+#[inline(always)]
+pub(crate) fn to_indices(src: &[f64; LANES], out: &mut [usize; LANES]) -> bool {
+    let mut ok = true;
+    for k in 0..LANES {
+        let v = src[k];
+        ok &= v >= 0.0;
+        // Exact-integer fast path (identical to `index_of`): the cast
+        // round-trips iff `v` is a non-negative integer below 2^64.
+        let t = v as usize;
+        out[k] = if t as f64 == v { t } else { v.round() as usize };
+    }
+    ok
+}
+
+/// `out[k] = a op b[k]` with a loop-invariant left operand — the
+/// scale-by-gathered-value lane kernel (`vb * C_vals[jj]`).
+#[inline(always)]
+pub(crate) fn bin_splat(op: crate::ir::BinSOp, a: f64, b: &[f64; LANES], out: &mut [f64; LANES]) {
+    use crate::ir::BinSOp::*;
+    match op {
+        Add => lanes_impl::add_splat(a, b, out),
+        Sub => {
+            for k in 0..LANES {
+                out[k] = a - b[k];
+            }
+        }
+        Mul => lanes_impl::mul_splat(a, b, out),
+        op => {
+            for k in 0..LANES {
+                out[k] = op.apply(a, b[k]);
+            }
+        }
+    }
+}
+
+/// `out[k] = a[k] op b[k]` — the two-stream lane kernel
+/// (`A_vals[j] * x[crd[j]]`).
+#[inline(always)]
+pub(crate) fn bin_lanes(
+    op: crate::ir::BinSOp,
+    a: &[f64; LANES],
+    b: &[f64; LANES],
+    out: &mut [f64; LANES],
+) {
+    use crate::ir::BinSOp::*;
+    match op {
+        Add => lanes_impl::add_lanes(a, b, out),
+        Sub => {
+            for k in 0..LANES {
+                out[k] = a[k] - b[k];
+            }
+        }
+        Mul => lanes_impl::mul_lanes(a, b, out),
+        op => {
+            for k in 0..LANES {
+                out[k] = op.apply(a[k], b[k]);
+            }
+        }
+    }
+}
+
+/// Portable lane kernels: fixed-trip loops over `[f64; LANES]` with no
+/// early exits, the shape LLVM's autovectorizer turns into packed
+/// SSE2/AVX arithmetic at the baseline target.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+mod lanes_impl {
+    use super::LANES;
+
+    #[inline(always)]
+    pub fn mul_splat(a: f64, b: &[f64; LANES], out: &mut [f64; LANES]) {
+        for k in 0..LANES {
+            out[k] = a * b[k];
+        }
+    }
+
+    #[inline(always)]
+    pub fn add_splat(a: f64, b: &[f64; LANES], out: &mut [f64; LANES]) {
+        for k in 0..LANES {
+            out[k] = a + b[k];
+        }
+    }
+
+    #[inline(always)]
+    pub fn mul_lanes(a: &[f64; LANES], b: &[f64; LANES], out: &mut [f64; LANES]) {
+        for k in 0..LANES {
+            out[k] = a[k] * b[k];
+        }
+    }
+
+    #[inline(always)]
+    pub fn add_lanes(a: &[f64; LANES], b: &[f64; LANES], out: &mut [f64; LANES]) {
+        for k in 0..LANES {
+            out[k] = a[k] + b[k];
+        }
+    }
+}
+
+/// Explicit `core::arch` lane kernels. SSE2 (2 f64 lanes per op) is
+/// part of the x86_64 baseline, so the intrinsics are unconditionally
+/// available — no runtime dispatch. Packed IEEE-754 multiply/add are
+/// bit-identical to their scalar counterparts lane by lane, so this
+/// path changes nothing observable; it exists to prove the chunked
+/// loops really are data-parallel rather than relying on the
+/// autovectorizer, and CI builds both backends.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod lanes_impl {
+    use super::LANES;
+    use core::arch::x86_64::{_mm_add_pd, _mm_loadu_pd, _mm_mul_pd, _mm_set1_pd, _mm_storeu_pd};
+
+    #[inline(always)]
+    pub fn mul_splat(a: f64, b: &[f64; LANES], out: &mut [f64; LANES]) {
+        // SAFETY: SSE2 is baseline on x86_64; loads/stores are
+        // unaligned-tolerant and stay inside the fixed-size arrays.
+        unsafe {
+            let av = _mm_set1_pd(a);
+            for k in (0..LANES).step_by(2) {
+                let bv = _mm_loadu_pd(b.as_ptr().add(k));
+                _mm_storeu_pd(out.as_mut_ptr().add(k), _mm_mul_pd(av, bv));
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn add_splat(a: f64, b: &[f64; LANES], out: &mut [f64; LANES]) {
+        // SAFETY: as in `mul_splat`.
+        unsafe {
+            let av = _mm_set1_pd(a);
+            for k in (0..LANES).step_by(2) {
+                let bv = _mm_loadu_pd(b.as_ptr().add(k));
+                _mm_storeu_pd(out.as_mut_ptr().add(k), _mm_add_pd(av, bv));
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn mul_lanes(a: &[f64; LANES], b: &[f64; LANES], out: &mut [f64; LANES]) {
+        // SAFETY: as in `mul_splat`.
+        unsafe {
+            for k in (0..LANES).step_by(2) {
+                let av = _mm_loadu_pd(a.as_ptr().add(k));
+                let bv = _mm_loadu_pd(b.as_ptr().add(k));
+                _mm_storeu_pd(out.as_mut_ptr().add(k), _mm_mul_pd(av, bv));
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn add_lanes(a: &[f64; LANES], b: &[f64; LANES], out: &mut [f64; LANES]) {
+        // SAFETY: as in `mul_splat`.
+        unsafe {
+            for k in (0..LANES).step_by(2) {
+                let av = _mm_loadu_pd(a.as_ptr().add(k));
+                let bv = _mm_loadu_pd(b.as_ptr().add(k));
+                _mm_storeu_pd(out.as_mut_ptr().add(k), _mm_add_pd(av, bv));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BinSOp;
+
+    #[test]
+    fn unit_trips_counts_exact_windows() {
+        assert_eq!(unit_trips(0.0, 0.0), Some((0, 0)));
+        assert_eq!(unit_trips(0.0, 1.0), Some((0, 1)));
+        assert_eq!(unit_trips(2.0, 5.0), Some((2, 3)));
+        // Fractional upper bound: v = 2, 3, 4, 5 all satisfy v < 5.5.
+        assert_eq!(unit_trips(2.0, 5.5), Some((2, 4)));
+        // Upper bound below lower: zero trips, not a wrap.
+        assert_eq!(unit_trips(4.0, 2.0), Some((4, 0)));
+        // Non-integral or negative lower bounds defer to the scalar loop.
+        assert_eq!(unit_trips(0.5, 4.0), None);
+        assert_eq!(unit_trips(-1.0, 4.0), None);
+        assert_eq!(unit_trips(0.0, 1e18), None);
+    }
+
+    #[test]
+    fn burst_stops_at_fuel_and_interrupt_boundaries() {
+        // No interrupts: bounded by trips and fuel only.
+        assert_eq!(burst(100, u64::MAX, false), 100);
+        assert_eq!(burst(100, 7, false), 7);
+        assert_eq!(burst(0, 7, false), 0);
+        // With interrupts armed, the iteration whose post-decrement
+        // fuel is a multiple of INTERRUPT_MASK+1 must run scalar; the
+        // burst stops one short of it.
+        let period = INTERRUPT_MASK + 1;
+        assert_eq!(burst(u64::MAX, period, true), period - 1);
+        // fuel & MASK == 5: the 5th iteration checks, so 4 are free.
+        assert_eq!(burst(u64::MAX, period + 5, true), 4);
+        // fuel & MASK == 1: the very next iteration checks.
+        assert_eq!(burst(u64::MAX, period + 1, true), 0);
+    }
+
+    #[test]
+    fn to_indices_matches_index_of_semantics() {
+        let src = [0.0, 1.0, 7.0, 2.5, 3.49, 1e9, 0.0, 42.0];
+        let mut out = [0usize; LANES];
+        assert!(to_indices(&src, &mut out));
+        // 2.5 rounds half-away-from-zero like `f64::round`; 3.49 rounds
+        // down — both exactly what the scalar `index_of` produces.
+        assert_eq!(out, [0, 1, 7, 3, 3, 1_000_000_000, 0, 42]);
+        let bad = [0.0, 1.0, -0.5, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert!(!to_indices(&bad, &mut out));
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_apply() {
+        let a = [1.5, -2.0, 0.0, 3.25, 1e-300, 1e300, -0.0, 7.5];
+        let b = [2.0, 4.5, -1.0, 0.125, 1e300, 1e-300, 3.0, -7.5];
+        for op in [
+            BinSOp::Add,
+            BinSOp::Sub,
+            BinSOp::Mul,
+            BinSOp::Div,
+            BinSOp::Mod,
+        ] {
+            if matches!(op, BinSOp::Div | BinSOp::Mod) && b.contains(&0.0) {
+                continue;
+            }
+            let mut out = [0.0; LANES];
+            bin_lanes(op, &a, &b, &mut out);
+            for k in 0..LANES {
+                assert_eq!(out[k].to_bits(), op.apply(a[k], b[k]).to_bits());
+            }
+            bin_splat(op, 2.5, &b, &mut out);
+            for k in 0..LANES {
+                assert_eq!(out[k].to_bits(), op.apply(2.5, b[k]).to_bits());
+            }
+        }
+    }
+}

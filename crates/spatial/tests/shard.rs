@@ -699,3 +699,65 @@ fn scan2_union_body_shards_bitwise() {
     assert_eq!(run.stats, serial_stats);
     assert_eq!(output_bits(&run.machine, &compiled), serial_out);
 }
+
+/// The auto sizing policy ([`stardust_spatial::auto_shard_count`]):
+/// tiny trip counts stay serial no matter how many machines are idle,
+/// the count never exceeds the pool's machines, and large loops on a
+/// well-stocked pool do split (bounded by host parallelism).
+#[test]
+fn auto_shard_count_keeps_tiny_trip_counts_serial() {
+    use stardust_spatial::{auto_shard_count, PoolOccupancy, MIN_TRIPS_PER_SHARD};
+    let wide = PoolOccupancy {
+        idle: 64,
+        shards: 64,
+        ..PoolOccupancy::default()
+    };
+    // Below two minimum-size shards there is nothing to split.
+    for trips in [0, 1, 7, MIN_TRIPS_PER_SHARD, 2 * MIN_TRIPS_PER_SHARD - 1] {
+        assert_eq!(auto_shard_count(trips, &wide), 1, "trips {trips}");
+    }
+    // An empty pool keeps even a huge loop serial.
+    let empty = PoolOccupancy::default();
+    assert_eq!(auto_shard_count(1 << 30, &empty), 1);
+    // The trip cap binds before the pool cap: 3 minimum shards' worth
+    // of trips never splits more than 3 ways.
+    let n = auto_shard_count(3 * MIN_TRIPS_PER_SHARD, &wide);
+    assert!(n <= 3, "trip cap violated: {n}");
+    // A wide loop splits when machines and cores allow, and never
+    // beyond the pool.
+    let four = PoolOccupancy {
+        idle: 4,
+        shards: 4,
+        ..PoolOccupancy::default()
+    };
+    let n = auto_shard_count(1 << 30, &four);
+    assert!(n <= 4, "pool cap violated: {n}");
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if cores >= 2 {
+        assert!(n >= 2, "a wide loop on a stocked pool must split");
+    }
+}
+
+/// `CompiledShards` sized by the auto policy still merge bitwise
+/// identically to serial.
+#[test]
+fn auto_sized_partition_is_bitwise_identical() {
+    let p = random_shardable_program(4242);
+    let compiled = Arc::new(CompiledProgram::compile(&p));
+    let image = DramImage::builder(Arc::clone(&compiled)).finish();
+    let (serial_stats, serial_out) = run_serial(&compiled, &image, false);
+    let plan = ShardPlan::analyze(&compiled).expect("generated programs are shardable");
+    let occ = stardust_spatial::PoolOccupancy {
+        idle: 3,
+        shards: 3,
+        ..Default::default()
+    };
+    let n = stardust_spatial::auto_shard_count(plan.trips(), &occ).max(2);
+    let sharded = plan.compile(n);
+    let pool = MachinePool::new();
+    let run = sharded
+        .run_pooled(&image, &pool, &RunBudget::default(), None)
+        .expect("sharded run");
+    assert_eq!(run.stats, serial_stats);
+    assert_eq!(output_bits(&run.machine, &compiled), serial_out);
+}
