@@ -526,6 +526,53 @@ fn scan_union_workload(nnz_target: usize) -> Workload {
     }
 }
 
+/// A dense in-bounds fill `s[j] = vals_s[j]` over the whole array —
+/// the shape the bounds-check-elision table licenses. Timed with the
+/// vector tier off so the scalar per-access checks are the entire
+/// inner loop, isolating the elision win.
+fn fill_workload(n: usize) -> Workload {
+    let vals: Vec<f64> = (0..n).map(|i| (i % 97) as f64 * 0.25 + 0.125).collect();
+    let mut p = SpatialProgram::new("fill_interp");
+    p.add_dram("vals_d", n);
+    p.add_dram("out_d", n);
+    p.accel
+        .push(SpatialStmt::Alloc(MemDecl::new("vals_s", MemKind::Sram, n)));
+    p.accel
+        .push(SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, n)));
+    p.accel.push(SpatialStmt::Load {
+        dst: "vals_s".into(),
+        src: "vals_d".into(),
+        start: SExpr::Const(0.0),
+        end: SExpr::Const(n as f64),
+        par: 16,
+    });
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::range_to("j", SExpr::Const(n as f64)),
+        par: 1,
+        body: vec![SpatialStmt::WriteMem {
+            mem: "s".into(),
+            index: SExpr::var("j"),
+            value: SExpr::read("vals_s", SExpr::var("j")),
+            random: false,
+        }],
+    });
+    p.accel.push(SpatialStmt::Store {
+        dst: "out_d".into(),
+        offset: SExpr::Const(0.0),
+        src: "s".into(),
+        len: SExpr::Const(n as f64),
+        par: 16,
+    });
+    p.assign_ids();
+    Workload {
+        name: "fill",
+        program: p,
+        images: vec![("vals_d".into(), Image::F64(vals))],
+        elements: n as u64,
+    }
+}
+
 fn quick() -> bool {
     std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
         || std::env::args().any(|a| a == "--quick")
@@ -760,6 +807,43 @@ fn speedup_summary(_c: &mut Criterion) {
         )
         .expect("write to string");
     }
+    // Bounds-check-elision leg: the dense in-bounds fill is exactly the
+    // shape the effect analysis licenses (`elide_at`), timed on the
+    // scalar path (vector tier forced off) so per-access bounds checks
+    // are the whole inner loop. Interleaved best-of-five like the legs
+    // above; checked/elided ≥ 1 means the elided fast loop is no slower
+    // than the checked one. The CI floor is lenient (0.8) because the
+    // win at this size is a few percent and shared-runner drift is real.
+    let elide_json = {
+        let w = fill_workload(nnz);
+        let machine = w.machine();
+        machine.clone().run(&w.program).expect("warmup");
+        let (mut el_t, mut ck_t) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..5 {
+            let mut m = machine.clone();
+            m.set_vector_mode(false);
+            m.set_elide_mode(true);
+            let t0 = Instant::now();
+            m.run(&w.program).expect("elided runs");
+            el_t = el_t.min(t0.elapsed().as_secs_f64());
+            let mut m = machine.clone();
+            m.set_vector_mode(false);
+            m.set_elide_mode(false);
+            let t0 = Instant::now();
+            m.run(&w.program).expect("checked runs");
+            ck_t = ck_t.min(t0.elapsed().as_secs_f64());
+        }
+        let fill_speedup = ck_t / el_t;
+        println!(
+            "elide fill nnz={nnz}: elided {:.1} ms, checked {:.1} ms, \
+             checked/elided {fill_speedup:.2}x",
+            el_t * 1e3,
+            ck_t * 1e3,
+        );
+        format!(
+            r#"{{"kernel": "fill", "nnz": {nnz}, "elided_seconds": {el_t:.6e}, "checked_seconds": {ck_t:.6e}, "fill_speedup": {fill_speedup:.4}}}"#
+        )
+    };
     // Bind-path split across every configured size: image binds must
     // stay flat while write_dram binds grow with nnz. Recorded per
     // measurement so the CI artifact carries the trajectory.
@@ -856,7 +940,7 @@ fn speedup_summary(_c: &mut Criterion) {
         // stable dotted paths (`vector.spmv_speedup`, ...) so the floors
         // file can gate the data-parallel tier without `[*]` wildcards.
         let json = format!(
-            "{{\n  \"bench\": \"interp\",\n  \"quick\": {},\n  \"vector\": {{\"impl\": \"{}\", \"lanes\": {}, {vector_rows}}},\n  \"results\": [{rows}\n  ],\n  \"bind\": [{bind_rows}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"interp\",\n  \"quick\": {},\n  \"vector\": {{\"impl\": \"{}\", \"lanes\": {}, {vector_rows}}},\n  \"elide\": {elide_json},\n  \"results\": [{rows}\n  ],\n  \"bind\": [{bind_rows}\n  ]\n}}\n",
             quick(),
             stardust_spatial::vector::IMPL,
             stardust_spatial::vector::LANES,

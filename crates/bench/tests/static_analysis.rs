@@ -1,0 +1,53 @@
+//! The static-analysis gate over the full Table-3 kernel suite.
+//!
+//! Every lowered stage of every kernel × dataset pair at CI scale must
+//! pass the structural bytecode verifier — this is the release-build
+//! counterpart of the `debug_assertions` check inside
+//! `CompiledProgram::compile`, exercised here through the public
+//! pipeline so the CI `static-analysis` job covers both build
+//! profiles. The analysis *yield* (how many stages carry vector or
+//! elision tags) is printed per run for drift-watching but not
+//! asserted: the Table-3 lowering binds per-iteration locals inside
+//! its inner loops, which today's hot-shape lattice does not chunk —
+//! the dedicated differential suites in `crates/spatial/tests` pin
+//! the widened shapes instead.
+
+use stardust_bench::{instantiate, Scale, KERNEL_NAMES};
+use stardust_spatial::VecClass;
+
+#[test]
+fn all_table3_kernels_pass_the_verifier() {
+    let scale = Scale::ci();
+    let mut vector_tagged = 0usize;
+    let mut elide_tagged = 0usize;
+    let mut stages = 0usize;
+    for name in KERNEL_NAMES {
+        for (kernel, set) in instantiate(name, &scale) {
+            let compiled = kernel
+                .compile(&set.inputs)
+                .unwrap_or_else(|e| panic!("{name} on {} fails to compile: {e}", set.dataset));
+            for stage in &compiled {
+                let spatial = stage.compiled_spatial();
+                spatial.verify().unwrap_or_else(|e| {
+                    panic!(
+                        "{name} on {}: verifier rejected a compiled stage: {e}",
+                        set.dataset
+                    )
+                });
+                stages += 1;
+                let ops = spatial.ops();
+                if (0..ops.len()).any(|pc| spatial.vec_class(pc) != VecClass::None) {
+                    vector_tagged += 1;
+                }
+                if (0..ops.len()).any(|pc| spatial.elide_at(pc)) {
+                    elide_tagged += 1;
+                }
+            }
+        }
+    }
+    assert!(stages >= 10, "suite shrank: only {stages} stages compiled");
+    println!(
+        "static-analysis: {stages} stages verified, \
+         {vector_tagged} vector-tagged, {elide_tagged} elision-licensed"
+    );
+}

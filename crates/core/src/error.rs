@@ -7,7 +7,10 @@
 //!    execution: [`CompileError::Ir`] (expression/index algebra),
 //!    [`CompileError::Schedule`] (a scheduling command did not apply),
 //!    [`CompileError::UndeclaredTensor`], [`CompileError::NoLoweringRule`]
-//!    (per §7.1 these would fall back to the host on a real deployment).
+//!    (per §7.1 these would fall back to the host on a real deployment),
+//!    and [`CompileError::Verify`] (the static bytecode verifier
+//!    rejected the lowered artifact — always a compiler bug, carried
+//!    as a typed [`VerifyError`]).
 //! 2. **Binding/memory** — [`CompileError::Memory`]: the memory
 //!    analysis could not place an array, an input dataset is missing or
 //!    mis-formatted, or a read-back output violates its format
@@ -35,7 +38,7 @@ use std::error::Error;
 use std::fmt;
 
 use stardust_ir::IrError;
-use stardust_spatial::RunError;
+use stardust_spatial::{RunError, VerifyError};
 
 /// Errors produced by the Stardust compiler and execution harness.
 /// See the module docs for the full taxonomy.
@@ -52,6 +55,12 @@ pub enum CompileError {
     /// The lowering rewrite system had no rule for a pattern (which, per
     /// §7.1, would fall back to the host on a real deployment).
     NoLoweringRule(String),
+    /// The static bytecode verifier rejected the lowered program: a
+    /// structural invariant (jump targets, frame balance, slot
+    /// extents, expression stack discipline) does not hold. Always a
+    /// compiler bug, never a user-program error; the typed
+    /// [`VerifyError`] pinpoints the offending op.
+    Verify(VerifyError),
     /// A run aborted with a structured interpreter error — including
     /// budget exhaustion ([`RunError::BudgetExceeded`]) and injected
     /// faults ([`RunError::InjectedFault`]). The variant is preserved
@@ -71,6 +80,7 @@ impl fmt::Display for CompileError {
             CompileError::UndeclaredTensor(t) => write!(f, "undeclared tensor {t}"),
             CompileError::Memory(m) => write!(f, "memory analysis error: {m}"),
             CompileError::NoLoweringRule(m) => write!(f, "no lowering rule: {m}"),
+            CompileError::Verify(e) => write!(f, "bytecode verification failed: {e}"),
             CompileError::Execution(e) => write!(f, "simulation error: {e}"),
             CompileError::ExecutionPanic(m) => write!(f, "execution panicked: {m}"),
         }
@@ -82,6 +92,7 @@ impl Error for CompileError {
         match self {
             CompileError::Ir(e) => Some(e),
             CompileError::Execution(e) => Some(e),
+            CompileError::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -96,6 +107,12 @@ impl From<IrError> for CompileError {
 impl From<RunError> for CompileError {
     fn from(e: RunError) -> Self {
         CompileError::Execution(e)
+    }
+}
+
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> Self {
+        CompileError::Verify(e)
     }
 }
 
@@ -131,6 +148,14 @@ mod tests {
         assert!(CompileError::ExecutionPanic("boom".into())
             .to_string()
             .contains("boom"));
+    }
+
+    #[test]
+    fn verify_keeps_structured_source() {
+        let e = CompileError::from(VerifyError::MissingHalt);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("verification failed"));
+        assert!(!e.is_transient());
     }
 
     #[test]

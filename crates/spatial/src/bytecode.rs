@@ -481,10 +481,21 @@ pub struct CompiledProgram {
     /// the input segment.
     zero_input: Arc<Vec<f64>>,
     /// Per-op vector-eligibility classification (parallel to `ops`),
-    /// computed by [`classify_vec`] after lowering. The interpreter's
-    /// vector tier consults this flag before attempting a chunked run,
-    /// so ineligible loops never pay for runtime shape analysis.
+    /// computed by [`crate::analysis::classify_vec`] after lowering.
+    /// The interpreter's vector tier consults this flag before
+    /// attempting a chunked run, so ineligible loops never pay for
+    /// runtime shape analysis.
     vec: Vec<VecClass>,
+    /// Per-op bounds-check-elision flags (parallel to `ops`), computed
+    /// by [`crate::analysis::compute_elide`]: true at a scatter write
+    /// every dynamic access of which the static analysis proves within
+    /// its destination's allocated extent.
+    elide: Vec<bool>,
+    /// Half-open `[start, end)` op spans of each top-level resolved
+    /// statement, in statement order — the correspondence the effect
+    /// analysis uses to reason about prefix/body/suffix regions of a
+    /// program.
+    stmt_spans: Vec<(OpId, OpId)>,
 }
 
 /// Vector-eligibility classification of one lowered op: whether the
@@ -506,88 +517,17 @@ pub enum VecClass {
     GatherReduce,
     /// A unit-step [`Op::RangeSimple`] whose single body op is an
     /// on-chip scatter write ([`Op::WriteMem`]/[`Op::RmwAdd`]) with a
-    /// dense (loop-variable) or unit-stride-gathered index and a
-    /// chunkable value operand — the Gustavson scatter-accumulate
-    /// inner loop of SpMSpM, or a dense fill/accumulate run.
+    /// dense (loop-variable, optionally constant-offset) or
+    /// unit-stride-gathered index and a chunkable value operand — the
+    /// Gustavson scatter-accumulate inner loop of SpMSpM, or a dense
+    /// fill/accumulate run.
     Scatter,
-}
-
-/// Whether a reduce operand is a unit-stride gather shape over loop
-/// variable `var` (see [`VecClass::GatherReduce`]).
-fn reduce_vectorizable(expr: Operand, var: Slot, fused: &[FusedOp]) -> bool {
-    match expr {
-        Operand::Gather { var: v, .. } => v == var,
-        Operand::Fused(i) => match fused[i as usize] {
-            // `a` must be loop-invariant: the splat is read once per
-            // chunk, so the loop variable itself is not eligible.
-            FusedOp::BinGather { a, mem, .. } => mem.var == var && a != var,
-            FusedOp::BinGatherInd { lhs, inner, .. } => lhs.var == var && inner.var == var,
-            FusedOp::GatherOffset { .. } => false,
-        },
-        _ => false,
-    }
-}
-
-/// Whether a scatter body's index/value operands are chunkable over
-/// loop variable `var` (see [`VecClass::Scatter`]).
-fn scatter_vectorizable(index: Operand, value: Operand, var: Slot, fused: &[FusedOp]) -> bool {
-    let index_ok = match index {
-        // Dense run: `dst[v] = ...`.
-        Operand::Var(v) => v == var,
-        // Scattered run: `dst[crd[v]] = ...`.
-        Operand::Gather { var: v, .. } => v == var,
-        _ => false,
-    };
-    let value_ok = match value {
-        Operand::Const(_) | Operand::Var(_) => true,
-        Operand::Gather { var: v, .. } => v == var,
-        Operand::Fused(i) => match fused[i as usize] {
-            FusedOp::BinGather { a, mem, .. } => mem.var == var && a != var,
-            _ => false,
-        },
-        _ => false,
-    };
-    index_ok && value_ok
-}
-
-/// The vector-eligibility pass: one classification per lowered op.
-/// Runs after lowering (the superinstruction shapes it recognizes are
-/// produced by the peephole) and stores its verdicts in a side table
-/// parallel to `ops`.
-fn classify_vec(ops: &[Op], fused: &[FusedOp]) -> Vec<VecClass> {
-    ops.iter()
-        .map(|op| match *op {
-            Op::RangeSimple {
-                var,
-                step: 1,
-                body,
-                body_len,
-                reduce,
-                ..
-            } => {
-                if body_len == 0 {
-                    match reduce {
-                        Some((_, expr)) if reduce_vectorizable(expr, var, fused) => {
-                            VecClass::GatherReduce
-                        }
-                        _ => VecClass::None,
-                    }
-                } else if body_len == 1 && reduce.is_none() {
-                    match ops[body as usize] {
-                        Op::RmwAdd { index, value, .. } | Op::WriteMem { index, value, .. }
-                            if scatter_vectorizable(index, value, var, fused) =>
-                        {
-                            VecClass::Scatter
-                        }
-                        _ => VecClass::None,
-                    }
-                } else {
-                    VecClass::None
-                }
-            }
-            _ => VecClass::None,
-        })
-        .collect()
+    /// A unit-step [`Op::RangeSimple`] whose body is *several* scatter
+    /// writes, each individually [`VecClass::Scatter`]-shaped, with
+    /// pairwise-distinct destination slots none of which any statement
+    /// gathers from — the multi-output fill loops of multi-statement
+    /// kernel bodies (classified by [`crate::analysis::classify_vec`]).
+    MultiScatter,
 }
 
 impl CompiledProgram {
@@ -608,16 +548,20 @@ impl CompiledProgram {
             fused: Vec::new(),
             fuse_barrier: 0,
         };
+        let mut stmt_spans = Vec::with_capacity(resolved.body.len());
         for stmt in &resolved.body {
+            let start = lowering.ops.len() as OpId;
             lowering.stmt(stmt);
+            stmt_spans.push((start, lowering.ops.len() as OpId));
         }
         lowering.ops.push(Op::Halt);
         let Lowering {
             ops, eops, fused, ..
         } = lowering;
         let zero_input = Arc::new(vec![0.0; resolved.dram_layout.input_words]);
-        let vec = classify_vec(&ops, &fused);
-        CompiledProgram {
+        let vec = crate::analysis::classify_vec(&ops, &eops, &fused);
+        let elide = crate::analysis::compute_elide(&ops);
+        let compiled = CompiledProgram {
             source: program.clone(),
             syms,
             resolved,
@@ -626,7 +570,33 @@ impl CompiledProgram {
             fused,
             zero_input,
             vec,
+            elide,
+            stmt_spans,
+        };
+        // Every compile is verified in debug builds: a lowering bug
+        // surfaces as a typed VerifyError here, not as a differential
+        // divergence (or an out-of-bounds dispatch) at run time.
+        #[cfg(debug_assertions)]
+        if let Err(e) = compiled.verify() {
+            panic!("compiler produced an invalid program: {e}");
         }
+        compiled
+    }
+
+    /// Verifies the structural validity of this program's bytecode
+    /// (see [`crate::analysis::verify`]). The compiler asserts this on
+    /// every compile in debug builds; release pipelines call it once
+    /// per compile via [`stardust-core`'s `CompileError::Verify`
+    /// gate](crate::analysis::VerifyError).
+    pub fn verify(&self) -> Result<(), crate::analysis::VerifyError> {
+        crate::analysis::verify(&crate::analysis::VerifyCtx {
+            ops: &self.ops,
+            eops: &self.eops,
+            fused: &self.fused,
+            syms: &self.syms,
+            layout: &self.resolved.layout,
+            dram_layout: &self.resolved.dram_layout,
+        })
     }
 
     /// The source program this artifact was compiled from.
@@ -664,6 +634,21 @@ impl CompiledProgram {
     #[inline(always)]
     pub fn vec_class(&self, pc: usize) -> VecClass {
         self.vec[pc]
+    }
+
+    /// Whether the scatter write at `pc` carries a statically proven
+    /// in-bounds guarantee (see [`crate::analysis::compute_elide`]).
+    #[inline(always)]
+    pub fn elide_at(&self, pc: usize) -> bool {
+        self.elide[pc]
+    }
+
+    /// Half-open `[start, end)` op spans of each top-level resolved
+    /// statement, in statement order. `resolve` drops
+    /// [`crate::ir::SpatialStmt::Comment`]s, so these index the
+    /// *resolved* body, not the source `accel` block.
+    pub fn stmt_spans(&self) -> &[(OpId, OpId)] {
+        &self.stmt_spans
     }
 
     /// The shared pristine (all-zero) DRAM input segment machines are

@@ -213,6 +213,12 @@ impl RunBudget {
 /// atomic off the per-iteration path.
 pub(crate) const INTERRUPT_MASK: u64 = 0xFFF;
 
+/// Default for [`Machine::set_elide_mode`]: on unless
+/// `STARDUST_ELIDE=0` (mirrors the vector tier's env toggle).
+fn elide_env_default() -> bool {
+    !matches!(std::env::var("STARDUST_ELIDE"), Ok(v) if v == "0")
+}
+
 /// What hitting zero fuel means: the step budget, or a one-shot
 /// injected fault from the [`crate::faults`] harness min-folded into
 /// the same countdown (zero extra hot-path cost).
@@ -745,14 +751,101 @@ struct HotGather {
 }
 
 /// Operand shapes the scatter superinstruction can evaluate without the
-/// generic dispatch: literals, variables, single gathers, and the
-/// scale-by-gathered-value shape.
+/// generic dispatch: literals, variables, single gathers, the
+/// scale-by-gathered-value shape, and the `var op const` two-op
+/// expression program.
 #[derive(Debug, Clone, Copy)]
 enum HotValue {
     Const(f64),
     Var(Slot),
     Gather(HotGather),
     BinGather { a: Slot, op: BinSOp, g: HotGather },
+    VarConstBin { var: Slot, c: f64, op: BinSOp },
+}
+
+/// Per-statement index plan for the chunked scatter executors: how a
+/// whole lane of destination indices materializes.
+#[derive(Debug, Clone, Copy)]
+enum IxPlan {
+    /// Dense run: the loop variable itself indexes the destination.
+    Iota,
+    /// Dense run at a constant offset: `dst[v + c]`. Only `Add` with a
+    /// non-negative integral `c` qualifies — those are exactly the
+    /// cases where `index_of(op.apply(v, c))` equals `v as usize + c`
+    /// for every in-window iteration.
+    OffIota(usize),
+    /// Scattered run: a unit-stride gather produces indices.
+    Stream(HotGather),
+}
+
+/// Per-statement value plan for the chunked scatter executors.
+#[derive(Debug, Clone, Copy)]
+enum ValPlan {
+    /// Loop-invariant value (constant or pre-read variable).
+    Splat(f64),
+    /// The loop variable itself.
+    Iota,
+    /// `v op c` computed per lane from the loop variable.
+    IotaBin { op: BinSOp, c: f64 },
+    /// A unit-stride gathered stream.
+    Stream(HotGather),
+    /// `x op stream[v]` with loop-invariant `x`.
+    SplatBin { x: f64, op: BinSOp, g: HotGather },
+}
+
+impl IxPlan {
+    /// Per-iteration statistic increments — compile-time constants of
+    /// the plan, charged per chunk in one multiply.
+    fn stats(&self) -> (u64, u64, u64) {
+        match self {
+            IxPlan::Iota => (0, 0, 0),
+            IxPlan::OffIota(_) => (0, 0, 1),
+            IxPlan::Stream(g) => (1, g.shuffle as u64, 0),
+        }
+    }
+
+    /// The gather stream backing this plan, if any.
+    fn stream(&self) -> Option<&HotGather> {
+        match self {
+            IxPlan::Stream(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl ValPlan {
+    /// Per-iteration `(sram_reads, shuffles, alu_ops)` increments.
+    fn stats(&self) -> (u64, u64, u64) {
+        match self {
+            ValPlan::Splat(_) | ValPlan::Iota => (0, 0, 0),
+            ValPlan::IotaBin { .. } => (0, 0, 1),
+            ValPlan::Stream(g) => (1, g.shuffle as u64, 0),
+            ValPlan::SplatBin { g, .. } => (1, g.shuffle as u64, 1),
+        }
+    }
+
+    /// The gather stream backing this plan, if any.
+    fn stream(&self) -> Option<&HotGather> {
+        match self {
+            ValPlan::Stream(g) | ValPlan::SplatBin { g, .. } => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// One statement of a multi-scatter body: the hoisted destination
+/// region, the hot operand shapes (for the scalar step), and the lane
+/// plans (for the chunked path).
+struct ScatterStmt {
+    dst: Slot,
+    woff: usize,
+    len: usize,
+    hindex: HotValue,
+    hvalue: HotValue,
+    ix_plan: IxPlan,
+    val_plan: ValPlan,
+    accumulate: bool,
+    dst_shuffle: bool,
 }
 
 /// Register-batched statistics for the scatter superinstruction,
@@ -1238,6 +1331,14 @@ pub struct Machine {
     /// process measures scalar vs vector on identical state. Results,
     /// statistics, and abort points are bit-identical either way.
     vector_enabled: bool,
+    /// Whether the dispatch loop consults the static
+    /// bounds-check-elision table (see [`crate::analysis`]). On by
+    /// default (`STARDUST_ELIDE=0` disables); runtime-togglable via
+    /// [`Machine::set_elide_mode`]. Results, statistics, and abort
+    /// points are bit-identical either way — only the per-access
+    /// check is skipped, and only under a hoisted runtime guard that
+    /// re-establishes the proof's premises.
+    elide_enabled: bool,
 }
 
 /// A copy of a [`Machine`]'s execution state — DRAM images, the flat
@@ -1323,6 +1424,7 @@ impl Machine {
             poisoned: false,
             write_log: None,
             vector_enabled: vector::env_default(),
+            elide_enabled: elide_env_default(),
         };
         m.grow_state();
         let compiled = Arc::clone(&m.compiled);
@@ -1514,6 +1616,21 @@ impl Machine {
     /// suites can measure scalar vs vector in one process.
     pub fn set_vector_mode(&mut self, on: bool) {
         self.vector_enabled = on;
+    }
+
+    /// Whether statically-proven in-bounds accesses skip the
+    /// per-access bounds check (see [`crate::analysis`]).
+    pub fn elide_mode(&self) -> bool {
+        self.elide_enabled
+    }
+
+    /// Enables or disables bounds-check elision at runtime. Execution
+    /// results, `ExecStats`, and budget-abort points are bit-identical
+    /// in both modes — the toggle exists so benchmarks and
+    /// differential suites can measure checked vs elided in one
+    /// process.
+    pub fn set_elide_mode(&mut self, on: bool) {
+        self.elide_enabled = on;
     }
 
     /// Whether the last run aborted — with a structured error or a
@@ -2077,7 +2194,8 @@ impl Machine {
     /// on-chip first, then the SparseDRAM random-read fallback. `ix` is
     /// the already-evaluated (f64) index. The on-chip fast path is a
     /// bounds check plus one arena load.
-    #[inline(always)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    #[cfg_attr(debug_assertions, inline(never))]
     fn read_mem_value(
         &mut self,
         chip: Slot,
@@ -2127,7 +2245,8 @@ impl Machine {
         }
     }
 
-    #[inline(always)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    #[cfg_attr(debug_assertions, inline(never))]
     fn write_on_chip(
         &mut self,
         mem: Slot,
@@ -2931,7 +3050,8 @@ impl Machine {
     }
 
     /// Executes one straight-line op (everything except loop control).
-    #[inline(always)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    #[cfg_attr(debug_assertions, inline(never))]
     fn exec_simple_op(&mut self, prog: &CompiledProgram, op: &Op) -> Result<(), RunError> {
         match op {
             Op::Alloc { slot, kind, size } => self.do_alloc(*slot, *kind, *size),
@@ -3157,6 +3277,14 @@ impl Machine {
                 result?;
                 self.env[var] = saved;
                 return Ok(end);
+            }
+        }
+        // Multi-statement straight-line scatter bodies (fused
+        // fill/update loops) chunk through the vector tier;
+        // ineligible runtime state falls through to the generic loop.
+        if vclass == VecClass::MultiScatter && reduce.is_none() {
+            if let Some(r) = self.try_multi_scatter(prog, id, var, saved, v, hi, body, end) {
+                return r;
             }
         }
         if v < hi {
@@ -3515,7 +3643,18 @@ impl Machine {
                 }),
                 _ => None,
             },
-            Operand::Expr(_) => None,
+            // The two-op `[VarConstBin, End]` expression program — the
+            // lowering of `v op const` bodies like `s[j] = j * 2` —
+            // evaluates without the postfix stack machine.
+            Operand::Expr(e) => {
+                let eops = prog.eops();
+                match (eops.get(e as usize), eops.get(e as usize + 1)) {
+                    (Some(&EOp::VarConstBin { var, c, op }), Some(&EOp::End)) => {
+                        Some(HotValue::VarConstBin { var, c, op })
+                    }
+                    _ => None,
+                }
+            }
         }
     }
 
@@ -3557,6 +3696,16 @@ impl Machine {
                 let r = self.hot_gather_read(g, c)?;
                 c.alu_ops += 1;
                 Ok(op.apply(x, r))
+            }
+            HotValue::VarConstBin { var, c: k, op } => {
+                let a = match self.env[var as usize] {
+                    Some(x) => x,
+                    None => {
+                        return Err(RunError::UnboundVar(self.syms.var_name(var).to_string()));
+                    }
+                };
+                c.alu_ops += 1;
+                Ok(op.apply(a, k))
             }
         }
     }
@@ -3645,7 +3794,71 @@ impl Machine {
         let mut trips = 0u64;
         let mut result: Result<(), RunError> = Ok(());
         let mut v = v0;
-        if v < hi {
+        // Bounds-check elision: the static analysis proved every
+        // iteration of this loop writes in range (see
+        // `crate::analysis::compute_elide`), and the hoisted guard
+        // re-checks the proof's premises against runtime state — so a
+        // stale table degrades to the checked loop below, never to an
+        // unchecked out-of-bounds write.
+        let elide = self.elide_enabled
+            && prog.elide_at(end - 1)
+            && matches!(hindex, HotValue::Var(a) if a as usize == var)
+            && v0 >= 0.0
+            && v0.fract() == 0.0
+            && hi <= dst_st.len as f64;
+        if elide && v < hi {
+            self.node_stack.push(id);
+            let mut fuel = self.fuel;
+            let interrupts = self.interrupts;
+            // Elided loop: the index is the loop variable itself —
+            // integral, non-negative, and `< len` for the whole window
+            // — so `index_of` and the per-access bounds check vanish.
+            // Errors, statistics, and env effects are otherwise
+            // identical to the checked loop below (the index operand
+            // is an env read that charges nothing and cannot fail
+            // while `env[var]` is bound).
+            'eiters: while v < hi {
+                if fuel == 0 {
+                    result = Err(exhausted_fuel(self.fuel_cause, self.step_limit));
+                    break 'eiters;
+                }
+                fuel -= 1;
+                if interrupts && fuel & INTERRUPT_MASK == 0 {
+                    if let Err(e) = check_interrupts(
+                        self.deadline_at,
+                        self.deadline_ms(),
+                        self.budget.cancel.as_ref(),
+                    ) {
+                        result = Err(e);
+                        break 'eiters;
+                    }
+                }
+                self.env[var] = Some(v);
+                trips += 1;
+                let val = match self.hot_eval(hvalue, &mut c) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        result = Err(e);
+                        break 'eiters;
+                    }
+                };
+                let slot = &mut self.words[dst_st.woff + v as usize];
+                if accumulate {
+                    *slot += val;
+                } else {
+                    *slot = val;
+                }
+                swrites += 1;
+                if dst_shuffle {
+                    c.shuffles += 1;
+                }
+                v += fstep;
+            }
+            self.fuel = fuel;
+            if result.is_ok() {
+                self.node_stack.pop();
+            }
+        } else if v < hi {
             self.node_stack.push(id);
             // Fuel mirrors in a register like every other counter here,
             // flushed on all exit paths (the body is a single on-chip
@@ -3731,6 +3944,58 @@ impl Machine {
         Some(Ok(end))
     }
 
+    /// Builds the lane-index plan for one scatter statement, or `None`
+    /// when the index operand is not unit-stride in the loop variable
+    /// or a gather stream aliases a destination region (lanes preload
+    /// before the writes commit, so aliasing would reorder reads).
+    fn ix_plan(&self, hindex: HotValue, var: usize, dsts: &[Slot]) -> Option<IxPlan> {
+        match hindex {
+            HotValue::Var(a) if a as usize == var => Some(IxPlan::Iota),
+            // `v + c`: exact iff `c` is a non-negative integer small
+            // enough that `v + c` stays exactly representable — the
+            // same premises `crate::analysis` checks statically.
+            HotValue::VarConstBin {
+                var: a,
+                c,
+                op: BinSOp::Add,
+            } if a as usize == var && c >= 0.0 && c.fract() == 0.0 && c <= 4_294_967_296.0 => {
+                Some(IxPlan::OffIota(c as usize))
+            }
+            HotValue::Gather(g) if g.var as usize == var && !dsts.contains(&g.chip) => {
+                Some(IxPlan::Stream(g))
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds the lane-value plan for one scatter statement (same
+    /// eligibility contract as [`Machine::ix_plan`]). An unbound splat
+    /// variable bails to the scalar loop so the UnboundVar error
+    /// surfaces with scalar semantics.
+    fn val_plan(&self, hvalue: HotValue, var: usize, dsts: &[Slot]) -> Option<ValPlan> {
+        match hvalue {
+            HotValue::Const(k) => Some(ValPlan::Splat(k)),
+            HotValue::Var(a) if a as usize == var => Some(ValPlan::Iota),
+            HotValue::Var(a) => Some(ValPlan::Splat(self.env[a as usize]?)),
+            HotValue::VarConstBin { var: a, c, op } if a as usize == var => {
+                Some(ValPlan::IotaBin { op, c })
+            }
+            HotValue::Gather(g) if g.var as usize == var && !dsts.contains(&g.chip) => {
+                Some(ValPlan::Stream(g))
+            }
+            HotValue::BinGather { a, op, g }
+                if g.var as usize == var && a as usize != var && !dsts.contains(&g.chip) =>
+            {
+                Some(ValPlan::SplatBin {
+                    x: self.env[a as usize]?,
+                    op,
+                    g,
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// The chunked (vector-tier) scatter executor: runs the scatter
     /// superinstruction's unit-stride iterations [`vector::LANES`] at a
     /// time. Index/value streams load as whole lanes from the flat
@@ -3775,72 +4040,23 @@ impl Machine {
         if total == 0 {
             return None; // zero-trip: the scalar loop exits instantly
         }
-        enum IxPlan {
-            /// Dense run: the loop variable itself indexes `dst`.
-            Iota,
-            /// Scattered run: a unit-stride gather produces indices.
-            Stream(HotGather),
-        }
-        let ix_plan = match hindex {
-            HotValue::Var(a) if a as usize == var => IxPlan::Iota,
-            HotValue::Gather(g) if g.var as usize == var && g.chip != dst => IxPlan::Stream(g),
-            _ => return None,
-        };
-        enum ValPlan {
-            /// Loop-invariant value (constant or pre-read variable).
-            Splat(f64),
-            /// The loop variable itself.
-            Iota,
-            /// A unit-stride gathered stream.
-            Stream(HotGather),
-            /// `x op stream[v]` with loop-invariant `x`.
-            SplatBin { x: f64, op: BinSOp, g: HotGather },
-        }
-        let val_plan = match hvalue {
-            HotValue::Const(k) => ValPlan::Splat(k),
-            HotValue::Var(a) if a as usize == var => ValPlan::Iota,
-            // An unbound splat variable bails to the scalar loop so the
-            // UnboundVar error surfaces with scalar semantics.
-            HotValue::Var(a) => ValPlan::Splat(self.env[a as usize]?),
-            HotValue::Gather(g) if g.var as usize == var && g.chip != dst => ValPlan::Stream(g),
-            HotValue::BinGather { a, op, g }
-                if g.var as usize == var && a as usize != var && g.chip != dst =>
-            {
-                ValPlan::SplatBin {
-                    x: self.env[a as usize]?,
-                    op,
-                    g,
-                }
-            }
-            _ => return None,
-        };
+        let ix_plan = self.ix_plan(hindex, var, &[dst])?;
+        let val_plan = self.val_plan(hvalue, var, &[dst])?;
         // Per-iteration statistic increments are compile-time constants
         // of the plan; chunks charge them in one multiply.
-        let (ix_reads, ix_shuf) = match &ix_plan {
-            IxPlan::Iota => (0u64, 0u64),
-            IxPlan::Stream(g) => (1, g.shuffle as u64),
-        };
-        let (val_reads, val_shuf, val_alu) = match &val_plan {
-            ValPlan::Splat(_) | ValPlan::Iota => (0u64, 0u64, 0u64),
-            ValPlan::Stream(g) => (1, g.shuffle as u64, 0),
-            ValPlan::SplatBin { g, .. } => (1, g.shuffle as u64, 1),
-        };
-        let (reads_per, shuf_per) = (
+        let (ix_reads, ix_shuf, ix_alu) = ix_plan.stats();
+        let (val_reads, val_shuf, val_alu) = val_plan.stats();
+        let (reads_per, shuf_per, alu_per) = (
             ix_reads + val_reads,
             ix_shuf + val_shuf + dst_shuffle as u64,
+            ix_alu + val_alu,
         );
         // Unit-stride streams stay in bounds for exactly
         // `len - base` iterations; beyond that the scalar step owns the
         // (error) semantics.
         let mut stream_cap = total;
-        if let IxPlan::Stream(g) = &ix_plan {
+        for g in [ix_plan.stream(), val_plan.stream()].into_iter().flatten() {
             stream_cap = stream_cap.min(g.len.saturating_sub(base) as u64);
-        }
-        match &val_plan {
-            ValPlan::Stream(g) | ValPlan::SplatBin { g, .. } => {
-                stream_cap = stream_cap.min(g.len.saturating_sub(base) as u64);
-            }
-            _ => {}
         }
         let mut done = 0u64;
         let mut fuel = self.fuel;
@@ -3861,6 +4077,11 @@ impl Machine {
                         IxPlan::Iota => {
                             for (k, ix) in idx.iter_mut().enumerate() {
                                 *ix = at + k;
+                            }
+                        }
+                        IxPlan::OffIota(off) => {
+                            for (k, ix) in idx.iter_mut().enumerate() {
+                                *ix = at + k + off;
                             }
                         }
                         IxPlan::Stream(g) => {
@@ -3893,6 +4114,13 @@ impl Machine {
                                 *x = (at + k) as f64;
                             }
                         }
+                        ValPlan::IotaBin { op, c } => {
+                            // Lanes are independent; per-lane apply is
+                            // bit-identical to the scalar op.
+                            for (k, x) in vals.iter_mut().enumerate() {
+                                *x = op.apply((at + k) as f64, *c);
+                            }
+                        }
                         ValPlan::Stream(g) => {
                             vals.copy_from_slice(&self.words[g.woff + at..g.woff + at + L]);
                         }
@@ -3922,7 +4150,7 @@ impl Machine {
                     swrites += L as u64;
                     c.sram_reads += reads_per * L as u64;
                     c.shuffles += shuf_per * L as u64;
-                    c.alu_ops += val_alu * L as u64;
+                    c.alu_ops += alu_per * L as u64;
                 }
                 if done >= total {
                     break 'outer;
@@ -3986,6 +4214,286 @@ impl Machine {
             swrites += 1;
             if dst_shuffle {
                 c.shuffles += 1;
+            }
+            done += 1;
+        }
+        self.fuel = fuel;
+        if result.is_ok() {
+            self.node_stack.pop();
+        }
+        self.dense.node_trips[id] += trips;
+        self.dense.sram_reads += c.sram_reads;
+        self.dense.sram_writes += swrites;
+        self.dense.shuffle_accesses += c.shuffles;
+        self.dense.alu_ops += c.alu_ops;
+        if let Err(e) = result {
+            return Some(Err(e));
+        }
+        self.env[var] = saved;
+        Some(Ok(end))
+    }
+
+    /// The chunked multi-scatter executor: a `RangeSimple` whose body
+    /// is several on-chip writes (`WriteMem`/`RmwAdd`), each with
+    /// hot-shape operands — the fused fill/update bodies that
+    /// [`VecClass::MultiScatter`] admits. Every statement's lanes are
+    /// validated (and staged) before any statement commits, so a
+    /// faulting chunk re-runs scalar from its first iteration with no
+    /// partial writes; the commit is statement-major, which is
+    /// byte-identical to the scalar loop's iteration-major order
+    /// because destinations are pairwise distinct and disjoint from
+    /// every gather source (both re-checked here at runtime, mirroring
+    /// the static classification in [`crate::analysis`]).
+    ///
+    /// The scalar step reproduces one generic
+    /// [`Machine::run_simple_body`] iteration — same op order, same
+    /// statistics, same error identity — with the loop-invariant slot
+    /// states hoisted (the body cannot allocate, enqueue, or bind, so
+    /// hoisting is sound, and it cannot consume fuel, so the register
+    /// fuel mirror is exact). Returns `None` (having executed nothing)
+    /// when runtime state is ineligible, leaving the generic loop to
+    /// run.
+    #[allow(clippy::too_many_arguments)]
+    fn try_multi_scatter(
+        &mut self,
+        prog: &CompiledProgram,
+        id: usize,
+        var: usize,
+        saved: Option<f64>,
+        v0: f64,
+        hi: f64,
+        body: OpId,
+        end: usize,
+    ) -> Option<Result<usize, RunError>> {
+        const L: usize = vector::LANES;
+        let (base, total) = vector::unit_trips(v0, hi)?;
+        if total == 0 {
+            return None; // zero-trip: the generic loop exits instantly
+        }
+        let ops = prog.ops();
+        let mut dsts: Vec<Slot> = Vec::with_capacity(end - body as usize);
+        for op in &ops[body as usize..end] {
+            match *op {
+                Op::WriteMem { mem, .. } | Op::RmwAdd { mem, .. } => {
+                    // Pairwise-distinct destinations keep the
+                    // statement-major commit order sound.
+                    if dsts.contains(&mem) {
+                        return None;
+                    }
+                    dsts.push(mem);
+                }
+                _ => return None,
+            }
+        }
+        let mut stmts: Vec<ScatterStmt> = Vec::with_capacity(dsts.len());
+        let mut stream_cap = total;
+        let (mut reads_per, mut shuf_per, mut alu_per) = (0u64, 0u64, 0u64);
+        for op in &ops[body as usize..end] {
+            let (dst, index, value, random, accumulate) = match *op {
+                Op::WriteMem {
+                    mem,
+                    index,
+                    value,
+                    random,
+                } => (mem, index, value, random, false),
+                Op::RmwAdd { mem, index, value } => (mem, index, value, true, true),
+                _ => unreachable!("body shape checked above"),
+            };
+            let st = self.chip[dst as usize];
+            if st.tag != ChipTag::Words {
+                return None;
+            }
+            let hindex = self.hot_value(prog, index)?;
+            let hvalue = self.hot_value(prog, value)?;
+            let ix_plan = self.ix_plan(hindex, var, &dsts)?;
+            let val_plan = self.val_plan(hvalue, var, &dsts)?;
+            let dst_shuffle = (random || accumulate) && st.kind == MemKind::SparseSram;
+            let (ixr, ixs, ixa) = ix_plan.stats();
+            let (vr, vs, va) = val_plan.stats();
+            reads_per += ixr + vr;
+            shuf_per += ixs + vs + dst_shuffle as u64;
+            alu_per += ixa + va;
+            // Unit-stride streams stay in bounds for exactly
+            // `len - base` iterations; beyond that the scalar step
+            // owns the (error) semantics.
+            for g in [ix_plan.stream(), val_plan.stream()].into_iter().flatten() {
+                stream_cap = stream_cap.min(g.len.saturating_sub(base) as u64);
+            }
+            stmts.push(ScatterStmt {
+                dst,
+                woff: st.woff,
+                len: st.len,
+                hindex,
+                hvalue,
+                ix_plan,
+                val_plan,
+                accumulate,
+                dst_shuffle,
+            });
+        }
+        let nstmts = stmts.len() as u64;
+        // Per-statement lane staging, allocated once per loop entry.
+        let mut lanes: Vec<([usize; L], [f64; L])> = vec![([0; L], [0.0; L]); stmts.len()];
+        let mut done = 0u64;
+        let mut fuel = self.fuel;
+        let interrupts = self.interrupts;
+        let mut trips = 0u64;
+        let mut swrites = 0u64;
+        let mut c = HotCounters::default();
+        let mut result: Result<(), RunError> = Ok(());
+        let mut vec_on = true;
+        self.node_stack.push(id);
+        'outer: while done < total {
+            if vec_on {
+                let mut safe = vector::burst(stream_cap.saturating_sub(done), fuel, interrupts);
+                'chunks: while safe >= L as u64 {
+                    let at = base + done as usize;
+                    for (s, (idx, vals)) in stmts.iter().zip(lanes.iter_mut()) {
+                        match &s.ix_plan {
+                            IxPlan::Iota => {
+                                for (k, ix) in idx.iter_mut().enumerate() {
+                                    *ix = at + k;
+                                }
+                            }
+                            IxPlan::OffIota(off) => {
+                                for (k, ix) in idx.iter_mut().enumerate() {
+                                    *ix = at + k + off;
+                                }
+                            }
+                            IxPlan::Stream(g) => {
+                                let mut raw = [0.0f64; L];
+                                raw.copy_from_slice(&self.words[g.woff + at..g.woff + at + L]);
+                                if !vector::to_indices(&raw, idx) {
+                                    // Negative lane: the chunk re-runs
+                                    // scalar so NegativeIndex surfaces
+                                    // at the exact iteration and state.
+                                    vec_on = false;
+                                    break 'chunks;
+                                }
+                            }
+                        }
+                        let mut max_ix = 0usize;
+                        for &ix in idx.iter() {
+                            max_ix = max_ix.max(ix);
+                        }
+                        if max_ix >= s.len {
+                            // Out-of-bounds lane: scalar re-run raises
+                            // the exact error at the exact iteration.
+                            vec_on = false;
+                            break 'chunks;
+                        }
+                        match &s.val_plan {
+                            ValPlan::Splat(x) => *vals = [*x; L],
+                            ValPlan::Iota => {
+                                for (k, x) in vals.iter_mut().enumerate() {
+                                    *x = (at + k) as f64;
+                                }
+                            }
+                            ValPlan::IotaBin { op, c } => {
+                                for (k, x) in vals.iter_mut().enumerate() {
+                                    *x = op.apply((at + k) as f64, *c);
+                                }
+                            }
+                            ValPlan::Stream(g) => {
+                                vals.copy_from_slice(&self.words[g.woff + at..g.woff + at + L]);
+                            }
+                            ValPlan::SplatBin { x, op, g } => {
+                                let mut raw = [0.0f64; L];
+                                raw.copy_from_slice(&self.words[g.woff + at..g.woff + at + L]);
+                                vector::bin_splat(*op, *x, &raw, vals);
+                            }
+                        }
+                    }
+                    // Statement-major commit, serial in lane order
+                    // within each statement.
+                    for (s, (idx, vals)) in stmts.iter().zip(lanes.iter()) {
+                        let dwords = &mut self.words[s.woff..s.woff + s.len];
+                        if s.accumulate {
+                            for k in 0..L {
+                                dwords[idx[k]] += vals[k];
+                            }
+                        } else {
+                            for k in 0..L {
+                                dwords[idx[k]] = vals[k];
+                            }
+                        }
+                    }
+                    done += L as u64;
+                    fuel -= L as u64;
+                    safe -= L as u64;
+                    trips += L as u64;
+                    swrites += nstmts * L as u64;
+                    c.sram_reads += reads_per * L as u64;
+                    c.shuffles += shuf_per * L as u64;
+                    c.alu_ops += alu_per * L as u64;
+                }
+                if done >= total {
+                    break 'outer;
+                }
+            }
+            // Scalar step: the remainder tail, a fuel/interrupt
+            // boundary, or the re-run of a faulting chunk — one full
+            // iteration of the generic body, statement by statement.
+            if fuel == 0 {
+                result = Err(exhausted_fuel(self.fuel_cause, self.step_limit));
+                break 'outer;
+            }
+            fuel -= 1;
+            if interrupts && fuel & INTERRUPT_MASK == 0 {
+                if let Err(e) = check_interrupts(
+                    self.deadline_at,
+                    self.deadline_ms(),
+                    self.budget.cancel.as_ref(),
+                ) {
+                    result = Err(e);
+                    break 'outer;
+                }
+            }
+            self.env[var] = Some(v0 + done as f64);
+            trips += 1;
+            for s in &stmts {
+                // Same order as the generic WriteMem/RmwAdd op: index
+                // operand, index conversion, value operand, then the
+                // bounds-checked write.
+                let ixf = match self.hot_eval(s.hindex, &mut c) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        result = Err(e);
+                        break 'outer;
+                    }
+                };
+                let ix = match index_of(ixf, || self.syms.chip_name(s.dst).to_string()) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        result = Err(e);
+                        break 'outer;
+                    }
+                };
+                let val = match self.hot_eval(s.hvalue, &mut c) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        result = Err(e);
+                        break 'outer;
+                    }
+                };
+                if ix >= s.len {
+                    result = Err(RunError::OutOfBounds {
+                        mem: self.syms.chip_name(s.dst).to_string(),
+                        index: ix as i64,
+                        len: s.len,
+                    });
+                    break 'outer;
+                }
+                let slot = &mut self.words[s.woff + ix];
+                if s.accumulate {
+                    *slot += val;
+                } else {
+                    *slot = val;
+                }
+                swrites += 1;
+                if s.dst_shuffle {
+                    c.shuffles += 1;
+                }
             }
             done += 1;
         }
@@ -4223,7 +4731,8 @@ impl Machine {
     /// Fetches a statement operand: immediates inline, fused compound
     /// shapes from the side table, expression programs through the
     /// postfix interpreter.
-    #[inline(always)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    #[cfg_attr(debug_assertions, inline(never))]
     fn operand_value(&mut self, prog: &CompiledProgram, o: Operand) -> Result<f64, RunError> {
         match o {
             Operand::Const(c) => Ok(c),
@@ -4264,7 +4773,8 @@ impl Machine {
 
     /// Evaluates a fused compound operand, reproducing the unfused
     /// evaluation order (stats and error identity included) exactly.
-    #[inline(always)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    #[cfg_attr(debug_assertions, inline(never))]
     fn fused_value(&mut self, f: &FusedOp) -> Result<f64, RunError> {
         match *f {
             FusedOp::GatherOffset { mem, c, op } => {
@@ -4310,7 +4820,8 @@ impl Machine {
     /// ALU-op counts are accumulated in a register and flushed to the
     /// dense counters on every exit path (including errors), so the
     /// observable statistics are identical to per-op bumping.
-    #[inline(always)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    #[cfg_attr(debug_assertions, inline(never))]
     fn eval_ops(&mut self, prog: &CompiledProgram, start: u32) -> Result<f64, RunError> {
         let mut alu = 0u64;
         let r = self.eval_ops_inner(prog, start, &mut alu);
@@ -4318,7 +4829,8 @@ impl Machine {
         r
     }
 
-    #[inline(always)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    #[cfg_attr(debug_assertions, inline(never))]
     fn eval_ops_inner(
         &mut self,
         prog: &CompiledProgram,

@@ -26,7 +26,17 @@
 //! ([`Machine::run_tree`]) and the original name-keyed walker
 //! ([`ReferenceMachine`]) are preserved as differential-testing oracles
 //! and benchmark baselines.
+//!
+//! The [`analysis`] module is the static layer over the lowered form:
+//! a structural verifier gating every compile, effect summaries the
+//! shard planner and vector classifier share, and the
+//! bounds-check-elision table the dispatch loop consults.
 
+// Every unsafe operation inside an unsafe fn must carry its own
+// unsafe block (and, per the clippy CI gate, its own SAFETY comment).
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod analysis;
 pub mod bytecode;
 pub mod faults;
 pub mod interp;
@@ -39,6 +49,7 @@ pub mod shard;
 pub mod validate;
 pub mod vector;
 
+pub use analysis::{effects_of_span, verify, Effects, VerifyCtx, VerifyError};
 pub use bytecode::{CompiledProgram, ProgramCache, VecClass};
 pub use faults::{FaultParseError, FaultPlan};
 pub use interp::{
@@ -51,7 +62,7 @@ pub use printer::print_program;
 pub use reference::ReferenceMachine;
 pub use resolve::{resolve, DramLayout, DramRegion, ResolvedProgram, Slot, SymbolTable};
 pub use shard::{
-    auto_shard_count, CompiledShards, NotShardable, ShardError, ShardPlan, ShardedRun,
-    MIN_TRIPS_PER_SHARD,
+    auto_shard_count, auto_shard_count_for, CompiledShards, NotShardable, ShardError, ShardPlan,
+    ShardedRun, MIN_TRIPS_PER_SHARD, VECTOR_SHARD_DISCOUNT,
 };
 pub use validate::{validate, ValidationError};

@@ -9,12 +9,17 @@
 //! lowered Spatial kernels here already *are* outer loops over
 //! slot-resolved tensor slices, so this module splits that loop:
 //!
-//! 1. [`ShardPlan::analyze`] proves a [`CompiledProgram`]'s trailing
-//!    top-level `Foreach` over a constant integral `Range` is safe to
-//!    shard — no loop-carried on-chip state, no reads of
-//!    program-written DRAM inside the loop, no DRAM writes from the
-//!    prefix — or reports a typed [`NotShardable`] reason so callers
-//!    fall back to serial execution.
+//! 1. [`ShardPlan::analyze`] proves one of a [`CompiledProgram`]'s
+//!    top-level `Foreach` loops over a constant integral `Range` safe
+//!    to shard — no loop-carried on-chip state, no reads of
+//!    body-written DRAM inside the loop, prefix DRAM writes disjoint
+//!    from the body's, and (for a non-trailing candidate) a suffix
+//!    that depends on nothing the body defines — or reports a typed
+//!    [`NotShardable`] reason so callers fall back to serial
+//!    execution. The trailing statement is tried first; when it is not
+//!    provable, earlier top-level loops are candidates too, with the
+//!    prefix/suffix obligations discharged by the compiled program's
+//!    effect summaries ([`crate::analysis::effects_of_span`]).
 //! 2. [`ShardPlan::compile`] rewrites the loop bounds into `n`
 //!    contiguous-slice sub-programs (plus a zero-trip *baseline*
 //!    program), compiled against the parent's [`SymbolTable`] so every
@@ -50,14 +55,29 @@
 //! measures exactly one prefix, and the merge subtracts `n − 1`
 //! baselines: `merged = Σ shards − (n−1)·baseline`.
 //!
+//! *Prefix and suffix replay.* Each shard program is the full source
+//! with only the candidate loop's bounds patched, so every shard (and
+//! the baseline) re-runs the statements before *and after* the loop.
+//! The analysis makes that replay exact: prefix DRAM writes are
+//! disjoint from body writes and deterministic, so every shard logs
+//! identical words for them; the suffix depends on nothing the body
+//! defines, so it computes identical values on every machine, and its
+//! stores land after the body's in every program just as they do
+//! serially.
+//!
 //! *Errors.* Within a shard, iterations run in serial order, and the
 //! analysis guarantees iteration-state independence, so the
 //! lowest-indexed failing shard fails at exactly the point serial
 //! would have failed first — that error is what [`run_pooled`]
-//! propagates. The only intentionally non-identical dimension is the
+//! propagates. The only intentionally non-identical dimensions are the
 //! [`RunBudget`], which is armed *per shard* (documented at the call
 //! sites): a budget generous enough for the serial run is generous
-//! enough for every shard.
+//! enough for every shard — and, for a non-trailing candidate, the
+//! *choice* of error when both a body slice and the (deterministic)
+//! suffix would fail: the baseline hits the suffix failure while
+//! running concurrently with the shards, and its error takes
+//! precedence, whereas serial would have reported the earliest body
+//! failure. The failing run still fails either way.
 //!
 //! [`run_pooled`]: CompiledShards::run_pooled
 
@@ -70,8 +90,9 @@ use std::time::Instant;
 use crate::bytecode::CompiledProgram;
 use crate::faults::{self, FaultPlan};
 use crate::interp::{DramImage, ExecStats, Machine, RunBudget, RunError};
-use crate::ir::{Counter, SExpr, SpatialProgram, SpatialStmt};
+use crate::ir::{Counter, SExpr, SpatialStmt};
 use crate::pool::{MachinePool, PoolOccupancy, PooledMachine};
+use crate::resolve::Slot;
 
 /// Loop bounds above this magnitude lose the exact-f64-integer
 /// guarantee the bound-patching math relies on (2⁵⁰ leaves headroom
@@ -100,17 +121,28 @@ pub enum NotShardable {
     NonPositiveStep,
     /// A bound's magnitude is ≥ 2⁵⁰, past the exact-integer headroom.
     BoundsOutOfRange,
-    /// A statement before the outer loop writes DRAM — shards re-run
-    /// the prefix, so a prefix store would be replayed once per shard.
+    /// A statement before the candidate loop writes a DRAM array the
+    /// loop body also writes — shards re-run the prefix, so a later
+    /// shard's replayed prefix store would clobber an earlier shard's
+    /// body store. (Prefix writes to arrays the body never touches are
+    /// fine: every shard replays them identically.)
     PrefixWritesDram {
         /// The written DRAM array.
         mem: String,
     },
-    /// The loop body reads a DRAM array the program also writes, so an
+    /// The loop body reads a DRAM array the body also writes, so an
     /// iteration could observe another slice's stores.
     BodyReadsWrittenDram {
         /// The read-and-written DRAM array.
         mem: String,
+    },
+    /// A statement after the candidate loop depends on state the loop
+    /// body defines (a variable it binds, on-chip state it allocates
+    /// or writes, or a DRAM array it writes), so each shard's suffix
+    /// replay would observe only its own slice.
+    SuffixDependsOnBody {
+        /// The loop-defined name the suffix depends on.
+        name: String,
     },
     /// The loop body mutates on-chip state (memory write, FIFO
     /// enq/deq, register set, reduction) that is not allocated in the
@@ -155,10 +187,19 @@ impl fmt::Display for NotShardable {
                 write!(f, "outer Range bound magnitude exceeds 2^50")
             }
             NotShardable::PrefixWritesDram { mem } => {
-                write!(f, "statement before the outer loop writes DRAM {mem:?}")
+                write!(
+                    f,
+                    "statement before the candidate loop writes DRAM {mem:?} the body also writes"
+                )
             }
             NotShardable::BodyReadsWrittenDram { mem } => {
-                write!(f, "loop body reads program-written DRAM {mem:?}")
+                write!(f, "loop body reads body-written DRAM {mem:?}")
+            }
+            NotShardable::SuffixDependsOnBody { name } => {
+                write!(
+                    f,
+                    "statement after the candidate loop depends on loop-defined state {name:?}"
+                )
             }
             NotShardable::BodyMutatesSharedChip { mem } => {
                 write!(f, "loop body mutates shared on-chip state {mem:?}")
@@ -217,34 +258,79 @@ impl From<RunError> for ShardError {
     }
 }
 
-/// A proven-shardable program: the parent plus the outer `Range`'s
-/// resolved integral bounds.
+/// A proven-shardable program: the parent, the candidate loop's source
+/// statement index, and the outer `Range`'s resolved integral bounds.
 #[derive(Debug, Clone)]
 pub struct ShardPlan {
     parent: Arc<CompiledProgram>,
+    /// Index of the candidate loop in the source `accel` block.
+    stmt_idx: usize,
     lo: i64,
     hi_int: i64,
     step: i64,
     trips: u64,
+    /// Whether any loop inside the candidate carries a non-`None`
+    /// [`crate::VecClass`] — i.e. a shard's hot loop runs chunked, so
+    /// [`auto_shard_count_for`] discounts its trips.
+    vectorized: bool,
 }
 
 impl ShardPlan {
-    /// Proves `parent` shardable or explains why not. The proof
-    /// obligations, in the order they are checked:
+    /// Proves one of `parent`'s top-level loops shardable or explains
+    /// why not. The trailing statement is tried first (and its typed
+    /// rejection is what an all-candidates failure reports); when it
+    /// does not prove, every earlier top-level `Foreach` is tried in
+    /// reverse order. Per candidate, the proof obligations:
     ///
-    /// - the last top-level statement is a `Foreach` over
+    /// - the statement is a `Foreach` over
     ///   `Range { min: Const, max: Const, step ≥ 1 }` with integral
     ///   bounds of magnitude < 2⁵⁰ (exact f64 integer arithmetic);
-    /// - no statement before the loop (the *prefix*) writes DRAM —
-    ///   shards re-run the prefix;
-    /// - the loop body never reads program-written DRAM, never
-    ///   mutates on-chip state allocated outside its own iteration
-    ///   scope, never reads on-chip state another iteration scope
-    ///   allocates, and never reads a variable bound by another
-    ///   iteration scope — i.e. iterations are state-independent.
+    /// - the *prefix* (statements before the loop, re-run by every
+    ///   shard) writes no DRAM array the loop body writes — proven
+    ///   from the compiled effect summaries
+    ///   ([`crate::analysis::effects_of_span`]);
+    /// - the loop body never reads body-written DRAM, never mutates
+    ///   on-chip state allocated outside its own iteration scope,
+    ///   never reads on-chip state another iteration scope allocates,
+    ///   and never reads a variable bound by another iteration scope —
+    ///   i.e. iterations are state-independent;
+    /// - the *suffix* (statements after the loop, also re-run by every
+    ///   shard) depends on nothing the body defines: no body-bound
+    ///   variable, no body-allocated or body-written chip slot, no
+    ///   body-written DRAM array — again from the effect summaries.
     pub fn analyze(parent: &Arc<CompiledProgram>) -> Result<ShardPlan, NotShardable> {
         let src = parent.source();
-        let (counter, outer_body) = match src.accel.last() {
+        if src.accel.is_empty() {
+            return Err(NotShardable::EmptyBody);
+        }
+        let trailing = Self::analyze_at(parent, src.accel.len() - 1);
+        let mut err = match trailing {
+            Ok(plan) => return Ok(plan),
+            Err(e) => e,
+        };
+        for idx in (0..src.accel.len() - 1).rev() {
+            if !matches!(src.accel[idx], SpatialStmt::Foreach { .. }) {
+                continue;
+            }
+            match Self::analyze_at(parent, idx) {
+                Ok(plan) => return Ok(plan),
+                // When the trailing statement was not even a loop, a
+                // real candidate's rejection is the informative one.
+                Err(e) => {
+                    if matches!(err, NotShardable::TrailingStatementNotLoop) {
+                        err = e;
+                    }
+                }
+            }
+        }
+        Err(err)
+    }
+
+    /// Runs the per-candidate proof obligations for the top-level
+    /// statement at source index `idx` (see [`ShardPlan::analyze`]).
+    fn analyze_at(parent: &Arc<CompiledProgram>, idx: usize) -> Result<ShardPlan, NotShardable> {
+        let src = parent.source();
+        let (counter, outer_body) = match src.accel.get(idx) {
             None => return Err(NotShardable::EmptyBody),
             Some(SpatialStmt::Foreach { counter, body, .. }) => (counter, body),
             Some(SpatialStmt::Reduce { .. }) => return Err(NotShardable::TopLevelReduction),
@@ -270,43 +356,105 @@ impl ShardPlan {
             ((hi_int - lo) as u64).div_ceil(step as u64)
         };
 
-        let prefix = &src.accel[..src.accel.len() - 1];
-        for stmt in prefix {
-            let mut offender = None;
-            stmt.visit(&mut |s| {
-                if offender.is_some() {
-                    return;
-                }
-                match s {
-                    SpatialStmt::Store { dst, .. }
-                    | SpatialStmt::StreamStore { dst, .. }
-                    | SpatialStmt::StoreScalar { dst, .. } => offender = Some(dst.clone()),
-                    _ => {}
-                }
-            });
-            if let Some(mem) = offender {
-                return Err(NotShardable::PrefixWritesDram { mem });
+        // Map the source statement index to its resolved-body index
+        // (resolve drops comments), then to the candidate's op span.
+        let resolved_idx = src.accel[..idx]
+            .iter()
+            .filter(|s| !matches!(s, SpatialStmt::Comment(_)))
+            .count();
+        let spans = parent.stmt_spans();
+        let (cand_start, cand_end) = spans[resolved_idx];
+        let (ops, eops, fused) = (parent.ops(), parent.eops(), parent.fused());
+        let syms = parent.syms();
+        let cand = crate::analysis::effects_of_span(
+            ops,
+            eops,
+            fused,
+            cand_start as usize..cand_end as usize,
+        );
+
+        // Prefix obligation: re-run DRAM writes must be disjoint from
+        // the body's, or a later shard's replayed prefix store would
+        // clobber an earlier shard's body store.
+        if cand_start > 0 {
+            let prefix = crate::analysis::effects_of_span(ops, eops, fused, 0..cand_start as usize);
+            if let Some(&slot) = prefix.dram_writes.intersection(&cand.dram_writes).next() {
+                return Err(NotShardable::PrefixWritesDram {
+                    mem: syms.dram_name(slot).to_string(),
+                });
             }
         }
 
-        let meta = BodyMeta::collect(src, outer_body);
+        // Suffix obligation: nothing the body defines may flow into
+        // the statements after the loop — each shard re-runs them, and
+        // they must compute identical values on every machine. The
+        // outer loop variable is exempt: the dispatch loop restores
+        // its pre-loop binding on exit, so the suffix observes the
+        // prefix's value (or unbound), identically everywhere.
+        let suffix_start = cand_end as usize;
+        let suffix_end = spans.last().map_or(suffix_start, |&(_, e)| e as usize);
+        if suffix_start < suffix_end {
+            let suffix =
+                crate::analysis::effects_of_span(ops, eops, fused, suffix_start..suffix_end);
+            let outer_var = (0..syms.var_count() as Slot).find(|&s| syms.var_name(s) == var);
+            let dep = suffix
+                .var_uses
+                .intersection(&cand.var_defs)
+                .find(|&&s| Some(s) != outer_var)
+                .map(|&s| syms.var_name(s).to_string())
+                .or_else(|| {
+                    suffix
+                        .chip_reads
+                        .intersection(&cand.chip_writes)
+                        .next()
+                        .map(|&s| syms.chip_name(s).to_string())
+                })
+                .or_else(|| {
+                    suffix
+                        .dram_reads
+                        .intersection(&cand.dram_writes)
+                        .next()
+                        .map(|&s| syms.dram_name(s).to_string())
+                });
+            if let Some(name) = dep {
+                return Err(NotShardable::SuffixDependsOnBody { name });
+            }
+        }
+
+        let meta = BodyMeta::collect(outer_body);
         let mut bound: HashSet<&str> = HashSet::new();
         bound.insert(var);
         let mut local: HashSet<&str> = HashSet::new();
         meta.check_stmts(outer_body, &mut bound, &mut local)?;
 
+        let vectorized = (cand_start as usize..cand_end as usize)
+            .any(|pc| parent.vec_class(pc) != crate::VecClass::None);
+
         Ok(ShardPlan {
             parent: Arc::clone(parent),
+            stmt_idx: idx,
             lo,
             hi_int,
             step,
             trips,
+            vectorized,
         })
     }
 
     /// Outer-loop iteration count.
     pub fn trips(&self) -> u64 {
         self.trips
+    }
+
+    /// Whether the candidate loop contains vector-eligible inner loops
+    /// (see [`auto_shard_count_for`]).
+    pub fn vectorized(&self) -> bool {
+        self.vectorized
+    }
+
+    /// Source `accel` index of the candidate loop this plan splits.
+    pub fn stmt_idx(&self) -> usize {
+        self.stmt_idx
     }
 
     /// Compiles `n`-way shards (clamped to `1..=max(1, trips)`): `n`
@@ -347,16 +495,16 @@ impl ShardPlan {
         }
     }
 
-    /// The parent source with the outer `Range` bounds replaced by
-    /// `[lo, hi)` and the name suffixed for debuggability, compiled
-    /// against the parent's symbol table.
+    /// The parent source with the candidate loop's `Range` bounds
+    /// replaced by `[lo, hi)` and the name suffixed for debuggability,
+    /// compiled against the parent's symbol table.
     fn patched(&self, suffix: &str, lo: i64, hi: i64) -> CompiledProgram {
         let mut src = self.parent.source().clone();
         src.name.push_str(suffix);
         if let Some(SpatialStmt::Foreach {
             counter: Counter::Range { min, max, .. },
             ..
-        }) = src.accel.last_mut()
+        }) = src.accel.get_mut(self.stmt_idx)
         {
             *min = SExpr::Const(lo as f64);
             *max = SExpr::Const(hi as f64);
@@ -392,6 +540,28 @@ pub fn auto_shard_count(trips: u64, occ: &PoolOccupancy) -> usize {
     by_trips.min(slots).min(cores).max(1)
 }
 
+/// Trip discount applied by [`auto_shard_count_for`] when the
+/// candidate loop is vector-eligible: a chunked shard retires its
+/// iterations roughly this factor faster than the scalar model behind
+/// [`MIN_TRIPS_PER_SHARD`] assumes (measured chunk speedups on the
+/// bench kernels run 1.3–2.8×; 2 is the conservative round number), so
+/// a vectorized shard needs proportionally more trips before the
+/// split's fixed overhead amortizes.
+pub const VECTOR_SHARD_DISCOUNT: u64 = 2;
+
+/// Vector-aware sizing: like [`auto_shard_count`], but when the plan's
+/// candidate loop is proven vector-eligible the trip count is divided
+/// by [`VECTOR_SHARD_DISCOUNT`] first — chunked shards finish sooner,
+/// so the same trip count justifies fewer shards.
+pub fn auto_shard_count_for(plan: &ShardPlan, occ: &PoolOccupancy) -> usize {
+    let trips = if plan.vectorized() {
+        plan.trips() / VECTOR_SHARD_DISCOUNT
+    } else {
+        plan.trips()
+    };
+    auto_shard_count(trips, occ)
+}
+
 /// Integral constant bound with exact-f64 headroom, or the typed
 /// rejection.
 fn const_bound(e: &SExpr) -> Result<i64, NotShardable> {
@@ -409,9 +579,13 @@ fn const_bound(e: &SExpr) -> Result<i64, NotShardable> {
     }
 }
 
-/// Whole-program facts the scoped body walk consults.
+/// Body-wide facts the scoped walk consults.
 struct BodyMeta<'a> {
-    /// DRAM arrays the program writes anywhere (prefix or body).
+    /// DRAM arrays the loop body writes anywhere. (Prefix and suffix
+    /// writes are checked separately against the effect summaries; a
+    /// body read of an array only the prefix or suffix writes is safe,
+    /// because each shard replays the prefix before — and the suffix
+    /// after — its body slice, exactly as serial orders them.)
     written_drams: HashSet<&'a str>,
     /// Variables bound anywhere *inside* the outer-loop body. A read
     /// of a name outside this set resolves to the prefix (or the shard
@@ -424,20 +598,17 @@ struct BodyMeta<'a> {
 }
 
 impl<'a> BodyMeta<'a> {
-    fn collect(src: &'a SpatialProgram, body: &'a [SpatialStmt]) -> BodyMeta<'a> {
+    fn collect(body: &'a [SpatialStmt]) -> BodyMeta<'a> {
         let mut written_drams = HashSet::new();
-        src.visit(&mut |s| match s {
-            SpatialStmt::Store { dst, .. }
-            | SpatialStmt::StreamStore { dst, .. }
-            | SpatialStmt::StoreScalar { dst, .. } => {
-                written_drams.insert(dst.as_str());
-            }
-            _ => {}
-        });
         let mut body_vars = HashSet::new();
         let mut body_allocs = HashSet::new();
         for stmt in body {
             stmt.visit(&mut |s| match s {
+                SpatialStmt::Store { dst, .. }
+                | SpatialStmt::StreamStore { dst, .. }
+                | SpatialStmt::StoreScalar { dst, .. } => {
+                    written_drams.insert(dst.as_str());
+                }
                 SpatialStmt::Bind { var, .. } => {
                     body_vars.insert(var.as_str());
                 }
@@ -692,7 +863,7 @@ impl<'a> BodyMeta<'a> {
         }
     }
 
-    /// DRAM read inside the body: rejected if the program writes the
+    /// DRAM read inside the body: rejected if the body writes the
     /// same array anywhere (an iteration could observe another slice's
     /// stores).
     fn check_dram_read(&self, name: &str) -> Result<(), NotShardable> {
@@ -917,10 +1088,11 @@ impl CompiledShards {
     }
 
     /// Runs the zero-trip baseline on the caller thread: its post-run
-    /// output segment is the serial run's *initial* output segment
-    /// (the prefix writes no DRAM — proven by analysis) and its stats
-    /// are exactly one prefix execution. Retried once on transient
-    /// failure like any shard.
+    /// output segment holds exactly the prefix's and suffix's
+    /// (deterministic, body-independent — proven by analysis) stores,
+    /// which every shard's log replays identically, and its stats are
+    /// exactly one prefix + suffix execution. Retried once on
+    /// transient failure like any shard.
     fn run_baseline<'p>(
         &self,
         pool: &'p MachinePool,

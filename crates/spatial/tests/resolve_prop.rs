@@ -476,6 +476,14 @@ proptest! {
         let printed_after = print_program(&p);
         prop_assert_eq!(printed_before, printed_after);
         prop_assert_eq!(loc, spatial_loc(&p));
+
+        // The static verifier has zero false positives: every artifact
+        // the compiler produces passes (the mutation suite in
+        // `verify.rs` covers the no-false-negative half).
+        let compiled = stardust_spatial::CompiledProgram::compile(&p);
+        if let Err(e) = compiled.verify() {
+            panic!("verifier rejected a compiler output (seed {seed}): {e}");
+        }
     }
 
     /// The resolved-slot engine and the reference engine agree — bitwise

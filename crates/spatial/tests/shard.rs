@@ -761,3 +761,240 @@ fn auto_sized_partition_is_bitwise_identical() {
     assert_eq!(run.stats, serial_stats);
     assert_eq!(output_bits(&run.machine, &compiled), serial_out);
 }
+
+// ---------------------------------------------------------------------
+// Effect-analysis widenings: shapes the string-level pass rejected that
+// the shared effect summaries now prove shardable.
+// ---------------------------------------------------------------------
+
+/// Serial-vs-sharded bitwise check for a hand-built program (the
+/// random-generator harness above fixes its own output names).
+fn assert_shards_bitwise(p: &SpatialProgram, outs: &[&str], shards: usize) {
+    let compiled = Arc::new(CompiledProgram::compile(p));
+    let image = {
+        let mut b = DramImage::builder(Arc::clone(&compiled));
+        let data: Vec<f64> = (0..SIZE as u64)
+            .map(|w| ((w * 3) % 23) as f64 * 0.5)
+            .collect();
+        let slot = compiled.syms().dram_slot("in0").expect("declared dram");
+        b.write(slot, &data).expect("write input");
+        b.finish()
+    };
+    let mut serial = Machine::from_compiled(Arc::clone(&compiled));
+    serial.bind_image(&image).expect("serial bind");
+    let serial_stats = serial.run(p).expect("serial run");
+    let bits = |m: &Machine, name: &str| -> Vec<u64> {
+        m.dram(name)
+            .expect("output dram")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    };
+
+    let plan = ShardPlan::analyze(&compiled)
+        .unwrap_or_else(|e| panic!("{} must prove shardable, got {e}", p.name));
+    let sharded = plan.compile(shards);
+    let pool = MachinePool::new();
+    let run = sharded
+        .run_pooled(&image, &pool, &RunBudget::default(), None)
+        .expect("sharded run");
+    assert_eq!(run.stats, serial_stats, "{}: sharded stats diverge", p.name);
+    for name in outs {
+        assert_eq!(
+            bits(&run.machine, name),
+            bits(&serial, name),
+            "{}: DRAM {name} diverges at {shards} shards",
+            p.name
+        );
+    }
+}
+
+/// A *non-trailing* candidate loop: the loop is followed by a suffix
+/// statement that depends on nothing the body defines. The old pass
+/// only ever considered the trailing statement
+/// (`TrailingStatementNotLoop`); the effect-analysis scan proves the
+/// earlier loop and replays the suffix per shard.
+#[test]
+fn non_trailing_loop_shards_bitwise() {
+    for shards in [2usize, 4] {
+        let mut p = skeleton();
+        p.add_dram("out1", OUT);
+        p.accel
+            .push(SpatialStmt::Alloc(MemDecl::new("s0", MemKind::Sram, SIZE)));
+        p.accel.push(SpatialStmt::Load {
+            dst: "s0".into(),
+            src: "in0".into(),
+            start: SExpr::Const(0.0),
+            end: SExpr::Const(SIZE as f64),
+            par: 1,
+        });
+        p.accel.push(SpatialStmt::Foreach {
+            id: 0,
+            counter: Counter::range_to("i", SExpr::Const(24.0)),
+            par: 1,
+            body: vec![SpatialStmt::StoreScalar {
+                dst: "out0".into(),
+                index: SExpr::var("i"),
+                value: SExpr::add(
+                    SExpr::read(
+                        "s0",
+                        SExpr::bin(
+                            stardust_spatial::BinSOp::Mod,
+                            SExpr::var("i"),
+                            SExpr::Const(SIZE as f64),
+                        ),
+                    ),
+                    SExpr::Const(1.0),
+                ),
+            }],
+        });
+        // Suffix: reads only prefix state (s0), writes a different
+        // array — replayed identically by every shard.
+        p.accel.push(SpatialStmt::StoreScalar {
+            dst: "out1".into(),
+            index: SExpr::Const(0.0),
+            value: SExpr::read("s0", SExpr::Const(3.0)),
+        });
+        p.assign_ids();
+        let compiled = Arc::new(CompiledProgram::compile(&p));
+        let plan = ShardPlan::analyze(&compiled).expect("non-trailing loop proves");
+        assert_eq!(plan.stmt_idx(), 2, "candidate is the non-trailing loop");
+        assert_shards_bitwise(&p, &["out0", "out1"], shards);
+    }
+}
+
+/// A prefix store into an array the body never touches: the old
+/// name-level pass rejected every DRAM-writing prefix
+/// (`PrefixWritesDram`); the effect summaries prove disjointness and
+/// admit it.
+#[test]
+fn prefix_store_to_untouched_array_shards_bitwise() {
+    let mut p = skeleton();
+    p.add_dram("out1", OUT);
+    // Prefix writes out1; the loop writes only out0.
+    p.accel.push(SpatialStmt::StoreScalar {
+        dst: "out1".into(),
+        index: SExpr::Const(0.0),
+        value: SExpr::Const(9.0),
+    });
+    p.accel.push(trailing_loop(vec![store_i()]));
+    p.assign_ids();
+    let compiled = Arc::new(CompiledProgram::compile(&p));
+    ShardPlan::analyze(&compiled).expect("disjoint prefix store proves");
+    assert_shards_bitwise(&p, &["out0", "out1"], 3);
+}
+
+/// A suffix that reads body-written chip state is rejected with the
+/// offending name.
+#[test]
+fn rejects_suffix_depending_on_body() {
+    let mut p = skeleton();
+    p.accel
+        .push(SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, SIZE)));
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::range_to("i", SExpr::Const(8.0)),
+        par: 1,
+        body: vec![SpatialStmt::WriteMem {
+            mem: "s".into(),
+            index: SExpr::var("i"),
+            value: SExpr::var("i"),
+            random: false,
+        }],
+    });
+    // Suffix reads the body-written SRAM: each shard would observe
+    // only its own slice.
+    p.accel.push(SpatialStmt::Store {
+        dst: "out0".into(),
+        offset: SExpr::Const(0.0),
+        src: "s".into(),
+        len: SExpr::Const(8.0),
+        par: 1,
+    });
+    match analyze(&mut p) {
+        Err(NotShardable::SuffixDependsOnBody { name }) => assert_eq!(name, "s"),
+        other => panic!("expected SuffixDependsOnBody, got {other:?}"),
+    }
+}
+
+/// Vector-aware sizing: a plan whose candidate contains a
+/// vector-eligible inner loop is discounted by
+/// [`stardust_spatial::VECTOR_SHARD_DISCOUNT`], so the same trip count
+/// yields fewer, larger shards than the scalar policy grants.
+#[test]
+fn auto_shard_count_discounts_vectorized_plans() {
+    use stardust_spatial::{
+        auto_shard_count, auto_shard_count_for, PoolOccupancy, MIN_TRIPS_PER_SHARD,
+        VECTOR_SHARD_DISCOUNT,
+    };
+    let trips = 4 * MIN_TRIPS_PER_SHARD;
+    let mut p = skeleton();
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::range_to("i", SExpr::Const(trips as f64)),
+        par: 1,
+        body: vec![
+            SpatialStmt::Alloc(MemDecl::new("s", MemKind::Sram, SIZE)),
+            // A vector-eligible inner fill: `s[j] = j`.
+            SpatialStmt::Foreach {
+                id: 1,
+                counter: Counter::range_to("j", SExpr::Const(SIZE as f64)),
+                par: 1,
+                body: vec![SpatialStmt::WriteMem {
+                    mem: "s".into(),
+                    index: SExpr::var("j"),
+                    value: SExpr::var("j"),
+                    random: false,
+                }],
+            },
+            SpatialStmt::StoreScalar {
+                dst: "out0".into(),
+                index: SExpr::bin(
+                    stardust_spatial::BinSOp::Mod,
+                    SExpr::var("i"),
+                    SExpr::Const(OUT as f64),
+                ),
+                value: SExpr::read("s", SExpr::Const(2.0)),
+            },
+        ],
+    });
+    p.assign_ids();
+    let compiled = Arc::new(CompiledProgram::compile(&p));
+    let plan = ShardPlan::analyze(&compiled).expect("vectorized candidate proves");
+    assert!(
+        plan.vectorized(),
+        "inner fill must classify vector-eligible"
+    );
+    let wide = PoolOccupancy {
+        idle: 64,
+        shards: 64,
+        ..PoolOccupancy::default()
+    };
+    let scalar_n = auto_shard_count(plan.trips(), &wide);
+    let vector_n = auto_shard_count_for(&plan, &wide);
+    assert_eq!(
+        auto_shard_count(plan.trips() / VECTOR_SHARD_DISCOUNT, &wide),
+        vector_n,
+        "discount must divide trips by VECTOR_SHARD_DISCOUNT"
+    );
+    // On hosts with enough cores for the trip cap to bind, the
+    // discount visibly halves the split.
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if cores >= 4 {
+        assert!(
+            vector_n < scalar_n,
+            "vectorized plan must split less: {vector_n} vs {scalar_n}"
+        );
+    }
+    // A scalar plan of the same shape is not discounted.
+    let mut q = skeleton();
+    q.accel.push(trailing_loop(vec![store_i()]));
+    q.assign_ids();
+    let qc = Arc::new(CompiledProgram::compile(&q));
+    let qplan = ShardPlan::analyze(&qc).expect("scalar candidate proves");
+    assert!(!qplan.vectorized());
+    assert_eq!(
+        auto_shard_count_for(&qplan, &wide),
+        auto_shard_count(qplan.trips(), &wide)
+    );
+}

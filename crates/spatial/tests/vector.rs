@@ -501,3 +501,330 @@ proptest! {
         random_case(seed);
     }
 }
+
+/// A fused fill/update loop — *three* statements per iteration:
+/// `s1[j] = vals_s[j]`, `acc_s[crd_s[j]] += vb * vals_s[j]`, and the
+/// computed fill `s2[j] = j * 2.0`. Multi-statement bodies were
+/// `VecClass::None` before the effect-analysis framework; they now
+/// classify as [`VecClass::MultiScatter`] (pairwise-distinct
+/// destinations, no gather reads a written slot) and chunk through the
+/// vector tier with statement-major commits.
+fn multi_body_program(n: usize, lo: usize) -> SpatialProgram {
+    let len = (lo + n).max(1);
+    let mut p = SpatialProgram::new("vec_multi");
+    p.add_dram("vals", len);
+    p.add_dram("crd", len);
+    p.add_dram("out1", len);
+    p.add_dram("out2", ACC);
+    p.add_dram("out3", len);
+    alloc(&mut p, "vals_s", MemKind::Sram, len);
+    alloc(&mut p, "crd_s", MemKind::Sram, len);
+    alloc(&mut p, "s1", MemKind::Sram, len);
+    alloc(&mut p, "acc_s", MemKind::SparseSram, ACC);
+    alloc(&mut p, "s2", MemKind::Sram, len);
+    load_all(&mut p, "vals_s", "vals", len);
+    load_all(&mut p, "crd_s", "crd", len);
+    p.accel.push(SpatialStmt::Bind {
+        var: "vb".into(),
+        value: SExpr::Const(1.5),
+    });
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::Range {
+            var: "j".into(),
+            min: SExpr::Const(lo as f64),
+            max: SExpr::Const((lo + n) as f64),
+            step: 1,
+        },
+        par: 1,
+        body: vec![
+            SpatialStmt::WriteMem {
+                mem: "s1".into(),
+                index: SExpr::var("j"),
+                value: SExpr::read("vals_s", SExpr::var("j")),
+                random: false,
+            },
+            SpatialStmt::RmwAdd {
+                mem: "acc_s".into(),
+                index: SExpr::read("crd_s", SExpr::var("j")),
+                value: SExpr::mul(SExpr::var("vb"), SExpr::read("vals_s", SExpr::var("j"))),
+            },
+            SpatialStmt::WriteMem {
+                mem: "s2".into(),
+                index: SExpr::var("j"),
+                value: SExpr::mul(SExpr::var("j"), SExpr::Const(2.0)),
+                random: false,
+            },
+        ],
+    });
+    p.accel.push(SpatialStmt::Store {
+        dst: "out1".into(),
+        offset: SExpr::Const(0.0),
+        src: "s1".into(),
+        len: SExpr::Const(len as f64),
+        par: 1,
+    });
+    p.accel.push(SpatialStmt::Store {
+        dst: "out2".into(),
+        offset: SExpr::Const(0.0),
+        src: "acc_s".into(),
+        len: SExpr::Const(ACC as f64),
+        par: 1,
+    });
+    p.accel.push(SpatialStmt::Store {
+        dst: "out3".into(),
+        offset: SExpr::Const(0.0),
+        src: "s2".into(),
+        len: SExpr::Const(len as f64),
+        par: 1,
+    });
+    p.assign_ids();
+    p
+}
+
+/// The offset dense fill `s[j + off] = vals_s[j]` — previously
+/// `VecClass::None` (the index is not the bare loop variable), now a
+/// [`VecClass::Scatter`] via the `[VarConstBin, End]` offset-iota
+/// index plan.
+fn offset_fill_program(n: usize, lo: usize, off: usize) -> SpatialProgram {
+    let len = (lo + n).max(1);
+    let slen = len + off;
+    let mut p = SpatialProgram::new("vec_offset_fill");
+    p.add_dram("vals", len);
+    p.add_dram("out", slen);
+    alloc(&mut p, "vals_s", MemKind::Sram, len);
+    alloc(&mut p, "s", MemKind::Sram, slen);
+    load_all(&mut p, "vals_s", "vals", len);
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::Range {
+            var: "j".into(),
+            min: SExpr::Const(lo as f64),
+            max: SExpr::Const((lo + n) as f64),
+            step: 1,
+        },
+        par: 1,
+        body: vec![SpatialStmt::WriteMem {
+            mem: "s".into(),
+            index: SExpr::add(SExpr::var("j"), SExpr::Const(off as f64)),
+            value: SExpr::read("vals_s", SExpr::var("j")),
+            random: false,
+        }],
+    });
+    p.accel.push(SpatialStmt::Store {
+        dst: "out".into(),
+        offset: SExpr::Const(0.0),
+        src: "s".into(),
+        len: SExpr::Const(slen as f64),
+        par: 1,
+    });
+    p.assign_ids();
+    p
+}
+
+/// The computed dense fill `s[j] = j * 2.0` — previously
+/// `VecClass::None` (the value is neither a constant, variable, nor
+/// gather), now a [`VecClass::Scatter`] via the per-lane
+/// `[VarConstBin, End]` value plan.
+fn computed_fill_program(n: usize, lo: usize) -> SpatialProgram {
+    let len = (lo + n).max(1);
+    let mut p = SpatialProgram::new("vec_computed_fill");
+    p.add_dram("out", len);
+    alloc(&mut p, "s", MemKind::Sram, len);
+    p.accel.push(SpatialStmt::Foreach {
+        id: 0,
+        counter: Counter::Range {
+            var: "j".into(),
+            min: SExpr::Const(lo as f64),
+            max: SExpr::Const((lo + n) as f64),
+            step: 1,
+        },
+        par: 1,
+        body: vec![SpatialStmt::WriteMem {
+            mem: "s".into(),
+            index: SExpr::var("j"),
+            value: SExpr::mul(SExpr::var("j"), SExpr::Const(2.0)),
+            random: false,
+        }],
+    });
+    p.accel.push(SpatialStmt::Store {
+        dst: "out".into(),
+        offset: SExpr::Const(0.0),
+        src: "s".into(),
+        len: SExpr::Const(len as f64),
+        par: 1,
+    });
+    p.assign_ids();
+    p
+}
+
+fn multi_inputs(n: usize, lo: usize, seed: u64) -> Vec<(&'static str, Vec<f64>)> {
+    let len = (lo + n).max(1);
+    vec![
+        ("vals", series(seed, len, 16, 0.25)),
+        ("crd", series(seed ^ 0xBEEF, len, ACC as u64, 0.0)),
+    ]
+}
+
+/// The widened classifier verdicts, asserted on the compiled artifact:
+/// the shapes the new tests sweep must actually take the new paths.
+#[test]
+fn widened_shapes_classify_as_tagged() {
+    use stardust_spatial::{CompiledProgram, VecClass};
+    let find = |p: &SpatialProgram, class: VecClass| {
+        let c = CompiledProgram::compile(p);
+        assert!(
+            (0..c.ops().len()).any(|pc| c.vec_class(pc) == class),
+            "{} never classifies {:?}",
+            p.name,
+            class
+        );
+    };
+    find(&multi_body_program(3 * LANES, 0), VecClass::MultiScatter);
+    find(&offset_fill_program(3 * LANES, 0, 2), VecClass::Scatter);
+    find(&computed_fill_program(3 * LANES, 0), VecClass::Scatter);
+}
+
+/// Remainder sweep over the widened shapes: multi-statement bodies,
+/// offset fills, and computed fills are bit-identical across all four
+/// engines at every length and loop start around the chunk width.
+#[test]
+fn widened_shapes_are_bit_identical() {
+    let lengths = [
+        0,
+        1,
+        LANES - 1,
+        LANES,
+        LANES + 1,
+        2 * LANES + 1,
+        5 * LANES + 3,
+    ];
+    for &n in &lengths {
+        for lo in [0usize, 1, LANES - 1] {
+            let seed = (n * 37 + lo) as u64;
+            let len = (lo + n).max(1);
+            assert_engines_agree(&multi_body_program(n, lo), &multi_inputs(n, lo, seed), None);
+            for off in [0usize, 1, 7] {
+                assert_engines_agree(
+                    &offset_fill_program(n, lo, off),
+                    &[("vals", series(seed, len, 64, 0.125))],
+                    None,
+                );
+            }
+            assert_engines_agree(&computed_fill_program(n, lo), &[], None);
+        }
+    }
+}
+
+/// A faulting lane in the middle of a multi-statement chunk: the whole
+/// chunk must re-run scalar, committing the exact statement prefix the
+/// scalar engines commit and aborting at the identical statement.
+#[test]
+fn multi_statement_faults_match_scalar_semantics() {
+    let n = 3 * LANES;
+    // Out-of-bounds accumulate index in the middle of the second chunk:
+    // statement 1 of that iteration faults *after* statement 0's write.
+    let mut inputs = multi_inputs(n, 0, 41);
+    inputs[1].1[LANES + 5] = ACC as f64 + 3.0;
+    assert_engines_agree(&multi_body_program(n, 0), &inputs, None);
+    // Negative index in the first chunk.
+    let mut inputs = multi_inputs(n, 0, 42);
+    inputs[1].1[2] = -4.0;
+    assert_engines_agree(&multi_body_program(n, 0), &inputs, None);
+}
+
+/// Fuel exhaustion landing on every iteration of the widened shapes —
+/// including points strictly inside a chunk. Abort step and partial
+/// DRAM must be identical on all four engines.
+#[test]
+fn widened_shape_budget_aborts_are_identical() {
+    let n = 3 * LANES;
+    let multi = multi_body_program(n, 0);
+    let multi_in = multi_inputs(n, 0, 51);
+    let offset = offset_fill_program(n, 0, 3);
+    let offset_in = [("vals", series(52, n, 64, 0.125))];
+    let computed = computed_fill_program(n, 0);
+    for fuel in 1..=(n as u64 + 16) {
+        assert_engines_agree(&multi, &multi_in, Some(fuel));
+        assert_engines_agree(&offset, &offset_in, Some(fuel));
+        assert_engines_agree(&computed, &[], Some(fuel));
+    }
+}
+
+/// Runs `p` with bounds-check elision forced on and forced off (on
+/// both the vector and scalar bytecode engines) and asserts
+/// bit-identical DRAM, results, and statistics — the elision table
+/// must be observably invisible.
+fn assert_elide_invisible(p: &SpatialProgram, writes: &[(&str, Vec<f64>)], fuel: Option<u64>) {
+    let mut machines = Vec::new();
+    for (vector, elide) in [(true, true), (true, false), (false, true), (false, false)] {
+        let mut m = Machine::new(p);
+        for (name, data) in writes {
+            m.write_dram(name, data).unwrap();
+        }
+        if let Some(f) = fuel {
+            m.set_budget(RunBudget::unlimited().with_max_steps(f));
+        }
+        m.set_vector_mode(vector);
+        m.set_elide_mode(elide);
+        let r = m.run(p);
+        machines.push((vector, elide, m, r));
+    }
+    let (_, _, m0, r0) = &machines[0];
+    for (vector, elide, m, r) in &machines[1..] {
+        assert_eq!(r0, r, "elide divergence (vector={vector}, elide={elide})");
+        for d in &p.drams {
+            let bits = |m: &Machine| -> Vec<u64> {
+                m.dram(&d.name)
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            };
+            assert_eq!(
+                bits(m0),
+                bits(m),
+                "DRAM {} elide divergence (vector={vector}, elide={elide})",
+                d.name
+            );
+        }
+        assert_eq!(
+            m0.stats(),
+            m.stats(),
+            "stats elide divergence (vector={vector}, elide={elide})"
+        );
+    }
+}
+
+/// Bounds-check elision is observably invisible: dense fills (the
+/// proven-in-bounds shape) and computed fills run bit-identically with
+/// the elision table honored and ignored, across remainder lengths and
+/// mid-loop fuel aborts.
+#[test]
+fn elide_mode_is_observably_invisible() {
+    for &n in &[0usize, 1, LANES, 2 * LANES + 1, 5 * LANES + 3] {
+        for lo in [0usize, 1] {
+            let len = (lo + n).max(1);
+            let vals = series((n + lo) as u64, len, 64, 0.125);
+            assert_elide_invisible(&dense_fill_program(n, lo), &[("vals", vals)], None);
+            assert_elide_invisible(&computed_fill_program(n, lo), &[], None);
+        }
+    }
+    // Fuel aborts inside the elided loop land on the identical step.
+    let n = 2 * LANES + 3;
+    let vals = series(9, n, 64, 0.125);
+    for fuel in 1..=(n as u64 + 8) {
+        assert_elide_invisible(
+            &dense_fill_program(n, 0),
+            &[("vals", vals.clone())],
+            Some(fuel),
+        );
+    }
+    // The elision table licenses the dense fill.
+    use stardust_spatial::CompiledProgram;
+    let c = CompiledProgram::compile(&dense_fill_program(2 * LANES, 0));
+    assert!(
+        (0..c.ops().len()).any(|pc| c.elide_at(pc)),
+        "dense fill carries no elision license"
+    );
+}
